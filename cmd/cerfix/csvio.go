@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+
+	"cerfix"
+	"cerfix/internal/storage"
+)
+
+// loadCSVTuples reads input tuples from a CSV file under the system's
+// input schema.
+func loadCSVTuples(sys *cerfix.System, path string) ([]*cerfix.Tuple, error) {
+	t := storage.NewTable(sys.InputSchema())
+	if err := t.LoadCSVFile(path); err != nil {
+		return nil, err
+	}
+	return t.All(), nil
+}
+
+// writeCSV writes header + rows to path.
+func writeCSV(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return fmt.Errorf("writing header: %w", err)
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return fmt.Errorf("writing row: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	return f.Sync()
+}

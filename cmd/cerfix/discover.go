@@ -1,0 +1,76 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"cerfix/internal/discovery"
+	"cerfix/internal/storage"
+	"cerfix/internal/textutil"
+)
+
+// cmdDiscover profiles a relation instance for functional dependencies
+// and constant CFDs, and prints the editing rules derivable from them
+// (paper §3: rules "may ... be discovered from cfds or mds").
+//
+//	cerfix discover -schema "HOSP:prov,hospital,..." -data master.csv \
+//	  [-max-lhs 2] [-min-support 3] [-min-confidence 1.0]
+func cmdDiscover(args []string) error {
+	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+	schemaSpec := fs.String("schema", "", `relation schema spec "NAME:attr1,..."`)
+	dataPath := fs.String("data", "", "CSV file to profile")
+	maxLHS := fs.Int("max-lhs", 2, "maximum FD left-hand-side size")
+	minSupport := fs.Int("min-support", 3, "minimum rows per constant pattern")
+	minConfidence := fs.Float64("min-confidence", 1.0, "minimum constant-CFD confidence")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *schemaSpec == "" || *dataPath == "" {
+		return fmt.Errorf("-schema and -data are required")
+	}
+	sch, err := parseSchemaSpec(*schemaSpec)
+	if err != nil {
+		return err
+	}
+	tbl := storage.NewTable(sch)
+	if err := tbl.LoadCSVFile(*dataPath); err != nil {
+		return err
+	}
+	rows := tbl.All()
+	opts := &discovery.Options{MaxLHS: *maxLHS, MinSupport: *minSupport, MinConfidence: *minConfidence}
+
+	fds := discovery.DiscoverFDs(sch, rows, opts)
+	fmt.Printf("profiled %d rows of %s\n\n", len(rows), sch.Name())
+	fmt.Printf("functional dependencies (max LHS %d): %d found\n", *maxLHS, len(fds))
+	for _, f := range fds {
+		fmt.Println("  ", f)
+	}
+
+	ccfds := discovery.DiscoverConstantCFDs(sch, rows, opts)
+	fmt.Printf("\nconstant CFDs (support >= %d, confidence >= %.2f): %d found\n",
+		*minSupport, *minConfidence, len(ccfds))
+	shown := ccfds
+	if len(shown) > 20 {
+		shown = shown[:20]
+	}
+	for _, c := range shown {
+		fmt.Println("  ", c)
+	}
+	if len(ccfds) > len(shown) {
+		fmt.Printf("   ... and %d more\n", len(ccfds)-len(shown))
+	}
+
+	rules, _, err := discovery.DeriveRulesFromMaster(sch, rows, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nderivable editing rules (same-schema master): %d\n", len(rules))
+	tbl2 := textutil.NewTextTable("rule", "dsl")
+	for _, r := range rules {
+		tbl2.AddRow(r.ID, strings.TrimSpace(r.String()))
+	}
+	fmt.Print(tbl2.String())
+	fmt.Println("\nreview before installing: discovery yields hypotheses that hold on this instance only")
+	return nil
+}

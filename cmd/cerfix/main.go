@@ -1,0 +1,367 @@
+// Command cerfix is the command-line front end of the CerFix
+// reproduction. Subcommands:
+//
+//	check    — run the rule engine's consistency analysis
+//	regions  — print the top-k certain regions
+//	fix      — batch-fix a CSV of input tuples given validated attributes
+//	monitor  — interactively fix one tuple (stdin/stdout session)
+//	demo     — run the paper's Fig. 3 walkthrough on built-in data
+//
+// Schemas are given inline as "NAME:attr1,attr2,..." (all string
+// domains; the library API supports typed domains). Master data and
+// inputs are CSV files with header rows. Rules use the DSL, e.g.:
+//
+//	phi1: match zip~zip set AC := AC
+//	phi4: match phn~Mphn set FN := FN when type = "2"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cerfix"
+	"cerfix/internal/dataset"
+	"cerfix/internal/textutil"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "regions":
+		err = cmdRegions(os.Args[2:])
+	case "fix":
+		err = cmdFix(os.Args[2:])
+	case "monitor":
+		err = cmdMonitor(os.Args[2:])
+	case "demo":
+		err = cmdDemo(os.Args[2:])
+	case "discover":
+		err = cmdDiscover(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cerfix:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cerfix <check|regions|fix|monitor|demo|discover> [flags]
+  cerfix check   -input CUST:FN,LN,... -master-schema PERSON:... -rules rules.txt -master master.csv
+  cerfix regions -input ... -master-schema ... -rules ... -master ... [-k 5]
+  cerfix fix     -input ... -master-schema ... -rules ... -master ... -data dirty.csv -validated zip,type
+  cerfix monitor -input ... -master-schema ... -rules ... -master ...
+  cerfix demo
+  cerfix discover -schema HOSP:prov,... -data master.csv`)
+}
+
+// config is the shared flag bundle.
+type config struct {
+	inputSpec, masterSpec string
+	rulesPath, masterPath string
+}
+
+func (c *config) register(fs *flag.FlagSet) {
+	fs.StringVar(&c.inputSpec, "input", "", `input schema spec "NAME:attr1,attr2,..."`)
+	fs.StringVar(&c.masterSpec, "master-schema", "", `master schema spec "NAME:attr1,..."`)
+	fs.StringVar(&c.rulesPath, "rules", "", "editing-rule DSL file")
+	fs.StringVar(&c.masterPath, "master", "", "master data CSV file")
+}
+
+// parseSchemaSpec builds a schema from "NAME:a,b,c".
+func parseSchemaSpec(spec string) (*cerfix.Schema, error) {
+	name, attrs, ok := strings.Cut(spec, ":")
+	if !ok || name == "" {
+		return nil, fmt.Errorf("bad schema spec %q (want NAME:attr1,attr2,...)", spec)
+	}
+	parts := strings.Split(attrs, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return cerfix.NewSchema(name, cerfix.StringAttrs(parts...)...)
+}
+
+// buildSystem wires a System from the config.
+func buildSystem(c *config) (*cerfix.System, error) {
+	if c.inputSpec == "" || c.masterSpec == "" || c.rulesPath == "" {
+		return nil, fmt.Errorf("-input, -master-schema and -rules are required")
+	}
+	input, err := parseSchemaSpec(c.inputSpec)
+	if err != nil {
+		return nil, err
+	}
+	masterSch, err := parseSchemaSpec(c.masterSpec)
+	if err != nil {
+		return nil, err
+	}
+	dsl, err := os.ReadFile(c.rulesPath)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := cerfix.New(input, masterSch, string(dsl))
+	if err != nil {
+		return nil, err
+	}
+	if c.masterPath != "" {
+		f, err := os.Open(c.masterPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := sys.LoadMasterCSV(f); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	var c config
+	c.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := buildSystem(&c)
+	if err != nil {
+		return err
+	}
+	rep := sys.CheckConsistency()
+	fmt.Printf("rules: %d, master tuples: %d\n", sys.RuleSet().Len(), sys.Master().Len())
+	fmt.Printf("consistent: %v (errors: %d, warnings: %d, probes: %d)\n",
+		rep.Consistent(), len(rep.Errors()), len(rep.Warnings()), rep.ProbesRun)
+	for _, is := range rep.Issues {
+		fmt.Println(" ", is.String())
+	}
+	if !rep.Consistent() {
+		return fmt.Errorf("rule set is inconsistent")
+	}
+	return nil
+}
+
+func cmdRegions(args []string) error {
+	fs := flag.NewFlagSet("regions", flag.ExitOnError)
+	var c config
+	c.register(fs)
+	k := fs.Int("k", 5, "number of regions to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := buildSystem(&c)
+	if err != nil {
+		return err
+	}
+	regions := sys.Regions(*k)
+	if len(regions) == 0 {
+		fmt.Println("no certain regions (is master data loaded?)")
+		return nil
+	}
+	tbl := textutil.NewTextTable("#", "|Z|", "attributes", "tableau rows")
+	for i, r := range regions {
+		tbl.AddRow(fmt.Sprint(i+1), fmt.Sprint(r.Size()),
+			strings.Join(r.AttrNames(), ", "), fmt.Sprint(len(r.Tableau.Rows)))
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+func cmdFix(args []string) error {
+	fs := flag.NewFlagSet("fix", flag.ExitOnError)
+	var c config
+	c.register(fs)
+	dataPath := fs.String("data", "", "dirty input CSV file")
+	validated := fs.String("validated", "", "comma-separated attributes asserted correct")
+	outPath := fs.String("out", "", "output CSV (default: stdout summary only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := buildSystem(&c)
+	if err != nil {
+		return err
+	}
+	if *dataPath == "" || *validated == "" {
+		return fmt.Errorf("-data and -validated are required")
+	}
+	attrs := strings.Split(*validated, ",")
+	for i := range attrs {
+		attrs[i] = strings.TrimSpace(attrs[i])
+	}
+	// Load dirty tuples through a scratch table under the input schema.
+	tuples, err := loadCSVTuples(sys, *dataPath)
+	if err != nil {
+		return err
+	}
+	fixedCount, conflictCount, changedCells := 0, 0, 0
+	var outRows [][]string
+	for _, tu := range tuples {
+		fixed, res := sys.Fix(tu, attrs)
+		if res.AllValidated() && len(res.Conflicts) == 0 {
+			fixedCount++
+		}
+		if len(res.Conflicts) > 0 {
+			conflictCount++
+		}
+		changedCells += len(res.Rewrites())
+		outRows = append(outRows, fixed.Vals.Strings())
+	}
+	fmt.Printf("tuples: %d, fully validated: %d, with conflicts: %d, cells rewritten: %d\n",
+		len(tuples), fixedCount, conflictCount, changedCells)
+	if *outPath != "" {
+		if err := writeCSV(*outPath, sys.InputSchema().AttrNames(), outRows); err != nil {
+			return err
+		}
+		fmt.Println("fixed tuples written to", *outPath)
+	}
+	return nil
+}
+
+func cmdMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	var c config
+	c.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := buildSystem(&c)
+	if err != nil {
+		return err
+	}
+	return runInteractive(sys, os.Stdin, os.Stdout)
+}
+
+// runInteractive drives a stdin session: first the tuple values, then
+// validation rounds.
+func runInteractive(sys *cerfix.System, in *os.File, out *os.File) error {
+	sc := bufio.NewScanner(in)
+	names := sys.InputSchema().AttrNames()
+	fmt.Fprintf(out, "enter tuple as attr=value pairs separated by ';' (attrs: %s)\n> ",
+		strings.Join(names, ", "))
+	if !sc.Scan() {
+		return fmt.Errorf("no input")
+	}
+	vals, err := parsePairs(sc.Text())
+	if err != nil {
+		return err
+	}
+	sess, err := sys.NewSession(vals)
+	if err != nil {
+		return err
+	}
+	for !sess.Done() {
+		fmt.Fprintf(out, "suggested to validate: %s\n", strings.Join(sess.Suggestion(), ", "))
+		fmt.Fprintf(out, "validate (attr=value;...) or empty to accept suggestion as-is\n> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		var res *cerfix.ChaseResult
+		if line == "" {
+			res, err = sess.ValidateSuggested()
+		} else {
+			var m map[string]string
+			m, err = parsePairs(line)
+			if err == nil {
+				res, err = sess.Validate(m)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			continue
+		}
+		for _, ch := range res.Changes {
+			if ch.IsRewrite() {
+				fmt.Fprintf(out, "  fixed %s: %q -> %q (rule %s, master #%d)\n",
+					ch.Attr, string(ch.Old), string(ch.New), ch.RuleID, ch.MasterID)
+			} else {
+				fmt.Fprintf(out, "  confirmed %s = %q (rule %s)\n", ch.Attr, string(ch.New), ch.RuleID)
+			}
+		}
+		fmt.Fprintf(out, "validated: %s\n", strings.Join(sortedNames(sess), ", "))
+	}
+	fmt.Fprintf(out, "final tuple: %s\ncertain: %v\n", sess.Tuple, sess.Certain())
+	return nil
+}
+
+func sortedNames(sess *cerfix.Session) []string {
+	out := sess.Validated.SortedNames(sess.Tuple.Schema)
+	sort.Strings(out)
+	return out
+}
+
+func parsePairs(line string) (map[string]string, error) {
+	out := make(map[string]string)
+	for _, part := range strings.Split(line, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad pair %q (want attr=value)", part)
+		}
+		out[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no pairs in %q", line)
+	}
+	return out, nil
+}
+
+// cmdDemo replays the paper's Fig. 3 walkthrough on built-in data.
+func cmdDemo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sys, err := cerfix.New(dataset.CustSchema(), dataset.PersonSchema(), dataset.DemoRulesDSL)
+	if err != nil {
+		return err
+	}
+	for _, row := range dataset.DemoMasterRows() {
+		if err := sys.AddMasterRow(row.Strings()...); err != nil {
+			return err
+		}
+	}
+	fmt.Println("CerFix demo — the paper's Fig. 3 walkthrough")
+	fmt.Println("input tuple:", dataset.DemoInputFig3())
+	sess, err := sys.NewSessionTuple(dataset.DemoInputFig3())
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nround 1: user validates AC=201, phn=075568485, type=2, item=DVD")
+	res, err := sess.Validate(map[string]string{
+		"AC": "201", "phn": "075568485", "type": "2", "item": "DVD",
+	})
+	if err != nil {
+		return err
+	}
+	for _, ch := range res.Changes {
+		if ch.IsRewrite() {
+			fmt.Printf("  CerFix fixed %s: %q -> %q (rule %s)\n", ch.Attr, string(ch.Old), string(ch.New), ch.RuleID)
+		} else {
+			fmt.Printf("  CerFix confirmed %s = %q (rule %s)\n", ch.Attr, string(ch.New), ch.RuleID)
+		}
+	}
+	fmt.Println("  new suggestion:", strings.Join(sess.Suggestion(), ", "))
+	fmt.Println("\nround 2: user validates the suggestion (zip)")
+	if _, err := sess.ValidateSuggested(); err != nil {
+		return err
+	}
+	fmt.Println("\nfinal tuple:", sess.Tuple)
+	fmt.Println("certain fix:", sess.Certain())
+	return nil
+}

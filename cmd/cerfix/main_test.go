@@ -1,0 +1,226 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cerfix"
+	"cerfix/internal/dataset"
+)
+
+func TestParseSchemaSpec(t *testing.T) {
+	sch, err := parseSchemaSpec("CUST:FN, LN ,AC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Name() != "CUST" || sch.Len() != 3 || sch.Attr(1).Name != "LN" {
+		t.Fatalf("schema = %v", sch)
+	}
+	for _, bad := range []string{"", "noColon", ":attrs", "N:"} {
+		if _, err := parseSchemaSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestParsePairs(t *testing.T) {
+	m, err := parsePairs("a=1; b = two ;c=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["a"] != "1" || m["b"] != "two" || m["c"] != "3" {
+		t.Fatalf("pairs = %v", m)
+	}
+	for _, bad := range []string{"", "  ;  ", "novalue"} {
+		if _, err := parsePairs(bad); err == nil {
+			t.Errorf("pairs %q accepted", bad)
+		}
+	}
+}
+
+// writeDemoFiles materializes the demo configuration for the file-based
+// subcommands.
+func writeDemoFiles(t *testing.T) (dir string, c config) {
+	t.Helper()
+	dir = t.TempDir()
+	rules := filepath.Join(dir, "rules.txt")
+	if err := os.WriteFile(rules, []byte(dataset.DemoRulesDSL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := cerfix.New(dataset.CustSchema(), dataset.PersonSchema(), dataset.DemoRulesDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range dataset.DemoMasterRows() {
+		if err := sys.AddMasterRow(row.Strings()...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	masterCSV := filepath.Join(dir, "master.csv")
+	if err := sys.Master().Table().SaveCSVFile(masterCSV); err != nil {
+		t.Fatal(err)
+	}
+	c = config{
+		inputSpec:  "CUST:FN,LN,AC,phn,type,str,city,zip,item",
+		masterSpec: "PERSON:FN,LN,AC,Hphn,Mphn,str,city,zip,DOB,gender",
+		rulesPath:  rules,
+		masterPath: masterCSV,
+	}
+	return dir, c
+}
+
+func TestBuildSystem(t *testing.T) {
+	_, c := writeDemoFiles(t)
+	sys, err := buildSystem(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Master().Len() != 3 || sys.RuleSet().Len() != 9 {
+		t.Fatalf("system = %d master, %d rules", sys.Master().Len(), sys.RuleSet().Len())
+	}
+	// Missing required flags.
+	if _, err := buildSystem(&config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	bad := c
+	bad.rulesPath = filepath.Join(t.TempDir(), "nope.txt")
+	if _, err := buildSystem(&bad); err == nil {
+		t.Fatal("missing rules file accepted")
+	}
+}
+
+func TestCmdCheckAndRegions(t *testing.T) {
+	_, c := writeDemoFiles(t)
+	args := []string{
+		"-input", c.inputSpec, "-master-schema", c.masterSpec,
+		"-rules", c.rulesPath, "-master", c.masterPath,
+	}
+	if err := cmdCheck(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRegions(append(args, "-k", "2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdFix(t *testing.T) {
+	dir, c := writeDemoFiles(t)
+	// Dirty CSV: the Example 1 tuple.
+	dirtyCSV := filepath.Join(dir, "dirty.csv")
+	rows := [][]string{dataset.DemoInputExample1().Vals.Strings()}
+	if err := writeCSV(dirtyCSV, dataset.CustSchema().AttrNames(), rows); err != nil {
+		t.Fatal(err)
+	}
+	outCSV := filepath.Join(dir, "fixed.csv")
+	args := []string{
+		"-input", c.inputSpec, "-master-schema", c.masterSpec,
+		"-rules", c.rulesPath, "-master", c.masterPath,
+		"-data", dirtyCSV, "-validated", "zip", "-out", outCSV,
+	}
+	if err := cmdFix(args); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(outCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "131") {
+		t.Fatalf("fixed AC missing from output:\n%s", out)
+	}
+	// Missing -data/-validated.
+	if err := cmdFix([]string{
+		"-input", c.inputSpec, "-master-schema", c.masterSpec,
+		"-rules", c.rulesPath, "-master", c.masterPath,
+	}); err == nil {
+		t.Fatal("missing -data accepted")
+	}
+}
+
+func TestCmdDemo(t *testing.T) {
+	if err := cmdDemo(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCSVTuplesErrors(t *testing.T) {
+	_, c := writeDemoFiles(t)
+	sys, err := buildSystem(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadCSVTuples(sys, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Fatal("missing csv accepted")
+	}
+}
+
+func TestCmdDiscover(t *testing.T) {
+	dir, _ := writeDemoFiles(t)
+	args := []string{
+		"-schema", "PERSON:FN,LN,AC,Hphn,Mphn,str,city,zip,DOB,gender",
+		"-data", filepath.Join(dir, "master.csv"),
+		"-max-lhs", "1", "-min-support", "1",
+	}
+	if err := cmdDiscover(args); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdDiscover(nil); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if err := cmdDiscover([]string{"-schema", "bad", "-data", "x.csv"}); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+	if err := cmdDiscover([]string{
+		"-schema", "R:a,b", "-data", filepath.Join(t.TempDir(), "missing.csv"),
+	}); err == nil {
+		t.Fatal("missing data accepted")
+	}
+}
+
+// Drive the interactive monitor through piped files: enter the Fig. 3
+// tuple, validate the user's own choice, then accept the suggestion.
+func TestRunInteractive(t *testing.T) {
+	_, c := writeDemoFiles(t)
+	sys, err := buildSystem(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	inPath := filepath.Join(dir, "in.txt")
+	outPath := filepath.Join(dir, "out.txt")
+	script := "FN=M.;LN=Smith;AC=201;phn=075568485;type=2;str=Baker Street;city=Lon;zip=NW1 6XE;item=DVD\n" +
+		"AC=201;phn=075568485;type=2;item=DVD\n" +
+		"\n" // empty line: accept the zip suggestion as entered
+	if err := os.WriteFile(inPath, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := os.Open(inPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runInteractive(sys, in, out); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(got)
+	for _, want := range []string{
+		`fixed FN: "M." -> "Mark"`,
+		"suggested to validate: zip",
+		"certain: true",
+		"FN=Mark",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("interactive output missing %q:\n%s", want, text)
+		}
+	}
+}

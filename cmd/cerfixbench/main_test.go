@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// The experiment printers must run clean end to end at small scale
+// (the heavy lifting is tested in internal/experiments; this guards
+// the table-formatting layer).
+func TestPrinters(t *testing.T) {
+	if err := runE1(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runE2(); err != nil {
+		t.Fatal(err)
+	}
+	if err := runE3(20, 30, 0.3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runE4(15, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runE6(15, 20, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := runE7(1); err != nil {
+		t.Fatal(err)
+	}
+}

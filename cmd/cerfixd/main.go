@@ -1,0 +1,110 @@
+// Command cerfixd serves the CerFix web interface (data explorer) as a
+// JSON API over HTTP — the reproduction of the demo's rule manager,
+// data monitor and auditing views (paper Figs. 2–4). Start it against
+// your own configuration:
+//
+//	cerfixd -addr :8080 \
+//	  -input "CUST:FN,LN,AC,phn,type,str,city,zip,item" \
+//	  -master-schema "PERSON:FN,LN,AC,Hphn,Mphn,str,city,zip,DOB,gender" \
+//	  -rules rules.txt -master master.csv
+//
+// or with the built-in paper demo configuration:
+//
+//	cerfixd -addr :8080 -demo
+//
+// Endpoints: see internal/server documentation (GET /api/status,
+// /api/rules, /api/regions, /api/master, /api/sessions,
+// /api/audit/...).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"cerfix"
+	"cerfix/internal/dataset"
+	"cerfix/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		demo       = flag.Bool("demo", false, "serve the built-in paper demo configuration")
+		inputSpec  = flag.String("input", "", `input schema spec "NAME:attr1,..."`)
+		masterSpec = flag.String("master-schema", "", `master schema spec "NAME:attr1,..."`)
+		rulesPath  = flag.String("rules", "", "editing-rule DSL file")
+		masterPath = flag.String("master", "", "master data CSV file")
+	)
+	flag.Parse()
+
+	sys, err := buildSystem(*demo, *inputSpec, *masterSpec, *rulesPath, *masterPath)
+	if err != nil {
+		log.Fatal("cerfixd: ", err)
+	}
+	srv := server.New(sys)
+	log.Printf("cerfixd: serving on %s (input %s, master %s, %d rules, %d master tuples)",
+		*addr, sys.InputSchema().Name(), sys.MasterSchema().Name(),
+		sys.RuleSet().Len(), sys.Master().Len())
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func buildSystem(demo bool, inputSpec, masterSpec, rulesPath, masterPath string) (*cerfix.System, error) {
+	if demo {
+		sys, err := cerfix.New(dataset.CustSchema(), dataset.PersonSchema(), dataset.DemoRulesDSL)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range dataset.DemoMasterRows() {
+			if err := sys.AddMasterRow(row.Strings()...); err != nil {
+				return nil, err
+			}
+		}
+		return sys, nil
+	}
+	if inputSpec == "" || masterSpec == "" || rulesPath == "" {
+		return nil, fmt.Errorf("need -demo, or -input, -master-schema and -rules")
+	}
+	input, err := parseSchemaSpec(inputSpec)
+	if err != nil {
+		return nil, err
+	}
+	masterSch, err := parseSchemaSpec(masterSpec)
+	if err != nil {
+		return nil, err
+	}
+	dsl, err := os.ReadFile(rulesPath)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := cerfix.New(input, masterSch, string(dsl))
+	if err != nil {
+		return nil, err
+	}
+	if masterPath != "" {
+		f, err := os.Open(masterPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if err := sys.LoadMasterCSV(f); err != nil {
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+func parseSchemaSpec(spec string) (*cerfix.Schema, error) {
+	name, attrs, ok := strings.Cut(spec, ":")
+	if !ok || name == "" {
+		return nil, fmt.Errorf("bad schema spec %q (want NAME:attr1,attr2,...)", spec)
+	}
+	parts := strings.Split(attrs, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return cerfix.NewSchema(name, cerfix.StringAttrs(parts...)...)
+}

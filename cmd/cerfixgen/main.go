@@ -1,0 +1,131 @@
+// Command cerfixgen generates experiment workloads: master data CSVs
+// plus paired dirty/ground-truth input CSVs with controlled noise.
+// Two families are built in:
+//
+//	customers — the demo's UK-customer scenario at scale (CUST/PERSON)
+//	hosp      — the HOSP-like provider records of the companion
+//	            paper's evaluation (single shared schema)
+//
+// Example:
+//
+//	cerfixgen -family customers -entities 1000 -tuples 5000 \
+//	  -noise 0.3 -seed 7 -out ./data
+//
+// writes data/master.csv, data/dirty.csv and data/truth.csv, plus the
+// matching rules file data/rules.txt ready for `cerfix fix`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"cerfix/internal/dataset"
+	"cerfix/internal/schema"
+	"cerfix/internal/storage"
+)
+
+func main() {
+	var (
+		family   = flag.String("family", "customers", "workload family: customers, hosp or dblp")
+		entities = flag.Int("entities", 1000, "master entities (customers) / providers (hosp)")
+		tuples   = flag.Int("tuples", 5000, "input tuples to generate")
+		noise    = flag.Float64("noise", 0.3, "cell noise rate in [0,1]")
+		mobile   = flag.Float64("mobile", 0.5, "customers: share of mobile-phone tuples")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		out      = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	if err := run(*family, *entities, *tuples, *noise, *mobile, *seed, *out); err != nil {
+		log.Fatal("cerfixgen: ", err)
+	}
+}
+
+func run(family string, entities, tuples int, noise, mobile float64, seed uint64, out string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	switch family {
+	case "customers":
+		g := dataset.NewCustomerGen(seed)
+		g.MobileShare = mobile
+		w, err := g.GenerateWorkload(entities, tuples, noise, nil)
+		if err != nil {
+			return err
+		}
+		if err := saveTable(filepath.Join(out, "master.csv"), w.Store.Table()); err != nil {
+			return err
+		}
+		if err := saveTuples(filepath.Join(out, "dirty.csv"), dataset.CustSchema(), w.Dirty); err != nil {
+			return err
+		}
+		if err := saveTuples(filepath.Join(out, "truth.csv"), dataset.CustSchema(), w.Truth); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(out, "rules.txt"), []byte(dataset.DemoRulesDSL), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("customers workload: %d master rows, %d inputs (%d dirty cells) -> %s\n",
+			w.Store.Len(), len(w.Dirty), w.ErrorCells, out)
+	case "hosp":
+		g := dataset.NewHospGen(seed)
+		w, err := g.GenerateWorkload(entities, tuples, noise)
+		if err != nil {
+			return err
+		}
+		if err := saveTable(filepath.Join(out, "master.csv"), w.Store.Table()); err != nil {
+			return err
+		}
+		if err := saveTuples(filepath.Join(out, "dirty.csv"), dataset.HospSchema(), w.Dirty); err != nil {
+			return err
+		}
+		if err := saveTuples(filepath.Join(out, "truth.csv"), dataset.HospSchema(), w.Truth); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(out, "rules.txt"), []byte(dataset.HospRulesDSL), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("hosp workload: %d master rows, %d inputs (%d dirty cells) -> %s\n",
+			w.Store.Len(), len(w.Dirty), w.ErrorCells, out)
+	case "dblp":
+		g := dataset.NewDblpGen(seed)
+		w, err := g.GenerateWorkload(entities, tuples, noise)
+		if err != nil {
+			return err
+		}
+		if err := saveTable(filepath.Join(out, "master.csv"), w.Store.Table()); err != nil {
+			return err
+		}
+		if err := saveTuples(filepath.Join(out, "dirty.csv"), dataset.DblpSchema(), w.Dirty); err != nil {
+			return err
+		}
+		if err := saveTuples(filepath.Join(out, "truth.csv"), dataset.DblpSchema(), w.Truth); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(out, "rules.txt"), []byte(dataset.DblpRulesDSL), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("dblp workload: %d master rows, %d inputs (%d dirty cells) -> %s\n",
+			w.Store.Len(), len(w.Dirty), w.ErrorCells, out)
+	default:
+		return fmt.Errorf("unknown family %q (want customers, hosp or dblp)", family)
+	}
+	return nil
+}
+
+func saveTable(path string, t *storage.Table) error {
+	return t.SaveCSVFile(path)
+}
+
+func saveTuples(path string, sch *schema.Schema, tuples []*schema.Tuple) error {
+	t := storage.NewTable(sch)
+	for _, tu := range tuples {
+		if _, err := t.Insert(tu); err != nil {
+			return err
+		}
+	}
+	return t.SaveCSVFile(path)
+}

@@ -1,0 +1,71 @@
+// Quickstart: the smallest end-to-end CerFix program, using only the
+// public API. It reproduces Example 1/2 of the paper: a dirty customer
+// tuple whose area code contradicts its city; once the user validates
+// the zip code, editing rules + master data yield a certain fix for
+// the area code — without touching the (correct) city.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cerfix"
+)
+
+func main() {
+	// Input (dirty) relation and master relation, with different
+	// schemas, as in the paper's demo.
+	input, err := cerfix.NewSchema("CUST",
+		cerfix.StringAttrs("FN", "LN", "AC", "phn", "type", "str", "city", "zip", "item")...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	person, err := cerfix.NewSchema("PERSON",
+		cerfix.StringAttrs("FN", "LN", "AC", "Hphn", "Mphn", "str", "city", "zip", "DOB", "gender")...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two editing rules: Example 2's φ1 (zip fixes the area code) and
+	// a companion fixing the street.
+	sys, err := cerfix.New(input, person, `
+phi1: match zip~zip set AC := AC
+phi2: match zip~zip set str := str
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One master tuple: Robert Brady of Edinburgh (paper Example 2).
+	if err := sys.AddMasterRow(
+		"Robert", "Brady", "131", "6884563", "079172485",
+		"501 Elm St", "Edi", "EH8 4AH", "11/11/55", "M"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The dirty tuple of Example 1: AC=020 is wrong (the customer is in
+	// Edinburgh, area code 131), everything else is right.
+	sess, err := sys.NewSession(map[string]string{
+		"FN": "Bob", "LN": "Brady", "AC": "020", "phn": "079172485",
+		"type": "2", "str": "501 Elm St", "city": "Edi", "zip": "EH8 4AH", "item": "CD",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("before:", sess.Tuple)
+
+	// The user validates the zip code — the only human input needed for
+	// this fix.
+	res, err := sess.Validate(map[string]string{"zip": "EH8 4AH"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ch := range res.Changes {
+		if ch.IsRewrite() {
+			fmt.Printf("certain fix: %s %q -> %q (rule %s, master tuple #%d)\n",
+				ch.Attr, string(ch.Old), string(ch.New), ch.RuleID, ch.MasterID)
+		}
+	}
+	fmt.Println("after: ", sess.Tuple)
+	fmt.Println("note:   city stayed Edi — a certain fix never breaks a correct value")
+}

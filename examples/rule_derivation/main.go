@@ -1,0 +1,135 @@
+// rule_derivation shows the two derivation paths of the rule engine
+// (paper §2: editing rules "can be either explicitly specified by the
+// users, or derived from integrity constraints, e.g., cfds and
+// matching dependencies"):
+//
+//  1. CFDs → editing rules, including the Example 1 contrast: the bare
+//     CFDs only detect the inconsistency, the heuristic repair breaks
+//     the tuple, and the derived editing rules fix it correctly;
+//  2. MDs → editing rules, with fuzzy premises downgraded to the exact
+//     core.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cerfix/internal/cfd"
+	"cerfix/internal/core"
+	"cerfix/internal/dataset"
+	"cerfix/internal/master"
+	"cerfix/internal/md"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+)
+
+func main() {
+	cfdPart()
+	mdPart()
+}
+
+func cfdPart() {
+	fmt.Println("== CFDs -> editing rules ==")
+	// Example 1's constraints: they detect the AC/city inconsistency
+	// but cannot localize it.
+	psis, err := cfd.ParseSet(`
+psi1: AC = "020" -> city = "Ldn"
+psi2: AC = "131" -> city = "Edi"
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := dataset.DemoInputExample1()
+	fmt.Println("dirty tuple:", t)
+	for _, v := range cfd.CheckTuple(psis, t) {
+		fmt.Println("  violation:", v)
+	}
+
+	// The heuristic repair "fixes" the violation by overwriting the
+	// correct city.
+	repaired, _ := cfd.NewRepairer(psis).RepairTuple(t)
+	fmt.Printf("heuristic repair: city %q -> %q, AC stays %q  (wrong on both counts)\n",
+		t.Get("city"), repaired.Get("city"), repaired.Get("AC"))
+
+	// Derive editing rules from a variable CFD over the same relation
+	// and fix with master data instead.
+	fd, err := cfd.ParseSet(`fdzip: zip -> AC, city, str`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	derived, err := cfd.DeriveRules(fd, dataset.CustSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range derived {
+		fmt.Println("derived rule:", r)
+	}
+	st := master.New(dataset.CustSchema()) // same-schema master
+	if _, err := st.InsertValues("Robert", "Brady", "131", "079172485", "2",
+		"501 Elm St", "Edi", "EH8 4AH", "CD"); err != nil {
+		log.Fatal(err)
+	}
+	rs, err := rule.NewSet(derived...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.NewEngine(dataset.CustSchema(), rs, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := eng.Chase(t, schema.SetOfNames(dataset.CustSchema(), "zip"))
+	fmt.Printf("certain fix via derived rules: AC %q -> %q, city stays %q\n\n",
+		t.Get("AC"), res.Tuple.Get("AC"), res.Tuple.Get("city"))
+}
+
+func mdPart() {
+	fmt.Println("== MDs -> editing rules ==")
+	m := &md.MD{
+		ID: "md1",
+		Premise: []md.Clause{{
+			Left: "phn", Right: "Mphn",
+			Sim: md.Similarity{Kind: md.SimEdit, MaxDist: 1},
+		}},
+		Consequence: []md.Identify{
+			{Left: "FN", Right: "FN"},
+			{Left: "LN", Right: "LN"},
+		},
+	}
+	fmt.Println("matching dependency:", m)
+
+	// Fuzzy record matching finds the entity even with a phone typo.
+	st := master.New(dataset.PersonSchema())
+	for _, row := range dataset.DemoMasterRows() {
+		if _, err := st.InsertValues(row...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	typo := dataset.DemoInputFig3().Clone()
+	typo.Set("phn", "075568486") // one digit off
+	for _, s := range m.FindMatches(typo, st.All()) {
+		fmt.Printf("fuzzy match despite typo: %s %s (mobile %s)\n",
+			s.Get("FN"), s.Get("LN"), s.Get("Mphn"))
+	}
+
+	// Derivation downgrades the fuzzy premise to the exact core.
+	ds, err := md.DeriveRules([]*md.MD{m}, dataset.CustSchema(), dataset.PersonSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range ds {
+		fmt.Printf("derived rule (downgraded=%v): %s\n", d.Downgraded, d.Rule)
+	}
+
+	// The derived rule fixes the names once phn is validated (with the
+	// correct, exact phone).
+	rs, err := rule.NewSet(ds[0].Rule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.NewEngine(dataset.CustSchema(), rs, st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := eng.Chase(dataset.DemoInputFig3(), schema.SetOfNames(dataset.CustSchema(), "phn"))
+	fmt.Printf("after chase: FN=%s LN=%s\n", res.Tuple.Get("FN"), res.Tuple.Get("LN"))
+}

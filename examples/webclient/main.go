@@ -1,0 +1,147 @@
+// webclient demonstrates the Web-interface integration path: it starts
+// the CerFix HTTP server in-process (the same handler `cerfixd`
+// serves) and drives the paper's three demonstration facilities over
+// the JSON API — rule management, data monitoring and auditing —
+// exactly as an external application would.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"cerfix"
+	"cerfix/internal/dataset"
+	"cerfix/internal/server"
+)
+
+func main() {
+	sys, err := cerfix.New(dataset.CustSchema(), dataset.PersonSchema(), dataset.DemoRulesDSL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range dataset.DemoMasterRows() {
+		if err := sys.AddMasterRow(row.Strings()...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(server.New(sys).Handler())
+	defer ts.Close()
+	fmt.Println("server:", ts.URL)
+
+	// --- rule management (Fig. 2) ---
+	var check map[string]any
+	post(ts.URL+"/api/rules/check", nil, &check)
+	fmt.Printf("consistency check: consistent=%v issues=%v probes=%v\n\n",
+		check["consistent"], lenOf(check["issues"]), check["probes_run"])
+
+	// --- data monitoring (Fig. 3) ---
+	var sess struct {
+		ID         int64    `json:"id"`
+		Suggestion []string `json:"suggestion"`
+	}
+	post(ts.URL+"/api/sessions", map[string]any{
+		"tuple": dataset.DemoInputFig3().Map(),
+	}, &sess)
+	fmt.Printf("session %d opened; CerFix suggests validating %v\n", sess.ID, sess.Suggestion)
+
+	var round struct {
+		Session struct {
+			Suggestion []string          `json:"suggestion"`
+			Tuple      map[string]string `json:"tuple"`
+			Done       bool              `json:"done"`
+			Certain    bool              `json:"certain"`
+		} `json:"session"`
+		Changes []map[string]any `json:"changes"`
+	}
+	post(fmt.Sprintf("%s/api/sessions/%d/validate", ts.URL, sess.ID), map[string]any{
+		"assertions": map[string]string{"AC": "201", "phn": "075568485", "type": "2", "item": "DVD"},
+	}, &round)
+	fmt.Println("round 1 changes:")
+	for _, c := range round.Changes {
+		fmt.Printf("  %v: %q -> %q (rule %v)\n", c["attr"], c["old"], c["new"], c["rule_id"])
+	}
+	fmt.Println("next suggestion:", round.Session.Suggestion)
+
+	post(fmt.Sprintf("%s/api/sessions/%d/validate", ts.URL, sess.ID), map[string]any{
+		"assertions": map[string]string{"zip": "NW1 6XE"},
+	}, &round)
+	fmt.Printf("round 2: done=%v certain=%v FN=%q\n\n",
+		round.Session.Done, round.Session.Certain, round.Session.Tuple["FN"])
+
+	// --- auditing (Fig. 4) ---
+	var cell map[string]any
+	get(fmt.Sprintf("%s/api/audit/cell?tuple=%d&attr=FN", ts.URL, sess.ID), &cell)
+	fmt.Printf("FN provenance: %q -> %q by rule %v using master tuple #%v\n",
+		cell["old"], cell["new"], cell["rule_id"], cell["master_id"])
+
+	var stats struct {
+		Overall struct {
+			UserPct float64 `json:"user_pct"`
+			AutoPct float64 `json:"auto_pct"`
+		} `json:"overall"`
+	}
+	get(ts.URL+"/api/audit/stats", &stats)
+	fmt.Printf("overall: %.1f%% user / %.1f%% auto\n", stats.Overall.UserPct, stats.Overall.AutoPct)
+
+	// --- batch integration ---
+	var batch struct {
+		FullyValidated int `json:"fully_validated"`
+		CellsRewritten int `json:"cells_rewritten"`
+	}
+	post(ts.URL+"/api/fix", map[string]any{
+		"validated": []string{"zip", "phn", "type", "item"},
+		"tuples": []map[string]string{
+			dataset.DemoInputFig3().Map(),
+			dataset.DemoInputExample1().Map(),
+		},
+	}, &batch)
+	fmt.Printf("batch fix: %d/2 fully validated, %d cells rewritten\n",
+		batch.FullyValidated, batch.CellsRewritten)
+}
+
+func post(url string, body, out any) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			log.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: %d", url, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func lenOf(v any) int {
+	if s, ok := v.([]any); ok {
+		return len(s)
+	}
+	return 0
+}

@@ -1,0 +1,79 @@
+package cfd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The CFD parser must never panic on arbitrary input.
+func TestCFDParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCFDParseSetNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseSet(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = ParseSet(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Structured fuzz: whatever parses reaches a print/parse fixpoint.
+func TestCFDPrintParseFixpoint(t *testing.T) {
+	attrs := []string{"a", "b", "zip", "city"}
+	f := func(seed uint32, constant bool) bool {
+		pick := func(n uint32) string { return attrs[int(n)%len(attrs)] }
+		src := "id_x: " + pick(seed)
+		if constant {
+			src += ` = "c1"`
+		}
+		src += " -> " + pick(seed>>4)
+		if seed%2 == 0 {
+			src += ` = "c2"`
+		}
+		c1, err := Parse(src)
+		if err != nil {
+			return true
+		}
+		c2, err := Parse(c1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", c1.String(), err)
+		}
+		return c1.String() == c2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Quoted metacharacters in constants survive.
+func TestCFDQuotedConstants(t *testing.T) {
+	for _, v := range []string{"a, b", "x -> y", "# hash", "Ldn"} {
+		src := `r: AC = "` + v + `" -> city = "` + v + `"`
+		c, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse with %q: %v", v, err)
+		}
+		if string(*c.LHS[0].Const) != v || string(*c.RHS[0].Const) != v {
+			t.Fatalf("constant %q mangled: %v", v, c)
+		}
+	}
+}

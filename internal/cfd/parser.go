@@ -1,0 +1,165 @@
+package cfd
+
+import (
+	"fmt"
+	"strings"
+
+	"cerfix/internal/value"
+)
+
+// This file implements the CFD DSL. One dependency per line:
+//
+//	psi1: AC = "020" -> city = "Ldn"        # Example 1's ψ1
+//	psi2: AC = "131" -> city = "Edi"        # Example 1's ψ2
+//	fd1:  zip -> city, str                  # plain (variable) FD
+//	mix:  country = "44", zip -> city       # conditional variable CFD
+//
+// Each side is a comma-separated list of atoms: `attr` (wildcard) or
+// `attr = "const"` (pattern constant). Lines starting with '#' and
+// blank lines are skipped; trailing '#' comments are allowed.
+
+// ParseSet parses a multi-line document into CFDs.
+func ParseSet(src string) ([]*CFD, error) {
+	var out []*CFD
+	seen := make(map[string]bool)
+	for lineNo, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		c, err := Parse(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		if seen[c.ID] {
+			return nil, fmt.Errorf("line %d: duplicate cfd id %q", lineNo+1, c.ID)
+		}
+		seen[c.ID] = true
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Parse parses one CFD line.
+func Parse(line string) (*CFD, error) {
+	text := stripComment(line)
+	id, rest, ok := strings.Cut(text, ":")
+	if !ok {
+		return nil, fmt.Errorf("cfd: missing ':' in %q", text)
+	}
+	id = strings.TrimSpace(id)
+	if id == "" || strings.ContainsAny(id, " \t") {
+		return nil, fmt.Errorf("cfd: bad id %q", id)
+	}
+	lhsSrc, rhsSrc, ok := cutTop(rest, "->")
+	if !ok {
+		return nil, fmt.Errorf("cfd %s: missing '->'", id)
+	}
+	lhs, err := parseAtoms(lhsSrc)
+	if err != nil {
+		return nil, fmt.Errorf("cfd %s: lhs: %w", id, err)
+	}
+	rhs, err := parseAtoms(rhsSrc)
+	if err != nil {
+		return nil, fmt.Errorf("cfd %s: rhs: %w", id, err)
+	}
+	c := &CFD{ID: id, LHS: lhs, RHS: rhs}
+	if len(lhs) == 0 || len(rhs) == 0 {
+		return nil, fmt.Errorf("cfd %s: empty side", id)
+	}
+	return c, nil
+}
+
+// cutTop splits src at the first occurrence of sep outside quotes.
+func cutTop(src, sep string) (string, string, bool) {
+	inQuote := false
+	for i := 0; i+len(sep) <= len(src); i++ {
+		switch {
+		case src[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && src[i:i+len(sep)] == sep:
+			return src[:i], src[i+len(sep):], true
+		}
+	}
+	return src, "", false
+}
+
+func stripComment(line string) string {
+	inQuote := false
+	for i, r := range line {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+		case r == '#' && !inQuote:
+			return strings.TrimSpace(line[:i])
+		}
+	}
+	return strings.TrimSpace(line)
+}
+
+// parseAtoms splits a side on commas outside quotes and parses each
+// atom.
+func parseAtoms(src string) ([]Atom, error) {
+	parts, err := splitTop(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []Atom
+	for _, p := range parts {
+		a, err := parseAtom(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func splitTop(src string) ([]string, error) {
+	var parts []string
+	var cur strings.Builder
+	inQuote := false
+	for _, r := range src {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+			cur.WriteRune(r)
+		case r == ',' && !inQuote:
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated string")
+	}
+	parts = append(parts, cur.String())
+	return parts, nil
+}
+
+func parseAtom(src string) (Atom, error) {
+	s := strings.TrimSpace(src)
+	if s == "" {
+		return Atom{}, fmt.Errorf("empty atom")
+	}
+	attr, constSrc, hasConst := cutTop(s, "=")
+	attr = strings.TrimSpace(attr)
+	if attr == "" || strings.ContainsAny(attr, " \t\"") {
+		return Atom{}, fmt.Errorf("bad attribute %q", attr)
+	}
+	if !hasConst {
+		return VarAtom(attr), nil
+	}
+	cs := strings.TrimSpace(constSrc)
+	if cs == "_" {
+		return VarAtom(attr), nil
+	}
+	if strings.HasPrefix(cs, `"`) {
+		if !strings.HasSuffix(cs, `"`) || len(cs) < 2 {
+			return Atom{}, fmt.Errorf("bad constant %q", cs)
+		}
+		cs = cs[1 : len(cs)-1]
+	}
+	return ConstAtom(attr, value.V(cs)), nil
+}

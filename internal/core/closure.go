@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sort"
+
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+)
+
+// This file implements the inference system of the rule engine:
+// "provided that some attributes of a tuple are correct, it
+// automatically derives what other attributes can be validated by
+// using editing rules and master data" (paper §2). The derivation is
+// symbolic at the attribute level: a rule can extend the validated set
+// from Z to Z ∪ B whenever its premise X ∪ Xp ⊆ Z and its pattern is
+// assumed to hold. Whether the pattern holds and whether master data
+// actually covers the key are supplied by the caller: the monitor
+// passes the concrete tuple (both checks concrete), the region finder
+// passes a pattern-cell assumption (master coverage handled by tableau
+// instantiation).
+
+// RuleFilter decides which rules participate in a symbolic closure.
+// Returning false excludes the rule (e.g. its pattern cannot hold in
+// the current pattern cell).
+type RuleFilter func(r *rule.Rule) bool
+
+// AllRules is the filter that admits every rule.
+func AllRules(*rule.Rule) bool { return true }
+
+// Closure computes the validated-attribute closure of seed under the
+// admitted rules: the largest set reachable by repeatedly firing rules
+// whose premises are contained in the running set. Master coverage is
+// assumed (see package comment); the result is therefore an upper
+// bound on what a concrete chase can validate.
+func Closure(input *schema.Schema, rules []*rule.Rule, seed schema.AttrSet, admit RuleFilter) schema.AttrSet {
+	cur := seed
+	for {
+		grew := false
+		for _, r := range rules {
+			if admit != nil && !admit(r) {
+				continue
+			}
+			premise := r.PremiseAttrs(input)
+			if !cur.ContainsAll(premise) {
+				continue
+			}
+			targets := r.TargetAttrs(input)
+			if !cur.ContainsAll(targets) {
+				cur = cur.Union(targets)
+				grew = true
+			}
+		}
+		if !grew {
+			return cur
+		}
+	}
+}
+
+// MinimalExtension finds a minimum-cardinality set Δ of attributes such
+// that Closure(seed ∪ Δ) covers all of goal. This is the monitor's "new
+// suggestion" computation: the minimal number of attributes the user
+// should validate next (paper §2, data monitor step 3).
+//
+// The problem generalizes set cover, so exact search is exponential;
+// we run breadth-first over candidate subsets in ascending size with
+// pruning, which is exact and fast for the schema widths the system
+// targets (≤ ~20 attributes). For wider schemas use GreedyExtension.
+func MinimalExtension(input *schema.Schema, rules []*rule.Rule, seed, goal schema.AttrSet, admit RuleFilter) schema.AttrSet {
+	if Closure(input, rules, seed, admit).ContainsAll(goal) {
+		return schema.EmptySet
+	}
+	// Candidate attributes: anything in goal not derivable plus any
+	// premise attribute that could unlock rules. Conservatively: all
+	// attributes not already in the seed's closure.
+	base := Closure(input, rules, seed, admit)
+	var candidates []int
+	for i := 0; i < input.Len(); i++ {
+		if !base.Has(i) {
+			candidates = append(candidates, i)
+		}
+	}
+	// BFS by subset size.
+	for size := 1; size <= len(candidates); size++ {
+		if found, ok := searchSubsets(input, rules, seed, goal, admit, candidates, size); ok {
+			return found
+		}
+	}
+	return schema.SetOf(candidates...) // everything (should be covered by loop)
+}
+
+// searchSubsets enumerates size-k subsets of candidates in
+// lexicographic order and returns the first whose extension closure
+// covers goal.
+func searchSubsets(input *schema.Schema, rules []*rule.Rule, seed, goal schema.AttrSet,
+	admit RuleFilter, candidates []int, k int) (schema.AttrSet, bool) {
+
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		delta := schema.EmptySet
+		for _, i := range idx {
+			delta = delta.With(candidates[i])
+		}
+		if Closure(input, rules, seed.Union(delta), admit).ContainsAll(goal) {
+			return delta, true
+		}
+		// next combination
+		i := k - 1
+		for i >= 0 && idx[i] == len(candidates)-k+i {
+			i--
+		}
+		if i < 0 {
+			return schema.EmptySet, false
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// GreedyExtension approximates MinimalExtension in polynomial time:
+// repeatedly add the candidate attribute whose addition grows the
+// closure the most (ties broken by schema position). Guaranteed to
+// terminate with a covering set; size within the usual ln(n) set-cover
+// factor of optimal in the common case.
+func GreedyExtension(input *schema.Schema, rules []*rule.Rule, seed, goal schema.AttrSet, admit RuleFilter) schema.AttrSet {
+	delta := schema.EmptySet
+	cur := seed
+	for !Closure(input, rules, cur, admit).ContainsAll(goal) {
+		bestGain, bestAttr := 0, -1
+		closureNow := Closure(input, rules, cur, admit)
+		coveredNow := closureNow.Intersect(goal).Count()
+		for i := 0; i < input.Len(); i++ {
+			if closureNow.Has(i) || delta.Has(i) {
+				continue
+			}
+			// Gain counts newly covered *goal* attributes only; adding
+			// an attribute that unlocks rules but covers no goal is
+			// useless for the cover.
+			gain := Closure(input, rules, cur.With(i), admit).Intersect(goal).Count() - coveredNow
+			if gain > bestGain {
+				bestGain, bestAttr = gain, i
+			}
+		}
+		if bestAttr < 0 {
+			// No single candidate covers new goal attributes (goal
+			// unreachable by rules): validate the remainder directly.
+			missing := goal.Minus(closureNow)
+			return delta.Union(missing)
+		}
+		delta = delta.With(bestAttr)
+		cur = cur.With(bestAttr)
+	}
+	return delta
+}
+
+// DeadAttrs returns the attributes no rule can ever fix (they appear in
+// no rule's target set). These must be validated by the user in every
+// session — e.g. the demo's "item" attribute.
+func DeadAttrs(input *schema.Schema, rules []*rule.Rule) schema.AttrSet {
+	fixable := schema.EmptySet
+	for _, r := range rules {
+		fixable = fixable.Union(r.TargetAttrs(input))
+	}
+	return schema.FullSet(input).Minus(fixable)
+}
+
+// SortAttrNames resolves an AttrSet to sorted attribute names — the
+// stable order used when presenting suggestions to users.
+func SortAttrNames(input *schema.Schema, s schema.AttrSet) []string {
+	names := s.Names(input)
+	sort.Strings(names)
+	return names
+}

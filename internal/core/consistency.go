@@ -1,0 +1,586 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cerfix/internal/pattern"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/textutil"
+	"cerfix/internal/value"
+)
+
+// This file implements the rule engine's static analysis: "it checks
+// the consistency of editing rules, i.e., whether the given rules are
+// dirty themselves" (paper §2). The exact problem is coNP-complete
+// (companion paper [7]), so CerFix layers three practical analyses:
+//
+//  1. per-rule master ambiguity — a single rule whose master relation
+//     maps one key to two different source values can never produce a
+//     unique fix for inputs carrying that key;
+//  2. pairwise conflict witnesses — two rules with jointly satisfiable
+//     patterns writing the same attribute, for which concrete master
+//     tuples exist that would derive different values for one input
+//     tuple;
+//  3. order-independence (Church–Rosser) probing — chase concrete probe
+//     tuples, synthesized from master rows, under several rule orders
+//     and flag any outcome that depends on the order.
+//
+// (1) and (2) are sound: every reported issue comes with a concrete
+// witness. (3) is a randomized check that catches multi-step
+// interactions the pairwise analysis cannot see. None is complete —
+// that would contradict the coNP-hardness — and the report says which
+// analysis produced each issue so users can judge severity.
+
+// IssueKind classifies consistency issues.
+type IssueKind int
+
+const (
+	// IssueMasterAmbiguity is analysis (1).
+	IssueMasterAmbiguity IssueKind = iota
+	// IssueRuleConflict is analysis (2).
+	IssueRuleConflict
+	// IssueOrderDependence is analysis (3).
+	IssueOrderDependence
+)
+
+// String names the issue kind.
+func (k IssueKind) String() string {
+	switch k {
+	case IssueMasterAmbiguity:
+		return "master-ambiguity"
+	case IssueRuleConflict:
+		return "rule-conflict"
+	case IssueOrderDependence:
+		return "order-dependence"
+	default:
+		return fmt.Sprintf("issue(%d)", int(k))
+	}
+}
+
+// Severity grades an issue.
+type Severity int
+
+const (
+	// SeverityError marks issues that break the unique-certain-fix
+	// guarantee for entity-consistent inputs: the rule set is dirty.
+	SeverityError Severity = iota
+	// SeverityWarning marks cross-entity conflict witnesses: two rules
+	// would disagree only for an input whose validated attributes mix
+	// two different master entities. Such inputs carry contradictory
+	// assertions, which the chase surfaces at run time as
+	// ValidatedContradiction; the rules themselves are clean.
+	SeverityWarning
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == SeverityWarning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Issue is one detected inconsistency.
+type Issue struct {
+	Kind     IssueKind
+	Severity Severity
+	// RuleA is always set; RuleB only for pairwise conflicts.
+	RuleA, RuleB string
+	// Attr is the attribute the conflict is about, when applicable.
+	Attr string
+	// MasterA/MasterB are witness master tuple IDs, when applicable.
+	MasterA, MasterB int64
+	// Detail is a human-readable elaboration.
+	Detail string
+}
+
+// String renders the issue.
+func (i Issue) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s/%s] rule %s", i.Kind, i.Severity, i.RuleA)
+	if i.RuleB != "" {
+		fmt.Fprintf(&b, " vs %s", i.RuleB)
+	}
+	if i.Attr != "" {
+		fmt.Fprintf(&b, " on %s", i.Attr)
+	}
+	if i.Detail != "" {
+		fmt.Fprintf(&b, ": %s", i.Detail)
+	}
+	return b.String()
+}
+
+// ConsistencyReport aggregates the analyses' findings.
+type ConsistencyReport struct {
+	Issues []Issue
+	// ProbesRun counts Church–Rosser probe chases executed.
+	ProbesRun int
+}
+
+// Consistent reports whether no error-severity issue was found.
+// Warnings (cross-entity conflict witnesses) do not make a rule set
+// inconsistent; they document which attribute combinations would expose
+// contradictory user assertions.
+func (r *ConsistencyReport) Consistent() bool {
+	for _, is := range r.Issues {
+		if is.Severity == SeverityError {
+			return false
+		}
+	}
+	return true
+}
+
+// Errors returns the error-severity issues.
+func (r *ConsistencyReport) Errors() []Issue {
+	var out []Issue
+	for _, is := range r.Issues {
+		if is.Severity == SeverityError {
+			out = append(out, is)
+		}
+	}
+	return out
+}
+
+// Warnings returns the warning-severity issues.
+func (r *ConsistencyReport) Warnings() []Issue {
+	var out []Issue
+	for _, is := range r.Issues {
+		if is.Severity == SeverityWarning {
+			out = append(out, is)
+		}
+	}
+	return out
+}
+
+// ConsistencyOptions tunes the analyses' search budgets.
+type ConsistencyOptions struct {
+	// MaxMasterPairs caps the (s1, s2) enumeration per rule pair in
+	// analysis (2); 0 means the default (100k).
+	MaxMasterPairs int
+	// ProbeOrders is the number of random rule orders (besides the
+	// canonical and reversed ones) chased per probe in analysis (3);
+	// 0 means the default (2).
+	ProbeOrders int
+	// MaxProbeTuples caps how many master tuples seed probes; 0 means
+	// the default (50).
+	MaxProbeTuples int
+	// Seed drives the randomized probe generation (default 1).
+	Seed uint64
+}
+
+func (o *ConsistencyOptions) withDefaults() ConsistencyOptions {
+	out := ConsistencyOptions{MaxMasterPairs: 100000, ProbeOrders: 2, MaxProbeTuples: 50, Seed: 1}
+	if o == nil {
+		return out
+	}
+	if o.MaxMasterPairs > 0 {
+		out.MaxMasterPairs = o.MaxMasterPairs
+	}
+	if o.ProbeOrders > 0 {
+		out.ProbeOrders = o.ProbeOrders
+	}
+	if o.MaxProbeTuples > 0 {
+		out.MaxProbeTuples = o.MaxProbeTuples
+	}
+	if o.Seed != 0 {
+		out.Seed = o.Seed
+	}
+	return out
+}
+
+// CheckConsistency runs all three analyses and returns the combined
+// report.
+func (e *Engine) CheckConsistency(opts *ConsistencyOptions) *ConsistencyReport {
+	o := opts.withDefaults()
+	rep := &ConsistencyReport{}
+	e.checkMasterAmbiguity(rep)
+	e.checkPairwiseConflicts(rep, o)
+	e.checkOrderIndependence(rep, o)
+	return rep
+}
+
+// checkMasterAmbiguity groups master tuples by each rule's Xm and flags
+// keys whose groups disagree on Bm.
+func (e *Engine) checkMasterAmbiguity(rep *ConsistencyReport) {
+	all := e.store.All()
+	for _, r := range e.rules.Rules() {
+		xm := r.MatchMasterAttrs()
+		bm := r.SetMasterAttrs()
+		type seenRHS struct {
+			rhs value.List
+			id  int64
+		}
+		groups := make(map[string]seenRHS)
+		flagged := make(map[string]bool)
+		for _, s := range all {
+			key := s.Project(xm).Key()
+			rhs := s.Project(bm)
+			prev, ok := groups[key]
+			if !ok {
+				groups[key] = seenRHS{rhs: rhs, id: s.ID}
+				continue
+			}
+			if !prev.rhs.Equal(rhs) && !flagged[key] {
+				flagged[key] = true
+				rep.Issues = append(rep.Issues, Issue{
+					Kind:    IssueMasterAmbiguity,
+					RuleA:   r.ID,
+					MasterA: prev.id,
+					MasterB: s.ID,
+					Detail: fmt.Sprintf("key %v maps to both %v and %v",
+						s.Project(xm).Strings(), prev.rhs.Strings(), rhs.Strings()),
+				})
+			}
+		}
+	}
+}
+
+// checkPairwiseConflicts searches for concrete two-rule conflict
+// witnesses.
+func (e *Engine) checkPairwiseConflicts(rep *ConsistencyReport, o ConsistencyOptions) {
+	rules := e.rules.Rules()
+	all := e.store.All()
+	for i := 0; i < len(rules); i++ {
+		for j := i + 1; j < len(rules); j++ {
+			r1, r2 := rules[i], rules[j]
+			shared := e.sharedTargets(r1, r2)
+			if len(shared) == 0 {
+				continue
+			}
+			if !pattern.JointlySatisfiable(r1.When, r2.When, e.input) {
+				continue
+			}
+			e.findConflictWitness(rep, o, r1, r2, shared, all)
+		}
+	}
+}
+
+// sharedTargets returns input attributes fixed by both rules, with the
+// master source attribute of each side.
+type sharedTarget struct {
+	attr     string
+	bm1, bm2 string
+}
+
+func (e *Engine) sharedTargets(r1, r2 *rule.Rule) []sharedTarget {
+	var out []sharedTarget
+	for _, c1 := range r1.Set {
+		for _, c2 := range r2.Set {
+			if c1.Input == c2.Input {
+				out = append(out, sharedTarget{attr: c1.Input, bm1: c1.Master, bm2: c2.Master})
+			}
+		}
+	}
+	return out
+}
+
+// findConflictWitness enumerates master tuple pairs (capped) and
+// reports the first concrete conflict per shared attribute.
+func (e *Engine) findConflictWitness(rep *ConsistencyReport, o ConsistencyOptions,
+	r1, r2 *rule.Rule, shared []sharedTarget, all []*schema.Tuple) {
+
+	budget := o.MaxMasterPairs
+	// Diagonal pass first: same-tuple witnesses are error-severity and
+	// must not be shadowed by an earlier cross-entity warning.
+	for _, s := range all {
+		if budget--; budget < 0 {
+			return
+		}
+		if e.tryWitnessPair(rep, r1, r2, shared, s, s) {
+			return
+		}
+	}
+	for _, s1 := range all {
+		for _, s2 := range all {
+			if s1.ID == s2.ID {
+				continue
+			}
+			if budget--; budget < 0 {
+				return
+			}
+			if e.tryWitnessPair(rep, r1, r2, shared, s1, s2) {
+				return // one witness per rule pair keeps reports readable
+			}
+		}
+	}
+}
+
+// tryWitnessPair checks whether (s1, s2) witnesses a conflict between
+// r1 and r2 on a shared target; if so it records the issue (severity by
+// whether the witnesses are the same entity) and returns true.
+func (e *Engine) tryWitnessPair(rep *ConsistencyReport, r1, r2 *rule.Rule,
+	shared []sharedTarget, s1, s2 *schema.Tuple) bool {
+
+	bindings, ok := e.compatibleBindings(r1, r2, s1, s2)
+	if !ok {
+		return false
+	}
+	if !e.patternsHoldUnderBindings(r1.When, r2.When, bindings) {
+		return false
+	}
+	for _, st := range shared {
+		v1 := s1.Get(st.bm1)
+		v2 := s2.Get(st.bm2)
+		if v1 == v2 {
+			continue
+		}
+		sev := SeverityWarning
+		note := "only reachable by validating attributes of two different master entities"
+		if s1.ID == s2.ID {
+			// One entity, two derivations: the rules genuinely
+			// contradict each other.
+			sev = SeverityError
+			note = "both derivations come from the same master tuple"
+		}
+		rep.Issues = append(rep.Issues, Issue{
+			Kind:     IssueRuleConflict,
+			Severity: sev,
+			RuleA:    r1.ID,
+			RuleB:    r2.ID,
+			Attr:     st.attr,
+			MasterA:  s1.ID,
+			MasterB:  s2.ID,
+			Detail: fmt.Sprintf("an input matching both rules would get %s=%q from %s but %s=%q from %s (%s)",
+				st.attr, string(v1), r1.ID, st.attr, string(v2), r2.ID, note),
+		})
+		return true
+	}
+	return false
+}
+
+// compatibleBindings merges the input-attribute assignments implied by
+// matching s1 via r1 and s2 via r2; fails when they disagree on a
+// shared input attribute.
+func (e *Engine) compatibleBindings(r1, r2 *rule.Rule, s1, s2 *schema.Tuple) (map[string]value.V, bool) {
+	b := make(map[string]value.V)
+	add := func(corrs []rule.Correspondence, s *schema.Tuple) bool {
+		for _, c := range corrs {
+			v := s.Get(c.Master)
+			if prev, ok := b[c.Input]; ok && prev != v {
+				return false
+			}
+			b[c.Input] = v
+		}
+		return true
+	}
+	if !add(r1.Match, s1) || !add(r2.Match, s2) {
+		return nil, false
+	}
+	return b, true
+}
+
+// patternsHoldUnderBindings checks both patterns can hold for some
+// input consistent with bindings: conditions on bound attributes are
+// evaluated concretely; conditions on free attributes only need joint
+// satisfiability.
+func (e *Engine) patternsHoldUnderBindings(p1, p2 pattern.Pattern, bindings map[string]value.V) bool {
+	var free1, free2 []pattern.Condition
+	check := func(p pattern.Pattern, free *[]pattern.Condition) bool {
+		for _, c := range p.Conds {
+			if v, bound := bindings[c.Attr]; bound {
+				if !c.Matches(v, e.input.Domain(c.Attr)) {
+					return false
+				}
+			} else {
+				*free = append(*free, c)
+			}
+		}
+		return true
+	}
+	if !check(p1, &free1) || !check(p2, &free2) {
+		return false
+	}
+	return pattern.JointlySatisfiable(
+		pattern.NewPattern(free1...), pattern.NewPattern(free2...), e.input)
+}
+
+// checkOrderIndependence chases synthesized probe tuples under several
+// rule orders and flags outcome differences.
+func (e *Engine) checkOrderIndependence(rep *ConsistencyReport, o ConsistencyOptions) {
+	rules := e.rules.Rules()
+	if len(rules) < 2 {
+		return
+	}
+	rng := textutil.NewRNG(o.Seed)
+	probes := e.synthesizeProbes(o.MaxProbeTuples, rng)
+	if len(probes) == 0 {
+		return
+	}
+	// Seed validated sets: every rule-premise union plus each single
+	// rule premise (the states the monitor actually passes through).
+	seeds := e.probeSeeds(rules)
+	orders := e.probeOrders(rules, o.ProbeOrders, rng)
+	for _, probe := range probes {
+		for _, seed := range seeds {
+			var baseline *ChaseResult
+			var baselineOrder string
+			for _, ord := range orders {
+				eng := e.reordered(ord)
+				res := eng.Chase(probe, seed)
+				rep.ProbesRun++
+				if baseline == nil {
+					baseline, baselineOrder = res, orderName(ord)
+					continue
+				}
+				if !res.Tuple.Equal(baseline.Tuple) || res.Validated != baseline.Validated {
+					rep.Issues = append(rep.Issues, Issue{
+						Kind:  IssueOrderDependence,
+						RuleA: orderName(ord),
+						RuleB: baselineOrder,
+						Detail: fmt.Sprintf("probe %v seeded %s: orders disagree (%v vs %v)",
+							probe.Vals.Strings(), seed.Format(e.input),
+							res.Tuple.Vals.Strings(), baseline.Tuple.Vals.Strings()),
+					})
+					return // first divergence suffices
+				}
+			}
+		}
+	}
+}
+
+// synthesizeProbes builds input tuples from master rows by pulling
+// every corresponded master attribute through the rules, completing
+// pattern attributes with the constants mentioned in rule patterns
+// (both the matching and the complement side) and filling the rest
+// with synthetic values.
+func (e *Engine) synthesizeProbes(maxTuples int, rng *textutil.RNG) []*schema.Tuple {
+	all := e.store.All()
+	if len(all) > maxTuples {
+		all = all[:maxTuples]
+	}
+	patternConsts := e.patternConstants()
+	var probes []*schema.Tuple
+	for _, s := range all {
+		base := make(value.List, e.input.Len())
+		covered := schema.EmptySet
+		for _, r := range e.rules.Rules() {
+			for _, c := range append(append([]rule.Correspondence{}, r.Match...), r.Set...) {
+				if i, ok := e.input.Index(c.Input); ok && !covered.Has(i) {
+					base[i] = s.Get(c.Master)
+					covered = covered.With(i)
+				}
+			}
+		}
+		for i := 0; i < e.input.Len(); i++ {
+			if base[i].IsNull() {
+				base[i] = value.V(fmt.Sprintf("probe-%d-%d", s.ID, i))
+			}
+		}
+		// One variant per combination of pattern-attribute constants
+		// (bounded); plus the base tuple itself.
+		probes = append(probes, &schema.Tuple{Schema: e.input, Vals: base})
+		variants := e.patternVariants(base, patternConsts, rng, 4)
+		probes = append(probes, variants...)
+	}
+	return probes
+}
+
+// patternConstants maps each pattern attribute to the constants rules
+// mention about it (plus one synthetic off-value).
+func (e *Engine) patternConstants() map[string][]value.V {
+	out := make(map[string][]value.V)
+	for _, r := range e.rules.Rules() {
+		for _, c := range r.When.Conds {
+			vals := out[c.Attr]
+			add := func(v value.V) {
+				for _, x := range vals {
+					if x == v {
+						return
+					}
+				}
+				vals = append(vals, v)
+			}
+			if !c.Const.IsNull() {
+				add(c.Const)
+			}
+			for _, v := range c.Set {
+				add(v)
+			}
+			out[c.Attr] = vals
+		}
+	}
+	for attr, vals := range out {
+		out[attr] = append(vals, value.V("off-"+attr))
+	}
+	return out
+}
+
+// patternVariants derives up to n variants of base by assigning pattern
+// attributes random choices from their constant pools.
+func (e *Engine) patternVariants(base value.List, consts map[string][]value.V, rng *textutil.RNG, n int) []*schema.Tuple {
+	if len(consts) == 0 {
+		return nil
+	}
+	attrs := make([]string, 0, len(consts))
+	for a := range consts {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	var out []*schema.Tuple
+	for v := 0; v < n; v++ {
+		vals := make(value.List, len(base))
+		copy(vals, base)
+		for _, a := range attrs {
+			if i, ok := e.input.Index(a); ok {
+				vals[i] = textutil.Pick(rng, consts[a])
+			}
+		}
+		out = append(out, &schema.Tuple{Schema: e.input, Vals: vals})
+	}
+	return out
+}
+
+// probeSeeds lists the validated-set seeds to chase from.
+func (e *Engine) probeSeeds(rules []*rule.Rule) []schema.AttrSet {
+	union := schema.EmptySet
+	var seeds []schema.AttrSet
+	seen := make(map[schema.AttrSet]bool)
+	for _, r := range rules {
+		p := r.PremiseAttrs(e.input)
+		union = union.Union(p)
+		if !seen[p] {
+			seen[p] = true
+			seeds = append(seeds, p)
+		}
+	}
+	if !seen[union] {
+		seeds = append(seeds, union)
+	}
+	return seeds
+}
+
+// probeOrders returns the rule orders to compare: canonical, reversed,
+// and extra random shuffles.
+func (e *Engine) probeOrders(rules []*rule.Rule, extra int, rng *textutil.RNG) [][]*rule.Rule {
+	canonical := append([]*rule.Rule(nil), rules...)
+	reversed := make([]*rule.Rule, len(rules))
+	for i, r := range rules {
+		reversed[len(rules)-1-i] = r
+	}
+	orders := [][]*rule.Rule{canonical, reversed}
+	for i := 0; i < extra; i++ {
+		shuffled := append([]*rule.Rule(nil), rules...)
+		textutil.Shuffle(rng, shuffled)
+		orders = append(orders, shuffled)
+	}
+	return orders
+}
+
+func orderName(rules []*rule.Rule) string {
+	ids := make([]string, len(rules))
+	for i, r := range rules {
+		ids[i] = r.ID
+	}
+	return strings.Join(ids, ">")
+}
+
+// reordered builds a sibling engine sharing the master store but
+// scanning rules in the given order (used only by probing; the store's
+// indexes are already in place).
+func (e *Engine) reordered(order []*rule.Rule) *Engine {
+	rs := rule.MustSet(order...)
+	return &Engine{input: e.input, rules: rs, store: e.store}
+}

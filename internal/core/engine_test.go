@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cerfix/internal/dataset"
+	"cerfix/internal/master"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// demoEngine wires the paper's Fig. 2 configuration.
+func demoEngine(t *testing.T) *Engine {
+	t.Helper()
+	st := master.New(dataset.PersonSchema())
+	for _, row := range dataset.DemoMasterRows() {
+		if _, err := st.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func validatedSet(t *testing.T, e *Engine, names ...string) schema.AttrSet {
+	t.Helper()
+	return schema.SetOfNames(e.InputSchema(), names...)
+}
+
+func TestNewEngineValidatesRules(t *testing.T) {
+	st := master.New(dataset.PersonSchema())
+	bad := rule.MustSet(mustParse(t, `x: match zip~zip set bogus := AC`))
+	if _, err := NewEngine(dataset.CustSchema(), bad, st); err == nil {
+		t.Fatal("invalid rule set accepted")
+	}
+}
+
+func mustParse(t *testing.T, line string) *rule.Rule {
+	t.Helper()
+	r, err := rule.Parse(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// Example 2 of the paper: with zip validated, φ1 fixes AC to 131.
+func TestChaseExample2(t *testing.T) {
+	e := demoEngine(t)
+	in := dataset.DemoInputExample1()
+	res := e.Chase(in, validatedSet(t, e, "zip"))
+	if got := res.Tuple.Get("AC"); got != "131" {
+		t.Fatalf("AC = %q, want 131 (the Example 2 certain fix)", got)
+	}
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts: %v", res.Conflicts)
+	}
+	// The original input is untouched.
+	if in.Get("AC") != "020" {
+		t.Fatal("Chase mutated its input")
+	}
+	// Provenance: the AC change cites phi1 and the Robert Brady master
+	// tuple.
+	var acChange *Change
+	for i := range res.Changes {
+		if res.Changes[i].Attr == "AC" {
+			acChange = &res.Changes[i]
+		}
+	}
+	if acChange == nil {
+		t.Fatal("no AC change recorded")
+	}
+	if acChange.RuleID != "phi1" || acChange.Source != SourceRule {
+		t.Fatalf("AC provenance = %+v", *acChange)
+	}
+	if acChange.Old != "020" || acChange.New != "131" {
+		t.Fatalf("AC old/new = %q/%q", acChange.Old, acChange.New)
+	}
+	if !acChange.IsRewrite() {
+		t.Fatal("AC change should be a rewrite")
+	}
+}
+
+// Validating zip alone certainly fixes AC, str and city (φ1–φ3); the
+// derived city (Edi) also confirms the input's correct value — no new
+// error is introduced (the key motivation of the paper).
+func TestChaseDoesNotBreakCorrectValues(t *testing.T) {
+	e := demoEngine(t)
+	res := e.Chase(dataset.DemoInputExample1(), validatedSet(t, e, "zip"))
+	if res.Tuple.Get("city") != "Edi" {
+		t.Fatalf("city = %q; a certain fix must not overwrite the correct value", res.Tuple.Get("city"))
+	}
+	if res.Tuple.Get("str") != "501 Elm St" {
+		t.Fatalf("str = %q", res.Tuple.Get("str"))
+	}
+	want := validatedSet(t, e, "zip", "AC", "str", "city")
+	if !res.Validated.ContainsAll(want) {
+		t.Fatalf("validated = %v", res.Validated.Format(e.InputSchema()))
+	}
+}
+
+// The Fig. 3 walkthrough, round 1: user validates {AC, phn, type,
+// item}; CerFix derives FN (normalizing M. -> Mark via φ4), LN (φ5)
+// and city (φ9).
+func TestChaseFig3Round1(t *testing.T) {
+	e := demoEngine(t)
+	res := e.Chase(dataset.DemoInputFig3(), validatedSet(t, e, "AC", "phn", "type", "item"))
+	if got := res.Tuple.Get("FN"); got != "Mark" {
+		t.Fatalf(`FN = %q, want "Mark" (normalized from "M." by phi4)`, got)
+	}
+	if got := res.Tuple.Get("LN"); got != "Smith" {
+		t.Fatalf("LN = %q", got)
+	}
+	if got := res.Tuple.Get("city"); got != "Ldn" {
+		t.Fatalf("city = %q (phi9 should fix it)", got)
+	}
+	want := validatedSet(t, e, "AC", "phn", "type", "item", "FN", "LN", "city")
+	if res.Validated != want {
+		t.Fatalf("validated = %v, want %v",
+			res.Validated.Format(e.InputSchema()), want.Format(e.InputSchema()))
+	}
+	if res.AllValidated() {
+		t.Fatal("str and zip cannot be validated in round 1")
+	}
+}
+
+// Fig. 3 round 2: additionally validating zip completes the tuple
+// (φ2 fixes str).
+func TestChaseFig3Round2(t *testing.T) {
+	e := demoEngine(t)
+	seed := validatedSet(t, e, "AC", "phn", "type", "item", "zip")
+	res := e.Chase(dataset.DemoInputFig3(), seed)
+	if !res.AllValidated() {
+		t.Fatalf("validated = %v, want all", res.Validated.Format(e.InputSchema()))
+	}
+	if !res.Tuple.Equal(dataset.DemoGroundTruthFig3()) {
+		t.Fatalf("fixed tuple %v != ground truth %v", res.Tuple, dataset.DemoGroundTruthFig3())
+	}
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts: %v", res.Conflicts)
+	}
+}
+
+// A LN-confirming change (old == new) is recorded but is not a rewrite.
+func TestChaseConfirmationsTracked(t *testing.T) {
+	e := demoEngine(t)
+	res := e.Chase(dataset.DemoInputFig3(), validatedSet(t, e, "AC", "phn", "type", "item"))
+	var lnChange *Change
+	for i := range res.Changes {
+		if res.Changes[i].Attr == "LN" {
+			lnChange = &res.Changes[i]
+		}
+	}
+	if lnChange == nil {
+		t.Fatal("LN change not recorded")
+	}
+	if lnChange.IsRewrite() {
+		t.Fatalf("LN was already correct; change = %+v", *lnChange)
+	}
+	rw := res.Rewrites()
+	for _, c := range rw {
+		if c.Attr == "LN" {
+			t.Fatal("Rewrites includes a confirmation")
+		}
+	}
+	if len(rw) == 0 {
+		t.Fatal("FN rewrite missing from Rewrites")
+	}
+}
+
+// Rules whose premises are not validated must not fire.
+func TestChasePremiseGate(t *testing.T) {
+	e := demoEngine(t)
+	// Nothing validated: nothing may change.
+	res := e.Chase(dataset.DemoInputExample1(), schema.EmptySet)
+	if len(res.Changes) != 0 {
+		t.Fatalf("changes with empty seed: %v", res.Changes)
+	}
+	if !res.Tuple.Equal(dataset.DemoInputExample1()) {
+		t.Fatal("tuple changed with empty validated set")
+	}
+	// phn validated but type not: φ4's premise includes its pattern
+	// scope (type), so FN must stay.
+	res = e.Chase(dataset.DemoInputFig3(), validatedSet(t, e, "phn"))
+	if res.Tuple.Get("FN") != "M." {
+		t.Fatal("phi4 fired without its pattern attribute validated")
+	}
+}
+
+// A pattern that does not match blocks the rule even when validated.
+func TestChasePatternGate(t *testing.T) {
+	e := demoEngine(t)
+	in := dataset.DemoInputFig3().Clone()
+	in.Set("type", "1") // now φ4/φ5 (type=2) cannot fire
+	in.Set("phn", "7966899")
+	res := e.Chase(in, validatedSet(t, e, "phn", "type"))
+	if res.Tuple.Get("FN") != "M." {
+		t.Fatalf("FN = %q; phi4 fired despite type=1", res.Tuple.Get("FN"))
+	}
+	// But φ6–φ8 (type=1, AC+phn) need AC too: still gated.
+	if res.Validated.Has(e.InputSchema().MustIndex("str")) {
+		t.Fatal("phi6 fired without AC validated")
+	}
+}
+
+// No master match: rule silently skips (no conflict, no change).
+func TestChaseNoMatch(t *testing.T) {
+	e := demoEngine(t)
+	in := dataset.DemoInputExample1().Clone()
+	in.Set("zip", "ZZ9 9ZZ")
+	res := e.Chase(in, validatedSet(t, e, "zip"))
+	if len(res.Changes) != 0 || len(res.Conflicts) != 0 {
+		t.Fatalf("changes=%v conflicts=%v", res.Changes, res.Conflicts)
+	}
+}
+
+// Ambiguous master data (one key, two RHS values) yields a
+// MasterAmbiguous conflict and no fix.
+func TestChaseMasterAmbiguous(t *testing.T) {
+	st := master.New(dataset.PersonSchema())
+	rows := dataset.DemoMasterRows()
+	for _, row := range rows {
+		if _, err := st.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second tuple with Robert Brady's zip but a different AC.
+	dup := append(value.List(nil), rows[0]...)
+	dup[2] = "999"
+	if _, err := st.InsertValues(dup...); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Chase(dataset.DemoInputExample1(), schema.SetOfNames(e.InputSchema(), "zip"))
+	if res.Tuple.Get("AC") != "020" {
+		t.Fatalf("AC = %q; ambiguous master must not fix", res.Tuple.Get("AC"))
+	}
+	found := false
+	for _, c := range res.Conflicts {
+		if c.Kind == MasterAmbiguous && c.RuleID == "phi1" {
+			found = true
+			if c.Error() == "" {
+				t.Error("empty conflict message")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("MasterAmbiguous conflict missing: %v", res.Conflicts)
+	}
+}
+
+// A validated value contradicting the master derivation is reported,
+// not overwritten.
+func TestChaseValidatedContradiction(t *testing.T) {
+	e := demoEngine(t)
+	in := dataset.DemoInputExample1()
+	// User (wrongly) asserts AC=020 as correct together with zip.
+	res := e.Chase(in, validatedSet(t, e, "zip", "AC"))
+	if res.Tuple.Get("AC") != "020" {
+		t.Fatal("validated value was overwritten")
+	}
+	found := false
+	for _, c := range res.Conflicts {
+		if c.Kind == ValidatedContradiction && c.Attr == "AC" {
+			found = true
+			if c.Have != "020" || c.Want != "131" {
+				t.Fatalf("conflict values = %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("ValidatedContradiction missing: %v", res.Conflicts)
+	}
+}
+
+// The chase is deterministic and terminates within |attrs|+1 rounds.
+func TestChaseDeterministicAndBounded(t *testing.T) {
+	e := demoEngine(t)
+	seed := validatedSet(t, e, "AC", "phn", "type", "item", "zip")
+	r1 := e.Chase(dataset.DemoInputFig3(), seed)
+	r2 := e.Chase(dataset.DemoInputFig3(), seed)
+	if !r1.Tuple.Equal(r2.Tuple) || r1.Validated != r2.Validated {
+		t.Fatal("chase nondeterministic")
+	}
+	if r1.Rounds > e.InputSchema().Len()+1 {
+		t.Fatalf("rounds = %d exceeds bound", r1.Rounds)
+	}
+}
+
+// Chase is monotone in the seed: more validated attributes never yield
+// fewer validated attributes.
+func TestChaseMonotone(t *testing.T) {
+	e := demoEngine(t)
+	small := validatedSet(t, e, "zip")
+	large := validatedSet(t, e, "zip", "phn", "type")
+	rs := e.Chase(dataset.DemoInputFig3(), small)
+	rl := e.Chase(dataset.DemoInputFig3(), large)
+	if !rl.Validated.ContainsAll(rs.Validated) {
+		t.Fatalf("monotonicity violated: %v vs %v",
+			rs.Validated.Format(e.InputSchema()), rl.Validated.Format(e.InputSchema()))
+	}
+}
+
+// Chase is idempotent: re-chasing the fixed tuple from the final
+// validated set changes nothing.
+func TestChaseIdempotent(t *testing.T) {
+	e := demoEngine(t)
+	res := e.Chase(dataset.DemoInputFig3(), validatedSet(t, e, "AC", "phn", "type", "item", "zip"))
+	again := e.Chase(res.Tuple, res.Validated)
+	if !again.Tuple.Equal(res.Tuple) {
+		t.Fatal("chase not idempotent on values")
+	}
+	if again.Validated != res.Validated {
+		t.Fatal("chase not idempotent on validated set")
+	}
+	if len(again.Rewrites()) != 0 {
+		t.Fatalf("idempotent chase rewrote: %v", again.Rewrites())
+	}
+}
+
+func TestSourceAndKindStrings(t *testing.T) {
+	if SourceUser.String() != "user" || SourceRule.String() != "rule" {
+		t.Error("Source names wrong")
+	}
+	if MasterAmbiguous.String() != "master-ambiguous" ||
+		ValidatedContradiction.String() != "validated-contradiction" {
+		t.Error("ConflictKind names wrong")
+	}
+	c := Conflict{Kind: ValidatedContradiction, RuleID: "r", Attr: "a", Have: "x", Want: "y"}
+	if c.Error() == "" {
+		t.Error("Conflict.Error empty")
+	}
+}
+
+// A deep derivation chain (a0 validated unlocks a1, a1 unlocks a2, ...)
+// exercises multi-round fixpoints: 8 hops need 8 productive rounds
+// plus the terminating one, and every intermediate value must come
+// from the single master entity.
+func TestChaseDeepChain(t *testing.T) {
+	const n = 9
+	attrs := make([]schema.Attribute, n)
+	for i := range attrs {
+		attrs[i] = schema.Str(fmt.Sprintf("a%d", i))
+	}
+	sch := schema.MustNew("CHAIN", attrs...)
+	var lines []string
+	for i := 0; i+1 < n; i++ {
+		lines = append(lines, fmt.Sprintf("c%d: match a%d~a%d set a%d := a%d", i, i, i, i+1, i+1))
+	}
+	rs, err := rule.ParseSet(strings.Join(lines, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := master.New(sch)
+	vals := make(value.List, n)
+	for i := range vals {
+		vals[i] = value.V(fmt.Sprintf("v%d", i))
+	}
+	if _, err := st.InsertValues(vals...); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(sch, rs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := make(value.List, n)
+	dirty[0] = "v0"
+	for i := 1; i < n; i++ {
+		dirty[i] = value.V(fmt.Sprintf("wrong%d", i))
+	}
+	res := eng.Chase(&schema.Tuple{Schema: sch, Vals: dirty}, schema.SetOf(0))
+	if !res.AllValidated() {
+		t.Fatalf("chain incomplete: %v", res.Validated.Format(sch))
+	}
+	for i := 0; i < n; i++ {
+		if res.Tuple.At(i) != vals[i] {
+			t.Fatalf("a%d = %q, want %q", i, res.Tuple.At(i), vals[i])
+		}
+	}
+	// Rule order is ascending, so each round fires the whole remaining
+	// prefix: the chase needs 2 rounds (all rules fire in round 1 in
+	// order, fixpoint detected in round 2). Reversed order needs n-1
+	// productive rounds — both must land on the same result.
+	rev := make([]string, len(lines))
+	for i := range lines {
+		rev[i] = lines[len(lines)-1-i]
+	}
+	revSet, err := rule.ParseSet(strings.Join(rev, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	revEng, err := NewEngine(sch, revSet, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2 := revEng.Chase(&schema.Tuple{Schema: sch, Vals: dirty}, schema.SetOf(0))
+	if !res2.Tuple.Equal(res.Tuple) {
+		t.Fatal("chain result order-dependent")
+	}
+	if res2.Rounds <= res.Rounds {
+		t.Fatalf("reversed order should need more rounds (%d vs %d)", res2.Rounds, res.Rounds)
+	}
+}
+
+// Rules gated by comparison and membership operators over typed
+// domains: a discount rule applies only to years >= 2000 (DInt) and to
+// selected venues (IN).
+func TestChaseTypedPatternOperators(t *testing.T) {
+	sch := schema.MustNew("R",
+		schema.Str("k"),
+		schema.Attribute{Name: "year", Domain: value.DInt},
+		schema.Str("venue"),
+		schema.Str("tier"),
+	)
+	rs, err := rule.ParseSet(`
+recent: match k~k set tier := tier when year >= 2000 and venue in {"VLDB", "SIGMOD"}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := master.New(sch)
+	if _, err := st.InsertValues("K1", "2005", "VLDB", "A*"); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(sch, rs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := schema.SetOfNames(sch, "k", "year", "venue")
+	// year "2005" >= 2000 numerically, venue in set: fires.
+	in := schema.MustTuple(sch, "K1", "2005", "VLDB", "?")
+	if res := eng.Chase(in, seed); res.Tuple.Get("tier") != "A*" {
+		t.Fatalf("tier = %q", res.Tuple.Get("tier"))
+	}
+	// "999" < 2000 numerically (string compare would say "999" > "2000"
+	// — the DInt domain must win): rule gated.
+	in2 := schema.MustTuple(sch, "K1", "999", "VLDB", "?")
+	if res := eng.Chase(in2, seed); res.Tuple.Get("tier") != "?" {
+		t.Fatal("rule fired despite year below threshold (string-compare bug)")
+	}
+	// Venue outside the IN set: gated.
+	in3 := schema.MustTuple(sch, "K1", "2005", "ICDE", "?")
+	if res := eng.Chase(in3, seed); res.Tuple.Get("tier") != "?" {
+		t.Fatal("rule fired despite venue not in set")
+	}
+}

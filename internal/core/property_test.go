@@ -1,0 +1,184 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"cerfix/internal/dataset"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/textutil"
+)
+
+// Property tests over randomized workloads: the chase's semantic
+// invariants must hold for arbitrary dirty inputs and arbitrary seed
+// sets, not just the demo fixtures.
+
+// workloadEngine builds an engine over a generated workload.
+func workloadEngine(t *testing.T, seed uint64) (*Engine, *dataset.Workload) {
+	t.Helper()
+	g := dataset.NewCustomerGen(seed)
+	w, err := g.GenerateWorkload(40, 120, 0.4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(dataset.CustSchema(), dataset.DemoRules(), w.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, w
+}
+
+// randomSeedSet picks a random validated attribute set.
+func randomSeedSet(rng *textutil.RNG, sch *schema.Schema) schema.AttrSet {
+	s := schema.EmptySet
+	for i := 0; i < sch.Len(); i++ {
+		if rng.Bool(0.4) {
+			s = s.With(i)
+		}
+	}
+	return s
+}
+
+// Invariant 1: the chase never modifies a seed-validated cell and
+// never un-validates anything.
+func TestPropertySeedCellsImmutable(t *testing.T) {
+	e, w := workloadEngine(t, 101)
+	rng := textutil.NewRNG(7)
+	for i, dirty := range w.Dirty {
+		seed := randomSeedSet(rng, e.InputSchema())
+		res := e.Chase(dirty, seed)
+		if !res.Validated.ContainsAll(seed) {
+			t.Fatalf("tuple %d: validated set shrank", i)
+		}
+		for _, p := range seed.Positions() {
+			if res.Tuple.At(p) != dirty.At(p) {
+				t.Fatalf("tuple %d: seed-validated cell %s changed from %q to %q",
+					i, e.InputSchema().Attr(p).Name, dirty.At(p), res.Tuple.At(p))
+			}
+		}
+	}
+}
+
+// Invariant 2: every rewrite carries provenance pointing to an actual
+// master tuple whose source attribute holds the written value.
+func TestPropertyProvenanceAccurate(t *testing.T) {
+	e, w := workloadEngine(t, 102)
+	rng := textutil.NewRNG(8)
+	for i, dirty := range w.Dirty {
+		seed := randomSeedSet(rng, e.InputSchema())
+		res := e.Chase(dirty, seed)
+		for _, c := range res.Changes {
+			if c.Source != SourceRule {
+				t.Fatalf("tuple %d: chase logged non-rule change %+v", i, c)
+			}
+			r, ok := e.Rules().Get(c.RuleID)
+			if !ok {
+				t.Fatalf("tuple %d: change cites unknown rule %q", i, c.RuleID)
+			}
+			witness, ok := e.Master().Get(c.MasterID)
+			if !ok {
+				t.Fatalf("tuple %d: change cites unknown master #%d", i, c.MasterID)
+			}
+			// The witness's Bm value for this target must equal the
+			// written value.
+			for _, corr := range r.Set {
+				if corr.Input == c.Attr && witness.Get(corr.Master) != c.New {
+					t.Fatalf("tuple %d: witness #%d has %s=%q, change wrote %q",
+						i, c.MasterID, corr.Master, witness.Get(corr.Master), c.New)
+				}
+			}
+		}
+	}
+}
+
+// Invariant 3: chase is idempotent from its own fixpoint for random
+// inputs and seeds.
+func TestPropertyChaseIdempotentRandom(t *testing.T) {
+	e, w := workloadEngine(t, 103)
+	rng := textutil.NewRNG(9)
+	for i, dirty := range w.Dirty {
+		seed := randomSeedSet(rng, e.InputSchema())
+		first := e.Chase(dirty, seed)
+		second := e.Chase(first.Tuple, first.Validated)
+		if !second.Tuple.Equal(first.Tuple) || second.Validated != first.Validated {
+			t.Fatalf("tuple %d: chase not idempotent", i)
+		}
+		if len(second.Rewrites()) != 0 {
+			t.Fatalf("tuple %d: idempotent chase rewrote %v", i, second.Rewrites())
+		}
+	}
+}
+
+// Invariant 4: chase outcome is order-independent on entity-consistent
+// inputs (the generated master has unique keys, so no cross-entity
+// mixing can occur from a truthful seed).
+func TestPropertyOrderIndependentOnTruth(t *testing.T) {
+	e, w := workloadEngine(t, 104)
+	// Reverse the rule order.
+	rules := e.Rules().Rules()
+	reversed := make([]string, 0, len(rules))
+	for i := len(rules) - 1; i >= 0; i-- {
+		reversed = append(reversed, rules[i].String())
+	}
+	revEng := reorderedEngine(t, e, reversed)
+	rng := textutil.NewRNG(10)
+	for i, truth := range w.Truth {
+		seed := randomSeedSet(rng, e.InputSchema())
+		a := e.Chase(truth, seed)
+		b := revEng.Chase(truth, seed)
+		if !a.Tuple.Equal(b.Tuple) || a.Validated != b.Validated {
+			t.Fatalf("truth tuple %d: order dependence (seed %v)", i, seed.Format(e.InputSchema()))
+		}
+	}
+}
+
+func reorderedEngine(t *testing.T, e *Engine, ruleLines []string) *Engine {
+	t.Helper()
+	rs, err := rule.ParseSet(strings.Join(ruleLines, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(e.InputSchema(), rs, e.Master())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// Invariant 5: conflicts are only reported when they are real — a
+// MasterAmbiguous conflict implies two master tuples actually share
+// the rule's key with different source values.
+func TestPropertyNoSpuriousConflictsOnCleanMaster(t *testing.T) {
+	e, w := workloadEngine(t, 105)
+	rng := textutil.NewRNG(11)
+	// The generated master has unique rule keys: MasterAmbiguous must
+	// never appear regardless of input noise.
+	for i, dirty := range w.Dirty {
+		seed := randomSeedSet(rng, e.InputSchema())
+		res := e.Chase(dirty, seed)
+		for _, c := range res.Conflicts {
+			if c.Kind == MasterAmbiguous {
+				t.Fatalf("tuple %d: spurious MasterAmbiguous: %v", i, c)
+			}
+		}
+	}
+	_ = w
+}
+
+// Invariant 6: chasing the clean (ground-truth) tuple from any seed
+// never rewrites anything — all rule applications confirm.
+func TestPropertyTruthIsFixpoint(t *testing.T) {
+	e, w := workloadEngine(t, 106)
+	rng := textutil.NewRNG(12)
+	for i, truth := range w.Truth {
+		seed := randomSeedSet(rng, e.InputSchema())
+		res := e.Chase(truth, seed)
+		if rw := res.Rewrites(); len(rw) != 0 {
+			t.Fatalf("truth tuple %d rewritten: %v", i, rw)
+		}
+		if len(res.Conflicts) != 0 {
+			t.Fatalf("truth tuple %d conflicts: %v", i, res.Conflicts)
+		}
+	}
+}

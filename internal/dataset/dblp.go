@@ -1,0 +1,141 @@
+package dataset
+
+import (
+	"fmt"
+
+	"cerfix/internal/master"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/textutil"
+	"cerfix/internal/value"
+)
+
+// This file provides a DBLP-like workload: the second evaluation
+// dataset of the companion paper [7] (bibliography records). We
+// synthesize it with the functional structure citation cleaning
+// exploits:
+//
+//	key          -> title, authors, venue, year   (the DBLP key is a key)
+//	title, year  -> key                           (titles are unique per year)
+//	venue        -> vfull                         (abbreviation catalogue)
+//
+// As with HOSP, input and master share the schema.
+
+var dblpSchema = schema.MustNew("DBLP",
+	schema.Attribute{Name: "key", Domain: value.DString, Desc: "DBLP key (conf/vldb/...)"},
+	schema.Attribute{Name: "title", Domain: value.DString, Desc: "paper title"},
+	schema.Attribute{Name: "authors", Domain: value.DString, Desc: "author list"},
+	schema.Attribute{Name: "venue", Domain: value.DString, Desc: "venue abbreviation"},
+	schema.Attribute{Name: "vfull", Domain: value.DString, Desc: "venue full name"},
+	schema.Attribute{Name: "year", Domain: value.DInt, Desc: "publication year"},
+)
+
+// DblpSchema returns the DBLP relation schema (shared input/master
+// singleton).
+func DblpSchema() *schema.Schema { return dblpSchema }
+
+// DblpRulesDSL is the editing-rule set for DBLP.
+const DblpRulesDSL = `
+# DBLP editing rules (input and master share the DBLP schema).
+d1: match key~key set title := title
+d2: match key~key set authors := authors
+d3: match key~key set venue := venue
+d4: match key~key set year := year
+d5: match venue~venue set vfull := vfull
+d6: match title~title, year~year set key := key
+`
+
+// DblpRules parses DblpRulesDSL.
+func DblpRules() *rule.Set {
+	s, err := rule.ParseSet(DblpRulesDSL)
+	if err != nil {
+		panic("dataset: dblp rules do not parse: " + err.Error())
+	}
+	return s
+}
+
+var dblpVenues = []struct{ abbr, full string }{
+	{"VLDB", "Very Large Data Bases"},
+	{"SIGMOD", "ACM SIGMOD Conference"},
+	{"ICDE", "IEEE International Conference on Data Engineering"},
+	{"EDBT", "Extending Database Technology"},
+	{"PODS", "Symposium on Principles of Database Systems"},
+	{"CIKM", "Conference on Information and Knowledge Management"},
+}
+
+var dblpTopics = []string{
+	"Query Optimization", "Data Cleaning", "Record Matching", "Consistent Query Answering",
+	"Schema Mapping", "Provenance Tracking", "Stream Processing", "Index Structures",
+	"Transaction Processing", "View Maintenance",
+}
+
+var dblpQualifiers = []string{
+	"Scalable", "Adaptive", "Incremental", "Distributed", "Certain",
+	"Approximate", "Robust", "Efficient",
+}
+
+// DblpGen generates DBLP workloads.
+type DblpGen struct {
+	rng *textutil.RNG
+}
+
+// NewDblpGen builds a deterministic DBLP generator.
+func NewDblpGen(seed uint64) *DblpGen {
+	return &DblpGen{rng: textutil.NewRNG(seed)}
+}
+
+// GenerateMasterRows produces n publication records. Titles embed a
+// serial so (title, year) is unique; keys are unique by construction.
+func (g *DblpGen) GenerateMasterRows(n int) []value.List {
+	rows := make([]value.List, n)
+	for i := 0; i < n; i++ {
+		v := dblpVenues[i%len(dblpVenues)]
+		year := 1995 + g.rng.Intn(16)
+		title := fmt.Sprintf("%s %s %d",
+			textutil.Pick(g.rng, dblpQualifiers), textutil.Pick(g.rng, dblpTopics), i)
+		a1 := textutil.Pick(g.rng, firstNames) + " " + textutil.Pick(g.rng, lastNames)
+		a2 := textutil.Pick(g.rng, firstNames) + " " + textutil.Pick(g.rng, lastNames)
+		key := fmt.Sprintf("conf/%s/%d-%d", v.abbr, year, i)
+		rows[i] = value.List{
+			value.V(key), value.V(title), value.V(a1 + ", " + a2),
+			value.V(v.abbr), value.V(v.full), value.V(fmt.Sprint(year)),
+		}
+	}
+	return rows
+}
+
+// DblpWorkload bundles a DBLP experiment input.
+type DblpWorkload struct {
+	Store *master.Store
+	Truth []*schema.Tuple
+	Dirty []*schema.Tuple
+	// ErrorCells counts injected errors.
+	ErrorCells int
+}
+
+// GenerateWorkload builds master data for nPubs publications and
+// nInputs dirty citation tuples drawn from them.
+func (g *DblpGen) GenerateWorkload(nPubs, nInputs int, noiseRate float64) (*DblpWorkload, error) {
+	rows := g.GenerateMasterRows(nPubs)
+	st := master.New(DblpSchema())
+	for _, r := range rows {
+		if _, err := st.InsertValues(r...); err != nil {
+			return nil, err
+		}
+	}
+	inj := NewNoise(g.rng.Split().Uint64(), noiseRate)
+	w := &DblpWorkload{Store: st}
+	sch := DblpSchema()
+	pool := make([]*schema.Tuple, 0, nInputs)
+	for i := 0; i < nInputs; i++ {
+		r := rows[g.rng.Intn(len(rows))]
+		pool = append(pool, schema.MustTuple(sch, r...))
+	}
+	for _, truth := range pool {
+		dirty, nerr := inj.Dirty(truth, pool)
+		w.Truth = append(w.Truth, truth)
+		w.Dirty = append(w.Dirty, dirty)
+		w.ErrorCells += nerr
+	}
+	return w, nil
+}

@@ -1,0 +1,124 @@
+// Package dataset provides the paper's demo data (the Fig. 2 schemas,
+// editing rules φ1–φ9 and master tuples), synthetic generators scaling
+// the same scenario to benchmark sizes, a HOSP-like generator modelled
+// on the evaluation workload of the companion paper [7], and the noise
+// injector that produces dirty input streams with tracked ground truth.
+package dataset
+
+import (
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// custSchema and personSchema are shared singletons: every caller gets
+// the same *schema.Schema instance, so schema-identity checks in the
+// storage and monitor layers hold across packages.
+var custSchema = schema.MustNew("CUST",
+	schema.Attribute{Name: "FN", Domain: value.DString, Desc: "first name"},
+	schema.Attribute{Name: "LN", Domain: value.DString, Desc: "last name"},
+	schema.Attribute{Name: "AC", Domain: value.DString, Desc: "area code"},
+	schema.Attribute{Name: "phn", Domain: value.DString, Desc: "phone number (home or mobile, per type)"},
+	schema.Attribute{Name: "type", Domain: value.DString, Desc: "phone type: 1 = home, 2 = mobile"},
+	schema.Attribute{Name: "str", Domain: value.DString, Desc: "street"},
+	schema.Attribute{Name: "city", Domain: value.DString, Desc: "city"},
+	schema.Attribute{Name: "zip", Domain: value.DString, Desc: "zip code"},
+	schema.Attribute{Name: "item", Domain: value.DString, Desc: "item purchased"},
+)
+
+var personSchema = schema.MustNew("PERSON",
+	schema.Attribute{Name: "FN", Domain: value.DString, Desc: "first name"},
+	schema.Attribute{Name: "LN", Domain: value.DString, Desc: "last name"},
+	schema.Attribute{Name: "AC", Domain: value.DString, Desc: "area code"},
+	schema.Attribute{Name: "Hphn", Domain: value.DString, Desc: "home phone"},
+	schema.Attribute{Name: "Mphn", Domain: value.DString, Desc: "mobile phone"},
+	schema.Attribute{Name: "str", Domain: value.DString, Desc: "street"},
+	schema.Attribute{Name: "city", Domain: value.DString, Desc: "city"},
+	schema.Attribute{Name: "zip", Domain: value.DString, Desc: "zip code"},
+	schema.Attribute{Name: "DOB", Domain: value.DDate, Desc: "date of birth (dd/mm/yy)"},
+	schema.Attribute{Name: "gender", Domain: value.DString, Desc: "gender"},
+)
+
+// CustSchema returns the input relation of the demo: a UK customer
+// tuple as introduced in Example 1 of the paper. The same instance is
+// returned on every call.
+func CustSchema() *schema.Schema { return custSchema }
+
+// PersonSchema returns the master relation of the demo: a UK person
+// per §3 Initialization ("name, area code, home phone, mobile phone,
+// address, date of birth and gender"). The same instance is returned
+// on every call.
+func PersonSchema() *schema.Schema { return personSchema }
+
+// DemoRulesDSL is the paper's nine editing rules φ1–φ9 (§3, "Editing
+// rule management") in the rule DSL:
+//
+//   - φ1–φ3: same zip (validated) → copy AC, str, city from master.
+//     (The demo text's "t[zip] := s[zip]" for φ1 is a typo; Example 2
+//     gives φ1 as ((zip, zip) → (AC, AC), tp = ()), which we follow.)
+//   - φ4–φ5: phn matches Mphn and type = 2 → copy FN, LN.
+//   - φ6–φ8: (AC, phn) match (AC, Hphn) and type = 1 → copy str, city,
+//     zip.
+//   - φ9: AC matches AC and AC ≠ 0800 → copy city.
+const DemoRulesDSL = `
+# Paper Fig. 2 — editing rules over (CUST, PERSON).
+phi1: match zip~zip set AC := AC                              # Example 2: zip validated fixes area code
+phi2: match zip~zip set str := str
+phi3: match zip~zip set city := city
+phi4: match phn~Mphn set FN := FN when type = "2"             # mobile phone identifies the person
+phi5: match phn~Mphn set LN := LN when type = "2"
+phi6: match AC~AC, phn~Hphn set str := str when type = "1"    # home phone + area code identify the address
+phi7: match AC~AC, phn~Hphn set city := city when type = "1"
+phi8: match AC~AC, phn~Hphn set zip := zip when type = "1"
+phi9: match AC~AC set city := city when AC != "0800"          # toll-free area codes are non-geographic
+`
+
+// DemoRules parses DemoRulesDSL.
+func DemoRules() *rule.Set {
+	s, err := rule.ParseSet(DemoRulesDSL)
+	if err != nil {
+		panic("dataset: demo rules do not parse: " + err.Error())
+	}
+	return s
+}
+
+// DemoMasterRows returns the master tuples shown in Fig. 2 of the
+// paper: Robert Brady (Example 2) and Mark Smith (the Fig. 3
+// walkthrough, whose mobile phone is 075568485 and FN normalizes "M."
+// to "Mark"), plus a third person to make region tableaux non-trivial.
+func DemoMasterRows() []value.List {
+	return []value.List{
+		// FN, LN, AC, Hphn, Mphn, str, city, zip, DOB, gender
+		{"Robert", "Brady", "131", "6884563", "079172485", "501 Elm St", "Edi", "EH8 4AH", "11/11/55", "M"},
+		// The "second master tuple" of Fig. 3's walkthrough: the user
+		// validates AC=201, so 201 is Mark Smith's correct area code.
+		{"Mark", "Smith", "201", "7966899", "075568485", "20 Baker St", "Ldn", "NW1 6XE", "25/12/67", "M"},
+		{"Alice", "Kwan", "161", "8359021", "077031368", "8 Deansgate", "Mnc", "M3 4LY", "03/04/79", "F"},
+	}
+}
+
+// DemoInputExample1 returns the dirty tuple t of Example 1: a customer
+// whose AC (020) contradicts the city (Edi); the certain fix corrects
+// AC to 131 given the zip is validated.
+func DemoInputExample1() *schema.Tuple {
+	return schema.MustTuple(CustSchema(),
+		"Bob", "Brady", "020", "079172485", "2", "501 Elm St", "Edi", "EH8 4AH", "CD")
+}
+
+// DemoInputFig3 returns the Fig. 3 walkthrough tuple. The user assigns
+// AC=201, phn=075568485, type=2 (mobile) and item=DVD — the four
+// attributes CerFix suggests in Fig. 3(a) — and those values are
+// correct. The first name is abbreviated "M." (normalized to "Mark" by
+// φ4 against the second master tuple), and street/city are entered in
+// a stale/wrong form.
+func DemoInputFig3() *schema.Tuple {
+	return schema.MustTuple(CustSchema(),
+		"M.", "Smith", "201", "075568485", "2", "Baker Street", "Lon", "NW1 6XE", "DVD")
+}
+
+// DemoGroundTruthFig3 is the correct version of DemoInputFig3 per the
+// master data (the entity is Mark Smith of London).
+func DemoGroundTruthFig3() *schema.Tuple {
+	return schema.MustTuple(CustSchema(),
+		"Mark", "Smith", "201", "075568485", "2", "20 Baker St", "Ldn", "NW1 6XE", "DVD")
+}

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"fmt"
+
+	"cerfix/internal/master"
+	"cerfix/internal/schema"
+	"cerfix/internal/textutil"
+	"cerfix/internal/value"
+)
+
+// CustomerGen scales the demo's UK-customer scenario to benchmark
+// sizes. Entities are generated so that the demo rule set φ1–φ9 is
+// consistent over the master relation:
+//
+//   - every entity has a unique zip, a unique mobile phone and a
+//     unique (AC, home phone) pair, so each rule's key is functional;
+//   - each area code belongs to exactly one city (φ9's key), mirroring
+//     the real UK numbering plan the paper's rules encode.
+type CustomerGen struct {
+	rng    *textutil.RNG
+	cities []cityInfo
+	// MobileShare is the probability a generated input tuple uses the
+	// mobile phone (type=2) rather than the home phone (type=1).
+	// Default 0.5. The phone type drives which certain region applies
+	// and therefore the user/auto validation split (E3).
+	MobileShare float64
+}
+
+type cityInfo struct {
+	name string
+	ac   string
+}
+
+var firstNames = []string{
+	"Robert", "Mark", "Alice", "Grace", "Oliver", "Amelia", "Jack", "Isla",
+	"Harry", "Emily", "George", "Sophia", "Noah", "Ava", "Leo", "Mia",
+	"Arthur", "Freya", "Oscar", "Lily",
+}
+
+var lastNames = []string{
+	"Brady", "Smith", "Kwan", "Jones", "Taylor", "Brown", "Wilson", "Evans",
+	"Thomas", "Johnson", "Roberts", "Walker", "Wright", "Robinson", "Khan",
+	"Lewis", "Clarke", "James", "Patel", "Hall",
+}
+
+var streetNames = []string{
+	"Elm St", "Baker St", "Deansgate", "High St", "Station Rd", "Church Ln",
+	"Victoria Rd", "Park Ave", "Mill Ln", "Queensway", "King St", "Bridge Rd",
+}
+
+var itemPool = []string{"CD", "DVD", "Book", "Game", "Vinyl", "Poster"}
+
+// cityACs pairs city names with their (unique) area codes, extending
+// the demo's Ldn=020 / Edi=131 convention.
+var cityACs = []cityInfo{
+	{"Ldn", "020"}, {"Edi", "131"}, {"Mnc", "161"}, {"Gla", "141"},
+	{"Brm", "121"}, {"Lds", "113"}, {"Shf", "114"}, {"Lvp", "151"},
+	{"Ncl", "191"}, {"Brs", "117"}, {"Cdf", "029"}, {"Ntt", "115"},
+}
+
+// NewCustomerGen builds a deterministic generator.
+func NewCustomerGen(seed uint64) *CustomerGen {
+	return &CustomerGen{rng: textutil.NewRNG(seed), cities: cityACs, MobileShare: 0.5}
+}
+
+// Entity is one generated person: a master row plus the derived clean
+// input projections.
+type Entity struct {
+	// Master is the PERSON-schema row.
+	Master value.List
+}
+
+// GenerateEntities produces n distinct entities.
+func (g *CustomerGen) GenerateEntities(n int) []Entity {
+	out := make([]Entity, n)
+	for i := 0; i < n; i++ {
+		ci := g.cities[i%len(g.cities)]
+		fn := textutil.Pick(g.rng, firstNames)
+		ln := textutil.Pick(g.rng, lastNames)
+		street := fmt.Sprintf("%d %s", 1+g.rng.Intn(999), textutil.Pick(g.rng, streetNames))
+		// Uniqueness by construction: serial numbers embedded in zip
+		// and phones.
+		zip := fmt.Sprintf("%s%d %dZZ", ci.name[:1], i, i%10)
+		hphn := fmt.Sprintf("6%06d", i)
+		mphn := fmt.Sprintf("07%07d", i)
+		dob := fmt.Sprintf("%02d/%02d/%02d", 1+g.rng.Intn(28), 1+g.rng.Intn(12), 40+g.rng.Intn(60))
+		gender := "M"
+		if g.rng.Bool(0.5) {
+			gender = "F"
+		}
+		out[i] = Entity{Master: value.List{
+			value.V(fn), value.V(ln), value.V(ci.ac), value.V(hphn), value.V(mphn),
+			value.V(street), value.V(ci.name), value.V(zip), value.V(dob), value.V(gender),
+		}}
+	}
+	return out
+}
+
+// MasterStore loads entities into a fresh master store under
+// PersonSchema.
+func MasterStore(entities []Entity) (*master.Store, error) {
+	st := master.New(PersonSchema())
+	for _, e := range entities {
+		if _, err := st.InsertValues(e.Master...); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// CleanInput derives the ground-truth CUST tuple for an entity: the
+// phone type is chosen by the generator (1 = home, 2 = mobile) and the
+// matching phone number is used, exactly as the demo's input relation
+// relates to its master relation.
+func (g *CustomerGen) CleanInput(e Entity) *schema.Tuple {
+	sch := CustSchema()
+	m := e.Master
+	typ, phn := "2", m[4] // mobile
+	if !g.rng.Bool(g.MobileShare) {
+		typ, phn = "1", m[3] // home
+	}
+	item := textutil.Pick(g.rng, itemPool)
+	return schema.MustTuple(sch,
+		m[0], m[1], m[2], phn, value.V(typ), m[5], m[6], m[7], value.V(item))
+}
+
+// Workload is a generated experiment input: master data plus paired
+// (dirty, truth) input tuples.
+type Workload struct {
+	// Entities are the generated master entities.
+	Entities []Entity
+	// Store is the loaded master store.
+	Store *master.Store
+	// Truth holds the clean input tuples.
+	Truth []*schema.Tuple
+	// Dirty holds the noise-injected versions, aligned with Truth.
+	Dirty []*schema.Tuple
+	// ErrorCells counts injected errors across the workload.
+	ErrorCells int
+}
+
+// GenerateWorkload builds a complete experiment input: nEntities
+// master rows, nInputs input tuples drawn from random entities, noise
+// injected at cell rate noiseRate by the given injector (nil = default
+// injector with the generator's seed stream).
+func (g *CustomerGen) GenerateWorkload(nEntities, nInputs int, noiseRate float64, inj *Noise) (*Workload, error) {
+	entities := g.GenerateEntities(nEntities)
+	st, err := MasterStore(entities)
+	if err != nil {
+		return nil, err
+	}
+	if inj == nil {
+		inj = NewNoise(g.rng.Split().Uint64(), noiseRate)
+	}
+	w := &Workload{Entities: entities, Store: st}
+	// Pool of clean tuples for wrong-entity noise.
+	pool := make([]*schema.Tuple, 0, nInputs)
+	for i := 0; i < nInputs; i++ {
+		e := entities[g.rng.Intn(len(entities))]
+		pool = append(pool, g.CleanInput(e))
+	}
+	for _, truth := range pool {
+		dirty, nerr := inj.Dirty(truth, pool)
+		w.Truth = append(w.Truth, truth)
+		w.Dirty = append(w.Dirty, dirty)
+		w.ErrorCells += nerr
+	}
+	return w, nil
+}

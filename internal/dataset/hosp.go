@@ -1,0 +1,162 @@
+package dataset
+
+import (
+	"fmt"
+
+	"cerfix/internal/master"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/textutil"
+	"cerfix/internal/value"
+)
+
+// This file provides a HOSP-like workload modelled on the evaluation
+// dataset of the companion paper [7] (US hospital quality data from
+// the Department of Health & Human Services): provider records with
+// address/contact attributes plus quality-measure attributes. We
+// synthesize it (the real dump is not redistributable) preserving the
+// functional structure the editing rules exploit:
+//
+//	prov  -> hospital, addr, county   (provider number is a key)
+//	zip   -> city, state              (US zips nest in cities/states)
+//	phone -> zip                      (one line, one site)
+//	mcode -> mname, condition         (measure catalogue)
+//
+// Input and master share the schema here (single-relation cleaning, as
+// in [7]'s HOSP experiments), which also exercises the CFD→eR
+// derivation path.
+
+var hospSchema = schema.MustNew("HOSP",
+	schema.Attribute{Name: "prov", Domain: value.DString, Desc: "provider number"},
+	schema.Attribute{Name: "hospital", Domain: value.DString, Desc: "hospital name"},
+	schema.Attribute{Name: "addr", Domain: value.DString, Desc: "street address"},
+	schema.Attribute{Name: "city", Domain: value.DString, Desc: "city"},
+	schema.Attribute{Name: "state", Domain: value.DString, Desc: "state"},
+	schema.Attribute{Name: "zip", Domain: value.DString, Desc: "zip code"},
+	schema.Attribute{Name: "county", Domain: value.DString, Desc: "county name"},
+	schema.Attribute{Name: "phone", Domain: value.DString, Desc: "phone number"},
+	schema.Attribute{Name: "mcode", Domain: value.DString, Desc: "measure code"},
+	schema.Attribute{Name: "mname", Domain: value.DString, Desc: "measure name"},
+	schema.Attribute{Name: "condition", Domain: value.DString, Desc: "condition"},
+)
+
+// HospSchema returns the HOSP relation schema (used for both input and
+// master). The same instance is returned on every call.
+func HospSchema() *schema.Schema { return hospSchema }
+
+// HospRulesDSL is the editing-rule set for HOSP.
+const HospRulesDSL = `
+# HOSP editing rules (input and master share the HOSP schema).
+h1: match prov~prov set hospital := hospital
+h2: match prov~prov set addr := addr
+h3: match prov~prov set county := county
+h4: match zip~zip set city := city
+h5: match zip~zip set state := state
+h6: match phone~phone set zip := zip
+h7: match mcode~mcode set mname := mname
+h8: match mcode~mcode set condition := condition
+`
+
+// HospRules parses HospRulesDSL.
+func HospRules() *rule.Set {
+	s, err := rule.ParseSet(HospRulesDSL)
+	if err != nil {
+		panic("dataset: hosp rules do not parse: " + err.Error())
+	}
+	return s
+}
+
+var hospCities = []struct{ city, state string }{
+	{"BIRMINGHAM", "AL"}, {"DOTHAN", "AL"}, {"BOAZ", "AL"}, {"JACKSON", "MS"},
+	{"MEMPHIS", "TN"}, {"NASHVILLE", "TN"}, {"ATLANTA", "GA"}, {"MACON", "GA"},
+	{"TAMPA", "FL"}, {"MIAMI", "FL"}, {"ORLANDO", "FL"}, {"MOBILE", "AL"},
+}
+
+var hospCounties = []string{
+	"JEFFERSON", "HOUSTON", "MARSHALL", "HINDS", "SHELBY", "DAVIDSON",
+	"FULTON", "BIBB", "HILLSBOROUGH", "DADE", "ORANGE", "MOBILE",
+}
+
+var hospMeasures = []struct{ code, name, condition string }{
+	{"AMI-1", "Aspirin at arrival", "Heart Attack"},
+	{"AMI-2", "Aspirin at discharge", "Heart Attack"},
+	{"AMI-3", "ACEI or ARB for LVSD", "Heart Attack"},
+	{"HF-1", "Discharge instructions", "Heart Failure"},
+	{"HF-2", "LVS assessment", "Heart Failure"},
+	{"PN-2", "Pneumococcal vaccination", "Pneumonia"},
+	{"PN-3B", "Blood culture before antibiotic", "Pneumonia"},
+	{"SCIP-1", "Prophylactic antibiotic timing", "Surgery"},
+}
+
+// HospGen generates HOSP workloads.
+type HospGen struct {
+	rng *textutil.RNG
+}
+
+// NewHospGen builds a deterministic HOSP generator.
+func NewHospGen(seed uint64) *HospGen {
+	return &HospGen{rng: textutil.NewRNG(seed)}
+}
+
+// GenerateMasterRows produces n provider-measure records respecting
+// the functional structure above: nProviders distinct providers, each
+// reporting several measures.
+func (g *HospGen) GenerateMasterRows(nProviders int) []value.List {
+	var rows []value.List
+	for p := 0; p < nProviders; p++ {
+		ci := hospCities[p%len(hospCities)]
+		county := hospCounties[p%len(hospCounties)]
+		prov := fmt.Sprintf("%06d", 10000+p)
+		hospital := fmt.Sprintf("%s MEDICAL CENTER %d", ci.city, p)
+		addr := fmt.Sprintf("%d HOSPITAL DR", 100+p)
+		zip := fmt.Sprintf("%05d", 35000+p)
+		phone := fmt.Sprintf("205%07d", p)
+		// Each provider reports 1–3 measures.
+		nm := 1 + g.rng.Intn(3)
+		for mi := 0; mi < nm; mi++ {
+			m := hospMeasures[(p+mi)%len(hospMeasures)]
+			rows = append(rows, value.List{
+				value.V(prov), value.V(hospital), value.V(addr), value.V(ci.city),
+				value.V(ci.state), value.V(zip), value.V(county), value.V(phone),
+				value.V(m.code), value.V(m.name), value.V(m.condition),
+			})
+		}
+	}
+	return rows
+}
+
+// HospWorkload bundles a HOSP experiment input.
+type HospWorkload struct {
+	Store *master.Store
+	Truth []*schema.Tuple
+	Dirty []*schema.Tuple
+	// ErrorCells counts injected errors.
+	ErrorCells int
+}
+
+// GenerateWorkload builds master data for nProviders and nInputs dirty
+// input tuples drawn from the master rows.
+func (g *HospGen) GenerateWorkload(nProviders, nInputs int, noiseRate float64) (*HospWorkload, error) {
+	rows := g.GenerateMasterRows(nProviders)
+	st := master.New(HospSchema())
+	for _, r := range rows {
+		if _, err := st.InsertValues(r...); err != nil {
+			return nil, err
+		}
+	}
+	inj := NewNoise(g.rng.Split().Uint64(), noiseRate)
+	w := &HospWorkload{Store: st}
+	sch := HospSchema()
+	pool := make([]*schema.Tuple, 0, nInputs)
+	for i := 0; i < nInputs; i++ {
+		r := rows[g.rng.Intn(len(rows))]
+		pool = append(pool, schema.MustTuple(sch, r...))
+	}
+	for _, truth := range pool {
+		dirty, nerr := inj.Dirty(truth, pool)
+		w.Truth = append(w.Truth, truth)
+		w.Dirty = append(w.Dirty, dirty)
+		w.ErrorCells += nerr
+	}
+	return w, nil
+}

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"strings"
+
+	"cerfix/internal/schema"
+	"cerfix/internal/textutil"
+	"cerfix/internal/value"
+)
+
+// NoiseKind enumerates the error classes the injector produces,
+// mirroring the error taxonomy data-entry studies report.
+type NoiseKind int
+
+const (
+	// NoiseTypo substitutes one character ("Edi" -> "Edx").
+	NoiseTypo NoiseKind = iota
+	// NoiseTranspose swaps two adjacent characters ("131" -> "311"),
+	// the classic fat-finger error for digit strings.
+	NoiseTranspose
+	// NoiseWrongEntity copies the attribute value of another tuple in
+	// the stream — the Example 1 situation where AC belongs to a
+	// different city than the rest of the tuple.
+	NoiseWrongEntity
+	// NoiseAbbreviate truncates to an initial plus period
+	// ("Mark" -> "M."), the Fig. 3 first-name error.
+	NoiseAbbreviate
+	// NoiseCase folds the value to lower case ("Elm St" -> "elm st").
+	NoiseCase
+	// NoiseNull blanks the value.
+	NoiseNull
+)
+
+// String names the noise kind.
+func (k NoiseKind) String() string {
+	switch k {
+	case NoiseTypo:
+		return "typo"
+	case NoiseTranspose:
+		return "transpose"
+	case NoiseWrongEntity:
+		return "wrong-entity"
+	case NoiseAbbreviate:
+		return "abbreviate"
+	case NoiseCase:
+		return "case"
+	case NoiseNull:
+		return "null"
+	default:
+		return "unknown"
+	}
+}
+
+// AllNoiseKinds lists every kind (the default mix).
+var AllNoiseKinds = []NoiseKind{
+	NoiseTypo, NoiseTranspose, NoiseWrongEntity, NoiseAbbreviate, NoiseCase, NoiseNull,
+}
+
+// Noise injects cell errors at a configurable rate.
+type Noise struct {
+	rng  *textutil.RNG
+	rate float64
+	// Kinds is the enabled error mix (default AllNoiseKinds).
+	Kinds []NoiseKind
+	// Protected lists attributes never dirtied (e.g. the key the
+	// experiment treats as trusted); empty by default.
+	Protected []string
+}
+
+// NewNoise builds an injector with cell error probability rate.
+func NewNoise(seed uint64, rate float64) *Noise {
+	return &Noise{rng: textutil.NewRNG(seed), rate: rate, Kinds: AllNoiseKinds}
+}
+
+// Dirty returns a noisy copy of truth and the number of cells
+// actually changed. pool supplies donor tuples for NoiseWrongEntity
+// (may be nil/empty; the kind is skipped then).
+func (n *Noise) Dirty(truth *schema.Tuple, pool []*schema.Tuple) (*schema.Tuple, int) {
+	dirty := truth.Clone()
+	changed := 0
+	for i := 0; i < truth.Schema.Len(); i++ {
+		attr := truth.Schema.Attr(i).Name
+		if n.isProtected(attr) {
+			continue
+		}
+		if !n.rng.Bool(n.rate) {
+			continue
+		}
+		old := dirty.At(i)
+		nv := n.perturb(old, attr, i, pool)
+		if nv != old {
+			dirty.Vals[i] = nv
+			changed++
+		}
+	}
+	return dirty, changed
+}
+
+func (n *Noise) isProtected(attr string) bool {
+	for _, p := range n.Protected {
+		if p == attr {
+			return true
+		}
+	}
+	return false
+}
+
+// perturb applies one randomly chosen enabled noise kind; if the kind
+// cannot change the value (e.g. transposing a 1-char string) it falls
+// back to a typo, and ultimately to appending a marker, so a scheduled
+// error always materializes for non-empty values.
+func (n *Noise) perturb(v value.V, attr string, attrIdx int, pool []*schema.Tuple) value.V {
+	kind := n.Kinds[n.rng.Intn(len(n.Kinds))]
+	out := n.apply(kind, v, attrIdx, pool)
+	if out == v {
+		out = n.apply(NoiseTypo, v, attrIdx, pool)
+	}
+	if out == v && !v.IsNull() {
+		out = v + "~"
+	}
+	return out
+}
+
+func (n *Noise) apply(kind NoiseKind, v value.V, attrIdx int, pool []*schema.Tuple) value.V {
+	s := string(v)
+	switch kind {
+	case NoiseTypo:
+		if len(s) == 0 {
+			return v
+		}
+		i := n.rng.Intn(len(s))
+		c := s[i]
+		repl := byte('x')
+		switch {
+		case c >= '0' && c <= '9':
+			repl = '0' + byte((int(c-'0')+1+n.rng.Intn(8))%10)
+		case c == 'x':
+			repl = 'q'
+		}
+		return value.V(s[:i] + string(repl) + s[i+1:])
+	case NoiseTranspose:
+		if len(s) < 2 {
+			return v
+		}
+		i := n.rng.Intn(len(s) - 1)
+		if s[i] == s[i+1] {
+			return v
+		}
+		b := []byte(s)
+		b[i], b[i+1] = b[i+1], b[i]
+		return value.V(b)
+	case NoiseWrongEntity:
+		if len(pool) == 0 {
+			return v
+		}
+		donor := pool[n.rng.Intn(len(pool))]
+		return donor.At(attrIdx)
+	case NoiseAbbreviate:
+		if len(s) < 2 {
+			return v
+		}
+		return value.V(s[:1] + ".")
+	case NoiseCase:
+		return value.V(strings.ToLower(s))
+	case NoiseNull:
+		return value.Null
+	default:
+		return v
+	}
+}

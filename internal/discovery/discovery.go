@@ -1,0 +1,288 @@
+// Package discovery implements profiling of master data to find the
+// integrity constraints editing rules can be derived from. The paper
+// notes that eRs "may either be designed by experts or be discovered
+// from cfds or mds ... for which discovery algorithms are already in
+// place" (§3); this package provides that missing substrate:
+//
+//   - functional-dependency discovery X → A over a relation instance
+//     (levelwise search over LHS candidates up to a size bound, with
+//     minimality pruning);
+//   - constant-CFD discovery (X = c̄ → A = a) with support/confidence
+//     thresholds, the class ψ1/ψ2 of the paper's Example 1 belong to;
+//   - a pipeline that turns discovered dependencies into editing rules
+//     via cfd.DeriveRules.
+//
+// Discovery is exact on the given instance (dependencies hold with the
+// required confidence on the data); as always with instance-based
+// profiling, the results are hypotheses to be reviewed — which is why
+// CerFix surfaces them in the rule manager rather than auto-installing
+// them.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+
+	"cerfix/internal/cfd"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxLHS caps the size of discovered left-hand sides (default 2).
+	MaxLHS int
+	// MinSupport is the minimum number of rows a constant pattern must
+	// cover (default 2).
+	MinSupport int
+	// MinConfidence is the fraction of covered rows that must agree on
+	// the RHS constant (default 1.0 — exact CFDs).
+	MinConfidence float64
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{MaxLHS: 2, MinSupport: 2, MinConfidence: 1.0}
+	if o == nil {
+		return out
+	}
+	if o.MaxLHS > 0 {
+		out.MaxLHS = o.MaxLHS
+	}
+	if o.MinSupport > 0 {
+		out.MinSupport = o.MinSupport
+	}
+	if o.MinConfidence > 0 {
+		out.MinConfidence = o.MinConfidence
+	}
+	return out
+}
+
+// FD is a discovered functional dependency X → A that holds exactly on
+// the profiled instance.
+type FD struct {
+	// LHS lists the determining attributes (sorted).
+	LHS []string
+	// RHS is the determined attribute.
+	RHS string
+}
+
+// String renders "zip,phn -> city".
+func (f FD) String() string {
+	out := ""
+	for i, a := range f.LHS {
+		if i > 0 {
+			out += ","
+		}
+		out += a
+	}
+	return out + " -> " + f.RHS
+}
+
+// DiscoverFDs finds minimal functional dependencies with |LHS| <=
+// opts.MaxLHS holding on rows. Minimality: no proper subset of the LHS
+// also determines the RHS (trivial and transitively-implied larger
+// LHSs are pruned).
+func DiscoverFDs(sch *schema.Schema, rows []*schema.Tuple, opts *Options) []FD {
+	o := opts.withDefaults()
+	if len(rows) == 0 {
+		return nil
+	}
+	attrs := sch.AttrNames()
+	var out []FD
+	// found[rhs] records discovered LHS sets for minimality pruning.
+	found := make(map[string][]schema.AttrSet)
+	for size := 1; size <= o.MaxLHS && size < len(attrs); size++ {
+		forEachCombination(len(attrs), size, func(idxs []int) {
+			lhs := make([]string, len(idxs))
+			for i, ix := range idxs {
+				lhs[i] = attrs[ix]
+			}
+			lhsSet := schema.SetOfNames(sch, lhs...)
+			for _, rhs := range attrs {
+				if lhsSet.Has(sch.MustIndex(rhs)) {
+					continue
+				}
+				// Minimality: skip if a subset LHS already determines rhs.
+				subsumed := false
+				for _, prev := range found[rhs] {
+					if lhsSet.ContainsAll(prev) {
+						subsumed = true
+						break
+					}
+				}
+				if subsumed {
+					continue
+				}
+				if holdsFD(rows, lhs, rhs) {
+					out = append(out, FD{LHS: lhs, RHS: rhs})
+					found[rhs] = append(found[rhs], lhsSet)
+				}
+			}
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// holdsFD checks X → A exactly on rows.
+func holdsFD(rows []*schema.Tuple, lhs []string, rhs string) bool {
+	seen := make(map[string]value.V, len(rows))
+	for _, t := range rows {
+		k := t.Project(lhs).Key()
+		v := t.Get(rhs)
+		if prev, ok := seen[k]; ok {
+			if prev != v {
+				return false
+			}
+			continue
+		}
+		seen[k] = v
+	}
+	return true
+}
+
+// forEachCombination enumerates size-k index combinations of [0, n).
+func forEachCombination(n, k int, fn func([]int)) {
+	if k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// ConstantCFD is a discovered constant pattern (X = c̄ → A = a).
+type ConstantCFD struct {
+	// LHS pairs attributes with their pattern constants.
+	LHS []cfd.Atom
+	// RHSAttr and RHSConst are the implied attribute and value.
+	RHSAttr  string
+	RHSConst value.V
+	// Support is the number of rows matching the LHS pattern.
+	Support int
+	// Confidence is the fraction of matching rows with the RHS value.
+	Confidence float64
+}
+
+// String renders `AC = "020" -> city = "Ldn" [sup=12 conf=1.00]`.
+func (c ConstantCFD) String() string {
+	out := ""
+	for i, a := range c.LHS {
+		if i > 0 {
+			out += ", "
+		}
+		out += a.String()
+	}
+	return fmt.Sprintf("%s -> %s = %q [sup=%d conf=%.2f]",
+		out, c.RHSAttr, string(c.RHSConst), c.Support, c.Confidence)
+}
+
+// DiscoverConstantCFDs finds single-attribute constant CFDs
+// (A = c → B = d) meeting the support and confidence thresholds —
+// exactly the ψ1/ψ2 class of the paper's Example 1. (Wider LHSs
+// follow from composing with DiscoverFDs; single-attribute patterns
+// are what data-quality tools surface to reviewers first.)
+func DiscoverConstantCFDs(sch *schema.Schema, rows []*schema.Tuple, opts *Options) []ConstantCFD {
+	o := opts.withDefaults()
+	if len(rows) == 0 {
+		return nil
+	}
+	attrs := sch.AttrNames()
+	var out []ConstantCFD
+	for _, lhsAttr := range attrs {
+		// Group rows by the LHS value.
+		groups := make(map[value.V][]*schema.Tuple)
+		for _, t := range rows {
+			v := t.Get(lhsAttr)
+			groups[v] = append(groups[v], t)
+		}
+		var lhsVals []value.V
+		for v := range groups {
+			lhsVals = append(lhsVals, v)
+		}
+		sort.Slice(lhsVals, func(i, j int) bool { return lhsVals[i] < lhsVals[j] })
+		for _, lv := range lhsVals {
+			group := groups[lv]
+			if len(group) < o.MinSupport || lv.IsNull() {
+				continue
+			}
+			for _, rhsAttr := range attrs {
+				if rhsAttr == lhsAttr {
+					continue
+				}
+				counts := make(map[value.V]int)
+				for _, t := range group {
+					counts[t.Get(rhsAttr)]++
+				}
+				var best value.V
+				bestN := -1
+				var rhsVals []value.V
+				for v := range counts {
+					rhsVals = append(rhsVals, v)
+				}
+				sort.Slice(rhsVals, func(i, j int) bool { return rhsVals[i] < rhsVals[j] })
+				for _, v := range rhsVals {
+					if counts[v] > bestN {
+						best, bestN = v, counts[v]
+					}
+				}
+				conf := float64(bestN) / float64(len(group))
+				if conf >= o.MinConfidence && !best.IsNull() {
+					out = append(out, ConstantCFD{
+						LHS:        []cfd.Atom{cfd.ConstAtom(lhsAttr, lv)},
+						RHSAttr:    rhsAttr,
+						RHSConst:   best,
+						Support:    len(group),
+						Confidence: conf,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ToCFDs converts discovered FDs into cfd.CFD values (variable CFDs)
+// with generated IDs.
+func ToCFDs(fds []FD) []*cfd.CFD {
+	out := make([]*cfd.CFD, len(fds))
+	for i, f := range fds {
+		c := &cfd.CFD{ID: fmt.Sprintf("fd%d", i+1)}
+		for _, a := range f.LHS {
+			c.LHS = append(c.LHS, cfd.VarAtom(a))
+		}
+		c.RHS = []cfd.Atom{cfd.VarAtom(f.RHS)}
+		out[i] = c
+	}
+	return out
+}
+
+// DeriveRulesFromMaster is the full pipeline: profile the master
+// relation (same-schema setting), keep FDs whose LHS looks like a key
+// for the RHS, and derive editing rules. It returns the rules plus the
+// discovered FDs for review.
+func DeriveRulesFromMaster(sch *schema.Schema, rows []*schema.Tuple, opts *Options) ([]*rule.Rule, []FD, error) {
+	fds := DiscoverFDs(sch, rows, opts)
+	cfds := ToCFDs(fds)
+	rules, err := cfd.DeriveRules(cfds, sch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rules, fds, nil
+}

@@ -1,0 +1,266 @@
+package discovery
+
+import (
+	"strings"
+	"testing"
+
+	"cerfix/internal/cfd"
+	"cerfix/internal/core"
+	"cerfix/internal/dataset"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+func smallSchema() *schema.Schema {
+	return schema.MustNew("R", schema.Str("zip"), schema.Str("city"), schema.Str("name"))
+}
+
+func rowsOf(sch *schema.Schema, data [][]string) []*schema.Tuple {
+	out := make([]*schema.Tuple, len(data))
+	for i, d := range data {
+		out[i] = schema.MustTuple(sch, value.FromStrings(d)...)
+	}
+	return out
+}
+
+func TestDiscoverFDsBasic(t *testing.T) {
+	sch := smallSchema()
+	rows := rowsOf(sch, [][]string{
+		{"Z1", "Edi", "A"},
+		{"Z1", "Edi", "B"},
+		{"Z2", "Ldn", "C"},
+		{"Z3", "Edi", "D"},
+	})
+	fds := DiscoverFDs(sch, rows, nil)
+	want := map[string]bool{}
+	for _, f := range fds {
+		want[f.String()] = true
+	}
+	// zip -> city holds; city -> zip does not (Edi has Z1 and Z3);
+	// name -> zip and name -> city hold (names unique).
+	if !want["zip -> city"] {
+		t.Fatalf("zip -> city not discovered: %v", fds)
+	}
+	if want["city -> zip"] {
+		t.Fatalf("city -> zip wrongly discovered: %v", fds)
+	}
+	if !want["name -> city"] || !want["name -> zip"] {
+		t.Fatalf("key FDs missing: %v", fds)
+	}
+}
+
+func TestDiscoverFDsMinimality(t *testing.T) {
+	sch := smallSchema()
+	rows := rowsOf(sch, [][]string{
+		{"Z1", "Edi", "A"},
+		{"Z2", "Ldn", "B"},
+	})
+	fds := DiscoverFDs(sch, rows, &Options{MaxLHS: 2})
+	for _, f := range fds {
+		if len(f.LHS) == 2 {
+			// Any single attribute already determines everything on
+			// this 2-row instance, so no 2-attribute LHS is minimal.
+			t.Fatalf("non-minimal FD reported: %v", f)
+		}
+	}
+}
+
+func TestDiscoverFDsEmptyAndBound(t *testing.T) {
+	sch := smallSchema()
+	if fds := DiscoverFDs(sch, nil, nil); fds != nil {
+		t.Fatalf("FDs from empty instance: %v", fds)
+	}
+	rows := rowsOf(sch, [][]string{{"Z1", "Edi", "A"}, {"Z1", "Ldn", "A"}})
+	fds := DiscoverFDs(sch, rows, &Options{MaxLHS: 1})
+	for _, f := range fds {
+		if len(f.LHS) > 1 {
+			t.Fatalf("MaxLHS violated: %v", f)
+		}
+	}
+}
+
+func TestDiscoverFDsOnHospMaster(t *testing.T) {
+	g := dataset.NewHospGen(3)
+	rows := g.GenerateMasterRows(30)
+	sch := dataset.HospSchema()
+	tuples := make([]*schema.Tuple, len(rows))
+	for i, r := range rows {
+		tuples[i] = schema.MustTuple(sch, r...)
+	}
+	fds := DiscoverFDs(sch, tuples, &Options{MaxLHS: 1})
+	got := map[string]bool{}
+	for _, f := range fds {
+		got[f.String()] = true
+	}
+	// The generator's documented functional structure must be found.
+	for _, want := range []string{
+		"prov -> hospital", "prov -> addr", "prov -> county",
+		"zip -> city", "zip -> state", "phone -> zip",
+		"mcode -> mname", "mcode -> condition",
+	} {
+		if !got[want] {
+			t.Errorf("expected FD %q not discovered (got %v)", want, fds)
+		}
+	}
+}
+
+func TestDiscoverConstantCFDs(t *testing.T) {
+	sch := smallSchema()
+	rows := rowsOf(sch, [][]string{
+		{"Z1", "Edi", "A"},
+		{"Z1", "Edi", "B"},
+		{"Z1", "Edi", "C"},
+		{"Z2", "Ldn", "D"},
+		{"Z2", "Ldn", "E"},
+	})
+	ccfds := DiscoverConstantCFDs(sch, rows, &Options{MinSupport: 2})
+	found := false
+	for _, c := range ccfds {
+		if c.LHS[0].Attr == "zip" && *c.LHS[0].Const == "Z1" &&
+			c.RHSAttr == "city" && c.RHSConst == "Edi" {
+			found = true
+			if c.Support != 3 || c.Confidence != 1.0 {
+				t.Fatalf("support/confidence wrong: %+v", c)
+			}
+			if !strings.Contains(c.String(), "sup=3") {
+				t.Errorf("String = %q", c.String())
+			}
+		}
+		// MinSupport honored.
+		if c.Support < 2 {
+			t.Fatalf("support below threshold: %+v", c)
+		}
+	}
+	if !found {
+		t.Fatalf("Z1 -> Edi not discovered: %v", ccfds)
+	}
+}
+
+func TestDiscoverConstantCFDsConfidence(t *testing.T) {
+	sch := smallSchema()
+	rows := rowsOf(sch, [][]string{
+		{"Z1", "Edi", "A"},
+		{"Z1", "Edi", "B"},
+		{"Z1", "Ldn", "C"}, // 2/3 confidence for Z1 -> Edi
+	})
+	strict := DiscoverConstantCFDs(sch, rows, &Options{MinSupport: 2, MinConfidence: 1.0})
+	for _, c := range strict {
+		if c.LHS[0].Attr == "zip" && c.RHSAttr == "city" {
+			t.Fatalf("low-confidence CFD passed strict threshold: %v", c)
+		}
+	}
+	loose := DiscoverConstantCFDs(sch, rows, &Options{MinSupport: 2, MinConfidence: 0.6})
+	found := false
+	for _, c := range loose {
+		if c.LHS[0].Attr == "zip" && c.RHSAttr == "city" && c.RHSConst == "Edi" {
+			found = true
+			if c.Confidence < 0.66 || c.Confidence > 0.67 {
+				t.Fatalf("confidence = %v", c.Confidence)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("0.67-confidence CFD missing at 0.6 threshold: %v", loose)
+	}
+}
+
+// Discovering Example 1's ψ rules from the customer master data.
+func TestDiscoverExample1CFDs(t *testing.T) {
+	g := dataset.NewCustomerGen(5)
+	entities := g.GenerateEntities(60)
+	sch := dataset.CustSchema()
+	var rows []*schema.Tuple
+	for _, e := range entities {
+		rows = append(rows, g.CleanInput(e))
+	}
+	ccfds := DiscoverConstantCFDs(sch, rows, &Options{MinSupport: 3})
+	got := map[string]bool{}
+	for _, c := range ccfds {
+		if c.LHS[0].Attr == "AC" && c.RHSAttr == "city" {
+			got[string(*c.LHS[0].Const)+"->"+string(c.RHSConst)] = true
+		}
+	}
+	// ψ1/ψ2 of the paper: AC=020 -> Ldn, AC=131 -> Edi.
+	if !got["020->Ldn"] || !got["131->Edi"] {
+		t.Fatalf("Example 1 CFDs not discovered: %v", got)
+	}
+}
+
+func TestToCFDs(t *testing.T) {
+	fds := []FD{{LHS: []string{"zip"}, RHS: "city"}}
+	cs := ToCFDs(fds)
+	if len(cs) != 1 || cs[0].IsConstant() {
+		t.Fatalf("ToCFDs = %v", cs)
+	}
+	if cs[0].LHS[0].Attr != "zip" || cs[0].RHS[0].Attr != "city" {
+		t.Fatalf("shape wrong: %v", cs[0])
+	}
+	if err := cs[0].Validate(smallSchema()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The full pipeline: profile HOSP master data, derive rules, and use
+// them to fix a dirty tuple — discovery-to-certain-fix end to end.
+func TestDeriveRulesFromMasterEndToEnd(t *testing.T) {
+	g := dataset.NewHospGen(7)
+	w, err := g.GenerateWorkload(25, 5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := dataset.HospSchema()
+	rules, fds, err := DeriveRulesFromMaster(sch, w.Store.All(), &Options{MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fds) == 0 || len(rules) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	rs, err := rule.NewSet(rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(sch, rs, w.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discovered rules include prov -> everything prov determines:
+	// validating prov+zip+phone+mcode should fix the rest.
+	dirty := w.Dirty[0].Clone()
+	for _, a := range []string{"prov", "zip", "phone", "mcode"} {
+		dirty.Set(a, w.Truth[0].Get(a))
+	}
+	res := eng.Chase(dirty, schema.SetOfNames(sch, "prov", "zip", "phone", "mcode"))
+	if !res.Tuple.Equal(w.Truth[0]) {
+		t.Fatalf("discovered rules did not fix: %v vs %v", res.Tuple, w.Truth[0])
+	}
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts: %v", res.Conflicts)
+	}
+}
+
+// Discovered constant CFDs convert to valid cfd.CFD values usable by
+// the baseline repairer.
+func TestConstantCFDsFeedRepairer(t *testing.T) {
+	sch := smallSchema()
+	rows := rowsOf(sch, [][]string{
+		{"Z1", "Edi", "A"}, {"Z1", "Edi", "B"}, {"Z2", "Ldn", "C"}, {"Z2", "Ldn", "D"},
+	})
+	ccfds := DiscoverConstantCFDs(sch, rows, &Options{MinSupport: 2})
+	var asCFDs []*cfd.CFD
+	for i, c := range ccfds {
+		cc := &cfd.CFD{
+			ID:  strings.ReplaceAll("d"+string(rune('a'+i%26)), " ", ""),
+			LHS: c.LHS,
+			RHS: []cfd.Atom{cfd.ConstAtom(c.RHSAttr, c.RHSConst)},
+		}
+		if err := cc.Validate(sch); err != nil {
+			t.Fatalf("discovered CFD invalid: %v", err)
+		}
+		asCFDs = append(asCFDs, cc)
+	}
+	if len(asCFDs) == 0 {
+		t.Fatal("no CFDs")
+	}
+}

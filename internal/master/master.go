@@ -1,0 +1,194 @@
+// Package master implements CerFix's master data manager. Master data
+// (a.k.a. reference data) is "a single repository of high-quality data
+// ... assumed consistent and accurate" (paper §2). The manager wraps a
+// storage table, pre-builds hash indexes over the master-side attribute
+// lists (Xm) of every editing rule — the access path rule application
+// probes — and exposes the unique-right-hand-side lookup that the
+// certain-fix semantics requires: a fix is only certain if every master
+// tuple matching the key agrees on the source values.
+package master
+
+import (
+	"fmt"
+
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/storage"
+	"cerfix/internal/value"
+)
+
+// LookupStatus classifies a unique-RHS lookup outcome.
+type LookupStatus int
+
+const (
+	// NoMatch means no master tuple carries the key.
+	NoMatch LookupStatus = iota
+	// Unique means at least one tuple matched and all agree on the
+	// requested source attributes — the fix is certain.
+	Unique
+	// Conflict means matching tuples disagree on a source attribute;
+	// applying the rule would not yield a unique fix.
+	Conflict
+)
+
+// String names the status for diagnostics.
+func (s LookupStatus) String() string {
+	switch s {
+	case NoMatch:
+		return "no-match"
+	case Unique:
+		return "unique"
+	case Conflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Store is the master data manager.
+type Store struct {
+	table *storage.Table
+	// mode selects the lookup access path; see LookupMode.
+	mode LookupMode
+	// ruleIdx holds the precomputed unique-RHS maps (the fast path).
+	ruleIdx *ruleIndexes
+}
+
+// New wraps an empty master relation under sch.
+func New(sch *schema.Schema) *Store {
+	return &Store{table: storage.NewTable(sch), mode: ModeRuleIndex, ruleIdx: newRuleIndexes()}
+}
+
+// FromTable wraps an existing table (e.g. loaded from CSV).
+func FromTable(t *storage.Table) *Store {
+	return &Store{table: t, mode: ModeRuleIndex, ruleIdx: newRuleIndexes()}
+}
+
+// Schema returns the master schema.
+func (m *Store) Schema() *schema.Schema { return m.table.Schema() }
+
+// Table exposes the underlying table (for CSV I/O and the server).
+func (m *Store) Table() *storage.Table { return m.table }
+
+// Len returns the number of master tuples.
+func (m *Store) Len() int { return m.table.Len() }
+
+// SetUseIndexes toggles between hash-indexed lookups and full scans —
+// kept for the E5 ablation; SetMode is the general knob. on=true maps
+// to ModeRuleIndex, false to ModeScan.
+func (m *Store) SetUseIndexes(on bool) {
+	if on {
+		m.mode = ModeRuleIndex
+	} else {
+		m.mode = ModeScan
+	}
+}
+
+// SetMode selects the lookup access path.
+func (m *Store) SetMode(mode LookupMode) { m.mode = mode }
+
+// Mode returns the current access path.
+func (m *Store) Mode() LookupMode { return m.mode }
+
+// Insert adds a master tuple and maintains the rule indexes.
+func (m *Store) Insert(tu *schema.Tuple) (int64, error) {
+	id, err := m.table.Insert(tu)
+	if err != nil {
+		return 0, err
+	}
+	stored, _ := m.table.Get(id)
+	m.ruleIdx.insert(stored)
+	return id, nil
+}
+
+// InsertValues adds a master tuple from values.
+func (m *Store) InsertValues(vals ...value.V) (int64, error) {
+	tu, err := schema.NewTuple(m.table.Schema(), vals...)
+	if err != nil {
+		return 0, err
+	}
+	return m.Insert(tu)
+}
+
+// All returns every master tuple.
+func (m *Store) All() []*schema.Tuple { return m.table.All() }
+
+// Get returns the master tuple with the given ID.
+func (m *Store) Get(id int64) (*schema.Tuple, bool) { return m.table.Get(id) }
+
+// PrepareForRules creates one index per distinct master-side match
+// attribute list across the rule set, so every rule's lookup is O(1)
+// expected. Must be re-run after adding rules with new Xm lists (extra
+// runs are idempotent).
+func (m *Store) PrepareForRules(rs *rule.Set) error {
+	for _, r := range rs.Rules() {
+		if err := m.table.CreateIndex(r.MatchMasterAttrs()); err != nil {
+			return fmt.Errorf("master: indexing for rule %s: %w", r.ID, err)
+		}
+	}
+	m.PrepareRuleIndexes(rs)
+	return nil
+}
+
+// Lookup returns all master tuples whose attrs project to key.
+func (m *Store) Lookup(attrs []string, key value.List) []*schema.Tuple {
+	if m.mode != ModeScan {
+		return m.table.LookupEq(attrs, key)
+	}
+	// Forced-scan path: bypass any index by predicate selection.
+	return m.table.Select(func(tu *schema.Tuple) bool {
+		return tu.Project(attrs).Equal(key)
+	})
+}
+
+// UniqueRHS performs the certain-fix lookup for one rule application:
+// find master tuples with matchAttrs = key; if none, return NoMatch; if
+// all agree on rhsAttrs, return those values, the witness tuple's ID
+// and Unique; otherwise Conflict.
+func (m *Store) UniqueRHS(matchAttrs []string, key value.List, rhsAttrs []string) (value.List, int64, LookupStatus) {
+	if m.mode == ModeRuleIndex {
+		if rhs, witness, status, ok := m.ruleIdx.lookup(matchAttrs, key, rhsAttrs); ok {
+			return rhs, witness, status
+		}
+		// No index for this pair (ad-hoc query): fall through to the
+		// group-verification path.
+	}
+	matches := m.Lookup(matchAttrs, key)
+	if len(matches) == 0 {
+		return nil, 0, NoMatch
+	}
+	rhs := matches[0].Project(rhsAttrs)
+	witness := matches[0].ID
+	for _, tu := range matches[1:] {
+		if !tu.Project(rhsAttrs).Equal(rhs) {
+			return nil, 0, Conflict
+		}
+	}
+	return rhs, witness, Unique
+}
+
+// UniqueRHSForRule is UniqueRHS specialized to a rule: the key is the
+// input tuple's projection on X, matched against Xm, sourcing Bm.
+func (m *Store) UniqueRHSForRule(r *rule.Rule, input *schema.Tuple) (value.List, int64, LookupStatus) {
+	key := input.Project(r.MatchInputAttrs())
+	return m.UniqueRHS(r.MatchMasterAttrs(), key, r.SetMasterAttrs())
+}
+
+// Stats summarizes the store for the web interface and CLIs.
+type Stats struct {
+	// Tuples is the number of master tuples.
+	Tuples int
+	// Attributes is the master schema width.
+	Attributes int
+	// Schema is the schema's display form.
+	Schema string
+}
+
+// Stats returns a snapshot summary.
+func (m *Store) Stats() Stats {
+	return Stats{
+		Tuples:     m.table.Len(),
+		Attributes: m.table.Schema().Len(),
+		Schema:     m.table.Schema().String(),
+	}
+}

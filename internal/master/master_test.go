@@ -1,0 +1,163 @@
+package master
+
+import (
+	"testing"
+
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+func personSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustNew("PERSON",
+		schema.Str("FN"), schema.Str("LN"), schema.Str("AC"),
+		schema.Str("Hphn"), schema.Str("Mphn"), schema.Str("str"),
+		schema.Str("city"), schema.Str("zip"))
+}
+
+func custSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustNew("CUST",
+		schema.Str("FN"), schema.Str("LN"), schema.Str("AC"), schema.Str("phn"),
+		schema.Str("type"), schema.Str("str"), schema.Str("city"), schema.Str("zip"),
+		schema.Str("item"))
+}
+
+func demoStore(t *testing.T) *Store {
+	t.Helper()
+	m := New(personSchema(t))
+	rows := [][]value.V{
+		{"Robert", "Brady", "131", "6884563", "079172485", "501 Elm St", "Edi", "EH8 4AH"},
+		{"Mark", "Smith", "020", "6884563", "075568485", "20 Baker St", "Ldn", "NW1 6XE"},
+		{"Robert", "Brady", "131", "9999999", "079172485", "501 Elm St", "Edi", "EH8 4AH"},
+	}
+	for _, r := range rows {
+		if _, err := m.InsertValues(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestLookup(t *testing.T) {
+	m := demoStore(t)
+	got := m.Lookup([]string{"zip"}, value.List{"EH8 4AH"})
+	if len(got) != 2 {
+		t.Fatalf("Lookup = %d rows", len(got))
+	}
+	if got = m.Lookup([]string{"zip"}, value.List{"none"}); len(got) != 0 {
+		t.Fatalf("phantom rows: %v", got)
+	}
+}
+
+func TestLookupScanPathMatchesIndexed(t *testing.T) {
+	m := demoStore(t)
+	rs := rule.MustSet(mustParse(t, `r1: match zip~zip set AC := AC`))
+	if err := m.PrepareForRules(rs); err != nil {
+		t.Fatal(err)
+	}
+	indexed := m.Lookup([]string{"zip"}, value.List{"EH8 4AH"})
+	m.SetUseIndexes(false)
+	scanned := m.Lookup([]string{"zip"}, value.List{"EH8 4AH"})
+	if len(indexed) != len(scanned) {
+		t.Fatalf("indexed %d vs scanned %d", len(indexed), len(scanned))
+	}
+}
+
+func mustParse(t *testing.T, line string) *rule.Rule {
+	t.Helper()
+	r, err := rule.Parse(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestUniqueRHS(t *testing.T) {
+	m := demoStore(t)
+	// Both EH8 4AH tuples agree on AC=131: Unique.
+	rhs, witness, st := m.UniqueRHS([]string{"zip"}, value.List{"EH8 4AH"}, []string{"AC"})
+	if st != Unique {
+		t.Fatalf("status = %v", st)
+	}
+	if len(rhs) != 1 || rhs[0] != "131" {
+		t.Fatalf("rhs = %v", rhs)
+	}
+	if witness == 0 {
+		t.Fatal("witness id missing")
+	}
+	// They disagree on Hphn: Conflict.
+	_, _, st = m.UniqueRHS([]string{"zip"}, value.List{"EH8 4AH"}, []string{"Hphn"})
+	if st != Conflict {
+		t.Fatalf("status = %v, want Conflict", st)
+	}
+	// Unknown key: NoMatch.
+	_, _, st = m.UniqueRHS([]string{"zip"}, value.List{"XX"}, []string{"AC"})
+	if st != NoMatch {
+		t.Fatalf("status = %v, want NoMatch", st)
+	}
+}
+
+func TestUniqueRHSForRule(t *testing.T) {
+	m := demoStore(t)
+	cust := custSchema(t)
+	r := mustParse(t, `phi4: match phn~Mphn set FN := FN when type = "2"`)
+	input := schema.MustTuple(cust, "M.", "Smith", "020", "075568485", "2", "20 Baker St", "Ldn", "NW1 6XE", "DVD")
+	rhs, _, st := m.UniqueRHSForRule(r, input)
+	if st != Unique || rhs[0] != "Mark" {
+		t.Fatalf("rhs = %v, status = %v", rhs, st)
+	}
+}
+
+func TestPrepareForRules(t *testing.T) {
+	m := demoStore(t)
+	rs := rule.MustSet(
+		mustParse(t, `a: match zip~zip set AC := AC`),
+		mustParse(t, `b: match AC~AC, phn~Hphn set str := str`),
+	)
+	if err := m.PrepareForRules(rs); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Table().HasIndex([]string{"zip"}) {
+		t.Error("zip index missing")
+	}
+	if !m.Table().HasIndex([]string{"AC", "Hphn"}) {
+		t.Error("composite index missing")
+	}
+	// Idempotent.
+	if err := m.PrepareForRules(rs); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown master attr errors.
+	bad := rule.MustSet(mustParse(t, `c: match zip~bogus set AC := AC`))
+	if err := m.PrepareForRules(bad); err == nil {
+		t.Fatal("bad rule index accepted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if NoMatch.String() != "no-match" || Unique.String() != "unique" || Conflict.String() != "conflict" {
+		t.Fatal("status names wrong")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := demoStore(t)
+	s := m.Stats()
+	if s.Tuples != 3 || s.Attributes != 8 || s.Schema == "" {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestGet(t *testing.T) {
+	m := demoStore(t)
+	id, err := m.InsertValues("A", "B", "1", "2", "3", "4", "5", "6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, ok := m.Get(id)
+	if !ok || tu.Get("FN") != "A" {
+		t.Fatal("Get failed")
+	}
+}

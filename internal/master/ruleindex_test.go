@@ -1,0 +1,147 @@
+package master
+
+import (
+	"fmt"
+	"testing"
+
+	"cerfix/internal/rule"
+	"cerfix/internal/value"
+)
+
+func TestLookupModeStrings(t *testing.T) {
+	if ModeRuleIndex.String() != "rule-index" ||
+		ModePlainIndex.String() != "plain-index" ||
+		ModeScan.String() != "scan" {
+		t.Fatal("mode names wrong")
+	}
+}
+
+func TestSetModeAndUseIndexes(t *testing.T) {
+	m := demoStore(t)
+	if m.Mode() != ModeRuleIndex {
+		t.Fatalf("default mode = %v", m.Mode())
+	}
+	m.SetUseIndexes(false)
+	if m.Mode() != ModeScan {
+		t.Fatal("SetUseIndexes(false) != scan")
+	}
+	m.SetUseIndexes(true)
+	if m.Mode() != ModeRuleIndex {
+		t.Fatal("SetUseIndexes(true) != rule-index")
+	}
+	m.SetMode(ModePlainIndex)
+	if m.Mode() != ModePlainIndex {
+		t.Fatal("SetMode lost")
+	}
+}
+
+// All three access paths must return identical UniqueRHS results.
+func TestModesAgree(t *testing.T) {
+	m := demoStore(t)
+	rs := rule.MustSet(
+		mustParse(t, `r1: match zip~zip set AC := AC`),
+		mustParse(t, `r2: match zip~zip set Hphn := Hphn`),
+	)
+	if err := m.PrepareForRules(rs); err != nil {
+		t.Fatal(err)
+	}
+	keys := []value.List{{"EH8 4AH"}, {"NW1 6XE"}, {"nothing"}}
+	rhsSets := [][]string{{"AC"}, {"Hphn"}}
+	for _, key := range keys {
+		for _, rhs := range rhsSets {
+			var got []string
+			var statuses []LookupStatus
+			for _, mode := range []LookupMode{ModeRuleIndex, ModePlainIndex, ModeScan} {
+				m.SetMode(mode)
+				vals, _, st := m.UniqueRHS([]string{"zip"}, key, rhs)
+				got = append(got, fmt.Sprint(vals))
+				statuses = append(statuses, st)
+			}
+			if got[0] != got[1] || got[1] != got[2] {
+				t.Fatalf("key %v rhs %v: values diverge across modes: %v", key, rhs, got)
+			}
+			if statuses[0] != statuses[1] || statuses[1] != statuses[2] {
+				t.Fatalf("key %v rhs %v: statuses diverge: %v", key, rhs, statuses)
+			}
+		}
+	}
+}
+
+// The rule index is maintained incrementally on inserts.
+func TestRuleIndexIncrementalInsert(t *testing.T) {
+	m := demoStore(t)
+	rs := rule.MustSet(mustParse(t, `r1: match zip~zip set AC := AC`))
+	if err := m.PrepareForRules(rs); err != nil {
+		t.Fatal(err)
+	}
+	// New zip appears after index build.
+	if _, err := m.InsertValues("New", "Person", "999", "1", "2", "3", "4", "ZZ9 9ZZ"); err != nil {
+		t.Fatal(err)
+	}
+	rhs, _, st := m.UniqueRHS([]string{"zip"}, value.List{"ZZ9 9ZZ"}, []string{"AC"})
+	if st != Unique || rhs[0] != "999" {
+		t.Fatalf("incremental insert missed: %v %v", rhs, st)
+	}
+	// A conflicting insert flips the key to Conflict.
+	if _, err := m.InsertValues("Other", "Person", "888", "1", "2", "3", "4", "ZZ9 9ZZ"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, st = m.UniqueRHS([]string{"zip"}, value.List{"ZZ9 9ZZ"}, []string{"AC"})
+	if st != Conflict {
+		t.Fatalf("conflict not detected incrementally: %v", st)
+	}
+}
+
+// An unregistered (ad-hoc) pair falls back to the group path.
+func TestRuleIndexFallback(t *testing.T) {
+	m := demoStore(t)
+	// No PrepareForRules at all: mode is rule-index but nothing is
+	// registered.
+	rhs, _, st := m.UniqueRHS([]string{"zip"}, value.List{"EH8 4AH"}, []string{"AC"})
+	if st != Unique || rhs[0] != "131" {
+		t.Fatalf("fallback path broken: %v %v", rhs, st)
+	}
+}
+
+func TestRegisteredRuleIndexes(t *testing.T) {
+	m := demoStore(t)
+	rs := rule.MustSet(
+		mustParse(t, `r1: match zip~zip set AC := AC`),
+		mustParse(t, `r2: match AC~AC set city := city`),
+	)
+	if err := m.PrepareForRules(rs); err != nil {
+		t.Fatal(err)
+	}
+	regs := m.RegisteredRuleIndexes()
+	if len(regs) != 2 {
+		t.Fatalf("registered = %v", regs)
+	}
+	if regs[0] != "AC->city" || regs[1] != "zip->AC" {
+		t.Fatalf("registered = %v", regs)
+	}
+}
+
+// Rebuilding after bulk table mutation reflects the new rows.
+func TestPrepareRuleIndexesRebuild(t *testing.T) {
+	m := demoStore(t)
+	rs := rule.MustSet(mustParse(t, `r1: match zip~zip set AC := AC`))
+	if err := m.PrepareForRules(rs); err != nil {
+		t.Fatal(err)
+	}
+	// Bypass the Store: write to the table directly (as CSV bulk load
+	// does), then rebuild.
+	if _, err := m.Table().InsertValues("Bulk", "Row", "777", "1", "2", "3", "4", "BULK1"); err != nil {
+		t.Fatal(err)
+	}
+	// Before rebuild the rule index does not know the key: NoMatch on
+	// the index, which is authoritative for registered pairs.
+	_, _, st := m.UniqueRHS([]string{"zip"}, value.List{"BULK1"}, []string{"AC"})
+	if st != NoMatch {
+		t.Fatalf("stale index returned %v", st)
+	}
+	m.PrepareRuleIndexes(rs)
+	rhs, _, st := m.UniqueRHS([]string{"zip"}, value.List{"BULK1"}, []string{"AC"})
+	if st != Unique || rhs[0] != "777" {
+		t.Fatalf("rebuild missed: %v %v", rhs, st)
+	}
+}

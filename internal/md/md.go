@@ -1,0 +1,242 @@
+// Package md implements matching dependencies (MDs), the record-
+// matching rule class of reference [6] of the paper ("Reasoning about
+// record matching rules"), and their conversion into editing rules —
+// the second derivation source the demo's rule engine supports (§2:
+// editing rules can be "derived from integrity constraints, e.g., cfds
+// and matching dependencies").
+//
+// An MD has the form
+//
+//	R1[X1] ≈ R2[X2] → R1[Y1] ⇌ R2[Y2]
+//
+// "if R1's X1 attributes are similar to R2's X2 attributes, identify
+// (match) the Y values". With R1 the input relation and R2 the master
+// relation, an MD whose similarity operators are equality converts
+// directly into the editing rule match X1~X2 set Y1 := Y2. MDs with
+// fuzzy operators (edit-distance similarity) are downgraded to their
+// exact-match core for derivation — a documented approximation, since
+// editing rules match exactly — but retain their fuzzy semantics for
+// record matching itself.
+package md
+
+import (
+	"fmt"
+	"strings"
+
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/textutil"
+	"cerfix/internal/value"
+)
+
+// SimKind identifies a similarity operator.
+type SimKind int
+
+const (
+	// SimEq is exact equality (≈ degenerates to =).
+	SimEq SimKind = iota
+	// SimEdit is normalized-edit-distance similarity with a threshold:
+	// two values are similar when Levenshtein(a,b) <= MaxDist.
+	SimEdit
+	// SimPrefix considers values similar when one is a prefix of the
+	// other after space normalization (catches "501 Elm" vs
+	// "501 Elm St").
+	SimPrefix
+)
+
+// String names the kind.
+func (k SimKind) String() string {
+	switch k {
+	case SimEq:
+		return "="
+	case SimEdit:
+		return "~edit"
+	case SimPrefix:
+		return "~prefix"
+	default:
+		return fmt.Sprintf("sim(%d)", int(k))
+	}
+}
+
+// Similarity is one comparison operator instance.
+type Similarity struct {
+	// Kind selects the operator.
+	Kind SimKind
+	// MaxDist is the SimEdit threshold (ignored otherwise).
+	MaxDist int
+}
+
+// Match reports whether a and b are similar under the operator.
+func (s Similarity) Match(a, b value.V) bool {
+	switch s.Kind {
+	case SimEq:
+		return a == b
+	case SimEdit:
+		return textutil.Levenshtein(string(a), string(b)) <= s.MaxDist
+	case SimPrefix:
+		na := textutil.NormalizeSpace(string(a))
+		nb := textutil.NormalizeSpace(string(b))
+		if na == "" || nb == "" {
+			return na == nb
+		}
+		return strings.HasPrefix(na, nb) || strings.HasPrefix(nb, na)
+	default:
+		return false
+	}
+}
+
+// IsExact reports whether the operator is plain equality.
+func (s Similarity) IsExact() bool { return s.Kind == SimEq }
+
+// Clause is one X1[i] ≈ X2[i] comparison of an MD's premise.
+type Clause struct {
+	// Left is the input-relation attribute.
+	Left string
+	// Right is the master-relation attribute.
+	Right string
+	// Sim is the similarity operator.
+	Sim Similarity
+}
+
+// String renders "phn ~edit(1) Mphn" style clauses.
+func (c Clause) String() string {
+	op := c.Sim.Kind.String()
+	if c.Sim.Kind == SimEdit {
+		op = fmt.Sprintf("~edit(%d)", c.Sim.MaxDist)
+	}
+	return fmt.Sprintf("%s %s %s", c.Left, op, c.Right)
+}
+
+// Identify is one Y1[i] ⇌ Y2[i] consequence: the input attribute is
+// identified with the master attribute.
+type Identify struct {
+	// Left is the input-relation attribute to fix.
+	Left string
+	// Right is the master-relation attribute supplying the value.
+	Right string
+}
+
+// MD is one matching dependency across the (input, master) schema
+// pair.
+type MD struct {
+	// ID names the dependency.
+	ID string
+	// Premise lists the similarity clauses (conjunction).
+	Premise []Clause
+	// Consequence lists the identified attribute pairs.
+	Consequence []Identify
+}
+
+// Validate checks attribute existence and non-empty shape.
+func (m *MD) Validate(input, master *schema.Schema) error {
+	if m.ID == "" {
+		return fmt.Errorf("md: empty id")
+	}
+	if len(m.Premise) == 0 {
+		return fmt.Errorf("md %s: empty premise", m.ID)
+	}
+	if len(m.Consequence) == 0 {
+		return fmt.Errorf("md %s: empty consequence", m.ID)
+	}
+	for _, c := range m.Premise {
+		if !input.Has(c.Left) {
+			return fmt.Errorf("md %s: premise attribute %q not in input schema", m.ID, c.Left)
+		}
+		if !master.Has(c.Right) {
+			return fmt.Errorf("md %s: premise attribute %q not in master schema", m.ID, c.Right)
+		}
+		if c.Sim.Kind == SimEdit && c.Sim.MaxDist < 0 {
+			return fmt.Errorf("md %s: negative edit threshold", m.ID)
+		}
+	}
+	for _, id := range m.Consequence {
+		if !input.Has(id.Left) {
+			return fmt.Errorf("md %s: consequence attribute %q not in input schema", m.ID, id.Left)
+		}
+		if !master.Has(id.Right) {
+			return fmt.Errorf("md %s: consequence attribute %q not in master schema", m.ID, id.Right)
+		}
+	}
+	return nil
+}
+
+// Matches reports whether input tuple t and master tuple s satisfy the
+// premise.
+func (m *MD) Matches(t, s *schema.Tuple) bool {
+	for _, c := range m.Premise {
+		if !c.Sim.Match(t.Get(c.Left), s.Get(c.Right)) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsExact reports whether every premise clause uses plain equality.
+func (m *MD) IsExact() bool {
+	for _, c := range m.Premise {
+		if !c.Sim.IsExact() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the MD.
+func (m *MD) String() string {
+	ps := make([]string, len(m.Premise))
+	for i, c := range m.Premise {
+		ps[i] = c.String()
+	}
+	cs := make([]string, len(m.Consequence))
+	for i, id := range m.Consequence {
+		cs[i] = fmt.Sprintf("%s <=> %s", id.Left, id.Right)
+	}
+	return fmt.Sprintf("%s: %s -> %s", m.ID, strings.Join(ps, " and "), strings.Join(cs, ", "))
+}
+
+// Derivation is the result of converting one MD to an editing rule.
+type Derivation struct {
+	// Rule is the derived editing rule.
+	Rule *rule.Rule
+	// Downgraded reports that at least one fuzzy premise clause was
+	// replaced by exact equality; the rule is stricter than the MD.
+	Downgraded bool
+}
+
+// DeriveRules converts MDs to editing rules: each premise clause
+// becomes a match correspondence (fuzzy operators downgraded to
+// equality) and each consequence an assignment.
+func DeriveRules(mds []*MD, input, master *schema.Schema) ([]Derivation, error) {
+	var out []Derivation
+	for _, m := range mds {
+		if err := m.Validate(input, master); err != nil {
+			return nil, err
+		}
+		d := Derivation{Downgraded: !m.IsExact()}
+		r := &rule.Rule{ID: "er_" + m.ID, Comment: "derived from md " + m.ID}
+		if d.Downgraded {
+			r.Comment += " (fuzzy premise downgraded to exact match)"
+		}
+		for _, c := range m.Premise {
+			r.Match = append(r.Match, rule.Correspondence{Input: c.Left, Master: c.Right})
+		}
+		for _, id := range m.Consequence {
+			r.Set = append(r.Set, rule.Correspondence{Input: id.Left, Master: id.Right})
+		}
+		d.Rule = r
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// FindMatches returns the master tuples matching t under the MD — the
+// record-matching primitive of [6], usable directly for fuzzy lookup.
+func (m *MD) FindMatches(t *schema.Tuple, masterRows []*schema.Tuple) []*schema.Tuple {
+	var out []*schema.Tuple
+	for _, s := range masterRows {
+		if m.Matches(t, s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package md
+
+import (
+	"strings"
+	"testing"
+
+	"cerfix/internal/core"
+	"cerfix/internal/dataset"
+	"cerfix/internal/master"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+)
+
+func TestSimilarityOperators(t *testing.T) {
+	eq := Similarity{Kind: SimEq}
+	if !eq.Match("a", "a") || eq.Match("a", "b") {
+		t.Fatal("SimEq wrong")
+	}
+	ed := Similarity{Kind: SimEdit, MaxDist: 1}
+	if !ed.Match("Brady", "Brady") || !ed.Match("Brady", "Brady") {
+		t.Fatal("SimEdit false negative")
+	}
+	if ed.Match("Brady", "Smith") {
+		t.Fatal("SimEdit false positive")
+	}
+	pre := Similarity{Kind: SimPrefix}
+	if !pre.Match("501 Elm", "501 Elm St") || !pre.Match("501  Elm St", "501 Elm") {
+		t.Fatal("SimPrefix false negative")
+	}
+	if pre.Match("Baker St", "Elm St") {
+		t.Fatal("SimPrefix false positive")
+	}
+	if !pre.Match("", "") || pre.Match("", "x") {
+		t.Fatal("SimPrefix empty handling")
+	}
+}
+
+func demoMD() *MD {
+	return &MD{
+		ID: "md1",
+		Premise: []Clause{
+			{Left: "phn", Right: "Mphn", Sim: Similarity{Kind: SimEq}},
+		},
+		Consequence: []Identify{
+			{Left: "FN", Right: "FN"},
+			{Left: "LN", Right: "LN"},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	input, masterSch := dataset.CustSchema(), dataset.PersonSchema()
+	if err := demoMD().Validate(input, masterSch); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*MD)
+	}{
+		{"empty id", func(m *MD) { m.ID = "" }},
+		{"empty premise", func(m *MD) { m.Premise = nil }},
+		{"empty consequence", func(m *MD) { m.Consequence = nil }},
+		{"bad premise left", func(m *MD) { m.Premise[0].Left = "bogus" }},
+		{"bad premise right", func(m *MD) { m.Premise[0].Right = "bogus" }},
+		{"bad consequence left", func(m *MD) { m.Consequence[0].Left = "bogus" }},
+		{"bad consequence right", func(m *MD) { m.Consequence[0].Right = "bogus" }},
+		{"negative threshold", func(m *MD) {
+			m.Premise[0].Sim = Similarity{Kind: SimEdit, MaxDist: -1}
+		}},
+	}
+	for _, c := range cases {
+		m := demoMD()
+		c.mut(m)
+		if err := m.Validate(input, masterSch); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestMatchesAndFindMatches(t *testing.T) {
+	st := master.New(dataset.PersonSchema())
+	for _, row := range dataset.DemoMasterRows() {
+		if _, err := st.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := demoMD()
+	in := dataset.DemoInputFig3() // phn = Mark Smith's mobile
+	matches := m.FindMatches(in, st.All())
+	if len(matches) != 1 || matches[0].Get("FN") != "Mark" {
+		t.Fatalf("matches = %v", matches)
+	}
+	// Fuzzy premise: one digit typo in the phone still matches.
+	fuzzy := demoMD()
+	fuzzy.Premise[0].Sim = Similarity{Kind: SimEdit, MaxDist: 1}
+	typo := in.Clone()
+	typo.Set("phn", "075568486")
+	if len(fuzzy.FindMatches(typo, st.All())) != 1 {
+		t.Fatal("fuzzy match failed")
+	}
+	if len(m.FindMatches(typo, st.All())) != 0 {
+		t.Fatal("exact match should fail on typo")
+	}
+}
+
+func TestIsExact(t *testing.T) {
+	m := demoMD()
+	if !m.IsExact() {
+		t.Fatal("exact MD reported fuzzy")
+	}
+	m.Premise[0].Sim = Similarity{Kind: SimPrefix}
+	if m.IsExact() {
+		t.Fatal("fuzzy MD reported exact")
+	}
+}
+
+func TestDeriveRules(t *testing.T) {
+	input, masterSch := dataset.CustSchema(), dataset.PersonSchema()
+	ds, err := DeriveRules([]*MD{demoMD()}, input, masterSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("derivations = %d", len(ds))
+	}
+	d := ds[0]
+	if d.Downgraded {
+		t.Fatal("exact MD marked downgraded")
+	}
+	r := d.Rule
+	if r.ID != "er_md1" || len(r.Match) != 1 || len(r.Set) != 2 {
+		t.Fatalf("rule = %v", r)
+	}
+	if err := r.Validate(input, masterSch); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveRulesDowngrade(t *testing.T) {
+	input, masterSch := dataset.CustSchema(), dataset.PersonSchema()
+	m := demoMD()
+	m.Premise[0].Sim = Similarity{Kind: SimEdit, MaxDist: 2}
+	ds, err := DeriveRules([]*MD{m}, input, masterSch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds[0].Downgraded {
+		t.Fatal("fuzzy derivation not marked downgraded")
+	}
+	if !strings.Contains(ds[0].Rule.Comment, "downgraded") {
+		t.Errorf("Comment = %q", ds[0].Rule.Comment)
+	}
+}
+
+func TestDeriveRulesInvalid(t *testing.T) {
+	input, masterSch := dataset.CustSchema(), dataset.PersonSchema()
+	bad := demoMD()
+	bad.Premise[0].Left = "bogus"
+	if _, err := DeriveRules([]*MD{bad}, input, masterSch); err == nil {
+		t.Fatal("invalid MD derived")
+	}
+}
+
+// End to end: the MD-derived rule behaves like the demo's φ4/φ5 —
+// with phn validated, FN/LN are fixed from master.
+func TestDerivedRuleFixesNames(t *testing.T) {
+	st := master.New(dataset.PersonSchema())
+	for _, row := range dataset.DemoMasterRows() {
+		if _, err := st.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, err := DeriveRules([]*MD{demoMD()}, dataset.CustSchema(), dataset.PersonSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rule.NewSet(ds[0].Rule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(dataset.CustSchema(), rs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Chase(dataset.DemoInputFig3(), schema.SetOfNames(dataset.CustSchema(), "phn"))
+	if res.Tuple.Get("FN") != "Mark" || res.Tuple.Get("LN") != "Smith" {
+		t.Fatalf("names = %q %q", res.Tuple.Get("FN"), res.Tuple.Get("LN"))
+	}
+}
+
+func TestStrings(t *testing.T) {
+	m := demoMD()
+	m.Premise[0].Sim = Similarity{Kind: SimEdit, MaxDist: 1}
+	s := m.String()
+	if !strings.Contains(s, "~edit(1)") || !strings.Contains(s, "<=>") {
+		t.Errorf("String = %q", s)
+	}
+	if SimEq.String() != "=" || SimPrefix.String() != "~prefix" {
+		t.Error("kind names wrong")
+	}
+}

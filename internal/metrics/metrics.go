@@ -1,0 +1,152 @@
+// Package metrics computes the repair-quality and user-effort measures
+// the experiments report: cell-level precision/recall/F1 of a repair
+// against ground truth (E4), and effort aggregates (attributes
+// validated per tuple, interaction rounds — E6).
+//
+// Conventions (standard in the data-repair literature):
+//
+//   - an "error cell" is a cell where the dirty tuple differs from the
+//     ground truth;
+//   - a "changed cell" is a cell the repair modified;
+//   - precision = correctly-fixed / changed; a change is correct when
+//     the repaired value equals the ground truth;
+//   - recall = correctly-fixed / errors.
+//
+// A certain fix must score precision 1.0 by construction: every change
+// it makes is guaranteed correct. Heuristic repairs trade precision
+// for recall — the comparison the paper's motivation (Example 1) draws.
+package metrics
+
+import (
+	"fmt"
+
+	"cerfix/internal/schema"
+)
+
+// RepairQuality aggregates cell-level counts for one or more tuples.
+type RepairQuality struct {
+	// Errors is the number of dirty cells (dirty != truth).
+	Errors int
+	// Changed is the number of cells the repair modified.
+	Changed int
+	// CorrectChanges counts modified cells that now equal the truth.
+	CorrectChanges int
+	// BrokenCells counts modified cells that were correct before and
+	// are wrong now — the "new errors introduced" the paper warns
+	// heuristic methods cause.
+	BrokenCells int
+	// ResidualErrors counts cells still wrong after repair.
+	ResidualErrors int
+	// Cells is the total number of cells scored.
+	Cells int
+}
+
+// Add scores one (dirty, repaired, truth) triple and accumulates. All
+// three tuples must share the schema layout.
+func (q *RepairQuality) Add(dirty, repaired, truth *schema.Tuple) error {
+	n := truth.Schema.Len()
+	if dirty.Schema.Len() != n || repaired.Schema.Len() != n {
+		return fmt.Errorf("metrics: schema arity mismatch")
+	}
+	for i := 0; i < n; i++ {
+		q.Cells++
+		d, r, tr := dirty.At(i), repaired.At(i), truth.At(i)
+		wasError := d != tr
+		changed := r != d
+		nowCorrect := r == tr
+		if wasError {
+			q.Errors++
+		}
+		if changed {
+			q.Changed++
+			if nowCorrect {
+				q.CorrectChanges++
+			}
+			if !wasError && !nowCorrect {
+				q.BrokenCells++
+			}
+		}
+		if !nowCorrect {
+			q.ResidualErrors++
+		}
+	}
+	return nil
+}
+
+// Precision returns correct changes over all changes (1.0 when nothing
+// changed — the repair made no mistake).
+func (q *RepairQuality) Precision() float64 {
+	if q.Changed == 0 {
+		return 1.0
+	}
+	return float64(q.CorrectChanges) / float64(q.Changed)
+}
+
+// Recall returns correct changes over the number of error cells (1.0
+// when there were no errors).
+func (q *RepairQuality) Recall() float64 {
+	if q.Errors == 0 {
+		return 1.0
+	}
+	return float64(q.CorrectChanges) / float64(q.Errors)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (q *RepairQuality) F1() float64 {
+	p, r := q.Precision(), q.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders "P=0.98 R=0.76 F1=0.86 (errors=120 changed=95 broken=2)".
+func (q *RepairQuality) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (errors=%d changed=%d correct=%d broken=%d residual=%d)",
+		q.Precision(), q.Recall(), q.F1(), q.Errors, q.Changed, q.CorrectChanges, q.BrokenCells, q.ResidualErrors)
+}
+
+// Effort aggregates user-effort observations across sessions (E6).
+type Effort struct {
+	// Sessions is the number of observations.
+	Sessions int
+	// TotalValidated sums user-validated attribute counts.
+	TotalValidated int
+	// TotalRounds sums interaction rounds.
+	TotalRounds int
+	// TotalAttrs sums schema widths (for the validated fraction).
+	TotalAttrs int
+}
+
+// Observe adds one session's numbers.
+func (e *Effort) Observe(userValidated, rounds, attrs int) {
+	e.Sessions++
+	e.TotalValidated += userValidated
+	e.TotalRounds += rounds
+	e.TotalAttrs += attrs
+}
+
+// AvgValidated returns the mean user-validated attributes per session.
+func (e *Effort) AvgValidated() float64 {
+	if e.Sessions == 0 {
+		return 0
+	}
+	return float64(e.TotalValidated) / float64(e.Sessions)
+}
+
+// AvgRounds returns the mean interaction rounds per session.
+func (e *Effort) AvgRounds() float64 {
+	if e.Sessions == 0 {
+		return 0
+	}
+	return float64(e.TotalRounds) / float64(e.Sessions)
+}
+
+// ValidatedFraction returns user-validated cells over all cells — the
+// "20%" side of the paper's 20/80 claim.
+func (e *Effort) ValidatedFraction() float64 {
+	if e.TotalAttrs == 0 {
+		return 0
+	}
+	return float64(e.TotalValidated) / float64(e.TotalAttrs)
+}

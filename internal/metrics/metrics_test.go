@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+var sch = schema.MustNew("T", schema.Str("a"), schema.Str("b"), schema.Str("c"))
+
+func tup(vals ...value.V) *schema.Tuple { return schema.MustTuple(sch, vals...) }
+
+func TestPerfectRepair(t *testing.T) {
+	var q RepairQuality
+	truth := tup("1", "2", "3")
+	dirty := tup("x", "2", "y")
+	if err := q.Add(dirty, truth, truth); err != nil {
+		t.Fatal(err)
+	}
+	if q.Errors != 2 || q.Changed != 2 || q.CorrectChanges != 2 {
+		t.Fatalf("counts = %+v", q)
+	}
+	if q.Precision() != 1 || q.Recall() != 1 || q.F1() != 1 {
+		t.Fatalf("P/R/F1 = %v/%v/%v", q.Precision(), q.Recall(), q.F1())
+	}
+	if q.BrokenCells != 0 || q.ResidualErrors != 0 {
+		t.Fatalf("broken/residual = %d/%d", q.BrokenCells, q.ResidualErrors)
+	}
+}
+
+func TestNoRepair(t *testing.T) {
+	var q RepairQuality
+	truth := tup("1", "2", "3")
+	dirty := tup("x", "2", "3")
+	if err := q.Add(dirty, dirty, truth); err != nil {
+		t.Fatal(err)
+	}
+	if q.Precision() != 1 { // nothing changed, nothing wrong done
+		t.Fatalf("P = %v", q.Precision())
+	}
+	if q.Recall() != 0 {
+		t.Fatalf("R = %v", q.Recall())
+	}
+	if q.ResidualErrors != 1 {
+		t.Fatalf("residual = %d", q.ResidualErrors)
+	}
+}
+
+// The Example 1 heuristic failure: repair changes the *correct* city
+// instead of the wrong AC — precision drops and a cell breaks.
+func TestHeuristicBreakage(t *testing.T) {
+	var q RepairQuality
+	truth := tup("131", "Edi", "z") // a=AC, b=city
+	dirty := tup("020", "Edi", "z") // AC wrong, city right
+	repaired := tup("020", "Ldn", "z")
+	if err := q.Add(dirty, repaired, truth); err != nil {
+		t.Fatal(err)
+	}
+	if q.BrokenCells != 1 {
+		t.Fatalf("broken = %d", q.BrokenCells)
+	}
+	if q.Precision() != 0 {
+		t.Fatalf("P = %v", q.Precision())
+	}
+	if q.ResidualErrors != 2 { // AC still wrong, city now wrong
+		t.Fatalf("residual = %d", q.ResidualErrors)
+	}
+}
+
+func TestPartialRepair(t *testing.T) {
+	var q RepairQuality
+	truth := tup("1", "2", "3")
+	dirty := tup("x", "y", "3")
+	repaired := tup("1", "y", "3")
+	if err := q.Add(dirty, repaired, truth); err != nil {
+		t.Fatal(err)
+	}
+	if q.Precision() != 1 || q.Recall() != 0.5 {
+		t.Fatalf("P/R = %v/%v", q.Precision(), q.Recall())
+	}
+	f1 := q.F1()
+	if f1 < 0.66 || f1 > 0.67 {
+		t.Fatalf("F1 = %v", f1)
+	}
+}
+
+func TestAccumulation(t *testing.T) {
+	var q RepairQuality
+	truth := tup("1", "2", "3")
+	if err := q.Add(tup("x", "2", "3"), truth, truth); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Add(tup("1", "y", "3"), truth, truth); err != nil {
+		t.Fatal(err)
+	}
+	if q.Cells != 6 || q.Errors != 2 || q.CorrectChanges != 2 {
+		t.Fatalf("accumulated = %+v", q)
+	}
+}
+
+func TestAddArityMismatch(t *testing.T) {
+	var q RepairQuality
+	other := schema.MustNew("O", schema.Str("x"))
+	if err := q.Add(schema.MustTuple(other, "v"), tup("1", "2", "3"), tup("1", "2", "3")); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestCleanInputScoresPerfect(t *testing.T) {
+	var q RepairQuality
+	truth := tup("1", "2", "3")
+	if err := q.Add(truth, truth, truth); err != nil {
+		t.Fatal(err)
+	}
+	if q.Precision() != 1 || q.Recall() != 1 {
+		t.Fatalf("clean P/R = %v/%v", q.Precision(), q.Recall())
+	}
+	if q.F1() != 1 {
+		t.Fatalf("clean F1 = %v", q.F1())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	var q RepairQuality
+	if !strings.Contains(q.String(), "P=") {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestEffort(t *testing.T) {
+	var e Effort
+	e.Observe(2, 1, 9)
+	e.Observe(4, 3, 9)
+	if e.Sessions != 2 {
+		t.Fatalf("sessions = %d", e.Sessions)
+	}
+	if e.AvgValidated() != 3 {
+		t.Fatalf("AvgValidated = %v", e.AvgValidated())
+	}
+	if e.AvgRounds() != 2 {
+		t.Fatalf("AvgRounds = %v", e.AvgRounds())
+	}
+	if got := e.ValidatedFraction(); got < 0.333 || got > 0.334 {
+		t.Fatalf("ValidatedFraction = %v", got)
+	}
+}
+
+func TestEffortEmpty(t *testing.T) {
+	var e Effort
+	if e.AvgValidated() != 0 || e.AvgRounds() != 0 || e.ValidatedFraction() != 0 {
+		t.Fatal("empty effort nonzero")
+	}
+}
+
+func TestF1Zero(t *testing.T) {
+	var q RepairQuality
+	truth := tup("1", "2", "3")
+	dirty := tup("x", "2", "3")
+	repaired := tup("w", "2", "3") // changed but wrong
+	if err := q.Add(dirty, repaired, truth); err != nil {
+		t.Fatal(err)
+	}
+	if q.Precision() != 0 || q.Recall() != 0 || q.F1() != 0 {
+		t.Fatalf("P/R/F1 = %v/%v/%v", q.Precision(), q.Recall(), q.F1())
+	}
+}

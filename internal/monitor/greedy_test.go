@@ -1,0 +1,104 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"cerfix/internal/core"
+	"cerfix/internal/dataset"
+	"cerfix/internal/master"
+)
+
+func greedyMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	st := master.New(dataset.PersonSchema())
+	for _, row := range dataset.DemoMasterRows() {
+		if _, err := st.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(e, &Options{GreedySuggestions: true})
+}
+
+// Greedy-suggestion sessions still terminate with certain fixes.
+func TestGreedySuggestionsComplete(t *testing.T) {
+	m := greedyMonitor(t)
+	s, err := m.NewSession(dataset.DemoInputFig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := dataset.DemoGroundTruthFig3()
+	// Round 1: the Fig. 3 user's own choice; then follow greedy
+	// suggestions with ground-truth values until done.
+	if _, err := s.Validate(map[string]string{
+		"AC": "201", "phn": "075568485", "type": "2", "item": "DVD",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; !s.Done() && round < 10; round++ {
+		ans := make(map[string]string)
+		for _, a := range s.Suggestion() {
+			ans[a] = string(truth.Get(a))
+		}
+		if len(ans) == 0 {
+			t.Fatalf("empty greedy suggestion; remaining %v", s.Remaining())
+		}
+		if _, err := s.Validate(ans); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Certain() || !s.Tuple.Equal(truth) {
+		t.Fatalf("greedy session failed: %v", s.Tuple)
+	}
+}
+
+// Greedy suggestions are never smaller than the exact ones.
+func TestGreedyNotSmallerThanExactSuggestions(t *testing.T) {
+	mg := greedyMonitor(t)
+	me := demoMonitor(t)
+	sg, _ := mg.NewSession(dataset.DemoInputFig3())
+	se, _ := me.NewSession(dataset.DemoInputFig3())
+	for _, sess := range []*Session{sg, se} {
+		if _, err := sess.Validate(map[string]string{
+			"AC": "201", "phn": "075568485", "type": "2", "item": "DVD",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, e := sg.Suggestion(), se.Suggestion()
+	if len(g) < len(e) {
+		t.Fatalf("greedy suggestion %v smaller than exact %v", g, e)
+	}
+	// On the demo configuration the greedy suggestion coincides with
+	// the exact one ({zip}).
+	if strings.Join(g, ",") != "zip" {
+		t.Fatalf("greedy suggestion = %v", g)
+	}
+}
+
+func TestExplainSuggestion(t *testing.T) {
+	m := demoMonitor(t)
+	s, _ := m.NewSession(dataset.DemoInputFig3())
+	if _, err := s.Validate(map[string]string{
+		"AC": "201", "phn": "075568485", "type": "2", "item": "DVD",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := s.ExplainSuggestion()
+	if !strings.Contains(out, "validate {zip}") {
+		t.Fatalf("explanation = %q", out)
+	}
+	if !strings.Contains(out, "phi2") {
+		t.Fatalf("explanation missing the str-fixing rule: %q", out)
+	}
+	if _, err := s.ValidateSuggested(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ExplainSuggestion(); got != "all attributes validated" {
+		t.Fatalf("done explanation = %q", got)
+	}
+}

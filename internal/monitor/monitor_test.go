@@ -1,0 +1,317 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"cerfix/internal/audit"
+	"cerfix/internal/core"
+	"cerfix/internal/dataset"
+	"cerfix/internal/master"
+	"cerfix/internal/schema"
+)
+
+func demoMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	st := master.New(dataset.PersonSchema())
+	for _, row := range dataset.DemoMasterRows() {
+		if _, err := st.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(e, nil)
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	m := demoMonitor(t)
+	s, err := m.NewSession(dataset.DemoInputFig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != 1 {
+		t.Fatalf("first session ID = %d", s.ID)
+	}
+	s2, _ := m.NewSession(dataset.DemoInputFig3())
+	if s2.ID != 2 {
+		t.Fatalf("second session ID = %d", s2.ID)
+	}
+	other := schema.MustNew("OTHER", schema.Str("x"))
+	if _, err := m.NewSession(schema.MustTuple(other, "v")); err == nil {
+		t.Fatal("foreign-schema tuple accepted")
+	}
+}
+
+func TestInitialSuggestionIsRegion(t *testing.T) {
+	m := demoMonitor(t)
+	s, _ := m.NewSession(dataset.DemoGroundTruthFig3())
+	sug := s.Suggestion()
+	// The ground-truth tuple is covered by the smallest region
+	// {item, phn, type, zip}.
+	if strings.Join(sug, ",") != "item,phn,type,zip" {
+		t.Fatalf("initial suggestion = %v", sug)
+	}
+}
+
+func TestInitialSuggestionFallsBackToSmallest(t *testing.T) {
+	m := demoMonitor(t)
+	// A tuple matching no tableau row (foreign values everywhere).
+	tu := schema.MustTuple(dataset.CustSchema(),
+		"X", "Y", "999", "000", "9", "st", "ct", "ZZ", "thing")
+	s, _ := m.NewSession(tu)
+	sug := s.Suggestion()
+	if len(sug) == 0 {
+		t.Fatal("no fallback suggestion")
+	}
+	if strings.Join(sug, ",") != strings.Join(m.Regions()[0].AttrNames(), ",") {
+		t.Fatalf("fallback = %v, want smallest region %v", sug, m.Regions()[0].AttrNames())
+	}
+}
+
+// Reenact the full Fig. 3 walkthrough:
+// (a) the user validates their own choice {AC, phn, type, item};
+// (b) CerFix fixes FN (M.->Mark), LN, city and then suggests zip;
+// (c) validating zip completes the certain fix.
+func TestFig3Walkthrough(t *testing.T) {
+	m := demoMonitor(t)
+	s, err := m.NewSession(dataset.DemoInputFig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: the user validates four attributes with the entered
+	// values (which are correct).
+	res, err := s.Validate(map[string]string{
+		"AC": "201", "phn": "075568485", "type": "2", "item": "DVD",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tuple.Get("FN") != "Mark" {
+		t.Fatalf(`FN = %q after round 1, want "Mark"`, s.Tuple.Get("FN"))
+	}
+	if s.Tuple.Get("city") != "Ldn" {
+		t.Fatalf("city = %q after round 1", s.Tuple.Get("city"))
+	}
+	if s.Done() {
+		t.Fatal("done too early")
+	}
+	if len(res.Conflicts) != 0 {
+		t.Fatalf("conflicts: %v", res.Conflicts)
+	}
+	// Fig. 3(b): CerFix suggests zip.
+	sug := s.Suggestion()
+	if strings.Join(sug, ",") != "zip" {
+		t.Fatalf("round-2 suggestion = %v, want [zip]", sug)
+	}
+	// Round 2: validate zip as entered.
+	if _, err := s.ValidateSuggested(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() || !s.Certain() {
+		t.Fatalf("not certain after round 2: remaining %v, conflicts %v",
+			s.Remaining(), s.Conflicts)
+	}
+	if !s.Tuple.Equal(dataset.DemoGroundTruthFig3()) {
+		t.Fatalf("final tuple %v != ground truth", s.Tuple)
+	}
+	if s.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2 (the paper: 'after two rounds of interactions')", s.Rounds)
+	}
+	if got := s.Suggestion(); got != nil {
+		t.Fatalf("suggestion after done = %v", got)
+	}
+}
+
+// One-shot path: validating a covering certain region fixes everything
+// in a single round.
+func TestCertainRegionOneShot(t *testing.T) {
+	m := demoMonitor(t)
+	s, _ := m.NewSession(dataset.DemoInputFig3())
+	res, err := s.Validate(map[string]string{
+		"zip": "NW1 6XE", "phn": "075568485", "type": "2", "item": "DVD",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() || !s.Certain() {
+		t.Fatalf("region validation did not complete: remaining %v", s.Remaining())
+	}
+	if !s.Tuple.Equal(dataset.DemoGroundTruthFig3()) {
+		t.Fatalf("tuple = %v", s.Tuple)
+	}
+	if s.Rounds != 1 {
+		t.Fatalf("rounds = %d", s.Rounds)
+	}
+	_ = res
+}
+
+// The user corrects a value while validating: Example 1's tuple with
+// the zip asserted — the monitor must fix AC without breaking city.
+func TestExample1Flow(t *testing.T) {
+	m := demoMonitor(t)
+	s, _ := m.NewSession(dataset.DemoInputExample1())
+	if _, err := s.Validate(map[string]string{"zip": "EH8 4AH"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tuple.Get("AC") != "131" {
+		t.Fatalf("AC = %q", s.Tuple.Get("AC"))
+	}
+	if s.Tuple.Get("city") != "Edi" {
+		t.Fatal("city was broken")
+	}
+	// phn/type/FN/LN/item remain; next suggestion must include them.
+	if s.Done() {
+		t.Fatal("cannot be done")
+	}
+	sug := s.Suggestion()
+	if len(sug) == 0 {
+		t.Fatal("no new suggestion")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	m := demoMonitor(t)
+	s, _ := m.NewSession(dataset.DemoInputFig3())
+	if _, err := s.Validate(nil); err == nil {
+		t.Fatal("empty validation accepted")
+	}
+	if _, err := s.Validate(map[string]string{"bogus": "x"}); err == nil {
+		t.Fatal("unknown attribute accepted")
+	}
+}
+
+func TestAuditTrail(t *testing.T) {
+	m := demoMonitor(t)
+	s, _ := m.NewSession(dataset.DemoInputFig3())
+	if _, err := s.Validate(map[string]string{
+		"AC": "201", "phn": "075568485", "type": "2", "item": "DVD",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	hist := m.Log().TupleHistory(s.ID)
+	if len(hist) < 7 { // 4 user + FN/LN/city rule events
+		t.Fatalf("history too short: %d records", len(hist))
+	}
+	rec, ok := m.Log().CellProvenance(s.ID, "FN")
+	if !ok || rec.RuleID != "phi4" || rec.Source != core.SourceRule {
+		t.Fatalf("FN provenance = %+v", rec)
+	}
+	if rec.Old != "M." || rec.New != "Mark" {
+		t.Fatalf("FN old/new = %q/%q", rec.Old, rec.New)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	m := demoMonitor(t)
+	s, _ := m.NewSession(dataset.DemoInputFig3())
+	if _, err := s.Validate(map[string]string{
+		"AC": "201", "phn": "075568485", "type": "2", "item": "DVD",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ValidateSuggested(); err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Summary()
+	if !sum.Done || !sum.Certain {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.Rounds != 2 {
+		t.Fatalf("rounds = %d", sum.Rounds)
+	}
+	if sum.UserValidated != 5 { // AC, phn, type, item, zip
+		t.Fatalf("UserValidated = %d", sum.UserValidated)
+	}
+	if sum.AutoValidated != 4 { // FN, LN, city, str
+		t.Fatalf("AutoValidated = %d", sum.AutoValidated)
+	}
+	// FN (M.->Mark), str (Baker Street->20 Baker St), city (Lon->Ldn)
+	// were rewritten; LN was confirmed.
+	if sum.Rewritten != 3 {
+		t.Fatalf("Rewritten = %d", sum.Rewritten)
+	}
+	want := []string{"FN", "city", "str"}
+	if strings.Join(sum.ChangedAttrs, ",") != strings.Join(want, ",") {
+		t.Fatalf("ChangedAttrs = %v", sum.ChangedAttrs)
+	}
+}
+
+func TestSharedLogOption(t *testing.T) {
+	st := master.New(dataset.PersonSchema())
+	for _, row := range dataset.DemoMasterRows() {
+		if _, err := st.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := audit.NewLog()
+	m := New(e, &Options{Log: shared})
+	if m.Log() != shared {
+		t.Fatal("shared log not used")
+	}
+	s, _ := m.NewSession(dataset.DemoInputFig3())
+	if _, err := s.Validate(map[string]string{"zip": "NW1 6XE"}); err != nil {
+		t.Fatal(err)
+	}
+	if shared.Len() == 0 {
+		t.Fatal("shared log empty")
+	}
+}
+
+func TestRegionKOption(t *testing.T) {
+	st := master.New(dataset.PersonSchema())
+	for _, row := range dataset.DemoMasterRows() {
+		if _, err := st.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(e, &Options{RegionK: 1})
+	if len(m.Regions()) != 1 {
+		t.Fatalf("regions = %d", len(m.Regions()))
+	}
+}
+
+// Monotone progress: each Validate round can only grow the validated
+// set; the session always terminates when the user follows suggestions.
+func TestSuggestionLoopTerminates(t *testing.T) {
+	m := demoMonitor(t)
+	truth := dataset.DemoGroundTruthFig3()
+	s, _ := m.NewSession(dataset.DemoInputFig3())
+	for round := 0; !s.Done(); round++ {
+		if round > s.Tuple.Schema.Len() {
+			t.Fatalf("no termination after %d rounds; remaining %v", round, s.Remaining())
+		}
+		sug := s.Suggestion()
+		if len(sug) == 0 {
+			t.Fatalf("empty suggestion while not done; remaining %v", s.Remaining())
+		}
+		// The oracle-style user: assert ground-truth values.
+		m2 := make(map[string]string, len(sug))
+		for _, a := range sug {
+			m2[a] = string(truth.Get(a))
+		}
+		before := s.Validated.Count()
+		if _, err := s.Validate(m2); err != nil {
+			t.Fatal(err)
+		}
+		if s.Validated.Count() <= before {
+			t.Fatal("validated set did not grow")
+		}
+	}
+	if !s.Certain() {
+		t.Fatalf("loop finished uncertain: %v", s.Conflicts)
+	}
+	if !s.Tuple.Equal(truth) {
+		t.Fatalf("final tuple = %v", s.Tuple)
+	}
+}

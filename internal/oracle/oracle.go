@@ -1,0 +1,149 @@
+// Package oracle simulates the human in CerFix's loop. The demo's data
+// monitor asks a user to validate attributes; our experiments replace
+// the user with an oracle backed by ground truth (the dataset
+// generators track the clean version of every dirty tuple). Policies
+// control how closely the simulated user follows CerFix's suggestions,
+// reproducing the interaction patterns of the paper's walkthrough and
+// the 20/80 auditing statistic.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"cerfix/internal/monitor"
+	"cerfix/internal/schema"
+	"cerfix/internal/textutil"
+)
+
+// Policy selects which attributes the simulated user validates each
+// round.
+type Policy int
+
+const (
+	// FollowSuggestions validates exactly what CerFix suggests — the
+	// minimal-effort flow the paper optimizes for.
+	FollowSuggestions Policy = iota
+	// OwnChoice validates a fixed preferred attribute list first (like
+	// the Fig. 3 user who picks AC/phn/type/item), then follows
+	// suggestions.
+	OwnChoice
+	// RandomChoice validates a random unvalidated subset each round
+	// (stress-tests monitor convergence off the suggested path).
+	RandomChoice
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FollowSuggestions:
+		return "follow-suggestions"
+	case OwnChoice:
+		return "own-choice"
+	case RandomChoice:
+		return "random-choice"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// User is the simulated user.
+type User struct {
+	// Truth is the ground-truth tuple the user "knows".
+	Truth *schema.Tuple
+	// Policy picks attributes per round.
+	Policy Policy
+	// Preferred is the OwnChoice attribute list for the first round.
+	Preferred []string
+	// ErrorRate is the probability that the user asserts an attribute
+	// *without correcting it* (keeping the entered value even when
+	// wrong) — the careless-user failure mode. The certain-fix
+	// guarantee is conditional on correct assertions; with ErrorRate >
+	// 0 the system must surface contradictions rather than silently
+	// trusting them (see TestImperfectUserSurfacesConflicts).
+	ErrorRate float64
+	// Session supplies the entered values the careless user repeats;
+	// set automatically by RunSession.
+	entered *schema.Tuple
+	// RNG drives RandomChoice and ErrorRate; nil defaults to a fixed
+	// seed.
+	RNG *textutil.RNG
+}
+
+// NewUser builds an oracle for a ground-truth tuple.
+func NewUser(truth *schema.Tuple, policy Policy) *User {
+	return &User{Truth: truth, Policy: policy, RNG: textutil.NewRNG(99)}
+}
+
+// Answer returns the attribute→value assertions for one round, given
+// the session's current suggestion. The values are ground truth,
+// except that with probability ErrorRate per attribute the careless
+// user repeats the entered value uncorrected.
+func (u *User) Answer(s *monitor.Session) map[string]string {
+	attrs := u.chooseAttrs(s)
+	out := make(map[string]string, len(attrs))
+	for _, a := range attrs {
+		v := u.Truth.Get(a)
+		if u.ErrorRate > 0 && u.entered != nil && u.rng().Bool(u.ErrorRate) {
+			v = u.entered.Get(a)
+		}
+		out[a] = string(v)
+	}
+	return out
+}
+
+func (u *User) rng() *textutil.RNG {
+	if u.RNG == nil {
+		u.RNG = textutil.NewRNG(99)
+	}
+	return u.RNG
+}
+
+func (u *User) chooseAttrs(s *monitor.Session) []string {
+	switch u.Policy {
+	case OwnChoice:
+		if s.Rounds == 0 && len(u.Preferred) > 0 {
+			return u.Preferred
+		}
+		return s.Suggestion()
+	case RandomChoice:
+		remaining := s.Remaining()
+		if len(remaining) == 0 {
+			return nil
+		}
+		rng := u.rng()
+		n := 1 + rng.Intn(len(remaining))
+		textutil.Shuffle(rng, remaining)
+		picked := remaining[:n]
+		sort.Strings(picked)
+		return picked
+	default:
+		return s.Suggestion()
+	}
+}
+
+// RunSession drives a session to completion: each round the user
+// validates per policy, the monitor chases, and the loop ends when all
+// attributes are validated (or no progress is possible). It returns
+// the number of interaction rounds.
+func (u *User) RunSession(s *monitor.Session) (int, error) {
+	u.entered = s.Original
+	maxRounds := s.Tuple.Schema.Len() + 2
+	for round := 0; !s.Done(); round++ {
+		if round >= maxRounds {
+			return s.Rounds, fmt.Errorf("oracle: session stuck after %d rounds; remaining %v",
+				round, s.Remaining())
+		}
+		ans := u.Answer(s)
+		if len(ans) == 0 {
+			// Degenerate suggestion: validate everything remaining.
+			for _, a := range s.Remaining() {
+				ans[a] = string(u.Truth.Get(a))
+			}
+		}
+		if _, err := s.Validate(ans); err != nil {
+			return s.Rounds, err
+		}
+	}
+	return s.Rounds, nil
+}

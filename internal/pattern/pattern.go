@@ -1,0 +1,248 @@
+// Package pattern implements the pattern tuples of editing rules, CFDs
+// and certain-region tableaux. A pattern is a conjunction of per-
+// attribute conditions built from a small operator set (=, !=, <, <=,
+// >, >=, IN, wildcard). Besides matching concrete tuples, patterns
+// support the light symbolic reasoning the rule engine needs: joint
+// satisfiability of two patterns (can some tuple match both?) — the
+// core of the pairwise consistency check — and implication between
+// single-attribute condition sets.
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// Op enumerates condition operators.
+type Op int
+
+const (
+	// OpAny matches every value (the wildcard "_").
+	OpAny Op = iota
+	// OpEq matches values equal to the constant.
+	OpEq
+	// OpNe matches values different from the constant.
+	OpNe
+	// OpLt matches values strictly below the constant.
+	OpLt
+	// OpLe matches values at or below the constant.
+	OpLe
+	// OpGt matches values strictly above the constant.
+	OpGt
+	// OpGe matches values at or above the constant.
+	OpGe
+	// OpIn matches values contained in the constant set.
+	OpIn
+)
+
+// String renders the operator in the DSL's syntax.
+func (o Op) String() string {
+	switch o {
+	case OpAny:
+		return "_"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpIn:
+		return "in"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Condition constrains a single attribute.
+type Condition struct {
+	// Attr is the constrained attribute's name (input-tuple schema).
+	Attr string
+	// Op is the comparison operator.
+	Op Op
+	// Const is the right-hand constant for binary operators.
+	Const value.V
+	// Set holds the membership constants for OpIn (sorted, deduped by
+	// NewIn).
+	Set []value.V
+}
+
+// Eq builds an equality condition.
+func Eq(attr string, c value.V) Condition { return Condition{Attr: attr, Op: OpEq, Const: c} }
+
+// Ne builds a disequality condition (e.g. the paper's AC != "0800").
+func Ne(attr string, c value.V) Condition { return Condition{Attr: attr, Op: OpNe, Const: c} }
+
+// Lt builds a strictly-less-than condition.
+func Lt(attr string, c value.V) Condition { return Condition{Attr: attr, Op: OpLt, Const: c} }
+
+// Le builds a less-or-equal condition.
+func Le(attr string, c value.V) Condition { return Condition{Attr: attr, Op: OpLe, Const: c} }
+
+// Gt builds a strictly-greater-than condition.
+func Gt(attr string, c value.V) Condition { return Condition{Attr: attr, Op: OpGt, Const: c} }
+
+// Ge builds a greater-or-equal condition.
+func Ge(attr string, c value.V) Condition { return Condition{Attr: attr, Op: OpGe, Const: c} }
+
+// In builds a set-membership condition; constants are sorted and
+// deduplicated so In("a","b") and In("b","a","a") are identical.
+func In(attr string, cs ...value.V) Condition {
+	set := make([]value.V, 0, len(cs))
+	seen := make(map[value.V]bool, len(cs))
+	for _, c := range cs {
+		if !seen[c] {
+			seen[c] = true
+			set = append(set, c)
+		}
+	}
+	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	return Condition{Attr: attr, Op: OpIn, Set: set}
+}
+
+// Any builds a wildcard condition (documents that attr participates in
+// the pattern scope without constraining it).
+func Any(attr string) Condition { return Condition{Attr: attr, Op: OpAny} }
+
+// Matches reports whether v satisfies the condition under domain d.
+func (c Condition) Matches(v value.V, d value.Domain) bool {
+	switch c.Op {
+	case OpAny:
+		return true
+	case OpEq:
+		return value.Equal(v, c.Const, d)
+	case OpNe:
+		return !value.Equal(v, c.Const, d)
+	case OpLt:
+		return value.Compare(v, c.Const, d) < 0
+	case OpLe:
+		return value.Compare(v, c.Const, d) <= 0
+	case OpGt:
+		return value.Compare(v, c.Const, d) > 0
+	case OpGe:
+		return value.Compare(v, c.Const, d) >= 0
+	case OpIn:
+		for _, s := range c.Set {
+			if value.Equal(v, s, d) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// String renders the condition in DSL syntax, e.g. `AC != "0800"`.
+func (c Condition) String() string {
+	switch c.Op {
+	case OpAny:
+		return c.Attr + " = _"
+	case OpIn:
+		parts := make([]string, len(c.Set))
+		for i, s := range c.Set {
+			parts[i] = fmt.Sprintf("%q", string(s))
+		}
+		return fmt.Sprintf("%s in {%s}", c.Attr, strings.Join(parts, ", "))
+	default:
+		return fmt.Sprintf("%s %s %q", c.Attr, c.Op, string(c.Const))
+	}
+}
+
+// Pattern is a conjunction of conditions. The zero value (no
+// conditions) matches every tuple — the paper's empty pattern tp = ().
+type Pattern struct {
+	Conds []Condition
+}
+
+// NewPattern builds a pattern from conditions.
+func NewPattern(conds ...Condition) Pattern {
+	cp := make([]Condition, len(conds))
+	copy(cp, conds)
+	return Pattern{Conds: cp}
+}
+
+// IsEmpty reports whether the pattern has no conditions (matches all).
+func (p Pattern) IsEmpty() bool { return len(p.Conds) == 0 }
+
+// Attrs returns the sorted distinct attribute names the pattern
+// constrains (its scope Xp). Wildcard conditions count: they declare
+// scope.
+func (p Pattern) Attrs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, c := range p.Conds {
+		if !seen[c.Attr] {
+			seen[c.Attr] = true
+			out = append(out, c.Attr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AttrSet resolves the pattern's scope against a schema.
+func (p Pattern) AttrSet(sch *schema.Schema) schema.AttrSet {
+	return schema.SetOfNames(sch, p.Attrs()...)
+}
+
+// Matches reports whether tuple t satisfies every condition. Attributes
+// missing from t's schema fail the match (a pattern over a foreign
+// attribute can never hold).
+func (p Pattern) Matches(t *schema.Tuple) bool {
+	for _, c := range p.Conds {
+		i, ok := t.Schema.Index(c.Attr)
+		if !ok {
+			return false
+		}
+		if !c.Matches(t.At(i), t.Schema.Attr(i).Domain) {
+			return false
+		}
+	}
+	return true
+}
+
+// Conjoin returns a pattern requiring both p and q.
+func (p Pattern) Conjoin(q Pattern) Pattern {
+	out := make([]Condition, 0, len(p.Conds)+len(q.Conds))
+	out = append(out, p.Conds...)
+	out = append(out, q.Conds...)
+	return Pattern{Conds: out}
+}
+
+// String renders the conjunction joined by " and "; the empty pattern
+// renders as "()".
+func (p Pattern) String() string {
+	if p.IsEmpty() {
+		return "()"
+	}
+	parts := make([]string, len(p.Conds))
+	for i, c := range p.Conds {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Validate checks that every condition's attribute exists in sch and
+// binary operators carry a constant set/marker consistent with their
+// arity.
+func (p Pattern) Validate(sch *schema.Schema) error {
+	for _, c := range p.Conds {
+		if !sch.Has(c.Attr) {
+			return fmt.Errorf("pattern: attribute %q not in schema %s", c.Attr, sch.Name())
+		}
+		if c.Op == OpIn && len(c.Set) == 0 {
+			return fmt.Errorf("pattern: empty IN set on %q", c.Attr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+func testSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustNew("R",
+		schema.Str("AC"), schema.Str("type"), schema.Str("city"),
+		schema.Int("n"))
+}
+
+func tup(t *testing.T, sch *schema.Schema, ac, ty, city, n string) *schema.Tuple {
+	t.Helper()
+	return schema.MustTuple(sch, value.V(ac), value.V(ty), value.V(city), value.V(n))
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{OpAny: "_", OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpIn: "in"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestConditionMatches(t *testing.T) {
+	d := value.DString
+	cases := []struct {
+		c    Condition
+		v    value.V
+		want bool
+	}{
+		{Any("x"), "anything", true},
+		{Eq("x", "a"), "a", true},
+		{Eq("x", "a"), "b", false},
+		{Ne("x", "0800"), "020", true},
+		{Ne("x", "0800"), "0800", false},
+		{Lt("x", "m"), "a", true},
+		{Lt("x", "m"), "m", false},
+		{Le("x", "m"), "m", true},
+		{Gt("x", "m"), "z", true},
+		{Gt("x", "m"), "m", false},
+		{Ge("x", "m"), "m", true},
+		{In("x", "a", "b"), "b", true},
+		{In("x", "a", "b"), "c", false},
+	}
+	for _, c := range cases {
+		if got := c.c.Matches(c.v, d); got != c.want {
+			t.Errorf("%v.Matches(%q) = %v, want %v", c.c, c.v, got, c.want)
+		}
+	}
+}
+
+func TestConditionNumericDomain(t *testing.T) {
+	c := Lt("n", "10")
+	if !c.Matches("9", value.DInt) {
+		t.Error("9 < 10 under DInt failed")
+	}
+	if c.Matches("9", value.DString) {
+		t.Error("\"9\" < \"10\" under DString should fail")
+	}
+}
+
+func TestInDeduplication(t *testing.T) {
+	c := In("x", "b", "a", "a")
+	if len(c.Set) != 2 || c.Set[0] != "a" || c.Set[1] != "b" {
+		t.Fatalf("In set = %v", c.Set)
+	}
+}
+
+func TestPatternMatches(t *testing.T) {
+	sch := testSchema(t)
+	p := NewPattern(Eq("type", "2"), Ne("AC", "0800"))
+	if !p.Matches(tup(t, sch, "131", "2", "Edi", "1")) {
+		t.Error("expected match")
+	}
+	if p.Matches(tup(t, sch, "0800", "2", "Edi", "1")) {
+		t.Error("AC=0800 should fail Ne")
+	}
+	if p.Matches(tup(t, sch, "131", "1", "Edi", "1")) {
+		t.Error("type=1 should fail Eq")
+	}
+	empty := NewPattern()
+	if !empty.Matches(tup(t, sch, "x", "y", "z", "0")) {
+		t.Error("empty pattern must match everything")
+	}
+	foreign := NewPattern(Eq("nope", "1"))
+	if foreign.Matches(tup(t, sch, "x", "y", "z", "0")) {
+		t.Error("pattern over foreign attribute must not match")
+	}
+}
+
+func TestPatternAttrsAndScope(t *testing.T) {
+	sch := testSchema(t)
+	p := NewPattern(Eq("type", "2"), Ne("AC", "0800"), Any("city"))
+	attrs := p.Attrs()
+	if len(attrs) != 3 || attrs[0] != "AC" || attrs[1] != "city" || attrs[2] != "type" {
+		t.Fatalf("Attrs = %v", attrs)
+	}
+	set := p.AttrSet(sch)
+	if set.Count() != 3 {
+		t.Fatalf("AttrSet count = %d", set.Count())
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := NewPattern(Eq("type", "2"), Ne("AC", "0800"))
+	s := p.String()
+	if !strings.Contains(s, `type = "2"`) || !strings.Contains(s, `AC != "0800"`) {
+		t.Errorf("String = %q", s)
+	}
+	if NewPattern().String() != "()" {
+		t.Errorf("empty pattern String = %q", NewPattern().String())
+	}
+	in := NewPattern(In("AC", "131", "020"))
+	if !strings.Contains(in.String(), "in {") {
+		t.Errorf("IN String = %q", in.String())
+	}
+}
+
+func TestPatternValidate(t *testing.T) {
+	sch := testSchema(t)
+	if err := NewPattern(Eq("type", "2")).Validate(sch); err != nil {
+		t.Errorf("valid pattern rejected: %v", err)
+	}
+	if err := NewPattern(Eq("bogus", "2")).Validate(sch); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	if err := NewPattern(Condition{Attr: "AC", Op: OpIn}).Validate(sch); err == nil {
+		t.Error("empty IN accepted")
+	}
+}
+
+func TestConjoin(t *testing.T) {
+	sch := testSchema(t)
+	p := NewPattern(Eq("type", "2"))
+	q := NewPattern(Ne("AC", "0800"))
+	r := p.Conjoin(q)
+	if len(r.Conds) != 2 {
+		t.Fatalf("Conjoin conds = %d", len(r.Conds))
+	}
+	if !r.Matches(tup(t, sch, "131", "2", "x", "0")) {
+		t.Error("conjoined pattern should match")
+	}
+	if r.Matches(tup(t, sch, "0800", "2", "x", "0")) {
+		t.Error("conjoined pattern should reject")
+	}
+}

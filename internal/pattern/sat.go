@@ -1,0 +1,314 @@
+package pattern
+
+import (
+	"sort"
+
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// This file implements the symbolic reasoning used by the rule engine's
+// static analysis: joint satisfiability of patterns (needed to decide
+// whether two editing rules can apply to the same input tuple) and
+// negation-aware cell enumeration for the region finder.
+//
+// The condition language is interval+membership over totally ordered
+// domains, so satisfiability of a conjunction decomposes per attribute:
+// a conjunction is satisfiable iff for every attribute the induced
+// {interval, must-equal set, must-differ set} admits at least one value.
+// We conservatively treat the underlying domains as infinite: a
+// constraint set consisting only of inequalities (!=) is always
+// satisfiable, and an open interval (lo, hi) is considered non-empty
+// whenever lo < hi for float/string domains and when it contains an
+// integer for int domains. This errs on the side of "satisfiable",
+// which keeps the consistency checker sound (it may report a potential
+// conflict that no real tuple triggers, never the reverse).
+
+// attrConstraint accumulates the per-attribute view of a conjunction.
+type attrConstraint struct {
+	domain value.Domain
+	// eq is the forced value if any (OpEq or singleton OpIn chains).
+	eq    *value.V
+	ne    []value.V // excluded values
+	allow []value.V // nil = no IN restriction; else allowed set (intersection of INs)
+	// interval bounds; nil = unbounded.
+	lo, hi         *value.V
+	loOpen, hiOpen bool
+}
+
+func newAttrConstraint(d value.Domain) *attrConstraint {
+	return &attrConstraint{domain: d}
+}
+
+// add narrows the constraint with one condition; returns false when the
+// constraint becomes syntactically unsatisfiable right away.
+func (a *attrConstraint) add(c Condition) bool {
+	switch c.Op {
+	case OpAny:
+		return true
+	case OpEq:
+		if a.eq != nil && !value.Equal(*a.eq, c.Const, a.domain) {
+			return false
+		}
+		v := c.Const
+		a.eq = &v
+		return true
+	case OpNe:
+		a.ne = append(a.ne, c.Const)
+		return true
+	case OpIn:
+		if a.allow == nil {
+			a.allow = append([]value.V(nil), c.Set...)
+			return len(a.allow) > 0
+		}
+		var inter []value.V
+		for _, v := range a.allow {
+			for _, w := range c.Set {
+				if value.Equal(v, w, a.domain) {
+					inter = append(inter, v)
+					break
+				}
+			}
+		}
+		a.allow = inter
+		return len(a.allow) > 0
+	case OpLt:
+		return a.upper(c.Const, true)
+	case OpLe:
+		return a.upper(c.Const, false)
+	case OpGt:
+		return a.lower(c.Const, true)
+	case OpGe:
+		return a.lower(c.Const, false)
+	default:
+		return false
+	}
+}
+
+func (a *attrConstraint) upper(v value.V, open bool) bool {
+	if a.hi == nil || value.Compare(v, *a.hi, a.domain) < 0 ||
+		(value.Compare(v, *a.hi, a.domain) == 0 && open && !a.hiOpen) {
+		a.hi = &v
+		a.hiOpen = open
+	}
+	return true
+}
+
+func (a *attrConstraint) lower(v value.V, open bool) bool {
+	if a.lo == nil || value.Compare(v, *a.lo, a.domain) > 0 ||
+		(value.Compare(v, *a.lo, a.domain) == 0 && open && !a.loOpen) {
+		a.lo = &v
+		a.loOpen = open
+	}
+	return true
+}
+
+// inInterval reports whether v lies within the accumulated bounds.
+func (a *attrConstraint) inInterval(v value.V) bool {
+	if a.lo != nil {
+		c := value.Compare(v, *a.lo, a.domain)
+		if c < 0 || (c == 0 && a.loOpen) {
+			return false
+		}
+	}
+	if a.hi != nil {
+		c := value.Compare(v, *a.hi, a.domain)
+		if c > 0 || (c == 0 && a.hiOpen) {
+			return false
+		}
+	}
+	return true
+}
+
+// satisfiable decides whether at least one value meets the accumulated
+// constraints, under the infinite-domain convention described above.
+func (a *attrConstraint) satisfiable() bool {
+	excluded := func(v value.V) bool {
+		for _, n := range a.ne {
+			if value.Equal(v, n, a.domain) {
+				return true
+			}
+		}
+		return false
+	}
+	if a.eq != nil {
+		if excluded(*a.eq) || !a.inInterval(*a.eq) {
+			return false
+		}
+		if a.allow != nil {
+			for _, v := range a.allow {
+				if value.Equal(v, *a.eq, a.domain) {
+					return true
+				}
+			}
+			return false
+		}
+		return true
+	}
+	if a.allow != nil {
+		for _, v := range a.allow {
+			if !excluded(v) && a.inInterval(v) {
+				return true
+			}
+		}
+		return false
+	}
+	// Pure interval + exclusions over an (assumed) infinite domain:
+	// an interval with lo < hi, or half-open/unbounded, always has
+	// room beyond finitely many exclusions. Only a degenerate point
+	// interval can be emptied by an exclusion.
+	if a.lo != nil && a.hi != nil {
+		c := value.Compare(*a.lo, *a.hi, a.domain)
+		if c > 0 {
+			return false
+		}
+		if c == 0 {
+			if a.loOpen || a.hiOpen {
+				return false
+			}
+			return !excluded(*a.lo)
+		}
+	}
+	return true
+}
+
+// Satisfiable reports whether some tuple over sch can match p, i.e. the
+// conjunction is per-attribute consistent.
+func Satisfiable(p Pattern, sch *schema.Schema) bool {
+	return conjunctionSatisfiable(p.Conds, sch)
+}
+
+// JointlySatisfiable reports whether some tuple over sch can match both
+// p and q simultaneously. This is the key primitive of the pairwise
+// rule-consistency check: two rules can only conflict on inputs
+// matching both their patterns.
+func JointlySatisfiable(p, q Pattern, sch *schema.Schema) bool {
+	conds := make([]Condition, 0, len(p.Conds)+len(q.Conds))
+	conds = append(conds, p.Conds...)
+	conds = append(conds, q.Conds...)
+	return conjunctionSatisfiable(conds, sch)
+}
+
+func conjunctionSatisfiable(conds []Condition, sch *schema.Schema) bool {
+	byAttr := make(map[string]*attrConstraint)
+	var order []string
+	for _, c := range conds {
+		a, ok := byAttr[c.Attr]
+		if !ok {
+			a = newAttrConstraint(sch.Domain(c.Attr))
+			byAttr[c.Attr] = a
+			order = append(order, c.Attr)
+		}
+		if !a.add(c) {
+			return false
+		}
+	}
+	sort.Strings(order)
+	for _, attr := range order {
+		if !byAttr[attr].satisfiable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Negate returns patterns whose disjunction is the complement of p
+// (De Morgan over the conjunction: one negated condition per branch).
+// Wildcard-only patterns have an empty complement. Used by the region
+// finder to enumerate pattern cells with explicit "pattern does not
+// hold" branches.
+func Negate(p Pattern) []Pattern {
+	var out []Pattern
+	for _, c := range p.Conds {
+		if neg, ok := negateCondition(c); ok {
+			out = append(out, NewPattern(neg...))
+		}
+	}
+	return out
+}
+
+func negateCondition(c Condition) ([]Condition, bool) {
+	switch c.Op {
+	case OpAny:
+		return nil, false
+	case OpEq:
+		return []Condition{Ne(c.Attr, c.Const)}, true
+	case OpNe:
+		return []Condition{Eq(c.Attr, c.Const)}, true
+	case OpLt:
+		return []Condition{Ge(c.Attr, c.Const)}, true
+	case OpLe:
+		return []Condition{Gt(c.Attr, c.Const)}, true
+	case OpGt:
+		return []Condition{Le(c.Attr, c.Const)}, true
+	case OpGe:
+		return []Condition{Lt(c.Attr, c.Const)}, true
+	case OpIn:
+		// not-in {a,b} = a conjunction of inequalities.
+		conds := make([]Condition, len(c.Set))
+		for i, v := range c.Set {
+			conds[i] = Ne(c.Attr, v)
+		}
+		return conds, true
+	default:
+		return nil, false
+	}
+}
+
+// Tableau is an ordered set of pattern tuples over a shared attribute
+// list Z — the Tc component of a certain region. A tuple "matches the
+// tableau" when it matches at least one row (disjunction of rows).
+type Tableau struct {
+	// Z lists the attributes the tableau speaks about, in a canonical
+	// (sorted) order.
+	Z []string
+	// Rows are the pattern tuples; each row's conditions mention only
+	// attributes in Z.
+	Rows []Pattern
+}
+
+// NewTableau builds a tableau over attrs (copied, sorted).
+func NewTableau(attrs []string) *Tableau {
+	z := append([]string(nil), attrs...)
+	sort.Strings(z)
+	return &Tableau{Z: z}
+}
+
+// AddRow appends a row after checking its scope is within Z. Duplicate
+// rows (same string form) are dropped.
+func (tb *Tableau) AddRow(p Pattern) bool {
+	for _, a := range p.Attrs() {
+		if !contains(tb.Z, a) {
+			return false
+		}
+	}
+	key := p.String()
+	for _, r := range tb.Rows {
+		if r.String() == key {
+			return true
+		}
+	}
+	tb.Rows = append(tb.Rows, p)
+	return true
+}
+
+// Matches reports whether t matches at least one row. An empty tableau
+// matches nothing (no guarantee rows — no coverage); a tableau
+// containing an empty pattern row matches everything.
+func (tb *Tableau) Matches(t *schema.Tuple) bool {
+	for _, r := range tb.Rows {
+		if r.Matches(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,159 @@
+package region
+
+import (
+	"testing"
+
+	"cerfix/internal/core"
+	"cerfix/internal/dataset"
+	"cerfix/internal/pattern"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// Scale property: on a generated master relation every region found
+// must honour its guarantee — for any tuple matching a tableau row
+// with Z asserted, the chase completes with no conflicts and the
+// outcome agrees with the master entity the row was built from.
+func TestRegionGuaranteeAtScale(t *testing.T) {
+	g := dataset.NewCustomerGen(77)
+	entities := g.GenerateEntities(40)
+	st, err := dataset.MasterStore(entities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := NewFinder(eng).TopK(&Options{K: 6})
+	if len(regions) == 0 {
+		t.Fatal("no regions at scale")
+	}
+	input := eng.InputSchema()
+	checked := 0
+	for _, reg := range regions {
+		rows := reg.Tableau.Rows
+		if len(rows) > 10 {
+			rows = rows[:10] // sample
+		}
+		for _, row := range rows {
+			tu, ok := tupleForRow(input, row)
+			if !ok {
+				continue
+			}
+			if !reg.Covers(tu) {
+				t.Fatalf("region %v: canonical tuple does not match its own row", reg)
+			}
+			res := eng.Chase(tu, reg.Z)
+			if !res.AllValidated() {
+				t.Fatalf("region %v row %v: incomplete chase (missing %v)",
+					reg, row, schema.FullSet(input).Minus(res.Validated).Format(input))
+			}
+			if len(res.Conflicts) != 0 {
+				t.Fatalf("region %v row %v: conflicts %v", reg, row, res.Conflicts)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no rows verified")
+	}
+}
+
+// tupleForRow builds a tuple satisfying an equality/inequality row,
+// junk elsewhere.
+func tupleForRow(input *schema.Schema, row pattern.Pattern) (*schema.Tuple, bool) {
+	vals := make(value.List, input.Len())
+	for i := range vals {
+		vals[i] = value.V("garbage")
+	}
+	for _, cond := range row.Conds {
+		i, ok := input.Index(cond.Attr)
+		if !ok {
+			return nil, false
+		}
+		if cond.Op == pattern.OpEq {
+			vals[i] = cond.Const
+		}
+	}
+	tu := &schema.Tuple{Schema: input, Vals: vals}
+	return tu, row.Matches(tu)
+}
+
+// Regions computed twice are identical (the finder is deterministic).
+func TestFinderDeterministic(t *testing.T) {
+	e := demoEngine(t)
+	a := NewFinder(e).TopK(nil)
+	b := NewFinder(e).TopK(nil)
+	if len(a) != len(b) {
+		t.Fatalf("counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("region %d differs: %v vs %v", i, a[i], b[i])
+		}
+		if len(a[i].Tableau.Rows) != len(b[i].Tableau.Rows) {
+			t.Fatalf("region %d row counts differ", i)
+		}
+	}
+}
+
+// MaxTableauRows caps rows without breaking soundness (rows present
+// still verify).
+func TestMaxTableauRowsCap(t *testing.T) {
+	g := dataset.NewCustomerGen(78)
+	entities := g.GenerateEntities(30)
+	st, err := dataset.MasterStore(entities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := NewFinder(eng).TopK(&Options{MaxTableauRows: 5})
+	if len(regions) == 0 {
+		t.Fatal("no regions")
+	}
+	for _, reg := range regions {
+		if len(reg.Tableau.Rows) > 5 {
+			t.Fatalf("cap violated: %d rows", len(reg.Tableau.Rows))
+		}
+	}
+}
+
+// Monotonicity in master data: adding master tuples can only add
+// coverage (rows), never shrink the smallest region.
+func TestMoreMasterMoreCoverage(t *testing.T) {
+	g := dataset.NewCustomerGen(79)
+	entities := g.GenerateEntities(20)
+	stSmall, err := dataset.MasterStore(entities[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBig, err := dataset.MasterStore(entities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engSmall, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), stSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engBig, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), stBig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := NewFinder(engSmall).TopK(&Options{K: 1})
+	big := NewFinder(engBig).TopK(&Options{K: 1})
+	if len(small) == 0 || len(big) == 0 {
+		t.Fatal("missing regions")
+	}
+	if big[0].Size() != small[0].Size() {
+		t.Fatalf("smallest region size changed with master growth: %d vs %d",
+			small[0].Size(), big[0].Size())
+	}
+	if len(big[0].Tableau.Rows) < len(small[0].Tableau.Rows) {
+		t.Fatalf("coverage shrank: %d vs %d rows",
+			len(big[0].Tableau.Rows), len(small[0].Tableau.Rows))
+	}
+}

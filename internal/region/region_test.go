@@ -1,0 +1,235 @@
+package region
+
+import (
+	"strings"
+	"testing"
+
+	"cerfix/internal/core"
+	"cerfix/internal/dataset"
+	"cerfix/internal/master"
+	"cerfix/internal/pattern"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+func demoEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	st := master.New(dataset.PersonSchema())
+	for _, row := range dataset.DemoMasterRows() {
+		if _, err := st.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTopKDemoSmallestRegion(t *testing.T) {
+	f := NewFinder(demoEngine(t))
+	regions := f.TopK(nil)
+	if len(regions) == 0 {
+		t.Fatal("no regions found")
+	}
+	// The smallest certain region of the demo configuration is
+	// {item, phn, type, zip}: in the mobile cell, zip covers AC/str/
+	// city (φ1–φ3) and phn+type cover FN/LN (φ4/φ5); item is dead.
+	best := regions[0]
+	want := []string{"item", "phn", "type", "zip"}
+	got := best.AttrNames()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("best region = %v, want %v", got, want)
+	}
+	if best.Size() != 4 {
+		t.Fatalf("Size = %d", best.Size())
+	}
+	if len(best.Tableau.Rows) == 0 {
+		t.Fatal("best region has no tableau rows")
+	}
+	// Ranking is ascending by size.
+	for i := 1; i < len(regions); i++ {
+		if regions[i].Size() < regions[i-1].Size() {
+			t.Fatalf("regions not sorted by size: %v", regions)
+		}
+	}
+}
+
+// Every region's guarantee must hold concretely: take any master
+// tuple matched by a tableau row, build an input with garbage in all
+// non-Z attributes, chase with Z validated — everything must come back
+// validated and equal to the entity's values.
+func TestRegionGuaranteeHolds(t *testing.T) {
+	e := demoEngine(t)
+	f := NewFinder(e)
+	regions := f.TopK(nil)
+	input := e.InputSchema()
+	for _, reg := range regions {
+		for _, row := range reg.Tableau.Rows {
+			// Build a tuple satisfying the row with junk elsewhere.
+			vals := make(value.List, input.Len())
+			for i := range vals {
+				vals[i] = value.V("garbage")
+			}
+			ok := true
+			for _, cond := range row.Conds {
+				i := input.MustIndex(cond.Attr)
+				if cond.Op == pattern.OpEq {
+					vals[i] = cond.Const
+				}
+				if !cond.Matches(vals[i], input.Attr(i).Domain) {
+					ok = false
+				}
+			}
+			if !ok {
+				continue // row with non-equality conditions; guarantee checked via probe in finder
+			}
+			tu := &schema.Tuple{Schema: input, Vals: vals}
+			if !reg.Covers(tu) {
+				continue
+			}
+			res := e.Chase(tu, reg.Z)
+			if !res.AllValidated() {
+				t.Fatalf("region %v row %v: chase left %v unvalidated",
+					reg, row, schema.FullSet(input).Minus(res.Validated).Format(input))
+			}
+			if len(res.Conflicts) != 0 {
+				t.Fatalf("region %v row %v: conflicts %v", reg, row, res.Conflicts)
+			}
+		}
+	}
+}
+
+func TestRegionCovers(t *testing.T) {
+	e := demoEngine(t)
+	f := NewFinder(e)
+	regions := f.TopK(nil)
+	best := regions[0] // {item, phn, type, zip}
+	// The Fig. 3 ground-truth tuple (Mark Smith, mobile) projects onto
+	// master values: covered.
+	if !best.Covers(dataset.DemoGroundTruthFig3()) {
+		t.Fatalf("ground-truth tuple not covered by %v", best)
+	}
+	// A tuple with an unknown zip is not covered.
+	odd := dataset.DemoGroundTruthFig3().Clone()
+	odd.Set("zip", "ZZ9 9ZZ")
+	if best.Covers(odd) {
+		t.Fatal("tuple with foreign zip covered")
+	}
+}
+
+func TestTopKLimit(t *testing.T) {
+	f := NewFinder(demoEngine(t))
+	all := f.TopK(nil)
+	if len(all) < 2 {
+		t.Skipf("only %d regions; cannot test K", len(all))
+	}
+	one := f.TopK(&Options{K: 1})
+	if len(one) != 1 {
+		t.Fatalf("K=1 returned %d", len(one))
+	}
+	if one[0].String() != all[0].String() {
+		t.Fatal("K=1 did not return the best region")
+	}
+}
+
+func TestGreedyFindsCoveringRegions(t *testing.T) {
+	f := NewFinder(demoEngine(t))
+	regions := f.TopK(&Options{Greedy: true})
+	if len(regions) == 0 {
+		t.Fatal("greedy found nothing")
+	}
+	e := demoEngine(t)
+	for _, reg := range regions {
+		// Greedy regions still satisfy the symbolic cover in their
+		// cells (verified inside finder by chase); sanity: sizes sane.
+		if reg.Size() == 0 || reg.Size() > e.InputSchema().Len() {
+			t.Fatalf("weird region size: %v", reg)
+		}
+	}
+}
+
+func TestGreedyNotSmallerThanExact(t *testing.T) {
+	f := NewFinder(demoEngine(t))
+	exact := f.TopK(nil)
+	greedy := f.TopK(&Options{Greedy: true})
+	if len(exact) == 0 || len(greedy) == 0 {
+		t.Fatal("missing regions")
+	}
+	if greedy[0].Size() < exact[0].Size() {
+		t.Fatalf("greedy best %d < exact best %d", greedy[0].Size(), exact[0].Size())
+	}
+}
+
+// Without master data there is no coverage: no regions.
+func TestNoMasterNoRegions(t *testing.T) {
+	st := master.New(dataset.PersonSchema())
+	e, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := NewFinder(e).TopK(nil)
+	if len(regions) != 0 {
+		t.Fatalf("regions without master data: %v", regions)
+	}
+}
+
+// A rule set with no rules: the only region is the full attribute set,
+// but with no rules there is no master coverage requirement at all —
+// Z = all attributes and every tuple trivially matches. Our finder
+// requires tableau rows instantiated from master tuples; with no rules
+// the bound attribute set is empty so a single unconstrained row per
+// cell appears.
+func TestEmptyRuleSet(t *testing.T) {
+	st := master.New(dataset.PersonSchema())
+	for _, row := range dataset.DemoMasterRows() {
+		if _, err := st.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := rule.NewSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(dataset.CustSchema(), rs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := NewFinder(e).TopK(nil)
+	if len(regions) != 1 {
+		t.Fatalf("regions = %v, want exactly the full-set region", regions)
+	}
+	if regions[0].Size() != e.InputSchema().Len() {
+		t.Fatalf("size = %d", regions[0].Size())
+	}
+	// Full-set region covers any tuple.
+	if !regions[0].Covers(dataset.DemoInputExample1()) {
+		t.Fatal("full-set region must cover everything")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var nilOpts *Options
+	o := nilOpts.withDefaults()
+	if o.MaxRegionsPerCell != 8 || o.MaxCells != 64 || o.K != 0 || o.Greedy {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o2 := (&Options{K: 3, MaxCells: 5}).withDefaults()
+	if o2.K != 3 || o2.MaxCells != 5 || o2.MaxRegionsPerCell != 8 {
+		t.Fatalf("merged = %+v", o2)
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	f := NewFinder(demoEngine(t))
+	regions := f.TopK(&Options{K: 1})
+	if len(regions) == 0 {
+		t.Fatal("no regions")
+	}
+	s := regions[0].String()
+	if !strings.Contains(s, "item") || !strings.Contains(s, "rows") {
+		t.Fatalf("String = %q", s)
+	}
+}

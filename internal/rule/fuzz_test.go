@@ -1,0 +1,117 @@
+package rule
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cerfix/internal/pattern"
+	"cerfix/internal/value"
+)
+
+// The parser must never panic, whatever bytes arrive (data-entry tools
+// feed it user text). testing/quick generates adversarial strings.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSetNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseSet(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = ParseSet(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Structured fuzz: assemble rules from random fragments; whatever
+// parses must re-parse from its String form to the same String
+// (print/parse is a projection-idempotent pair).
+func TestParsePrintFixpoint(t *testing.T) {
+	idents := []string{"a", "zip", "AC", "phn", "x1"}
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	f := func(seed uint32) bool {
+		pick := func(n uint32, items []string) string { return items[int(n)%len(items)] }
+		src := pick(seed, idents) + "_id: match " +
+			pick(seed>>2, idents) + "~" + pick(seed>>4, idents) +
+			" set " + pick(seed>>6, idents) + " := " + pick(seed>>8, idents)
+		if seed%3 == 0 {
+			src += " when " + pick(seed>>10, idents) + " " + pick(seed>>12, ops) + " \"v\""
+		}
+		r1, err := Parse(src)
+		if err != nil {
+			return true // not all assemblies are valid (dup targets etc.)
+		}
+		r2, err := Parse(r1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", r1.String(), err)
+		}
+		return r1.String() == r2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Patterns with every operator survive the print/parse fixpoint.
+func TestAllOperatorsRoundTrip(t *testing.T) {
+	r := &Rule{
+		ID:    "all",
+		Match: []Correspondence{{"zip", "zip"}},
+		Set:   []Correspondence{{"AC", "AC"}},
+		When: pattern.NewPattern(
+			pattern.Eq("a", "1"),
+			pattern.Ne("b", "2"),
+			pattern.Lt("c", "3"),
+			pattern.Le("d", "4"),
+			pattern.Gt("e", "5"),
+			pattern.Ge("f", "6"),
+			pattern.In("g", value.V("x"), value.V("y")),
+			pattern.Any("h"),
+		),
+	}
+	parsed, err := Parse(r.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", r.String(), err)
+	}
+	if parsed.String() != r.String() {
+		t.Fatalf("fixpoint violated:\n%s\n%s", r.String(), parsed.String())
+	}
+	if len(parsed.When.Conds) != 8 {
+		t.Fatalf("conds = %d", len(parsed.When.Conds))
+	}
+}
+
+// Values containing DSL metacharacters survive when quoted.
+func TestQuotedMetacharacters(t *testing.T) {
+	for _, v := range []string{"a b", "x:=y", "p~q", "in {z}", "# not a comment", "EH8 4AH"} {
+		src := `r: match zip~zip set AC := AC when city = "` + v + `"`
+		r, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse with %q: %v", v, err)
+		}
+		if got := string(r.When.Conds[0].Const); got != v {
+			t.Fatalf("constant %q mangled to %q", v, got)
+		}
+		if !strings.Contains(r.String(), v) {
+			t.Fatalf("String lost %q: %s", v, r.String())
+		}
+	}
+}

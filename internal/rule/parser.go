@@ -1,0 +1,350 @@
+package rule
+
+import (
+	"fmt"
+	"strings"
+
+	"cerfix/internal/pattern"
+	"cerfix/internal/value"
+)
+
+// This file implements the editing-rule DSL. One rule per line:
+//
+//	phi6: match AC~AC, phn~Hphn set str := str when type = "1"
+//	phi9: match AC~AC set city := city when AC != "0800"
+//	phi1: match zip~zip set AC := AC            # empty pattern
+//
+// Grammar (informal):
+//
+//	rule     := ident ":" "match" corrs "set" assigns [ "when" conds ]
+//	corrs    := corr { "," corr }           corr   := ident "~" ident
+//	assigns  := assign { "," assign }       assign := ident ":=" ident
+//	conds    := cond { "and" cond }
+//	cond     := ident op constant | ident "in" "{" constant {"," constant} "}"
+//	op       := "=" | "!=" | "<" | "<=" | ">" | ">="
+//	constant := quoted string ("...") or bare token
+//
+// Lines starting with '#' (after whitespace) and blank lines are
+// skipped; a trailing "# comment" on a rule line becomes the rule's
+// Comment.
+
+// ParseSet parses a multi-line DSL document into a rule set.
+func ParseSet(src string) (*Set, error) {
+	set := &Set{byID: make(map[string]*Rule)}
+	for lineNo, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		r, err := Parse(trimmed)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		if err := set.Add(r); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+	}
+	return set, nil
+}
+
+// Parse parses a single rule line.
+func Parse(line string) (*Rule, error) {
+	// Split off a trailing comment (only outside quotes).
+	text, comment := splitComment(line)
+	toks, err := lex(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	r, err := p.rule()
+	if err != nil {
+		return nil, err
+	}
+	r.Comment = comment
+	return r, nil
+}
+
+func splitComment(line string) (text, comment string) {
+	inQuote := false
+	for i, r := range line {
+		switch {
+		case r == '"':
+			inQuote = !inQuote
+		case r == '#' && !inQuote:
+			return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:])
+		}
+	}
+	return strings.TrimSpace(line), ""
+}
+
+// token kinds
+type tokKind int
+
+const (
+	tIdent tokKind = iota
+	tString
+	tSymbol // one of : , ~ { } and operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("rule: unterminated string at column %d", i+1)
+			}
+			toks = append(toks, token{tString, src[i+1 : j]})
+			i = j + 1
+		case strings.ContainsRune(":,~{}", rune(c)):
+			// ":" may be ":" or ":=".
+			if c == ':' && i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tSymbol, ":="})
+				i += 2
+			} else {
+				toks = append(toks, token{tSymbol, string(c)})
+				i++
+			}
+		case c == '!' || c == '<' || c == '>' || c == '=':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{tSymbol, src[i : i+2]})
+				i += 2
+			} else {
+				toks = append(toks, token{tSymbol, string(c)})
+				i++
+			}
+		default:
+			j := i
+			for j < len(src) && !strings.ContainsRune(" \t:,~{}!<>=\"", rune(src[j])) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("rule: unexpected character %q at column %d", c, i+1)
+			}
+			toks = append(toks, token{tIdent, src[i:j]})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos], true
+	}
+	return token{}, false
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t, ok := p.next()
+	if !ok || t.kind != tSymbol || t.text != sym {
+		return fmt.Errorf("rule: expected %q, got %q", sym, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t, ok := p.next()
+	if !ok || t.kind != tIdent {
+		return "", fmt.Errorf("rule: expected identifier, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t, ok := p.next()
+	if !ok || t.kind != tIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("rule: expected keyword %q, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t, ok := p.peek()
+	return ok && t.kind == tIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) rule() (*Rule, error) {
+	id, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(":"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("match"); err != nil {
+		return nil, err
+	}
+	match, err := p.correspondences("~")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	set, err := p.correspondences(":=")
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{ID: id, Match: match, Set: set}
+	if p.atKeyword("when") {
+		p.next()
+		conds, err := p.conditions()
+		if err != nil {
+			return nil, err
+		}
+		r.When = pattern.NewPattern(conds...)
+	}
+	if t, ok := p.peek(); ok {
+		return nil, fmt.Errorf("rule: trailing input starting at %q", t.text)
+	}
+	return r, nil
+}
+
+func (p *parser) correspondences(sep string) ([]Correspondence, error) {
+	var out []Correspondence
+	for {
+		left, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(sep); err != nil {
+			return nil, err
+		}
+		right, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Correspondence{Input: left, Master: right})
+		if t, ok := p.peek(); ok && t.kind == tSymbol && t.text == "," {
+			p.next()
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) conditions() ([]pattern.Condition, error) {
+	var out []pattern.Condition
+	for {
+		c, err := p.condition()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		if p.atKeyword("and") {
+			p.next()
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (p *parser) condition() (pattern.Condition, error) {
+	attr, err := p.expectIdent()
+	if err != nil {
+		return pattern.Condition{}, err
+	}
+	t, ok := p.next()
+	if !ok {
+		return pattern.Condition{}, fmt.Errorf("rule: condition on %q missing operator", attr)
+	}
+	if t.kind == tIdent && strings.EqualFold(t.text, "in") {
+		vals, err := p.constantSet()
+		if err != nil {
+			return pattern.Condition{}, err
+		}
+		return pattern.In(attr, vals...), nil
+	}
+	if t.kind != tSymbol {
+		return pattern.Condition{}, fmt.Errorf("rule: bad operator %q", t.text)
+	}
+	cv, err := p.constant()
+	if err != nil {
+		return pattern.Condition{}, err
+	}
+	switch t.text {
+	case "=":
+		if cv == "_" {
+			return pattern.Any(attr), nil
+		}
+		return pattern.Eq(attr, cv), nil
+	case "!=":
+		return pattern.Ne(attr, cv), nil
+	case "<":
+		return pattern.Lt(attr, cv), nil
+	case "<=":
+		return pattern.Le(attr, cv), nil
+	case ">":
+		return pattern.Gt(attr, cv), nil
+	case ">=":
+		return pattern.Ge(attr, cv), nil
+	default:
+		return pattern.Condition{}, fmt.Errorf("rule: unknown operator %q", t.text)
+	}
+}
+
+// constant reads a quoted string or bare identifier as a value.
+func (p *parser) constant() (value.V, error) {
+	t, ok := p.next()
+	if !ok {
+		return "", fmt.Errorf("rule: missing constant")
+	}
+	switch t.kind {
+	case tString, tIdent:
+		return value.V(t.text), nil
+	default:
+		return "", fmt.Errorf("rule: expected constant, got %q", t.text)
+	}
+}
+
+func (p *parser) constantSet() ([]value.V, error) {
+	if err := p.expectSymbol("{"); err != nil {
+		return nil, err
+	}
+	var out []value.V
+	for {
+		v, err := p.constant()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		t, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("rule: unterminated constant set")
+		}
+		if t.kind == tSymbol && t.text == "," {
+			continue
+		}
+		if t.kind == tSymbol && t.text == "}" {
+			return out, nil
+		}
+		return nil, fmt.Errorf("rule: expected , or } in constant set, got %q", t.text)
+	}
+}

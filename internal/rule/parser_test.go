@@ -1,0 +1,190 @@
+package rule
+
+import (
+	"strings"
+	"testing"
+
+	"cerfix/internal/pattern"
+)
+
+func TestParseSimple(t *testing.T) {
+	r, err := Parse(`phi1: match zip~zip set AC := AC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "phi1" {
+		t.Errorf("ID = %q", r.ID)
+	}
+	if len(r.Match) != 1 || r.Match[0] != (Correspondence{"zip", "zip"}) {
+		t.Errorf("Match = %v", r.Match)
+	}
+	if len(r.Set) != 1 || r.Set[0] != (Correspondence{"AC", "AC"}) {
+		t.Errorf("Set = %v", r.Set)
+	}
+	if !r.When.IsEmpty() {
+		t.Errorf("When = %v, want empty", r.When)
+	}
+}
+
+func TestParseMultiCorrespondence(t *testing.T) {
+	r, err := Parse(`phi6: match AC~AC, phn~Hphn set str := str when type = "1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Match) != 2 || r.Match[1] != (Correspondence{"phn", "Hphn"}) {
+		t.Errorf("Match = %v", r.Match)
+	}
+	if len(r.When.Conds) != 1 || r.When.Conds[0].Op != pattern.OpEq {
+		t.Errorf("When = %v", r.When)
+	}
+}
+
+func TestParseMultiSet(t *testing.T) {
+	r, err := Parse(`g: match zip~zip set AC := AC, city := city`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Set) != 2 || r.Set[1] != (Correspondence{"city", "city"}) {
+		t.Errorf("Set = %v", r.Set)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	r, err := Parse(`x: match a~b set c := d when p != "0800" and q < "5" and r <= "5" and s > "5" and u >= "5"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []pattern.Op{pattern.OpNe, pattern.OpLt, pattern.OpLe, pattern.OpGt, pattern.OpGe}
+	if len(r.When.Conds) != len(ops) {
+		t.Fatalf("conds = %d", len(r.When.Conds))
+	}
+	for i, c := range r.When.Conds {
+		if c.Op != ops[i] {
+			t.Errorf("cond %d op = %v, want %v", i, c.Op, ops[i])
+		}
+	}
+}
+
+func TestParseIn(t *testing.T) {
+	r, err := Parse(`x: match a~b set c := d when AC in {"131", "020"}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := r.When.Conds[0]
+	if c.Op != pattern.OpIn || len(c.Set) != 2 {
+		t.Fatalf("IN condition = %v", c)
+	}
+}
+
+func TestParseWildcard(t *testing.T) {
+	r, err := Parse(`x: match a~b set c := d when e = _`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.When.Conds[0].Op != pattern.OpAny {
+		t.Fatalf("wildcard condition = %v", r.When.Conds[0])
+	}
+}
+
+func TestParseBareConstant(t *testing.T) {
+	r, err := Parse(`x: match a~b set c := d when type = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.When.Conds[0].Const != "2" {
+		t.Fatalf("bare constant = %q", r.When.Conds[0].Const)
+	}
+}
+
+func TestParseComment(t *testing.T) {
+	r, err := Parse(`x: match a~b set c := d # phone normalization`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Comment != "phone normalization" {
+		t.Errorf("Comment = %q", r.Comment)
+	}
+	// '#' inside quotes is not a comment.
+	r2, err := Parse(`x: match a~b set c := d when e = "#1"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.When.Conds[0].Const != "#1" {
+		t.Errorf("quoted # mangled: %q", r2.When.Conds[0].Const)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`: match a~b set c := d`,
+		`x match a~b set c := d`,
+		`x: a~b set c := d`,
+		`x: match a b set c := d`,
+		`x: match a~ set c := d`,
+		`x: match a~b set c = d`,
+		`x: match a~b`,
+		`x: match a~b set c := d when`,
+		`x: match a~b set c := d when e`,
+		`x: match a~b set c := d when e = `,
+		`x: match a~b set c := d when e in {`,
+		`x: match a~b set c := d when e in {"a"`,
+		`x: match a~b set c := d trailing junk`,
+		`x: match a~b set c := d when e = "unterminated`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestParseSetDocument(t *testing.T) {
+	src := `
+# The demo's mobile-phone rules.
+phi4: match phn~Mphn set FN := FN when type = "2"
+phi5: match phn~Mphn set LN := LN when type = "2"
+
+phi9: match AC~AC set city := city when AC != "0800"
+`
+	s, err := ParseSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	ids := s.IDs()
+	if ids[0] != "phi4" || ids[2] != "phi9" {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestParseSetReportsLine(t *testing.T) {
+	src := "a: match x~y set z := w\nbroken line here\n"
+	_, err := ParseSet(src)
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should cite line 2, got %v", err)
+	}
+	dup := "a: match x~y set z := w\na: match x~y set z := w\n"
+	if _, err := ParseSet(dup); err == nil {
+		t.Fatal("duplicate id across lines accepted")
+	}
+}
+
+func TestSetStringParseRoundTrip(t *testing.T) {
+	src := `phi6: match AC~AC, phn~Hphn set str := str when type = "1"
+phi9: match AC~AC set city := city when AC != "0800"
+phi1: match zip~zip set AC := AC`
+	s, err := ParseSet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ParseSet(s.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if s.String() != s2.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", s.String(), s2.String())
+	}
+}

@@ -1,0 +1,331 @@
+// Package rule implements editing rules (eRs), the central formalism of
+// CerFix. An editing rule
+//
+//	φ: ((X, Xm) → (B, Bm), tp[Xp])
+//
+// says: for an input tuple t and a master tuple s, if t[X] = s[Xm]
+// (attribute-wise along the correspondence), t matches the pattern tp,
+// and t[X] and t[Xp] are validated (assured correct), then t[B] := s[Bm]
+// is a certain fix, and B becomes validated.
+//
+// The package defines the rule structure, well-formedness validation
+// against the input/master schema pair, a human-readable text DSL with
+// parser and printer, and rule sets with stable ordering.
+package rule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cerfix/internal/pattern"
+	"cerfix/internal/schema"
+)
+
+// Correspondence pairs an input-schema attribute with a master-schema
+// attribute (one element of X ↔ Xm or B ↔ Bm).
+type Correspondence struct {
+	// Input is the attribute of the input (dirty) relation.
+	Input string
+	// Master is the corresponding attribute of the master relation.
+	Master string
+}
+
+// String renders "input~master".
+func (c Correspondence) String() string { return c.Input + "~" + c.Master }
+
+// Rule is one editing rule.
+type Rule struct {
+	// ID is the rule's unique name, e.g. "phi1".
+	ID string
+	// Match is the X ↔ Xm correspondence list: the join condition
+	// between input tuple and master tuple.
+	Match []Correspondence
+	// Set is the B ↔ Bm correspondence list: the attributes the rule
+	// fixes and where their values come from. The paper's rules carry a
+	// single (B, Bm); we allow a list, which is equivalent to a group
+	// of single-target rules sharing a premise.
+	Set []Correspondence
+	// When is the pattern tuple tp over input attributes Xp; the empty
+	// pattern (no conditions) is the paper's tp = ().
+	When pattern.Pattern
+	// Comment is optional free text shown by the rule manager.
+	Comment string
+}
+
+// MatchInputAttrs returns the input-side attributes of X in rule order.
+func (r *Rule) MatchInputAttrs() []string {
+	out := make([]string, len(r.Match))
+	for i, c := range r.Match {
+		out[i] = c.Input
+	}
+	return out
+}
+
+// MatchMasterAttrs returns the master-side attributes Xm in rule order.
+func (r *Rule) MatchMasterAttrs() []string {
+	out := make([]string, len(r.Match))
+	for i, c := range r.Match {
+		out[i] = c.Master
+	}
+	return out
+}
+
+// SetInputAttrs returns the fixed input attributes B in rule order.
+func (r *Rule) SetInputAttrs() []string {
+	out := make([]string, len(r.Set))
+	for i, c := range r.Set {
+		out[i] = c.Input
+	}
+	return out
+}
+
+// SetMasterAttrs returns the master source attributes Bm in rule order.
+func (r *Rule) SetMasterAttrs() []string {
+	out := make([]string, len(r.Set))
+	for i, c := range r.Set {
+		out[i] = c.Master
+	}
+	return out
+}
+
+// PremiseAttrs returns the set X ∪ Xp of input attributes that must be
+// validated before the rule may fire (resolved against sch). The
+// certain-fix semantics requires the pattern scope validated too:
+// firing a rule off an unvalidated (possibly wrong) pattern attribute
+// could not guarantee correctness.
+func (r *Rule) PremiseAttrs(sch *schema.Schema) schema.AttrSet {
+	s := schema.SetOfNames(sch, r.MatchInputAttrs()...)
+	return s.Union(r.When.AttrSet(sch))
+}
+
+// TargetAttrs returns the set B resolved against sch.
+func (r *Rule) TargetAttrs(sch *schema.Schema) schema.AttrSet {
+	return schema.SetOfNames(sch, r.SetInputAttrs()...)
+}
+
+// Validate checks the rule is well formed w.r.t. the input and master
+// schemas: non-empty match/set lists, all attributes exist on their
+// side, the pattern scope is input-side, no target attribute appears in
+// its own premise-match list (a rule may not overwrite its own join
+// key), and no duplicate targets.
+func (r *Rule) Validate(input, master *schema.Schema) error {
+	if r.ID == "" {
+		return fmt.Errorf("rule: empty id")
+	}
+	if len(r.Match) == 0 {
+		return fmt.Errorf("rule %s: empty match list", r.ID)
+	}
+	if len(r.Set) == 0 {
+		return fmt.Errorf("rule %s: empty set list", r.ID)
+	}
+	for _, c := range r.Match {
+		if !input.Has(c.Input) {
+			return fmt.Errorf("rule %s: match attribute %q not in input schema %s", r.ID, c.Input, input.Name())
+		}
+		if !master.Has(c.Master) {
+			return fmt.Errorf("rule %s: match attribute %q not in master schema %s", r.ID, c.Master, master.Name())
+		}
+	}
+	seenTarget := make(map[string]bool)
+	for _, c := range r.Set {
+		if !input.Has(c.Input) {
+			return fmt.Errorf("rule %s: set attribute %q not in input schema %s", r.ID, c.Input, input.Name())
+		}
+		if !master.Has(c.Master) {
+			return fmt.Errorf("rule %s: set attribute %q not in master schema %s", r.ID, c.Master, master.Name())
+		}
+		if seenTarget[c.Input] {
+			return fmt.Errorf("rule %s: duplicate set target %q", r.ID, c.Input)
+		}
+		seenTarget[c.Input] = true
+		for _, m := range r.Match {
+			if m.Input == c.Input {
+				return fmt.Errorf("rule %s: attribute %q is both matched and set", r.ID, c.Input)
+			}
+		}
+	}
+	if err := r.When.Validate(input); err != nil {
+		return fmt.Errorf("rule %s: %w", r.ID, err)
+	}
+	return nil
+}
+
+// String renders the rule in DSL syntax (parseable by Parse).
+func (r *Rule) String() string {
+	var b strings.Builder
+	b.WriteString(r.ID)
+	b.WriteString(": match ")
+	b.WriteString(joinCorrespondences(r.Match))
+	b.WriteString(" set ")
+	b.WriteString(joinAssignments(r.Set))
+	if !r.When.IsEmpty() {
+		b.WriteString(" when ")
+		b.WriteString(r.When.String())
+	}
+	return b.String()
+}
+
+func joinCorrespondences(cs []Correspondence) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func joinAssignments(cs []Correspondence) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.Input + " := " + c.Master
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Clone returns a deep copy of the rule.
+func (r *Rule) Clone() *Rule {
+	cp := &Rule{
+		ID:      r.ID,
+		Match:   append([]Correspondence(nil), r.Match...),
+		Set:     append([]Correspondence(nil), r.Set...),
+		Comment: r.Comment,
+	}
+	cp.When = pattern.NewPattern(r.When.Conds...)
+	return cp
+}
+
+// Set (of rules) ---------------------------------------------------------
+
+// Set is an ordered collection of rules with unique IDs. Order matters:
+// the chase scans rules in set order, making runs deterministic.
+type Set struct {
+	rules []*Rule
+	byID  map[string]*Rule
+}
+
+// NewSet builds a set from rules, rejecting duplicate IDs.
+func NewSet(rules ...*Rule) (*Set, error) {
+	s := &Set{byID: make(map[string]*Rule)}
+	for _, r := range rules {
+		if err := s.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// MustSet is NewSet but panics on error.
+func MustSet(rules ...*Rule) *Set {
+	s, err := NewSet(rules...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Add appends a rule; duplicate IDs are an error.
+func (s *Set) Add(r *Rule) error {
+	if r == nil {
+		return fmt.Errorf("rule: nil rule")
+	}
+	if _, dup := s.byID[r.ID]; dup {
+		return fmt.Errorf("rule: duplicate id %q", r.ID)
+	}
+	s.rules = append(s.rules, r)
+	s.byID[r.ID] = r
+	return nil
+}
+
+// Remove deletes the rule with the given ID, reporting whether it
+// existed.
+func (s *Set) Remove(id string) bool {
+	if _, ok := s.byID[id]; !ok {
+		return false
+	}
+	delete(s.byID, id)
+	for i, r := range s.rules {
+		if r.ID == id {
+			s.rules = append(s.rules[:i], s.rules[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Get returns the rule with the given ID.
+func (s *Set) Get(id string) (*Rule, bool) {
+	r, ok := s.byID[id]
+	return r, ok
+}
+
+// Len returns the number of rules.
+func (s *Set) Len() int { return len(s.rules) }
+
+// Rules returns the rules in set order (shared slice copy).
+func (s *Set) Rules() []*Rule {
+	out := make([]*Rule, len(s.rules))
+	copy(out, s.rules)
+	return out
+}
+
+// IDs returns rule IDs in set order.
+func (s *Set) IDs() []string {
+	out := make([]string, len(s.rules))
+	for i, r := range s.rules {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Validate checks every rule against the schema pair.
+func (s *Set) Validate(input, master *schema.Schema) error {
+	for _, r := range s.rules {
+		if err := r.Validate(input, master); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the set.
+func (s *Set) Clone() *Set {
+	out := &Set{byID: make(map[string]*Rule, len(s.rules))}
+	for _, r := range s.rules {
+		cp := r.Clone()
+		out.rules = append(out.rules, cp)
+		out.byID[cp.ID] = cp
+	}
+	return out
+}
+
+// String renders the set as one rule per line, in set order.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, r := range s.rules {
+		b.WriteString(r.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// DistinctPatterns returns the distinct non-empty patterns appearing on
+// rules, in a canonical (string-sorted) order. The region finder
+// enumerates pattern cells over these.
+func (s *Set) DistinctPatterns() []pattern.Pattern {
+	seen := make(map[string]pattern.Pattern)
+	for _, r := range s.rules {
+		if !r.When.IsEmpty() {
+			seen[r.When.String()] = r.When
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]pattern.Pattern, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}

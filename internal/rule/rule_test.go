@@ -1,0 +1,222 @@
+package rule
+
+import (
+	"strings"
+	"testing"
+
+	"cerfix/internal/pattern"
+	"cerfix/internal/schema"
+)
+
+func schemas(t *testing.T) (input, master *schema.Schema) {
+	t.Helper()
+	input = schema.MustNew("CUST",
+		schema.Str("FN"), schema.Str("LN"), schema.Str("AC"), schema.Str("phn"),
+		schema.Str("type"), schema.Str("str"), schema.Str("city"), schema.Str("zip"),
+		schema.Str("item"))
+	master = schema.MustNew("PERSON",
+		schema.Str("FN"), schema.Str("LN"), schema.Str("AC"), schema.Str("Hphn"),
+		schema.Str("Mphn"), schema.Str("str"), schema.Str("city"), schema.Str("zip"),
+		schema.Str("DOB"), schema.Str("gender"))
+	return input, master
+}
+
+func mkRule(t *testing.T, id string) *Rule {
+	t.Helper()
+	return &Rule{
+		ID:    id,
+		Match: []Correspondence{{Input: "zip", Master: "zip"}},
+		Set:   []Correspondence{{Input: "AC", Master: "AC"}},
+	}
+}
+
+func TestRuleAccessors(t *testing.T) {
+	r := &Rule{
+		ID:    "phi6",
+		Match: []Correspondence{{"AC", "AC"}, {"phn", "Hphn"}},
+		Set:   []Correspondence{{"str", "str"}},
+		When:  pattern.NewPattern(pattern.Eq("type", "1")),
+	}
+	if got := r.MatchInputAttrs(); len(got) != 2 || got[0] != "AC" || got[1] != "phn" {
+		t.Errorf("MatchInputAttrs = %v", got)
+	}
+	if got := r.MatchMasterAttrs(); got[1] != "Hphn" {
+		t.Errorf("MatchMasterAttrs = %v", got)
+	}
+	if got := r.SetInputAttrs(); got[0] != "str" {
+		t.Errorf("SetInputAttrs = %v", got)
+	}
+	if got := r.SetMasterAttrs(); got[0] != "str" {
+		t.Errorf("SetMasterAttrs = %v", got)
+	}
+}
+
+func TestPremiseIncludesPatternScope(t *testing.T) {
+	input, _ := schemas(t)
+	r := &Rule{
+		ID:    "phi4",
+		Match: []Correspondence{{"phn", "Mphn"}},
+		Set:   []Correspondence{{"FN", "FN"}},
+		When:  pattern.NewPattern(pattern.Eq("type", "2")),
+	}
+	prem := r.PremiseAttrs(input)
+	if !prem.Has(input.MustIndex("phn")) || !prem.Has(input.MustIndex("type")) {
+		t.Fatalf("premise %v should include phn and type", prem.Names(input))
+	}
+	if prem.Count() != 2 {
+		t.Fatalf("premise size = %d", prem.Count())
+	}
+	tgt := r.TargetAttrs(input)
+	if !tgt.Has(input.MustIndex("FN")) || tgt.Count() != 1 {
+		t.Fatalf("target = %v", tgt.Names(input))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	input, master := schemas(t)
+	good := mkRule(t, "r1")
+	if err := good.Validate(input, master); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Rule)
+	}{
+		{"empty id", func(r *Rule) { r.ID = "" }},
+		{"empty match", func(r *Rule) { r.Match = nil }},
+		{"empty set", func(r *Rule) { r.Set = nil }},
+		{"bad match input attr", func(r *Rule) { r.Match[0].Input = "bogus" }},
+		{"bad match master attr", func(r *Rule) { r.Match[0].Master = "bogus" }},
+		{"bad set input attr", func(r *Rule) { r.Set[0].Input = "bogus" }},
+		{"bad set master attr", func(r *Rule) { r.Set[0].Master = "bogus" }},
+		{"duplicate target", func(r *Rule) {
+			r.Set = append(r.Set, Correspondence{"AC", "AC"})
+		}},
+		{"match-and-set overlap", func(r *Rule) {
+			r.Set[0].Input = "zip"
+		}},
+		{"bad pattern attr", func(r *Rule) {
+			r.When = pattern.NewPattern(pattern.Eq("bogus", "1"))
+		}},
+	}
+	for _, c := range cases {
+		r := mkRule(t, "r1")
+		c.mut(r)
+		if err := r.Validate(input, master); err == nil {
+			t.Errorf("%s: invalid rule accepted", c.name)
+		}
+	}
+}
+
+func TestRuleStringRoundTrip(t *testing.T) {
+	r := &Rule{
+		ID:    "phi6",
+		Match: []Correspondence{{"AC", "AC"}, {"phn", "Hphn"}},
+		Set:   []Correspondence{{"str", "str"}},
+		When:  pattern.NewPattern(pattern.Eq("type", "1"), pattern.Ne("AC", "0800")),
+	}
+	parsed, err := Parse(r.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", r.String(), err)
+	}
+	if parsed.String() != r.String() {
+		t.Fatalf("round trip mismatch:\n  in:  %s\n  out: %s", r.String(), parsed.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := &Rule{
+		ID:    "x",
+		Match: []Correspondence{{"zip", "zip"}},
+		Set:   []Correspondence{{"AC", "AC"}},
+		When:  pattern.NewPattern(pattern.Eq("type", "2")),
+	}
+	cp := r.Clone()
+	cp.Match[0].Input = "HACK"
+	cp.When.Conds[0].Attr = "HACK"
+	if r.Match[0].Input != "zip" || r.When.Conds[0].Attr != "type" {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s, err := NewSet(mkRule(t, "a"), mkRule(t, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if _, err := NewSet(mkRule(t, "a"), mkRule(t, "a")); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if err := s.Add(mkRule(t, "a")); err == nil {
+		t.Fatal("Add duplicate accepted")
+	}
+	if err := s.Add(nil); err == nil {
+		t.Fatal("Add nil accepted")
+	}
+	if r, ok := s.Get("b"); !ok || r.ID != "b" {
+		t.Fatal("Get failed")
+	}
+	if !s.Remove("a") || s.Remove("a") {
+		t.Fatal("Remove semantics wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len after remove = %d", s.Len())
+	}
+	ids := s.IDs()
+	if len(ids) != 1 || ids[0] != "b" {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestSetOrderPreserved(t *testing.T) {
+	s := MustSet(mkRule(t, "z"), mkRule(t, "a"), mkRule(t, "m"))
+	ids := s.IDs()
+	if ids[0] != "z" || ids[1] != "a" || ids[2] != "m" {
+		t.Fatalf("insertion order not preserved: %v", ids)
+	}
+}
+
+func TestSetValidateAndClone(t *testing.T) {
+	input, master := schemas(t)
+	s := MustSet(mkRule(t, "r1"))
+	if err := s.Validate(input, master); err != nil {
+		t.Fatal(err)
+	}
+	bad := mkRule(t, "r2")
+	bad.Set[0].Input = "bogus"
+	if err := s.Add(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(input, master); err == nil {
+		t.Fatal("invalid set passed validation")
+	}
+	cp := s.Clone()
+	cp.Remove("r1")
+	if s.Len() != 2 {
+		t.Fatal("Clone shares rule list")
+	}
+	if !strings.Contains(s.String(), "r1:") {
+		t.Errorf("Set.String missing rule: %q", s.String())
+	}
+}
+
+func TestDistinctPatterns(t *testing.T) {
+	p1 := pattern.NewPattern(pattern.Eq("type", "1"))
+	p2 := pattern.NewPattern(pattern.Eq("type", "2"))
+	mk := func(id string, p pattern.Pattern) *Rule {
+		r := mkRule(t, id)
+		r.When = p
+		return r
+	}
+	s := MustSet(
+		mk("a", p1), mk("b", p2), mk("c", p1),
+		mkRule(t, "d"), // empty pattern excluded
+	)
+	pats := s.DistinctPatterns()
+	if len(pats) != 2 {
+		t.Fatalf("DistinctPatterns = %d, want 2", len(pats))
+	}
+}

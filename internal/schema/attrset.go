@@ -1,0 +1,110 @@
+package schema
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// AttrSet is a set of attribute positions of a single schema, packed
+// into a 64-bit bitset (MaxAttrs bounds schema width). It represents
+// the "validated region" of a tuple during monitoring and the Z
+// component of certain regions.
+type AttrSet uint64
+
+// EmptySet is the set with no attributes.
+const EmptySet AttrSet = 0
+
+// SetOf builds a set from positions.
+func SetOf(positions ...int) AttrSet {
+	var s AttrSet
+	for _, p := range positions {
+		s |= 1 << uint(p)
+	}
+	return s
+}
+
+// SetOfNames builds a set from attribute names resolved against sch.
+// Unknown names are ignored (callers validate separately where it
+// matters).
+func SetOfNames(sch *Schema, names ...string) AttrSet {
+	var s AttrSet
+	for _, n := range names {
+		if i, ok := sch.Index(n); ok {
+			s |= 1 << uint(i)
+		}
+	}
+	return s
+}
+
+// FullSet returns the set containing every attribute of sch.
+func FullSet(sch *Schema) AttrSet {
+	if sch.Len() >= MaxAttrs {
+		return ^AttrSet(0)
+	}
+	return (1 << uint(sch.Len())) - 1
+}
+
+// Has reports membership of position p.
+func (s AttrSet) Has(p int) bool { return s&(1<<uint(p)) != 0 }
+
+// With returns s plus position p.
+func (s AttrSet) With(p int) AttrSet { return s | 1<<uint(p) }
+
+// Without returns s minus position p.
+func (s AttrSet) Without(p int) AttrSet { return s &^ (1 << uint(p)) }
+
+// Union returns the union of both sets.
+func (s AttrSet) Union(o AttrSet) AttrSet { return s | o }
+
+// Intersect returns the intersection.
+func (s AttrSet) Intersect(o AttrSet) AttrSet { return s & o }
+
+// Minus returns s with o's members removed.
+func (s AttrSet) Minus(o AttrSet) AttrSet { return s &^ o }
+
+// ContainsAll reports whether every member of o is in s.
+func (s AttrSet) ContainsAll(o AttrSet) bool { return o&^s == 0 }
+
+// IsEmpty reports whether the set has no members.
+func (s AttrSet) IsEmpty() bool { return s == 0 }
+
+// Count returns the cardinality.
+func (s AttrSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Positions lists the member positions in ascending order.
+func (s AttrSet) Positions() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; {
+		p := bits.TrailingZeros64(v)
+		out = append(out, p)
+		v &^= 1 << uint(p)
+	}
+	return out
+}
+
+// Names resolves member positions to attribute names of sch, in schema
+// order.
+func (s AttrSet) Names(sch *Schema) []string {
+	ps := s.Positions()
+	out := make([]string, 0, len(ps))
+	for _, p := range ps {
+		if p < sch.Len() {
+			out = append(out, sch.Attr(p).Name)
+		}
+	}
+	return out
+}
+
+// SortedNames is Names sorted alphabetically (stable display order for
+// suggestions).
+func (s AttrSet) SortedNames(sch *Schema) []string {
+	out := s.Names(sch)
+	sort.Strings(out)
+	return out
+}
+
+// Format renders "{a, b, c}" using names from sch.
+func (s AttrSet) Format(sch *Schema) string {
+	return "{" + strings.Join(s.Names(sch), ", ") + "}"
+}

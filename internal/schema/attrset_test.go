@@ -1,0 +1,114 @@
+package schema
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrSetBasics(t *testing.T) {
+	s := SetOf(0, 3, 5)
+	if !s.Has(0) || !s.Has(3) || !s.Has(5) || s.Has(1) {
+		t.Fatal("membership wrong")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	if s.With(1).Count() != 4 {
+		t.Fatal("With failed")
+	}
+	if s.Without(3).Has(3) {
+		t.Fatal("Without failed")
+	}
+	if !EmptySet.IsEmpty() || s.IsEmpty() {
+		t.Fatal("IsEmpty wrong")
+	}
+	ps := s.Positions()
+	if len(ps) != 3 || ps[0] != 0 || ps[1] != 3 || ps[2] != 5 {
+		t.Fatalf("Positions = %v", ps)
+	}
+}
+
+func TestAttrSetAlgebra(t *testing.T) {
+	a := SetOf(0, 1, 2)
+	b := SetOf(2, 3)
+	if a.Union(b) != SetOf(0, 1, 2, 3) {
+		t.Error("Union wrong")
+	}
+	if a.Intersect(b) != SetOf(2) {
+		t.Error("Intersect wrong")
+	}
+	if a.Minus(b) != SetOf(0, 1) {
+		t.Error("Minus wrong")
+	}
+	if !a.ContainsAll(SetOf(0, 2)) {
+		t.Error("ContainsAll false negative")
+	}
+	if a.ContainsAll(b) {
+		t.Error("ContainsAll false positive")
+	}
+	if !a.ContainsAll(EmptySet) {
+		t.Error("every set contains the empty set")
+	}
+}
+
+func TestAttrSetAlgebraProperties(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := AttrSet(x), AttrSet(y)
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Intersect(b) != b.Intersect(a) {
+			return false
+		}
+		if !a.Union(b).ContainsAll(a) {
+			return false
+		}
+		if a.Minus(b).Intersect(b) != EmptySet {
+			return false
+		}
+		if a.Union(b).Count() != a.Count()+b.Count()-a.Intersect(b).Count() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttrSetNames(t *testing.T) {
+	sch := MustNew("R", Str("b"), Str("a"), Str("c"))
+	s := SetOfNames(sch, "a", "c", "bogus")
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	names := s.Names(sch)
+	if len(names) != 2 || names[0] != "a" || names[1] != "c" {
+		t.Fatalf("Names = %v (schema order expected)", names)
+	}
+	sorted := s.SortedNames(sch)
+	if sorted[0] != "a" || sorted[1] != "c" {
+		t.Fatalf("SortedNames = %v", sorted)
+	}
+	if got := s.Format(sch); got != "{a, c}" {
+		t.Fatalf("Format = %q", got)
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	sch := MustNew("R", Str("a"), Str("b"), Str("c"))
+	fs := FullSet(sch)
+	if fs.Count() != 3 || !fs.Has(0) || !fs.Has(2) || fs.Has(3) {
+		t.Fatalf("FullSet wrong: %b", fs)
+	}
+}
+
+func TestPositionsRoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		s := AttrSet(x)
+		return SetOf(s.Positions()...) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// This file adds the batch-fix endpoint: the demo's monitor "supports
+// several interfaces to access data, which could be readily integrated
+// with other database applications" (§3) — batch mode is the
+// integration point for bulk pipelines, applying non-interactive
+// certain-fix passes given a caller-asserted validated attribute list.
+
+// batchRequest is the POST /api/fix payload.
+type batchRequest struct {
+	// Validated lists the attributes the caller asserts correct on
+	// every tuple.
+	Validated []string `json:"validated"`
+	// Tuples are the input rows (attribute → value).
+	Tuples []map[string]string `json:"tuples"`
+}
+
+// batchTupleResult is one tuple's outcome.
+type batchTupleResult struct {
+	Tuple     map[string]string `json:"tuple"`
+	Validated []string          `json:"validated"`
+	Done      bool              `json:"done"`
+	Conflicts []string          `json:"conflicts,omitempty"`
+	Rewrites  []changeJSON      `json:"rewrites,omitempty"`
+}
+
+// batchResponse is the endpoint's reply.
+type batchResponse struct {
+	Results []batchTupleResult `json:"results"`
+	// FullyValidated counts tuples whose every attribute ended
+	// validated.
+	FullyValidated int `json:"fully_validated"`
+	// CellsRewritten counts rule-made value changes.
+	CellsRewritten int `json:"cells_rewritten"`
+}
+
+func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Validated) == 0 {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("validated attribute list required"))
+		return
+	}
+	if len(req.Tuples) == 0 {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("no tuples"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	input := s.sys.InputSchema()
+	for _, a := range req.Validated {
+		if !input.Has(a) {
+			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("unknown attribute %q", a))
+			return
+		}
+	}
+	resp := batchResponse{}
+	for i, tm := range req.Tuples {
+		tu, err := tupleFromMap(input, tm)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("tuple %d: %w", i, err))
+			return
+		}
+		fixed, res := s.sys.Fix(tu, req.Validated)
+		tr := batchTupleResult{
+			Tuple:     fixed.Map(),
+			Validated: res.Validated.SortedNames(input),
+			Done:      res.AllValidated(),
+		}
+		for _, c := range res.Conflicts {
+			tr.Conflicts = append(tr.Conflicts, c.Error())
+		}
+		for _, c := range res.Rewrites() {
+			tr.Rewrites = append(tr.Rewrites, changeJSON{
+				Attr: c.Attr, Old: string(c.Old), New: string(c.New),
+				Source: c.Source.String(), RuleID: c.RuleID, MasterID: c.MasterID,
+			})
+			resp.CellsRewritten++
+		}
+		if tr.Done && len(tr.Conflicts) == 0 {
+			resp.FullyValidated++
+		}
+		resp.Results = append(resp.Results, tr)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

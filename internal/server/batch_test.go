@@ -1,0 +1,165 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"cerfix/internal/dataset"
+)
+
+func TestBatchFix(t *testing.T) {
+	ts := demoServer(t)
+	var resp batchResponse
+	doJSON(t, "POST", ts.URL+"/api/fix", map[string]any{
+		"validated": []string{"zip", "phn", "type", "item"},
+		"tuples": []map[string]string{
+			dataset.DemoInputFig3().Map(),
+			dataset.DemoInputExample1().Map(),
+		},
+	}, 200, &resp)
+	if len(resp.Results) != 2 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	// Fig. 3 tuple: the 4 validated attributes form the mobile region —
+	// fully fixed.
+	r0 := resp.Results[0]
+	if !r0.Done || r0.Tuple["FN"] != "Mark" || r0.Tuple["str"] != "20 Baker St" {
+		t.Fatalf("result 0 = %+v", r0)
+	}
+	// Example 1 tuple: zip correct so AC fixed to 131.
+	r1 := resp.Results[1]
+	if r1.Tuple["AC"] != "131" || r1.Tuple["city"] != "Edi" {
+		t.Fatalf("result 1 = %+v", r1)
+	}
+	if resp.FullyValidated < 1 || resp.CellsRewritten < 3 {
+		t.Fatalf("aggregates = %+v", resp)
+	}
+	// Rewrites carry provenance.
+	foundProv := false
+	for _, c := range r0.Rewrites {
+		if c.Attr == "FN" && c.RuleID == "phi4" {
+			foundProv = true
+		}
+	}
+	if !foundProv {
+		t.Fatalf("FN rewrite provenance missing: %+v", r0.Rewrites)
+	}
+}
+
+func TestBatchFixErrors(t *testing.T) {
+	ts := demoServer(t)
+	doJSON(t, "POST", ts.URL+"/api/fix", map[string]any{
+		"validated": []string{},
+		"tuples":    []map[string]string{{"FN": "x"}},
+	}, 422, nil)
+	doJSON(t, "POST", ts.URL+"/api/fix", map[string]any{
+		"validated": []string{"zip"},
+		"tuples":    []map[string]string{},
+	}, 422, nil)
+	doJSON(t, "POST", ts.URL+"/api/fix", map[string]any{
+		"validated": []string{"bogus"},
+		"tuples":    []map[string]string{{"FN": "x"}},
+	}, 422, nil)
+	doJSON(t, "POST", ts.URL+"/api/fix", map[string]any{
+		"validated": []string{"zip"},
+		"tuples":    []map[string]string{{"bogus": "x"}},
+	}, 422, nil)
+}
+
+// The server is safe under concurrent mixed traffic: sessions, batch
+// fixes, audits and rule reads racing on the shared system.
+func TestServerConcurrentTraffic(t *testing.T) {
+	ts := demoServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					var sess sessionJSON
+					doJSONq(ts.URL+"/api/sessions", map[string]any{
+						"tuple": dataset.DemoInputFig3().Map(),
+					}, &sess, errs)
+					if sess.ID != 0 {
+						doJSONq(fmt.Sprintf("%s/api/sessions/%d/validate", ts.URL, sess.ID), map[string]any{
+							"assertions": map[string]string{"zip": "NW1 6XE", "phn": "075568485", "type": "2", "item": "DVD"},
+						}, nil, errs)
+					}
+				case 1:
+					doJSONq(ts.URL+"/api/fix", map[string]any{
+						"validated": []string{"zip", "phn", "type", "item"},
+						"tuples":    []map[string]string{dataset.DemoInputFig3().Map()},
+					}, nil, errs)
+				case 2:
+					getq(ts.URL+"/api/audit/stats", errs)
+				default:
+					getq(ts.URL+"/api/rules", errs)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// doJSONq is doJSON without *testing.T (for goroutines).
+func doJSONq(url string, body any, out any, errs chan<- error) {
+	resp, err := postJSON(url, body)
+	if err != nil {
+		errs <- err
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		errs <- fmt.Errorf("POST %s = %d", url, resp.StatusCode)
+		return
+	}
+	if out != nil {
+		if err := decodeJSONBody(resp, out); err != nil {
+			errs <- err
+		}
+	}
+}
+
+func getq(url string, errs chan<- error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		errs <- err
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		errs <- fmt.Errorf("GET %s = %d", url, resp.StatusCode)
+	}
+}
+
+func TestSessionExplain(t *testing.T) {
+	ts := demoServer(t)
+	var sess sessionJSON
+	doJSON(t, "POST", ts.URL+"/api/sessions", map[string]any{
+		"tuple": dataset.DemoInputFig3().Map(),
+	}, 201, &sess)
+	doJSON(t, "POST", fmt.Sprintf("%s/api/sessions/%d/validate", ts.URL, sess.ID), map[string]any{
+		"assertions": map[string]string{"AC": "201", "phn": "075568485", "type": "2", "item": "DVD"},
+	}, 200, nil)
+	var out struct {
+		Suggestion  []string `json:"suggestion"`
+		Explanation string   `json:"explanation"`
+	}
+	doJSON(t, "GET", fmt.Sprintf("%s/api/sessions/%d/explain", ts.URL, sess.ID), nil, 200, &out)
+	if len(out.Suggestion) != 1 || out.Suggestion[0] != "zip" {
+		t.Fatalf("suggestion = %v", out.Suggestion)
+	}
+	if out.Explanation == "" {
+		t.Fatal("empty explanation")
+	}
+	doJSON(t, "GET", ts.URL+"/api/sessions/999/explain", nil, 404, nil)
+}

@@ -1,0 +1,11 @@
+package server
+
+import (
+	"cerfix"
+	"cerfix/internal/schema"
+)
+
+// schemaTupleFromMap adapts schema.TupleFromMap to the facade types.
+func schemaTupleFromMap(sch *cerfix.Schema, m map[string]string) (*cerfix.Tuple, error) {
+	return schema.TupleFromMap(sch, m)
+}

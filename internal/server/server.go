@@ -1,0 +1,494 @@
+// Package server exposes CerFix over HTTP/JSON — the stand-in for the
+// demo's Web interface (data explorer). It covers the three
+// demonstration facilities of the paper:
+//
+//   - editing-rule management (Fig. 2): list/add/delete rules and run
+//     the consistency check;
+//   - data monitoring (Fig. 3): open sessions, receive suggestions,
+//     validate attributes, watch CerFix expand the validated set;
+//   - data auditing (Fig. 4): per-tuple history, per-cell provenance
+//     and per-attribute user%/auto% statistics.
+//
+// All handlers are JSON over stdlib net/http; see routes in Handler.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"cerfix"
+	"cerfix/internal/monitor"
+)
+
+// Server wraps a cerfix.System with HTTP session state.
+type Server struct {
+	mu       sync.Mutex
+	sys      *cerfix.System
+	sessions map[int64]*monitor.Session
+}
+
+// New builds a server for a configured system.
+func New(sys *cerfix.System) *Server {
+	return &Server{sys: sys, sessions: make(map[int64]*monitor.Session)}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/status", s.handleStatus)
+	mux.HandleFunc("GET /api/rules", s.handleRulesList)
+	mux.HandleFunc("POST /api/rules", s.handleRulesAdd)
+	mux.HandleFunc("DELETE /api/rules/{id}", s.handleRulesDelete)
+	mux.HandleFunc("POST /api/rules/check", s.handleRulesCheck)
+	mux.HandleFunc("GET /api/regions", s.handleRegions)
+	mux.HandleFunc("GET /api/master", s.handleMasterList)
+	mux.HandleFunc("POST /api/master", s.handleMasterAdd)
+	mux.HandleFunc("POST /api/sessions", s.handleSessionOpen)
+	mux.HandleFunc("GET /api/sessions/{id}", s.handleSessionGet)
+	mux.HandleFunc("POST /api/sessions/{id}/validate", s.handleSessionValidate)
+	mux.HandleFunc("GET /api/sessions/{id}/explain", s.handleSessionExplain)
+	mux.HandleFunc("GET /api/audit/stats", s.handleAuditStats)
+	mux.HandleFunc("GET /api/audit/tuples/{id}", s.handleAuditTuple)
+	mux.HandleFunc("GET /api/audit/cell", s.handleAuditCell)
+	mux.HandleFunc("POST /api/fix", s.handleBatchFix)
+	return mux
+}
+
+// --- helpers -----------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// tupleFromMap builds an input tuple, rejecting unknown attributes.
+func tupleFromMap(sch *cerfix.Schema, m map[string]string) (*cerfix.Tuple, error) {
+	return schemaTupleFromMap(sch, m)
+}
+
+// --- status ------------------------------------------------------------
+
+type statusResponse struct {
+	InputSchema  string `json:"input_schema"`
+	MasterSchema string `json:"master_schema"`
+	MasterTuples int    `json:"master_tuples"`
+	Rules        int    `json:"rules"`
+	AuditRecords int    `json:"audit_records"`
+	OpenSessions int    `json:"open_sessions"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statusResponse{
+		InputSchema:  s.sys.InputSchema().String(),
+		MasterSchema: s.sys.MasterSchema().String(),
+		MasterTuples: s.sys.Master().Len(),
+		Rules:        s.sys.RuleSet().Len(),
+		AuditRecords: s.sys.Audit().Len(),
+		OpenSessions: len(s.sessions),
+	})
+}
+
+// --- rules (Fig. 2) -----------------------------------------------------
+
+type ruleJSON struct {
+	ID      string `json:"id"`
+	DSL     string `json:"dsl"`
+	Comment string `json:"comment,omitempty"`
+}
+
+func (s *Server) handleRulesList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rules := s.sys.RuleSet().Rules()
+	out := make([]ruleJSON, len(rules))
+	for i, ru := range rules {
+		out[i] = ruleJSON{ID: ru.ID, DSL: ru.String(), Comment: ru.Comment}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRulesAdd(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		DSL string `json:"dsl"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.sys.AddRule(req.DSL); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"rules": s.sys.RuleSet().Len()})
+}
+
+func (s *Server) handleRulesDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.sys.RemoveRule(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("rule %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"rules": s.sys.RuleSet().Len()})
+}
+
+type issueJSON struct {
+	Kind     string `json:"kind"`
+	Severity string `json:"severity"`
+	RuleA    string `json:"rule_a"`
+	RuleB    string `json:"rule_b,omitempty"`
+	Attr     string `json:"attr,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+func (s *Server) handleRulesCheck(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := s.sys.CheckConsistency()
+	issues := make([]issueJSON, len(rep.Issues))
+	for i, is := range rep.Issues {
+		issues[i] = issueJSON{
+			Kind:     is.Kind.String(),
+			Severity: is.Severity.String(),
+			RuleA:    is.RuleA,
+			RuleB:    is.RuleB,
+			Attr:     is.Attr,
+			Detail:   is.Detail,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"consistent": rep.Consistent(),
+		"issues":     issues,
+		"probes_run": rep.ProbesRun,
+	})
+}
+
+// --- regions ------------------------------------------------------------
+
+type regionJSON struct {
+	Attrs []string `json:"attrs"`
+	Size  int      `json:"size"`
+	Rows  int      `json:"tableau_rows"`
+}
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	k := 0
+	if q := r.URL.Query().Get("k"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", q))
+			return
+		}
+		k = n
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	regions := s.sys.Regions(k)
+	out := make([]regionJSON, len(regions))
+	for i, reg := range regions {
+		out[i] = regionJSON{Attrs: reg.AttrNames(), Size: reg.Size(), Rows: len(reg.Tableau.Rows)}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- master data ---------------------------------------------------------
+
+func (s *Server) handleMasterList(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
+			return
+		}
+		limit = n
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rows []map[string]string
+	for _, tu := range s.sys.Master().All() {
+		if len(rows) >= limit {
+			break
+		}
+		m := tu.Map()
+		m["_id"] = strconv.FormatInt(tu.ID, 10)
+		rows = append(rows, m)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total": s.sys.Master().Len(),
+		"rows":  rows,
+	})
+}
+
+func (s *Server) handleMasterAdd(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Values map[string]string `json:"values"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sch := s.sys.MasterSchema()
+	vals := make([]string, sch.Len())
+	for k, v := range req.Values {
+		i, ok := sch.Index(k)
+		if !ok {
+			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("unknown attribute %q", k))
+			return
+		}
+		vals[i] = v
+	}
+	if err := s.sys.AddMasterRow(vals...); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]int{"master_tuples": s.sys.Master().Len()})
+}
+
+// --- sessions (Fig. 3) ----------------------------------------------------
+
+type sessionJSON struct {
+	ID         int64             `json:"id"`
+	Tuple      map[string]string `json:"tuple"`
+	Validated  []string          `json:"validated"`
+	Remaining  []string          `json:"remaining"`
+	Suggestion []string          `json:"suggestion"`
+	Rounds     int               `json:"rounds"`
+	Done       bool              `json:"done"`
+	Certain    bool              `json:"certain"`
+	Conflicts  []string          `json:"conflicts,omitempty"`
+}
+
+func (s *Server) sessionJSONLocked(sess *monitor.Session) sessionJSON {
+	out := sessionJSON{
+		ID:         sess.ID,
+		Tuple:      sess.Tuple.Map(),
+		Validated:  sess.Validated.SortedNames(sess.Tuple.Schema),
+		Remaining:  sess.Remaining(),
+		Suggestion: sess.Suggestion(),
+		Rounds:     sess.Rounds,
+		Done:       sess.Done(),
+		Certain:    sess.Certain(),
+	}
+	for _, c := range sess.Conflicts {
+		out.Conflicts = append(out.Conflicts, c.Error())
+	}
+	sort.Strings(out.Validated)
+	return out
+}
+
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Tuple map[string]string `json:"tuple"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, err := s.sys.NewSession(req.Tuple)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.sessions[sess.ID] = sess
+	writeJSON(w, http.StatusCreated, s.sessionJSONLocked(sess))
+}
+
+func (s *Server) lookupSession(r *http.Request) (*monitor.Session, error) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad session id")
+	}
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("session %d not found", id)
+	}
+	return sess, nil
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, err := s.lookupSession(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sessionJSONLocked(sess))
+}
+
+type changeJSON struct {
+	Attr     string `json:"attr"`
+	Old      string `json:"old"`
+	New      string `json:"new"`
+	Source   string `json:"source"`
+	RuleID   string `json:"rule_id,omitempty"`
+	MasterID int64  `json:"master_id,omitempty"`
+}
+
+func (s *Server) handleSessionValidate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Assertions map[string]string `json:"assertions"`
+	}
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, err := s.lookupSession(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	res, err := sess.Validate(req.Assertions)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	changes := make([]changeJSON, len(res.Changes))
+	for i, c := range res.Changes {
+		changes[i] = changeJSON{
+			Attr: c.Attr, Old: string(c.Old), New: string(c.New),
+			Source: c.Source.String(), RuleID: c.RuleID, MasterID: c.MasterID,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session": s.sessionJSONLocked(sess),
+		"changes": changes,
+	})
+}
+
+// handleSessionExplain returns the derivation plan behind the current
+// suggestion ("why is validating these attributes enough?").
+func (s *Server) handleSessionExplain(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, err := s.lookupSession(r)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"suggestion":  sess.Suggestion(),
+		"explanation": sess.ExplainSuggestion(),
+	})
+}
+
+// --- auditing (Fig. 4) ------------------------------------------------------
+
+type attrStatsJSON struct {
+	Attr          string  `json:"attr"`
+	UserValidated int     `json:"user_validated"`
+	AutoFixed     int     `json:"auto_fixed"`
+	AutoConfirmed int     `json:"auto_confirmed"`
+	UserPct       float64 `json:"user_pct"`
+	AutoPct       float64 `json:"auto_pct"`
+}
+
+func statsJSON(st cerfix.AttrStats) attrStatsJSON {
+	return attrStatsJSON{
+		Attr:          st.Attr,
+		UserValidated: st.UserValidated,
+		AutoFixed:     st.AutoFixed,
+		AutoConfirmed: st.AutoConfirmed,
+		UserPct:       st.UserPct(),
+		AutoPct:       st.AutoPct(),
+	}
+}
+
+func (s *Server) handleAuditStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	per := s.sys.Audit().StatsPerAttr()
+	out := make([]attrStatsJSON, len(per))
+	for i, st := range per {
+		out[i] = statsJSON(st)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"per_attr": out,
+		"overall":  statsJSON(s.sys.Audit().Overall()),
+	})
+}
+
+type auditRecordJSON struct {
+	Seq      int    `json:"seq"`
+	TupleID  int64  `json:"tuple_id"`
+	Attr     string `json:"attr"`
+	Old      string `json:"old"`
+	New      string `json:"new"`
+	Source   string `json:"source"`
+	RuleID   string `json:"rule_id,omitempty"`
+	MasterID int64  `json:"master_id,omitempty"`
+}
+
+func recordJSON(rec cerfix.AuditRecord) auditRecordJSON {
+	return auditRecordJSON{
+		Seq: rec.Seq, TupleID: rec.TupleID, Attr: rec.Attr,
+		Old: string(rec.Old), New: string(rec.New),
+		Source: rec.Source.String(), RuleID: rec.RuleID, MasterID: rec.MasterID,
+	}
+}
+
+func (s *Server) handleAuditTuple(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tuple id"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist := s.sys.Audit().TupleHistory(id)
+	out := make([]auditRecordJSON, len(hist))
+	for i, rec := range hist {
+		out[i] = recordJSON(rec)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleAuditCell is the Fig. 4 click-through: latest provenance for
+// one cell (?tuple=ID&attr=FN).
+func (s *Server) handleAuditCell(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.URL.Query().Get("tuple"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tuple id"))
+		return
+	}
+	attr := r.URL.Query().Get("attr")
+	if attr == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing attr"))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.sys.Audit().CellProvenance(id, attr)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no audit record for tuple %d attr %s", id, attr))
+		return
+	}
+	writeJSON(w, http.StatusOK, recordJSON(rec))
+}

@@ -1,0 +1,22 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+)
+
+// postJSON and decodeJSONBody support goroutine-safe test traffic.
+func postJSON(url string, body any) (*http.Response, error) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return nil, err
+		}
+	}
+	return http.Post(url, "application/json", &buf)
+}
+
+func decodeJSONBody(resp *http.Response, out any) error {
+	return json.NewDecoder(resp.Body).Decode(out)
+}

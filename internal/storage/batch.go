@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"fmt"
+
+	"cerfix/internal/schema"
+)
+
+// This file implements the table's simple transaction facility: an
+// all-or-nothing batch of inserts, updates and deletes. Bulk cleaning
+// pipelines use it so a failing row cannot leave a half-applied
+// repair; the batch validates every operation against a staged view
+// before any mutation reaches the table.
+
+// OpKind enumerates batch operation kinds.
+type OpKind int
+
+const (
+	// OpInsert adds a new row (Tuple's ID is assigned on commit).
+	OpInsert OpKind = iota
+	// OpUpdate replaces the row with Tuple.ID.
+	OpUpdate
+	// OpDelete removes the row with ID.
+	OpDelete
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	default:
+		return "unknown"
+	}
+}
+
+// Op is one batch operation.
+type Op struct {
+	Kind OpKind
+	// Tuple carries the row for inserts/updates.
+	Tuple *schema.Tuple
+	// ID identifies the row for deletes (updates use Tuple.ID).
+	ID int64
+}
+
+// Insert builds an insert op.
+func Insert(t *schema.Tuple) Op { return Op{Kind: OpInsert, Tuple: t} }
+
+// Update builds an update op.
+func Update(t *schema.Tuple) Op { return Op{Kind: OpUpdate, Tuple: t} }
+
+// Delete builds a delete op.
+func Delete(id int64) Op { return Op{Kind: OpDelete, ID: id} }
+
+// ApplyBatch applies ops atomically: either every operation succeeds
+// and the assigned IDs of inserts are returned (aligned with the ops
+// slice; zero for non-inserts), or the table is unchanged and an error
+// describes the first failing operation.
+func (t *Table) ApplyBatch(ops []Op) ([]int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Validation pass against a staged view of row liveness.
+	staged := make(map[int64]bool, len(t.rows)) // id -> live after batch so far
+	live := func(id int64) bool {
+		if v, ok := staged[id]; ok {
+			return v
+		}
+		_, ok := t.rows[id]
+		return ok
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			if op.Tuple == nil {
+				return nil, fmt.Errorf("storage: batch op %d: nil tuple", i)
+			}
+			if op.Tuple.Schema != t.sch {
+				return nil, fmt.Errorf("storage: batch op %d: schema mismatch", i)
+			}
+		case OpUpdate:
+			if op.Tuple == nil {
+				return nil, fmt.Errorf("storage: batch op %d: nil tuple", i)
+			}
+			if op.Tuple.Schema != t.sch {
+				return nil, fmt.Errorf("storage: batch op %d: schema mismatch", i)
+			}
+			if !live(op.Tuple.ID) {
+				return nil, fmt.Errorf("storage: batch op %d: row %d not found", i, op.Tuple.ID)
+			}
+		case OpDelete:
+			if !live(op.ID) {
+				return nil, fmt.Errorf("storage: batch op %d: row %d not found", i, op.ID)
+			}
+			staged[op.ID] = false
+		default:
+			return nil, fmt.Errorf("storage: batch op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	// Apply pass — cannot fail after validation.
+	ids := make([]int64, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			cp := op.Tuple.Clone()
+			cp.ID = t.nextID
+			t.nextID++
+			t.rows[cp.ID] = cp
+			t.order = append(t.order, cp.ID)
+			for _, idx := range t.indexes {
+				idx.add(cp)
+			}
+			ids[i] = cp.ID
+		case OpUpdate:
+			old := t.rows[op.Tuple.ID]
+			for _, idx := range t.indexes {
+				idx.remove(old)
+			}
+			cp := op.Tuple.Clone()
+			t.rows[cp.ID] = cp
+			for _, idx := range t.indexes {
+				idx.add(cp)
+			}
+		case OpDelete:
+			tu, ok := t.rows[op.ID]
+			if !ok {
+				continue // deleted earlier in this batch
+			}
+			for _, idx := range t.indexes {
+				idx.remove(tu)
+			}
+			delete(t.rows, op.ID)
+			for j, oid := range t.order {
+				if oid == op.ID {
+					t.order = append(t.order[:j], t.order[j+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return ids, nil
+}

@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// WriteCSV serializes the table to w: a header row of attribute names
+// followed by one record per row in insertion order. Row IDs are not
+// persisted (they are storage-local).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.sch.AttrNames()); err != nil {
+		return fmt.Errorf("storage: writing csv header: %w", err)
+	}
+	var scanErr error
+	t.Scan(func(tu *schema.Tuple) bool {
+		if err := cw.Write(tu.Vals.Strings()); err != nil {
+			scanErr = fmt.Errorf("storage: writing csv row: %w", err)
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads records from r into the table. The header must list
+// exactly the schema's attributes (any order); columns are mapped by
+// name so files survive schema attribute reordering.
+func (t *Table) ReadCSV(r io.Reader) error {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("storage: reading csv header: %w", err)
+	}
+	colToAttr := make([]int, len(header))
+	seen := make(map[string]bool)
+	for i, h := range header {
+		idx, ok := t.sch.Index(h)
+		if !ok {
+			return fmt.Errorf("storage: csv column %q not in schema %s", h, t.sch.Name())
+		}
+		if seen[h] {
+			return fmt.Errorf("storage: duplicate csv column %q", h)
+		}
+		seen[h] = true
+		colToAttr[i] = idx
+	}
+	if len(seen) != t.sch.Len() {
+		return fmt.Errorf("storage: csv header has %d columns, schema %s has %d attributes",
+			len(seen), t.sch.Name(), t.sch.Len())
+	}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("storage: csv line %d: %w", line, err)
+		}
+		vals := make(value.List, t.sch.Len())
+		for i, cell := range rec {
+			vals[colToAttr[i]] = value.V(cell)
+		}
+		tu := &schema.Tuple{Schema: t.sch, Vals: vals}
+		if _, err := t.Insert(tu); err != nil {
+			return fmt.Errorf("storage: csv line %d: %w", line, err)
+		}
+	}
+}
+
+// SaveCSVFile writes the table to path, creating or truncating it.
+func (t *Table) SaveCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadCSVFile reads rows from path into the table.
+func (t *Table) LoadCSVFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	return t.ReadCSV(f)
+}
+
+// Catalog is a named registry of tables, the storage-level analogue of
+// the demo's configured "instance" (input relation + master relation).
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Create registers a new empty table for sch, keyed by the schema name.
+func (c *Catalog) Create(sch *schema.Schema) (*Table, error) {
+	if _, dup := c.tables[sch.Name()]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", sch.Name())
+	}
+	t := NewTable(sch)
+	c.tables[sch.Name()] = t
+	return t, nil
+}
+
+// Get returns the table registered under name.
+func (c *Catalog) Get(name string) (*Table, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Drop removes the named table, reporting whether it existed.
+func (c *Catalog) Drop(name string) bool {
+	if _, ok := c.tables[name]; !ok {
+		return false
+	}
+	delete(c.tables, name)
+	return true
+}
+
+// Names lists registered table names (unsorted callers should sort).
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+// Package storage is the embedded relational substrate that stands in
+// for the demo's JDBC data connection. CerFix's data monitor "supports
+// several interfaces to access data" (paper §3); this package provides
+// the one our build uses: schema-typed tables with auto-assigned row
+// IDs, predicate scans, hash indexes over attribute lists (the access
+// path editing-rule lookups need), and CSV import/export for
+// persistence.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// Table is a mutable, thread-safe relation instance.
+type Table struct {
+	mu      sync.RWMutex
+	sch     *schema.Schema
+	rows    map[int64]*schema.Tuple
+	order   []int64 // insertion order of live row IDs
+	nextID  int64
+	indexes map[string]*hashIndex
+}
+
+// NewTable creates an empty table under sch.
+func NewTable(sch *schema.Schema) *Table {
+	return &Table{
+		sch:     sch,
+		rows:    make(map[int64]*schema.Tuple),
+		nextID:  1,
+		indexes: make(map[string]*hashIndex),
+	}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *schema.Schema { return t.sch }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert stores a copy of tu, assigns it a fresh ID and returns the ID.
+// The tuple must belong to the table's schema.
+func (t *Table) Insert(tu *schema.Tuple) (int64, error) {
+	if tu.Schema != t.sch {
+		return 0, fmt.Errorf("storage: tuple schema %s does not match table schema %s",
+			tu.Schema.Name(), t.sch.Name())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cp := tu.Clone()
+	cp.ID = t.nextID
+	t.nextID++
+	t.rows[cp.ID] = cp
+	t.order = append(t.order, cp.ID)
+	for _, idx := range t.indexes {
+		idx.add(cp)
+	}
+	return cp.ID, nil
+}
+
+// InsertValues is a convenience wrapper building the tuple in place.
+func (t *Table) InsertValues(vals ...value.V) (int64, error) {
+	tu, err := schema.NewTuple(t.sch, vals...)
+	if err != nil {
+		return 0, err
+	}
+	return t.Insert(tu)
+}
+
+// Get returns a copy of the row with the given ID.
+func (t *Table) Get(id int64) (*schema.Tuple, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	tu, ok := t.rows[id]
+	if !ok {
+		return nil, false
+	}
+	return tu.Clone(), true
+}
+
+// Update replaces the row with tu.ID by a copy of tu.
+func (t *Table) Update(tu *schema.Tuple) error {
+	if tu.Schema != t.sch {
+		return fmt.Errorf("storage: tuple schema mismatch")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[tu.ID]
+	if !ok {
+		return fmt.Errorf("storage: row %d not found", tu.ID)
+	}
+	for _, idx := range t.indexes {
+		idx.remove(old)
+	}
+	cp := tu.Clone()
+	t.rows[cp.ID] = cp
+	for _, idx := range t.indexes {
+		idx.add(cp)
+	}
+	return nil
+}
+
+// Delete removes the row with the given ID, reporting whether it
+// existed.
+func (t *Table) Delete(id int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tu, ok := t.rows[id]
+	if !ok {
+		return false
+	}
+	for _, idx := range t.indexes {
+		idx.remove(tu)
+	}
+	delete(t.rows, id)
+	for i, oid := range t.order {
+		if oid == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Scan calls fn on a copy of every row in insertion order; fn returning
+// false stops the scan.
+func (t *Table) Scan(fn func(*schema.Tuple) bool) {
+	t.mu.RLock()
+	ids := append([]int64(nil), t.order...)
+	t.mu.RUnlock()
+	for _, id := range ids {
+		t.mu.RLock()
+		tu, ok := t.rows[id]
+		var cp *schema.Tuple
+		if ok {
+			cp = tu.Clone()
+		}
+		t.mu.RUnlock()
+		if ok && !fn(cp) {
+			return
+		}
+	}
+}
+
+// Select returns copies of all rows satisfying pred, in insertion
+// order. A nil predicate selects everything.
+func (t *Table) Select(pred func(*schema.Tuple) bool) []*schema.Tuple {
+	var out []*schema.Tuple
+	t.Scan(func(tu *schema.Tuple) bool {
+		if pred == nil || pred(tu) {
+			out = append(out, tu)
+		}
+		return true
+	})
+	return out
+}
+
+// All returns copies of every row in insertion order.
+func (t *Table) All() []*schema.Tuple { return t.Select(nil) }
+
+// indexKey canonicalizes an attribute list for the index registry.
+func indexKey(attrs []string) string {
+	cp := append([]string(nil), attrs...)
+	sort.Strings(cp)
+	var b []byte
+	for _, a := range cp {
+		b = append(b, byte(len(a)))
+		b = append(b, a...)
+	}
+	return string(b)
+}
+
+// hashIndex maps composite attribute values to row IDs.
+type hashIndex struct {
+	attrs   []string // sorted
+	buckets map[string][]int64
+}
+
+func (ix *hashIndex) keyOf(tu *schema.Tuple) string {
+	return tu.Project(ix.attrs).Key()
+}
+
+func (ix *hashIndex) add(tu *schema.Tuple) {
+	k := ix.keyOf(tu)
+	ix.buckets[k] = append(ix.buckets[k], tu.ID)
+}
+
+func (ix *hashIndex) remove(tu *schema.Tuple) {
+	k := ix.keyOf(tu)
+	ids := ix.buckets[k]
+	for i, id := range ids {
+		if id == tu.ID {
+			ix.buckets[k] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(ix.buckets[k]) == 0 {
+		delete(ix.buckets, k)
+	}
+}
+
+// CreateIndex builds (or reuses) a hash index over the attribute list.
+// Index lookups then serve LookupEq in O(1) expected time.
+func (t *Table) CreateIndex(attrs []string) error {
+	for _, a := range attrs {
+		if !t.sch.Has(a) {
+			return fmt.Errorf("storage: index attribute %q not in schema %s", a, t.sch.Name())
+		}
+	}
+	key := indexKey(attrs)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.indexes[key]; ok {
+		return nil
+	}
+	sorted := append([]string(nil), attrs...)
+	sort.Strings(sorted)
+	idx := &hashIndex{attrs: sorted, buckets: make(map[string][]int64)}
+	for _, id := range t.order {
+		idx.add(t.rows[id])
+	}
+	t.indexes[key] = idx
+	return nil
+}
+
+// HasIndex reports whether an index over exactly these attributes
+// exists (order-insensitive).
+func (t *Table) HasIndex(attrs []string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[indexKey(attrs)]
+	return ok
+}
+
+// LookupEq returns copies of all rows whose attrs project to key. It
+// uses a matching hash index when one exists and falls back to a scan
+// otherwise (the E5 benchmark's indexed-vs-scan ablation toggles
+// exactly this).
+func (t *Table) LookupEq(attrs []string, key value.List) []*schema.Tuple {
+	if len(attrs) != len(key) {
+		return nil
+	}
+	t.mu.RLock()
+	idx, ok := t.indexes[indexKey(attrs)]
+	if ok {
+		// Project the probe into the index's canonical attribute order.
+		sorted := append([]string(nil), attrs...)
+		sort.Strings(sorted)
+		probe := make(value.List, len(sorted))
+		for i, a := range sorted {
+			for j, orig := range attrs {
+				if orig == a {
+					probe[i] = key[j]
+					break
+				}
+			}
+		}
+		ids := append([]int64(nil), idx.buckets[probe.Key()]...)
+		out := make([]*schema.Tuple, 0, len(ids))
+		for _, id := range ids {
+			if tu, live := t.rows[id]; live {
+				out = append(out, tu.Clone())
+			}
+		}
+		t.mu.RUnlock()
+		return out
+	}
+	t.mu.RUnlock()
+	return t.Select(func(tu *schema.Tuple) bool {
+		return tu.Project(attrs).Equal(key)
+	})
+}

@@ -1,0 +1,214 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+func personSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustNew("PERSON",
+		schema.Str("FN"), schema.Str("LN"), schema.Str("zip"))
+}
+
+func fill(t *testing.T, tb *Table) []int64 {
+	t.Helper()
+	rows := [][]value.V{
+		{"Robert", "Brady", "EH8 4AH"},
+		{"Mark", "Smith", "W1B 1JL"},
+		{"Robert", "Luth", "EH8 4AH"},
+	}
+	var ids []int64
+	for _, r := range rows {
+		id, err := tb.InsertValues(r...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func TestInsertGet(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	ids := fill(t, tb)
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	tu, ok := tb.Get(ids[1])
+	if !ok || tu.Get("FN") != "Mark" {
+		t.Fatalf("Get = %v, %v", tu, ok)
+	}
+	if _, ok := tb.Get(999); ok {
+		t.Fatal("Get(999) found phantom row")
+	}
+	// IDs are unique and ascending.
+	if !(ids[0] < ids[1] && ids[1] < ids[2]) {
+		t.Fatalf("IDs not ascending: %v", ids)
+	}
+}
+
+func TestInsertCopies(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	tu := schema.MustTuple(tb.Schema(), "A", "B", "C")
+	id, _ := tb.Insert(tu)
+	tu.Set("FN", "MUTATED")
+	got, _ := tb.Get(id)
+	if got.Get("FN") != "A" {
+		t.Fatal("Insert did not copy the tuple")
+	}
+	got.Set("FN", "MUTATED2")
+	got2, _ := tb.Get(id)
+	if got2.Get("FN") != "A" {
+		t.Fatal("Get did not return a copy")
+	}
+}
+
+func TestInsertSchemaMismatch(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	other := schema.MustNew("OTHER", schema.Str("x"))
+	if _, err := tb.Insert(schema.MustTuple(other, "v")); err == nil {
+		t.Fatal("foreign-schema tuple accepted")
+	}
+	if _, err := tb.InsertValues("too", "few"); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	ids := fill(t, tb)
+	tu, _ := tb.Get(ids[0])
+	tu.Set("LN", "Changed")
+	if err := tb.Update(tu); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tb.Get(ids[0])
+	if got.Get("LN") != "Changed" {
+		t.Fatal("Update lost")
+	}
+	ghost := tu.Clone()
+	ghost.ID = 999
+	if err := tb.Update(ghost); err == nil {
+		t.Fatal("Update of missing row accepted")
+	}
+	if !tb.Delete(ids[0]) || tb.Delete(ids[0]) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if tb.Len() != 2 {
+		t.Fatalf("Len after delete = %d", tb.Len())
+	}
+}
+
+func TestScanOrderAndEarlyStop(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	fill(t, tb)
+	var names []string
+	tb.Scan(func(tu *schema.Tuple) bool {
+		names = append(names, string(tu.Get("FN")))
+		return len(names) < 2
+	})
+	if len(names) != 2 || names[0] != "Robert" || names[1] != "Mark" {
+		t.Fatalf("Scan = %v", names)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	fill(t, tb)
+	rob := tb.Select(func(tu *schema.Tuple) bool { return tu.Get("FN") == "Robert" })
+	if len(rob) != 2 {
+		t.Fatalf("Select = %d rows", len(rob))
+	}
+	if len(tb.All()) != 3 {
+		t.Fatal("All wrong")
+	}
+}
+
+func TestLookupEqScanAndIndex(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	fill(t, tb)
+	attrs := []string{"zip"}
+	key := value.List{"EH8 4AH"}
+
+	scanRes := tb.LookupEq(attrs, key)
+	if len(scanRes) != 2 {
+		t.Fatalf("scan lookup = %d rows", len(scanRes))
+	}
+	if err := tb.CreateIndex(attrs); err != nil {
+		t.Fatal(err)
+	}
+	if !tb.HasIndex(attrs) {
+		t.Fatal("HasIndex false after CreateIndex")
+	}
+	idxRes := tb.LookupEq(attrs, key)
+	if len(idxRes) != 2 {
+		t.Fatalf("indexed lookup = %d rows", len(idxRes))
+	}
+	// Composite, order-insensitive.
+	if err := tb.CreateIndex([]string{"FN", "LN"}); err != nil {
+		t.Fatal(err)
+	}
+	got := tb.LookupEq([]string{"LN", "FN"}, value.List{"Brady", "Robert"})
+	if len(got) != 1 || got[0].Get("zip") != "EH8 4AH" {
+		t.Fatalf("composite lookup = %v", got)
+	}
+	if res := tb.LookupEq(attrs, value.List{"a", "b"}); res != nil {
+		t.Fatal("arity-mismatched lookup returned rows")
+	}
+	if err := tb.CreateIndex([]string{"bogus"}); err == nil {
+		t.Fatal("index on unknown attribute accepted")
+	}
+}
+
+func TestIndexMaintenance(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	if err := tb.CreateIndex([]string{"zip"}); err != nil {
+		t.Fatal(err)
+	}
+	ids := fill(t, tb)
+	if n := len(tb.LookupEq([]string{"zip"}, value.List{"EH8 4AH"})); n != 2 {
+		t.Fatalf("after insert: %d", n)
+	}
+	tu, _ := tb.Get(ids[0])
+	tu.Set("zip", "XX1 1XX")
+	if err := tb.Update(tu); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tb.LookupEq([]string{"zip"}, value.List{"EH8 4AH"})); n != 1 {
+		t.Fatalf("after update: %d", n)
+	}
+	if n := len(tb.LookupEq([]string{"zip"}, value.List{"XX1 1XX"})); n != 1 {
+		t.Fatalf("after update new key: %d", n)
+	}
+	tb.Delete(ids[2])
+	if n := len(tb.LookupEq([]string{"zip"}, value.List{"EH8 4AH"})); n != 0 {
+		t.Fatalf("after delete: %d", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := tb.InsertValues("F", "L", "Z"); err != nil {
+					t.Error(err)
+					return
+				}
+				tb.LookupEq([]string{"zip"}, value.List{"Z"})
+				tb.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tb.Len() != 800 {
+		t.Fatalf("Len = %d after concurrent inserts", tb.Len())
+	}
+}

@@ -1,0 +1,111 @@
+package textutil
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the edit distance between a and b (unit costs for
+// insert, delete and substitute). It is used by the noise injector to
+// verify perturbations and by the heuristic-repair cost model, where the
+// cost of changing a cell is proportional to the distance between the
+// old and new values.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+// NormalizeSpace collapses runs of whitespace into single spaces and
+// trims the ends. Master-data values and user input are normalized this
+// way before comparison so that formatting noise does not defeat exact
+// match semantics.
+func NormalizeSpace(s string) string {
+	fields := strings.Fields(s)
+	return strings.Join(fields, " ")
+}
+
+// IsDigits reports whether s is non-empty and consists only of ASCII
+// digits; used for light validation of phone numbers and area codes.
+func IsDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// TitleCase upper-cases the first letter of every word and lower-cases
+// the rest ("eLm sTreet" -> "Elm Street"). The dataset generator uses it
+// to build consistent reference values.
+func TitleCase(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	startWord := true
+	for _, r := range s {
+		switch {
+		case unicode.IsSpace(r):
+			startWord = true
+			b.WriteRune(r)
+		case startWord:
+			b.WriteRune(unicode.ToUpper(r))
+			startWord = false
+		default:
+			b.WriteRune(unicode.ToLower(r))
+		}
+	}
+	return b.String()
+}
+
+// PadRight pads s with spaces to at least width characters; used by the
+// benchmark drivers to print aligned text tables.
+func PadRight(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// PadLeft pads s with spaces on the left to at least width characters.
+func PadLeft(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return strings.Repeat(" ", width-len(s)) + s
+}

@@ -1,0 +1,237 @@
+package textutil
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed RNGs diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestRNGBoolExtremes(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(5)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) frequency %v outside tolerance", frac)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(9)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first outputs")
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(21)
+	p := r.Perm(20)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("Perm missing elements: %v", p)
+	}
+}
+
+func TestPickAndShuffle(t *testing.T) {
+	r := NewRNG(2)
+	items := []string{"a", "b", "c"}
+	for i := 0; i < 50; i++ {
+		v := Pick(r, items)
+		if v != "a" && v != "b" && v != "c" {
+			t.Fatalf("Pick returned %q", v)
+		}
+	}
+	s := []int{1, 2, 3, 4, 5}
+	Shuffle(r, s)
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatalf("Shuffle lost elements: %v", s)
+	}
+}
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"Edi", "Ldn", 2},
+		{"M.", "Mark", 3},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error(err)
+	}
+	triangle := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeSpace(t *testing.T) {
+	cases := map[string]string{
+		"  501   Elm  St ": "501 Elm St",
+		"a\tb\nc":          "a b c",
+		"":                 "",
+		"x":                "x",
+	}
+	for in, want := range cases {
+		if got := NormalizeSpace(in); got != want {
+			t.Errorf("NormalizeSpace(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestIsDigits(t *testing.T) {
+	if !IsDigits("0791724850") {
+		t.Error("digits rejected")
+	}
+	for _, bad := range []string{"", "12a", " 1", "1.2", "-1"} {
+		if IsDigits(bad) {
+			t.Errorf("IsDigits(%q) = true", bad)
+		}
+	}
+}
+
+func TestTitleCase(t *testing.T) {
+	if got := TitleCase("eLm sTreet"); got != "Elm Street" {
+		t.Errorf("TitleCase = %q", got)
+	}
+	if got := TitleCase("a"); got != "A" {
+		t.Errorf("TitleCase single = %q", got)
+	}
+}
+
+func TestPadding(t *testing.T) {
+	if got := PadRight("ab", 5); got != "ab   " {
+		t.Errorf("PadRight = %q", got)
+	}
+	if got := PadLeft("ab", 5); got != "   ab" {
+		t.Errorf("PadLeft = %q", got)
+	}
+	if got := PadRight("abcdef", 3); got != "abcdef" {
+		t.Errorf("PadRight overflow = %q", got)
+	}
+	if got := PadLeft("abcdef", 3); got != "abcdef" {
+		t.Errorf("PadLeft overflow = %q", got)
+	}
+}
+
+func TestTextTable(t *testing.T) {
+	tbl := NewTextTable("name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRowf("beta", 2.5)
+	tbl.AddRow("gamma") // short row
+	out := tbl.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.500") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("separator width mismatch:\n%s", out)
+	}
+}

@@ -1,0 +1,218 @@
+// Package value defines the cell value model shared by every CerFix
+// component. Values are stored as strings (the universal exchange format
+// of data-entry front ends and CSV-backed master data), but each schema
+// attribute carries a Domain that fixes how values compare and order.
+//
+// The empty string is reserved as the null/absent marker, matching how
+// the demo's input forms surface unfilled fields.
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// V is a single cell value. The zero value is null.
+type V string
+
+// Null is the absent-value marker.
+const Null V = ""
+
+// IsNull reports whether v is the null marker.
+func (v V) IsNull() bool { return v == Null }
+
+// String returns the raw string content.
+func (v V) String() string { return string(v) }
+
+// Domain identifies how values of an attribute are interpreted for
+// comparison and ordering.
+type Domain int
+
+const (
+	// DString compares values as UTF-8 strings.
+	DString Domain = iota
+	// DInt parses values as signed integers; unparsable values compare
+	// as strings after all parsable ones.
+	DInt
+	// DFloat parses values as floats with the same fallback as DInt.
+	DFloat
+	// DDate parses values as dd/mm/yy or dd/mm/yyyy dates (the demo's
+	// DOB format); unparsable values compare as strings after all
+	// parsable ones, like the numeric domains.
+	DDate
+)
+
+// String returns the domain name used by schema serialization.
+func (d Domain) String() string {
+	switch d {
+	case DString:
+		return "string"
+	case DInt:
+		return "int"
+	case DFloat:
+		return "float"
+	case DDate:
+		return "date"
+	default:
+		return fmt.Sprintf("domain(%d)", int(d))
+	}
+}
+
+// ParseDomain converts a domain name back to a Domain. It accepts the
+// names produced by Domain.String.
+func ParseDomain(s string) (Domain, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "string", "str", "":
+		return DString, nil
+	case "int", "integer":
+		return DInt, nil
+	case "float", "double", "real":
+		return DFloat, nil
+	case "date":
+		return DDate, nil
+	default:
+		return DString, fmt.Errorf("value: unknown domain %q", s)
+	}
+}
+
+// Compare orders a against b under domain d, returning -1, 0 or +1.
+// Null sorts before every non-null value. For numeric domains, values
+// that fail to parse sort after all parsable values (by string order
+// among themselves) so that comparisons remain total and deterministic.
+func Compare(a, b V, d Domain) int {
+	if a == b {
+		return 0
+	}
+	if a.IsNull() {
+		return -1
+	}
+	if b.IsNull() {
+		return 1
+	}
+	switch d {
+	case DInt:
+		ai, aerr := strconv.ParseInt(string(a), 10, 64)
+		bi, berr := strconv.ParseInt(string(b), 10, 64)
+		switch {
+		case aerr == nil && berr == nil:
+			return cmpOrdered(ai, bi)
+		case aerr == nil:
+			return -1
+		case berr == nil:
+			return 1
+		}
+	case DFloat:
+		af, aerr := strconv.ParseFloat(string(a), 64)
+		bf, berr := strconv.ParseFloat(string(b), 64)
+		switch {
+		case aerr == nil && berr == nil:
+			return cmpOrdered(af, bf)
+		case aerr == nil:
+			return -1
+		case berr == nil:
+			return 1
+		}
+	case DDate:
+		ad, aok := parseDate(string(a))
+		bd, bok := parseDate(string(b))
+		switch {
+		case aok && bok:
+			return cmpOrdered(ad, bd)
+		case aok:
+			return -1
+		case bok:
+			return 1
+		}
+	}
+	return cmpOrdered(string(a), string(b))
+}
+
+func cmpOrdered[T int64 | float64 | string](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports a == b after both are interpreted in domain d. Unlike
+// raw string equality this makes "07" equal to "7" under DInt.
+func Equal(a, b V, d Domain) bool { return Compare(a, b, d) == 0 }
+
+// parseDate parses dd/mm/yy or dd/mm/yyyy into a comparable ordinal
+// (two-digit years map to 1930–2029, the usual data-entry pivot). It
+// validates ranges but not month lengths — data cleaning tolerates
+// 31/02 rather than silently reordering it.
+func parseDate(s string) (int64, bool) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 3 {
+		return 0, false
+	}
+	day, err1 := strconv.Atoi(parts[0])
+	month, err2 := strconv.Atoi(parts[1])
+	year, err3 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return 0, false
+	}
+	if day < 1 || day > 31 || month < 1 || month > 12 || year < 0 {
+		return 0, false
+	}
+	if len(parts[2]) <= 2 {
+		if year < 30 {
+			year += 2000
+		} else {
+			year += 1900
+		}
+	}
+	return int64(year)*10000 + int64(month)*100 + int64(day), true
+}
+
+// List is an ordered collection of values, used for composite keys.
+type List []V
+
+// Key renders a list as a single composite string usable as a map key.
+// Values are length-prefixed so ("ab","c") and ("a","bc") cannot
+// collide.
+func (l List) Key() string {
+	var b strings.Builder
+	for _, v := range l {
+		fmt.Fprintf(&b, "%d:", len(v))
+		b.WriteString(string(v))
+	}
+	return b.String()
+}
+
+// Equal reports element-wise equality with the same length.
+func (l List) Equal(o List) bool {
+	if len(l) != len(o) {
+		return false
+	}
+	for i := range l {
+		if l[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Strings converts the list to plain strings (for display and JSON).
+func (l List) Strings() []string {
+	out := make([]string, len(l))
+	for i, v := range l {
+		out[i] = string(v)
+	}
+	return out
+}
+
+// FromStrings builds a List from plain strings.
+func FromStrings(ss []string) List {
+	out := make(List, len(ss))
+	for i, s := range ss {
+		out[i] = V(s)
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNull(t *testing.T) {
+	var v V
+	if !v.IsNull() {
+		t.Fatal("zero value is not null")
+	}
+	if V("x").IsNull() {
+		t.Fatal("non-empty value reported null")
+	}
+}
+
+func TestDomainRoundTrip(t *testing.T) {
+	for _, d := range []Domain{DString, DInt, DFloat} {
+		got, err := ParseDomain(d.String())
+		if err != nil {
+			t.Fatalf("ParseDomain(%q): %v", d.String(), err)
+		}
+		if got != d {
+			t.Fatalf("round trip %v -> %v", d, got)
+		}
+	}
+	if _, err := ParseDomain("bogus"); err == nil {
+		t.Fatal("ParseDomain accepted bogus domain")
+	}
+	if d, err := ParseDomain(""); err != nil || d != DString {
+		t.Fatalf("empty domain should default to string, got %v, %v", d, err)
+	}
+}
+
+func TestCompareString(t *testing.T) {
+	if Compare("a", "b", DString) != -1 {
+		t.Error("a < b failed")
+	}
+	if Compare("b", "a", DString) != 1 {
+		t.Error("b > a failed")
+	}
+	if Compare("a", "a", DString) != 0 {
+		t.Error("a == a failed")
+	}
+}
+
+func TestCompareNullOrdering(t *testing.T) {
+	for _, d := range []Domain{DString, DInt, DFloat} {
+		if Compare(Null, "0", d) != -1 {
+			t.Errorf("null should sort first under %v", d)
+		}
+		if Compare("0", Null, d) != 1 {
+			t.Errorf("non-null should sort after null under %v", d)
+		}
+		if Compare(Null, Null, d) != 0 {
+			t.Errorf("null != null under %v", d)
+		}
+	}
+}
+
+func TestCompareInt(t *testing.T) {
+	if Compare("9", "10", DInt) != -1 {
+		t.Error("numeric ordering failed for ints")
+	}
+	if Compare("9", "10", DString) != 1 {
+		t.Error("string ordering sanity check failed")
+	}
+	if !Equal("07", "7", DInt) {
+		t.Error("07 should equal 7 under DInt")
+	}
+	// Unparsable values sort after parsable ones.
+	if Compare("abc", "999999", DInt) != 1 {
+		t.Error("unparsable int should sort after parsable")
+	}
+	if Compare("999999", "abc", DInt) != -1 {
+		t.Error("parsable int should sort before unparsable")
+	}
+	if Compare("abc", "abd", DInt) != -1 {
+		t.Error("two unparsable ints should fall back to string order")
+	}
+}
+
+func TestCompareFloat(t *testing.T) {
+	if Compare("2.5", "10.0", DFloat) != -1 {
+		t.Error("numeric ordering failed for floats")
+	}
+	if !Equal("1.50", "1.5", DFloat) {
+		t.Error("1.50 should equal 1.5 under DFloat")
+	}
+	if Compare("x", "1.0", DFloat) != 1 {
+		t.Error("unparsable float should sort after parsable")
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		for _, d := range []Domain{DString, DInt, DFloat} {
+			if Compare(V(a), V(b), d) != -Compare(V(b), V(a), d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareReflexive(t *testing.T) {
+	f := func(a string) bool {
+		for _, d := range []Domain{DString, DInt, DFloat} {
+			if Compare(V(a), V(a), d) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListKeyInjective(t *testing.T) {
+	a := List{"ab", "c"}
+	b := List{"a", "bc"}
+	if a.Key() == b.Key() {
+		t.Fatal("composite keys collided")
+	}
+	if a.Key() != (List{"ab", "c"}).Key() {
+		t.Fatal("equal lists produced different keys")
+	}
+}
+
+func TestListKeyProperty(t *testing.T) {
+	f := func(a, b []string) bool {
+		la, lb := FromStrings(a), FromStrings(b)
+		if la.Equal(lb) {
+			return la.Key() == lb.Key()
+		}
+		return la.Key() != lb.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListEqual(t *testing.T) {
+	if !(List{"a", "b"}).Equal(List{"a", "b"}) {
+		t.Error("equal lists reported unequal")
+	}
+	if (List{"a"}).Equal(List{"a", "b"}) {
+		t.Error("length mismatch reported equal")
+	}
+	if (List{"a", "b"}).Equal(List{"a", "c"}) {
+		t.Error("different lists reported equal")
+	}
+}
+
+func TestListStringsRoundTrip(t *testing.T) {
+	in := []string{"x", "", "z"}
+	out := FromStrings(in).Strings()
+	if len(out) != 3 || out[0] != "x" || out[1] != "" || out[2] != "z" {
+		t.Fatalf("round trip failed: %v", out)
+	}
+}
+
+func TestCompareDate(t *testing.T) {
+	if Compare("25/12/67", "03/04/79", DDate) != -1 {
+		t.Error("1967 should precede 1979")
+	}
+	if Compare("01/01/29", "31/12/30", DDate) != 1 {
+		t.Error("two-digit pivot: 2029 should follow 1930")
+	}
+	if Compare("05/06/2001", "05/06/01", DDate) != 0 {
+		t.Error("two- and four-digit years should agree")
+	}
+	if Compare("02/03/99", "01/03/99", DDate) != 1 {
+		t.Error("day ordering failed")
+	}
+	// Unparsable dates sort after parsable, by string among themselves.
+	if Compare("notadate", "01/01/70", DDate) != 1 {
+		t.Error("unparsable should sort after parsable")
+	}
+	if Compare("aaa", "bbb", DDate) != -1 {
+		t.Error("unparsable fallback ordering")
+	}
+	for _, bad := range []string{"1/2", "a/b/c", "32/01/99", "01/13/99", "1/2/3/4", ""} {
+		if _, ok := parseDate(bad); ok {
+			t.Errorf("parseDate(%q) accepted", bad)
+		}
+	}
+	if d, err := ParseDomain("date"); err != nil || d != DDate {
+		t.Error("date domain name")
+	}
+	if DDate.String() != "date" {
+		t.Error("DDate.String")
+	}
+}

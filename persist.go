@@ -1,0 +1,120 @@
+package cerfix
+
+// Persistence of a configured System to a directory — the reproduction
+// of the demo's "instance" configuration (§3 Initialization: schemas of
+// input tuples and master data, plus the data connection). A saved
+// instance is three files:
+//
+//	manifest.json — both schemas (names, attributes, domains)
+//	rules.txt     — the editing rules in DSL form
+//	master.csv    — the master relation snapshot
+//
+// Load rebuilds the System (and its indexes) from those files.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// manifest is the on-disk schema description.
+type manifest struct {
+	Input  schemaJSON `json:"input"`
+	Master schemaJSON `json:"master"`
+}
+
+type schemaJSON struct {
+	Name  string     `json:"name"`
+	Attrs []attrJSON `json:"attrs"`
+}
+
+type attrJSON struct {
+	Name   string `json:"name"`
+	Domain string `json:"domain"`
+	Desc   string `json:"desc,omitempty"`
+}
+
+func schemaToJSON(s *Schema) schemaJSON {
+	out := schemaJSON{Name: s.Name()}
+	for _, a := range s.Attrs() {
+		out.Attrs = append(out.Attrs, attrJSON{Name: a.Name, Domain: a.Domain.String(), Desc: a.Desc})
+	}
+	return out
+}
+
+func schemaFromJSON(j schemaJSON) (*Schema, error) {
+	attrs := make([]Attribute, len(j.Attrs))
+	for i, a := range j.Attrs {
+		d, err := value.ParseDomain(a.Domain)
+		if err != nil {
+			return nil, fmt.Errorf("cerfix: attribute %q: %w", a.Name, err)
+		}
+		attrs[i] = schema.Attribute{Name: a.Name, Domain: d, Desc: a.Desc}
+	}
+	return schema.New(j.Name, attrs...)
+}
+
+// Save writes the system's configuration (schemas, rules, master data)
+// into dir, creating it if needed. The audit log and open sessions are
+// runtime state and are not persisted.
+func (s *System) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cerfix: %w", err)
+	}
+	m := manifest{Input: schemaToJSON(s.input), Master: schemaToJSON(s.store.Schema())}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("cerfix: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+		return fmt.Errorf("cerfix: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "rules.txt"), []byte(s.rules.String()), 0o644); err != nil {
+		return fmt.Errorf("cerfix: %w", err)
+	}
+	if err := s.store.Table().SaveCSVFile(filepath.Join(dir, "master.csv")); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Load rebuilds a System from a directory written by Save.
+func Load(dir string) (*System, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("cerfix: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("cerfix: manifest: %w", err)
+	}
+	input, err := schemaFromJSON(m.Input)
+	if err != nil {
+		return nil, err
+	}
+	masterSch, err := schemaFromJSON(m.Master)
+	if err != nil {
+		return nil, err
+	}
+	dsl, err := os.ReadFile(filepath.Join(dir, "rules.txt"))
+	if err != nil {
+		return nil, fmt.Errorf("cerfix: %w", err)
+	}
+	sys, err := New(input, masterSch, string(dsl))
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, "master.csv"))
+	if err != nil {
+		return nil, fmt.Errorf("cerfix: %w", err)
+	}
+	defer f.Close()
+	if err := sys.LoadMasterCSV(f); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

@@ -1,0 +1,122 @@
+package cerfix
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cerfix/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	sys := demoSystem(t)
+	dir := filepath.Join(t.TempDir(), "instance")
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"manifest.json", "rules.txt", "master.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.InputSchema().String() != sys.InputSchema().String() {
+		t.Fatalf("input schema: %s vs %s", loaded.InputSchema(), sys.InputSchema())
+	}
+	if loaded.MasterSchema().String() != sys.MasterSchema().String() {
+		t.Fatal("master schema mismatch")
+	}
+	if loaded.Rules() != sys.Rules() {
+		t.Fatalf("rules mismatch:\n%s\nvs\n%s", loaded.Rules(), sys.Rules())
+	}
+	if loaded.Master().Len() != sys.Master().Len() {
+		t.Fatalf("master rows: %d vs %d", loaded.Master().Len(), sys.Master().Len())
+	}
+	// The loaded system is fully functional: the Fig. 3 walkthrough
+	// runs on it. (Note: the loaded input schema is a distinct
+	// instance, so tuples must be built against it.)
+	sess, err := loaded.NewSession(dataset.DemoInputFig3().Map())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Validate(map[string]string{
+		"AC": "201", "phn": "075568485", "type": "2", "item": "DVD", "zip": "NW1 6XE",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Certain() {
+		t.Fatal("loaded system could not complete the walkthrough")
+	}
+	if sess.Tuple.Get("FN") != "Mark" {
+		t.Fatalf("FN = %q", sess.Tuple.Get("FN"))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+	// Corrupt manifest.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("broken manifest accepted")
+	}
+	// Valid manifest but missing rules.
+	sys := demoSystem(t)
+	dir2 := filepath.Join(t.TempDir(), "partial")
+	if err := sys.Save(dir2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir2, "rules.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir2); err == nil {
+		t.Fatal("missing rules accepted")
+	}
+	// Missing master CSV.
+	dir3 := filepath.Join(t.TempDir(), "partial2")
+	if err := sys.Save(dir3); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir3, "master.csv")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir3); err == nil {
+		t.Fatal("missing master accepted")
+	}
+}
+
+func TestSaveLoadPreservesDomains(t *testing.T) {
+	input, err := NewSchema("IN",
+		Attribute{Name: "s"},
+		Attribute{Name: "n", Domain: 1 /* DInt */},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterSch, err := NewSchema("M", StringAttrs("s", "n")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(input, masterSch, "r1: match s~s set n := n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "typed")
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.InputSchema().Domain("n").String() != "int" {
+		t.Fatalf("domain lost: %v", loaded.InputSchema().Domain("n"))
+	}
+}
