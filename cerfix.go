@@ -18,6 +18,19 @@
 //	sess.Validate(map[string]string{"zip": "EH8 4AH"})
 //	// ... loop until sess.Done(); audit via sys.Audit().
 //
+// # Batch repair at scale
+//
+// Interactive sessions fix one tuple at a time; bulk integrations
+// (the POST /api/fix endpoint, `cerfix fix -workers N`) instead run
+// non-interactive certain-fix passes through internal/pipeline, a
+// streaming sharded executor. Because rules and master data are
+// frozen for the duration of a batch, every tuple's chase is
+// independent, so the pipeline shards tuples across a worker pool —
+// each worker reusing its own chase state against a shared read-only
+// engine snapshot (SnapshotEngine) — and re-sequences results so
+// output is byte-identical to the sequential path. Bounded channels
+// and an in-flight window keep memory flat regardless of input size.
+//
 // The subpackages under internal/ implement the pieces; this package
 // re-exports the types a downstream user needs.
 package cerfix
@@ -145,6 +158,16 @@ func (s *System) Audit() *AuditLog { return s.log }
 
 // Engine exposes the underlying rule engine (chase + analyses).
 func (s *System) Engine() *core.Engine { return s.engine }
+
+// SnapshotEngine returns an isolated copy of the rule engine — cloned
+// rule set plus a master data snapshot. Like every System method, the
+// call itself must be serialized with mutators (AddRule,
+// AddMasterRow, ...) by the caller — the HTTP server takes it under
+// its lock. The returned snapshot, however, is immutable from the
+// live system's point of view: once taken, any number of goroutines
+// may chase against it while the live system keeps mutating. The
+// batch pipeline (internal/pipeline) runs against such snapshots.
+func (s *System) SnapshotEngine() *core.Engine { return s.engine.Snapshot() }
 
 // AddMasterRow appends one master tuple given values in schema order.
 func (s *System) AddMasterRow(vals ...string) error {

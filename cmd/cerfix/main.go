@@ -4,6 +4,9 @@
 //	check    — run the rule engine's consistency analysis
 //	regions  — print the top-k certain regions
 //	fix      — batch-fix a CSV of input tuples given validated attributes
+//	           (streamed file-to-file through the sharded repair
+//	           pipeline; -workers N parallelizes with output identical
+//	           to the sequential path)
 //	monitor  — interactively fix one tuple (stdin/stdout session)
 //	demo     — run the paper's Fig. 3 walkthrough on built-in data
 //
@@ -20,11 +23,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
 	"cerfix"
 	"cerfix/internal/dataset"
+	"cerfix/internal/pipeline"
+	"cerfix/internal/schema"
 	"cerfix/internal/textutil"
 )
 
@@ -63,7 +69,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cerfix <check|regions|fix|monitor|demo|discover> [flags]
   cerfix check   -input CUST:FN,LN,... -master-schema PERSON:... -rules rules.txt -master master.csv
   cerfix regions -input ... -master-schema ... -rules ... -master ... [-k 5]
-  cerfix fix     -input ... -master-schema ... -rules ... -master ... -data dirty.csv -validated zip,type
+  cerfix fix     -input ... -master-schema ... -rules ... -master ... -data dirty.csv -validated zip,type [-workers N] [-out fixed.csv]
   cerfix monitor -input ... -master-schema ... -rules ... -master ...
   cerfix demo
   cerfix discover -schema HOSP:prov,... -data master.csv`)
@@ -179,6 +185,10 @@ func cmdRegions(args []string) error {
 	return nil
 }
 
+// cmdFix is the CLI's batch-repair mode: it streams the dirty CSV
+// through internal/pipeline's sharded worker pool file-to-file, so
+// inputs of any size repair with flat memory and output identical to
+// the sequential path regardless of -workers.
 func cmdFix(args []string) error {
 	fs := flag.NewFlagSet("fix", flag.ExitOnError)
 	var c config
@@ -186,6 +196,7 @@ func cmdFix(args []string) error {
 	dataPath := fs.String("data", "", "dirty input CSV file")
 	validated := fs.String("validated", "", "comma-separated attributes asserted correct")
 	outPath := fs.String("out", "", "output CSV (default: stdout summary only)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel fix workers (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -199,29 +210,46 @@ func cmdFix(args []string) error {
 	attrs := strings.Split(*validated, ",")
 	for i := range attrs {
 		attrs[i] = strings.TrimSpace(attrs[i])
+		if !sys.InputSchema().Has(attrs[i]) {
+			return fmt.Errorf("unknown validated attribute %q", attrs[i])
+		}
 	}
-	// Load dirty tuples through a scratch table under the input schema.
-	tuples, err := loadCSVTuples(sys, *dataPath)
+	in, err := os.Open(*dataPath)
 	if err != nil {
 		return err
 	}
-	fixedCount, conflictCount, changedCells := 0, 0, 0
-	var outRows [][]string
-	for _, tu := range tuples {
-		fixed, res := sys.Fix(tu, attrs)
-		if res.AllValidated() && len(res.Conflicts) == 0 {
-			fixedCount++
+	defer in.Close()
+	src, err := pipeline.NewCSVSource(sys.InputSchema(), in)
+	if err != nil {
+		return err
+	}
+	sink := pipeline.Discard
+	var csvSink *pipeline.CSVSink
+	var out *os.File
+	if *outPath != "" {
+		out, err = os.Create(*outPath)
+		if err != nil {
+			return err
 		}
-		if len(res.Conflicts) > 0 {
-			conflictCount++
+		defer out.Close()
+		csvSink, err = pipeline.NewCSVSink(sys.InputSchema(), out)
+		if err != nil {
+			return err
 		}
-		changedCells += len(res.Rewrites())
-		outRows = append(outRows, fixed.Vals.Strings())
+		sink = csvSink
+	}
+	seed := schema.SetOfNames(sys.InputSchema(), attrs...)
+	stats, err := pipeline.Run(sys.Engine(), seed, src, sink, &pipeline.Options{Workers: *workers})
+	if err != nil {
+		return err
 	}
 	fmt.Printf("tuples: %d, fully validated: %d, with conflicts: %d, cells rewritten: %d\n",
-		len(tuples), fixedCount, conflictCount, changedCells)
-	if *outPath != "" {
-		if err := writeCSV(*outPath, sys.InputSchema().AttrNames(), outRows); err != nil {
+		stats.Tuples, stats.FullyValidated, stats.WithConflicts, stats.CellsRewritten)
+	if out != nil {
+		if err := csvSink.Flush(); err != nil {
+			return err
+		}
+		if err := out.Sync(); err != nil {
 			return err
 		}
 		fmt.Println("fixed tuples written to", *outPath)

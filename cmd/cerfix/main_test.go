@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/csv"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,6 +39,26 @@ func TestParsePairs(t *testing.T) {
 			t.Errorf("pairs %q accepted", bad)
 		}
 	}
+}
+
+// writeCSV materializes header + rows as a CSV fixture.
+func writeCSV(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
 }
 
 // writeDemoFiles materializes the demo configuration for the file-based
@@ -141,17 +162,6 @@ func TestCmdFix(t *testing.T) {
 func TestCmdDemo(t *testing.T) {
 	if err := cmdDemo(nil); err != nil {
 		t.Fatal(err)
-	}
-}
-
-func TestLoadCSVTuplesErrors(t *testing.T) {
-	_, c := writeDemoFiles(t)
-	sys, err := buildSystem(&c)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := loadCSVTuples(sys, filepath.Join(t.TempDir(), "missing.csv")); err == nil {
-		t.Fatal("missing csv accepted")
 	}
 }
 

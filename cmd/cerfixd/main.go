@@ -18,12 +18,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"cerfix"
 	"cerfix/internal/dataset"
@@ -38,6 +43,7 @@ func main() {
 		masterSpec = flag.String("master-schema", "", `master schema spec "NAME:attr1,..."`)
 		rulesPath  = flag.String("rules", "", "editing-rule DSL file")
 		masterPath = flag.String("master", "", "master data CSV file")
+		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight requests")
 	)
 	flag.Parse()
 
@@ -46,10 +52,35 @@ func main() {
 		log.Fatal("cerfixd: ", err)
 	}
 	srv := server.New(sys)
+	// An explicit http.Server rather than bare ListenAndServe: the
+	// header timeout closes slowloris connections, and Shutdown gives
+	// in-flight batch repairs a drain window instead of killing them
+	// mid-pipeline.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	log.Printf("cerfixd: serving on %s (input %s, master %s, %d rules, %d master tuples)",
 		*addr, sys.InputSchema().Name(), sys.MasterSchema().Name(),
 		sys.RuleSet().Len(), sys.Master().Len())
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal("cerfixd: ", err)
+	case sig := <-sigc:
+		log.Printf("cerfixd: %v — draining for up to %s", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal("cerfixd: shutdown: ", err)
+		}
+	}
 }
 
 func buildSystem(demo bool, inputSpec, masterSpec, rulesPath, masterPath string) (*cerfix.System, error) {

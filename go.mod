@@ -1,0 +1,3 @@
+module cerfix
+
+go 1.24

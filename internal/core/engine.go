@@ -142,6 +142,17 @@ func NewEngine(input *schema.Schema, rules *rule.Set, store *master.Store) (*Eng
 	return &Engine{input: input, rules: rules, store: store}, nil
 }
 
+// Snapshot returns an isolated copy of the engine — cloned rule set
+// plus a master data snapshot — that any number of goroutines may
+// chase against while the live engine's rules and master data keep
+// changing. This is the frozen view the batch pipeline runs over.
+// The Snapshot call itself must not race rule-set or store mutation;
+// callers serialize it with mutators (the HTTP server holds its lock
+// across the call).
+func (e *Engine) Snapshot() *Engine {
+	return &Engine{input: e.input, rules: e.rules.Clone(), store: e.store.Snapshot()}
+}
+
 // InputSchema returns the input relation's schema.
 func (e *Engine) InputSchema() *schema.Schema { return e.input }
 
@@ -202,13 +213,43 @@ func (r *ChaseResult) Rewrites() []Change {
 // previously-unvalidated attribute, the chase terminates within
 // |attrs| + 1 rounds.
 func (e *Engine) Chase(t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
+	return e.NewChaser().Chase(t, validated)
+}
+
+// Chaser runs repeated chases against one engine, reusing scratch
+// state (the rule snapshot and conflict-dedup sets) across calls so
+// tight fixing loops don't reallocate per tuple. A Chaser is NOT safe
+// for concurrent use — create one per goroutine; the batch pipeline
+// gives each worker its own. The engine's rules and master data must
+// not be mutated while chases run (snapshot the engine first when
+// mutation is possible — see Engine.Snapshot).
+type Chaser struct {
+	eng                   *Engine
+	rules                 []*rule.Rule
+	reportedAmbiguous     map[string]bool
+	reportedContradiction map[string]bool
+}
+
+// NewChaser builds a reusable single-goroutine chase runner.
+func (e *Engine) NewChaser() *Chaser {
+	return &Chaser{
+		eng:                   e,
+		rules:                 e.rules.Rules(),
+		reportedAmbiguous:     make(map[string]bool),
+		reportedContradiction: make(map[string]bool),
+	}
+}
+
+// Chase is Engine.Chase with reused scratch state; results are
+// identical to the sequential engine path.
+func (c *Chaser) Chase(t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
+	clear(c.reportedAmbiguous)
+	clear(c.reportedContradiction)
 	res := &ChaseResult{Tuple: t.Clone(), Validated: validated}
-	reportedAmbiguous := make(map[string]bool)
-	reportedContradiction := make(map[string]bool)
 	for round := 1; ; round++ {
 		progressed := false
-		for _, r := range e.rules.Rules() {
-			if e.applyRule(r, res, round, reportedAmbiguous, reportedContradiction) {
+		for _, r := range c.rules {
+			if c.eng.applyRule(r, res, round, c.reportedAmbiguous, c.reportedContradiction) {
 				progressed = true
 			}
 		}

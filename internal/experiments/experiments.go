@@ -19,6 +19,7 @@ import (
 	"cerfix/internal/metrics"
 	"cerfix/internal/monitor"
 	"cerfix/internal/oracle"
+	"cerfix/internal/pipeline"
 	"cerfix/internal/region"
 	"cerfix/internal/rule"
 	"cerfix/internal/schema"
@@ -615,6 +616,85 @@ func RunE6(noiseRates []float64, nEntities, nInputs int, seed uint64) ([]E6Row, 
 		}
 		rows = append(rows, row)
 	}
+	return rows, nil
+}
+
+// --- E8: batch-repair pipeline scaling ---------------------------------------
+
+// E8Row is one (access path, worker count) throughput measurement of
+// the sharded batch-repair pipeline.
+type E8Row struct {
+	// Mode is the master lookup access path the run used.
+	Mode master.LookupMode
+	// Workers is the pipeline worker count.
+	Workers int
+	// NsPerFix is mean wall time per certain-fix pass.
+	NsPerFix float64
+	// TuplesPerSec is the batch throughput.
+	TuplesPerSec float64
+	// Speedup is throughput relative to the same mode's 1-worker run.
+	Speedup float64
+}
+
+// RunE8 measures batch-repair throughput vs worker count per lookup
+// mode: the same generated workload is repaired through the pipeline
+// at each worker count, and output equality with the sequential path
+// is asserted on the fly (a throughput number for a wrong answer
+// would be worthless).
+func RunE8(workerCounts []int, nEntities, nInputs int, seed uint64) ([]E8Row, error) {
+	g := dataset.NewCustomerGen(seed)
+	w, err := g.GenerateWorkload(nEntities, nInputs, 0.3, nil)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), w.Store)
+	if err != nil {
+		return nil, err
+	}
+	seedSet := schema.SetOfNames(dataset.CustSchema(), "zip", "phn", "type", "item")
+	var rows []E8Row
+	for _, mode := range []master.LookupMode{master.ModeRuleIndex, master.ModePlainIndex} {
+		w.Store.SetMode(mode)
+		// Sequential reference for the equality check.
+		want := make([]*schema.Tuple, len(w.Dirty))
+		for i, tu := range w.Dirty {
+			want[i] = eng.Chase(tu, seedSet).Tuple
+		}
+		var base float64
+		for _, n := range workerCounts {
+			mismatch := 0
+			check := pipeline.SinkFunc(func(r *pipeline.Result) error {
+				if !r.Fixed.Equal(want[r.Seq]) {
+					mismatch++
+				}
+				return nil
+			})
+			start := time.Now()
+			stats, err := pipeline.Run(eng, seedSet, pipeline.NewSliceSource(w.Dirty), check, &pipeline.Options{Workers: n})
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			if mismatch > 0 {
+				return nil, fmt.Errorf("e8: %d tuples differ from sequential path at %d workers (%s)", mismatch, n, mode)
+			}
+			if stats.Tuples != len(w.Dirty) {
+				return nil, fmt.Errorf("e8: processed %d of %d tuples", stats.Tuples, len(w.Dirty))
+			}
+			row := E8Row{
+				Mode:         mode,
+				Workers:      n,
+				NsPerFix:     float64(elapsed.Nanoseconds()) / float64(len(w.Dirty)),
+				TuplesPerSec: float64(len(w.Dirty)) / elapsed.Seconds(),
+			}
+			if base == 0 {
+				base = row.TuplesPerSec
+			}
+			row.Speedup = row.TuplesPerSec / base
+			rows = append(rows, row)
+		}
+	}
+	w.Store.SetMode(master.ModeRuleIndex)
 	return rows, nil
 }
 

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"os"
+	"runtime"
 	"strings"
 	"testing"
+
+	"cerfix/internal/master"
 )
 
 func TestRunE1(t *testing.T) {
@@ -300,5 +304,43 @@ func TestRunE4HospShape(t *testing.T) {
 	// but stays well below CerFix recall.
 	if r.Baseline.Recall() >= 0.9 {
 		t.Fatalf("baseline recall suspiciously high: %v", r.Baseline.Recall())
+	}
+}
+
+// E8's shape: one row per (mode, workers), throughput positive,
+// speedup normalized to the 1-worker run of each mode. The pipeline's
+// output-equality assertion runs inside RunE8 itself, so a passing
+// run also certifies determinism. The ≥2x scaling bar needs real
+// cores — asserted only where the hardware can physically show it.
+func TestRunE8Shape(t *testing.T) {
+	counts := []int{1, 4}
+	rows, err := RunE8(counts, 40, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(counts) {
+		t.Fatalf("rows = %d, want %d", len(rows), 2*len(counts))
+	}
+	for _, r := range rows {
+		if r.TuplesPerSec <= 0 || r.NsPerFix <= 0 {
+			t.Fatalf("non-positive throughput: %+v", r)
+		}
+		if r.Workers == 1 && r.Speedup != 1.0 {
+			t.Fatalf("1-worker speedup = %v", r.Speedup)
+		}
+	}
+	// Wall-clock scaling needs ≥4 real cores and no race-detector
+	// serialization — conditions shared CI runners don't guarantee —
+	// so the hard ≥2x bar is opt-in (CERFIX_STRICT_SCALING=1 on
+	// dedicated hardware); elsewhere the measurement is logged, and
+	// cerfixbench -exp e8 reports it per run.
+	strict := os.Getenv("CERFIX_STRICT_SCALING") == "1" && runtime.NumCPU() >= 4
+	for _, r := range rows {
+		if r.Mode == master.ModePlainIndex && r.Workers == 4 {
+			t.Logf("plain-index speedup at 4 workers: %.2fx (NumCPU=%d)", r.Speedup, runtime.NumCPU())
+			if strict && r.Speedup < 2.0 {
+				t.Errorf("plain-index speedup at 4 workers = %.2fx, want >= 2x", r.Speedup)
+			}
+		}
 	}
 }

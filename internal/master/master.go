@@ -64,6 +64,19 @@ func FromTable(t *storage.Table) *Store {
 	return &Store{table: t, mode: ModeRuleIndex, ruleIdx: newRuleIndexes()}
 }
 
+// Snapshot returns an isolated copy of the store: cloned table (rows,
+// hash indexes) and deep-copied unique-RHS rule indexes. The copy
+// shares no mutable state with the live store, so any number of
+// goroutines may read it — the batch pipeline's workers do — while
+// the original keeps absorbing inserts and mode changes. The
+// Snapshot call itself must be serialized with writers (it clones
+// table and rule indexes under separate locks, so a racing insert
+// could land in one but not the other); callers hold their own lock
+// across it, as the HTTP server does.
+func (m *Store) Snapshot() *Store {
+	return &Store{table: m.table.Clone(), mode: m.mode, ruleIdx: m.ruleIdx.clone()}
+}
+
 // Schema returns the master schema.
 func (m *Store) Schema() *schema.Schema { return m.table.Schema() }
 

@@ -161,3 +161,45 @@ func TestGet(t *testing.T) {
 		t.Fatal("Get failed")
 	}
 }
+
+// A snapshot keeps answering from its frozen state — across all three
+// access paths — while the live store absorbs inserts, and vice versa:
+// the two share no mutable structures.
+func TestSnapshotIsolation(t *testing.T) {
+	m := demoStore(t)
+	rs := rule.MustSet(mustParse(t, `r1: match zip~zip set AC := AC`))
+	if err := m.PrepareForRules(rs); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Len() != 3 || snap.Mode() != m.Mode() {
+		t.Fatalf("snapshot: len %d mode %v", snap.Len(), snap.Mode())
+	}
+
+	// Insert a conflicting row into the live store: same zip, new AC.
+	if _, err := m.InsertValues("Eve", "Jones", "999", "1", "2", "3 Elm", "Edi", "EH8 4AH"); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []LookupMode{ModeRuleIndex, ModePlainIndex, ModeScan} {
+		snap.SetMode(mode)
+		rhs, _, status := snap.UniqueRHS([]string{"zip"}, value.List{"EH8 4AH"}, []string{"AC"})
+		if status != Unique || rhs[0] != "131" {
+			t.Fatalf("mode %v: snapshot sees live insert: %v %v", mode, rhs, status)
+		}
+	}
+	// The live store, by contrast, now conflicts.
+	if _, _, status := m.UniqueRHS([]string{"zip"}, value.List{"EH8 4AH"}, []string{"AC"}); status != Conflict {
+		t.Fatalf("live store status = %v, want Conflict", status)
+	}
+
+	// Inserts into the snapshot don't leak back.
+	if _, err := snap.InsertValues("Zed", "Hall", "111", "1", "2", "9 Oak", "Ldn", "ZZ1 1ZZ"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 4 || snap.Len() != 4 {
+		t.Fatalf("lens = live %d snap %d", m.Len(), snap.Len())
+	}
+	if got := m.Lookup([]string{"zip"}, value.List{"ZZ1 1ZZ"}); len(got) != 0 {
+		t.Fatalf("snapshot insert leaked into live store: %v", got)
+	}
+}

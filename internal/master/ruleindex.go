@@ -131,6 +131,25 @@ func (ri *ruleIndexes) insert(s *schema.Tuple) {
 	}
 }
 
+// clone deep-copies the registry. Entry rhs lists are shared (they are
+// never mutated after construction); the conflict flags and the maps
+// themselves are copied, so inserts on either side stay invisible to
+// the other.
+func (ri *ruleIndexes) clone() *ruleIndexes {
+	ri.mu.RLock()
+	defer ri.mu.RUnlock()
+	cp := newRuleIndexes()
+	for k, ix := range ri.indexes {
+		entries := make(map[string]*rhsEntry, len(ix.entries))
+		for ek, e := range ix.entries {
+			ecp := *e
+			entries[ek] = &ecp
+		}
+		cp.indexes[k] = &ruleIndex{matchAttrs: ix.matchAttrs, rhsAttrs: ix.rhsAttrs, entries: entries}
+	}
+	return cp
+}
+
 // lookup answers the unique-RHS question for a registered pair; the
 // second result reports whether the pair has an index.
 func (ri *ruleIndexes) lookup(matchAttrs []string, key value.List, rhsAttrs []string) (value.List, int64, LookupStatus, bool) {

@@ -1,0 +1,206 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// This file provides the streaming sources and sinks of the batch
+// pipeline: slice-backed (HTTP endpoint, tests), CSV (the CLI's
+// file-to-file repair) and JSONL (one attribute→value object per
+// line, the natural bulk format of the JSON API). The streaming pairs
+// never materialize the dataset: rows are decoded on demand under the
+// pipeline's in-flight window and encoded as results arrive.
+
+// SliceSource yields tuples from an in-memory slice.
+type SliceSource struct {
+	tuples []*schema.Tuple
+	pos    int
+}
+
+// NewSliceSource wraps a tuple slice.
+func NewSliceSource(tuples []*schema.Tuple) *SliceSource {
+	return &SliceSource{tuples: tuples}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (*schema.Tuple, error) {
+	if s.pos >= len(s.tuples) {
+		return nil, io.EOF
+	}
+	tu := s.tuples[s.pos]
+	s.pos++
+	return tu, nil
+}
+
+// SliceSink collects results in input order.
+type SliceSink struct {
+	// Results accumulates every result the pipeline emits.
+	Results []*Result
+}
+
+// Write implements Sink.
+func (s *SliceSink) Write(r *Result) error {
+	s.Results = append(s.Results, r)
+	return nil
+}
+
+// CSVSource streams tuples from CSV under a schema. The header row
+// must list exactly the schema's attributes (any order); columns are
+// mapped by name, matching storage.Table.ReadCSV's contract.
+type CSVSource struct {
+	sch       *schema.Schema
+	cr        *csv.Reader
+	colToAttr []int
+	line      int
+}
+
+// NewCSVSource reads the header and prepares the column mapping.
+func NewCSVSource(sch *schema.Schema, r io.Reader) (*CSVSource, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: reading csv header: %w", err)
+	}
+	colToAttr := make([]int, len(header))
+	seen := make(map[string]bool)
+	for i, h := range header {
+		idx, ok := sch.Index(h)
+		if !ok {
+			return nil, fmt.Errorf("pipeline: csv column %q not in schema %s", h, sch.Name())
+		}
+		if seen[h] {
+			return nil, fmt.Errorf("pipeline: duplicate csv column %q", h)
+		}
+		seen[h] = true
+		colToAttr[i] = idx
+	}
+	if len(seen) != sch.Len() {
+		return nil, fmt.Errorf("pipeline: csv header has %d columns, schema %s has %d attributes",
+			len(seen), sch.Name(), sch.Len())
+	}
+	return &CSVSource{sch: sch, cr: cr, colToAttr: colToAttr, line: 1}, nil
+}
+
+// Next implements Source.
+func (s *CSVSource) Next() (*schema.Tuple, error) {
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	s.line++
+	if err != nil {
+		return nil, fmt.Errorf("csv line %d: %w", s.line, err)
+	}
+	vals := make(value.List, s.sch.Len())
+	for i, cell := range rec {
+		vals[s.colToAttr[i]] = value.V(cell)
+	}
+	return &schema.Tuple{Schema: s.sch, Vals: vals}, nil
+}
+
+// CSVSink streams fixed tuples to CSV: a header row of attribute
+// names, then one record per result in input order. Call Flush when
+// the run completes.
+type CSVSink struct {
+	cw *csv.Writer
+}
+
+// NewCSVSink writes the header row immediately.
+func NewCSVSink(sch *schema.Schema, w io.Writer) (*CSVSink, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(sch.AttrNames()); err != nil {
+		return nil, fmt.Errorf("pipeline: writing csv header: %w", err)
+	}
+	return &CSVSink{cw: cw}, nil
+}
+
+// Write implements Sink, emitting the fixed tuple's values.
+func (s *CSVSink) Write(r *Result) error {
+	return s.cw.Write(r.Fixed.Vals.Strings())
+}
+
+// Flush drains buffered records and reports any deferred write error.
+func (s *CSVSink) Flush() error {
+	s.cw.Flush()
+	return s.cw.Error()
+}
+
+// JSONLSource streams tuples from JSON Lines input: one
+// attribute→value object per line (blank lines are skipped). Unknown
+// attributes are an error; absent ones become null, as in the HTTP
+// batch endpoint.
+type JSONLSource struct {
+	sch  *schema.Schema
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewJSONLSource wraps a JSONL stream under sch.
+func NewJSONLSource(sch *schema.Schema, r io.Reader) *JSONLSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &JSONLSource{sch: sch, sc: sc}
+}
+
+// Next implements Source.
+func (s *JSONLSource) Next() (*schema.Tuple, error) {
+	for s.sc.Scan() {
+		s.line++
+		line := s.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]string
+		if err := json.Unmarshal(line, &m); err != nil {
+			return nil, fmt.Errorf("jsonl line %d: %w", s.line, err)
+		}
+		tu, err := schema.TupleFromMap(s.sch, m)
+		if err != nil {
+			return nil, fmt.Errorf("jsonl line %d: %w", s.line, err)
+		}
+		return tu, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// jsonlRecord is JSONLSink's per-result output shape.
+type jsonlRecord struct {
+	Tuple     map[string]string `json:"tuple"`
+	Done      bool              `json:"done"`
+	Conflicts []string          `json:"conflicts,omitempty"`
+	Rewrites  int               `json:"rewrites"`
+}
+
+// JSONLSink streams one JSON object per result: the fixed tuple, the
+// fully-validated flag, conflict messages and the rewrite count.
+type JSONLSink struct {
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Write implements Sink.
+func (s *JSONLSink) Write(r *Result) error {
+	rec := jsonlRecord{
+		Tuple:    r.Fixed.Map(),
+		Done:     r.Chase.AllValidated() && len(r.Chase.Conflicts) == 0,
+		Rewrites: len(r.Chase.Rewrites()),
+	}
+	for _, c := range r.Chase.Conflicts {
+		rec.Conflicts = append(rec.Conflicts, c.Error())
+	}
+	return s.enc.Encode(rec)
+}

@@ -1,0 +1,295 @@
+// Package pipeline is the batch-repair engine of the CerFix
+// reproduction: a streaming, sharded executor for non-interactive
+// certain-fix passes over large datasets. The paper's data monitor
+// "supports several interfaces to access data, which could be readily
+// integrated with other database applications" (§3); this package is
+// that integration point at scale.
+//
+// Because master data and editing rules are frozen for the duration of
+// a batch (callers snapshot the engine first when the live system may
+// mutate — core.Engine.Snapshot), each tuple's certain-fix chase is
+// independent of every other tuple's: batch repair is embarrassingly
+// parallel. Run shards the input across N workers, each owning a
+// reusable core.Chaser against the shared read-only engine, and
+// re-sequences results so the sink observes exactly the order — and
+// exactly the bytes — the sequential path would have produced.
+//
+// Memory stays flat regardless of input size: tuples flow through
+// bounded channels, and an in-flight window caps how far the reader
+// may run ahead of the slowest unfinished tuple, so a slow sink (or
+// one pathological tuple) stalls the source instead of ballooning the
+// resequencing buffer.
+//
+// Sources and sinks are small interfaces; CSV and JSONL streaming
+// implementations live in io.go, and slice-backed ones serve the HTTP
+// batch endpoint and tests.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"cerfix/internal/core"
+	"cerfix/internal/schema"
+)
+
+// Options tunes a pipeline run. The zero value (or nil) picks
+// defaults good for throughput on the current machine.
+type Options struct {
+	// Workers is the number of parallel chase workers; 1 degenerates
+	// to the sequential path. Default: GOMAXPROCS.
+	Workers int
+	// Window is the maximum number of tuples in flight between source
+	// and sink (the backpressure bound: reader admission, channel
+	// capacity and resequencing buffer all live inside it).
+	// Default: 16 per worker, minimum 64.
+	Window int
+	// ChunkSize is how many consecutive tuples ride one work unit.
+	// Chunking amortizes channel operations when individual fixes are
+	// microsecond-cheap (the rule-index access path). Default 16.
+	ChunkSize int
+}
+
+func (o *Options) workers() int {
+	if o == nil || o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+func (o *Options) window(workers int) int {
+	if o == nil || o.Window <= 0 {
+		w := 16 * workers
+		if w < 64 {
+			w = 64
+		}
+		return w
+	}
+	return o.Window
+}
+
+func (o *Options) chunkSize() int {
+	if o == nil || o.ChunkSize <= 0 {
+		return 16
+	}
+	return o.ChunkSize
+}
+
+// Source yields input tuples in order; Next returns io.EOF when the
+// stream is drained.
+type Source interface {
+	Next() (*schema.Tuple, error)
+}
+
+// Result is one tuple's outcome. Sinks receive results strictly in
+// input order.
+type Result struct {
+	// Seq is the tuple's 0-based position in the input stream.
+	Seq int
+	// Input is the tuple as read from the source.
+	Input *schema.Tuple
+	// Fixed is the chased copy (Input is untouched).
+	Fixed *schema.Tuple
+	// Chase carries the full outcome: changes, conflicts, rounds.
+	Chase *core.ChaseResult
+}
+
+// Sink consumes results in input order. Write errors abort the run.
+type Sink interface {
+	Write(*Result) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(*Result) error
+
+// Write implements Sink.
+func (f SinkFunc) Write(r *Result) error { return f(r) }
+
+// Discard drops every result; useful when only Stats matter.
+var Discard Sink = SinkFunc(func(*Result) error { return nil })
+
+// Stats aggregates a run, mirroring the counters of the sequential
+// CLI and HTTP paths.
+type Stats struct {
+	// Tuples is the number of tuples processed.
+	Tuples int
+	// FullyValidated counts tuples whose every attribute ended
+	// validated with no conflicts.
+	FullyValidated int
+	// WithConflicts counts tuples that hit at least one conflict.
+	WithConflicts int
+	// CellsRewritten counts rule-made value changes across the batch.
+	CellsRewritten int
+	// Workers is the worker count the run actually used.
+	Workers int
+}
+
+// chunk is one work unit: up to ChunkSize consecutive tuples.
+type chunk struct {
+	startSeq int
+	tuples   []*schema.Tuple
+}
+
+// chunkResult carries a chunk's outcomes, index-aligned with tuples.
+type chunkResult struct {
+	startSeq int
+	results  []*Result
+}
+
+// Run executes a non-interactive certain-fix pass over every tuple of
+// src, asserting the validated attribute set, and streams results to
+// sink in input order. The engine must not be mutated during the run;
+// when the live system may change concurrently, pass a snapshot
+// (core.Engine.Snapshot). Output is byte-identical to calling
+// eng.Chase per tuple sequentially.
+func Run(eng *core.Engine, validated schema.AttrSet, src Source, sink Sink, opts *Options) (Stats, error) {
+	workers := opts.workers()
+	chunkSize := opts.chunkSize()
+	window := opts.window(workers)
+	if window < chunkSize {
+		// The reader acquires tokens before a chunk is flushed; a
+		// window smaller than one chunk could strand the oldest
+		// in-flight tuple inside the reader and deadlock.
+		window = chunkSize
+	}
+	nChunks := window/chunkSize + 1
+
+	var (
+		jobs     = make(chan chunk, nChunks)
+		results  = make(chan chunkResult, nChunks)
+		inflight = make(chan struct{}, window) // admission tokens, 1/tuple
+		done     = make(chan struct{})
+		errOnce  sync.Once
+		runErr   error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			runErr = err
+			close(done)
+		})
+	}
+
+	// Stage 1 — reader: batch the stream into chunks, admitting at
+	// most window tuples past the resequencer's emit frontier.
+	go func() {
+		defer close(jobs)
+		cur := chunk{}
+		flush := func() bool {
+			if len(cur.tuples) == 0 {
+				return true
+			}
+			select {
+			case jobs <- cur:
+				cur = chunk{startSeq: cur.startSeq + len(cur.tuples)}
+				return true
+			case <-done:
+				return false
+			}
+		}
+		for seq := 0; ; seq++ {
+			tu, err := src.Next()
+			if err == io.EOF {
+				flush()
+				return
+			}
+			if err != nil {
+				fail(fmt.Errorf("pipeline: reading tuple %d: %w", seq, err))
+				return
+			}
+			select {
+			case inflight <- struct{}{}:
+			case <-done:
+				return
+			}
+			cur.tuples = append(cur.tuples, tu)
+			if len(cur.tuples) >= chunkSize {
+				if !flush() {
+					return
+				}
+			}
+		}
+	}()
+
+	// Stage 2 — sharded workers: each owns a reusable chaser against
+	// the shared read-only engine.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chaser := eng.NewChaser()
+			for c := range jobs {
+				out := chunkResult{startSeq: c.startSeq, results: make([]*Result, len(c.tuples))}
+				for i, tu := range c.tuples {
+					res := chaser.Chase(tu, validated)
+					out.results[i] = &Result{Seq: c.startSeq + i, Input: tu, Fixed: res.Tuple, Chase: res}
+				}
+				select {
+				case results <- out:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Stage 3 — resequencer: restore input order, release admission
+	// tokens, feed the sink.
+	stats := Stats{Workers: workers}
+	pending := make(map[int]chunkResult)
+	next := 0
+	emit := func(cr chunkResult) bool {
+		for _, r := range cr.results {
+			stats.Tuples++
+			if r.Chase.AllValidated() && len(r.Chase.Conflicts) == 0 {
+				stats.FullyValidated++
+			}
+			if len(r.Chase.Conflicts) > 0 {
+				stats.WithConflicts++
+			}
+			stats.CellsRewritten += len(r.Chase.Rewrites())
+			if err := sink.Write(r); err != nil {
+				fail(fmt.Errorf("pipeline: writing tuple %d: %w", r.Seq, err))
+				return false
+			}
+			<-inflight
+		}
+		next = cr.startSeq + len(cr.results)
+		return true
+	}
+loop:
+	for cr := range results {
+		if cr.startSeq != next {
+			pending[cr.startSeq] = cr
+			continue
+		}
+		if !emit(cr) {
+			break loop
+		}
+		for {
+			nc, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if !emit(nc) {
+				break loop
+			}
+		}
+	}
+	if runErr != nil {
+		return stats, runErr
+	}
+	if len(pending) > 0 {
+		// Unreachable unless a worker died; keep the invariant loud.
+		return stats, errors.New("pipeline: results missing from resequencer")
+	}
+	return stats, nil
+}

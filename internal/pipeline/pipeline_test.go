@@ -1,0 +1,236 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"cerfix/internal/core"
+	"cerfix/internal/dataset"
+	"cerfix/internal/schema"
+)
+
+// workloadEngine builds a generated CUST workload plus its engine.
+func workloadEngine(t testing.TB, entities, inputs int) (*core.Engine, []*schema.Tuple, schema.AttrSet) {
+	t.Helper()
+	g := dataset.NewCustomerGen(7)
+	w, err := g.GenerateWorkload(entities, inputs, 0.3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), w.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, w.Dirty, schema.SetOfNames(dataset.CustSchema(), "zip", "phn", "type", "item")
+}
+
+// TestPipelineDeterministic is the core guarantee: at 8 workers the
+// pipeline's output — every fixed value, validated set, change list,
+// conflict list, in input order — equals the sequential engine path
+// byte for byte.
+func TestPipelineDeterministic(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 60, 400)
+
+	// Sequential reference.
+	want := make([]*core.ChaseResult, len(dirty))
+	for i, tu := range dirty {
+		want[i] = eng.Chase(tu, seed)
+	}
+
+	for _, workers := range []int{1, 3, 8} {
+		sink := &SliceSink{}
+		stats, err := Run(eng, seed, NewSliceSource(dirty), sink,
+			&Options{Workers: workers, ChunkSize: 5, Window: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Tuples != len(dirty) || stats.Workers != workers {
+			t.Fatalf("workers=%d: stats = %+v", workers, stats)
+		}
+		if len(sink.Results) != len(dirty) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(sink.Results), len(dirty))
+		}
+		for i, r := range sink.Results {
+			if r.Seq != i {
+				t.Fatalf("workers=%d: result %d has seq %d (order broken)", workers, i, r.Seq)
+			}
+			if !r.Fixed.Equal(want[i].Tuple) {
+				t.Fatalf("workers=%d tuple %d: fixed %v, want %v", workers, i, r.Fixed, want[i].Tuple)
+			}
+			if r.Chase.Validated != want[i].Validated {
+				t.Fatalf("workers=%d tuple %d: validated %v, want %v",
+					workers, i, r.Chase.Validated, want[i].Validated)
+			}
+			if !reflect.DeepEqual(r.Chase.Changes, want[i].Changes) {
+				t.Fatalf("workers=%d tuple %d: changes differ\n got %+v\nwant %+v",
+					workers, i, r.Chase.Changes, want[i].Changes)
+			}
+			if !reflect.DeepEqual(r.Chase.Conflicts, want[i].Conflicts) {
+				t.Fatalf("workers=%d tuple %d: conflicts differ", workers, i)
+			}
+			if r.Chase.Rounds != want[i].Rounds {
+				t.Fatalf("workers=%d tuple %d: rounds %d, want %d",
+					workers, i, r.Chase.Rounds, want[i].Rounds)
+			}
+		}
+	}
+}
+
+// The stats mirror what a sequential loop would count.
+func TestPipelineStats(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 40, 200)
+	wantStats := Stats{Workers: 4}
+	for _, tu := range dirty {
+		res := eng.Chase(tu, seed)
+		wantStats.Tuples++
+		if res.AllValidated() && len(res.Conflicts) == 0 {
+			wantStats.FullyValidated++
+		}
+		if len(res.Conflicts) > 0 {
+			wantStats.WithConflicts++
+		}
+		wantStats.CellsRewritten += len(res.Rewrites())
+	}
+	got, err := Run(eng, seed, NewSliceSource(dirty), Discard, &Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantStats {
+		t.Fatalf("stats = %+v, want %+v", got, wantStats)
+	}
+}
+
+// A tiny in-flight window on a large input must still complete (the
+// backpressure bound throttles, never deadlocks) and preserve order.
+func TestPipelineTinyWindow(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 30, 500)
+	sink := &SliceSink{}
+	stats, err := Run(eng, seed, NewSliceSource(dirty), sink,
+		&Options{Workers: 8, Window: 1, ChunkSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tuples != len(dirty) {
+		t.Fatalf("processed %d of %d", stats.Tuples, len(dirty))
+	}
+	for i, r := range sink.Results {
+		if r.Seq != i {
+			t.Fatalf("result %d has seq %d", i, r.Seq)
+		}
+	}
+}
+
+// Source errors abort the run and surface to the caller.
+func TestPipelineSourceError(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 10, 10)
+	src := &errAfterSource{tuples: dirty, errAt: 5}
+	_, err := Run(eng, seed, src, Discard, &Options{Workers: 4})
+	if err == nil || !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+}
+
+var errBoom = errors.New("boom")
+
+type errAfterSource struct {
+	tuples []*schema.Tuple
+	pos    int
+	errAt  int
+}
+
+func (s *errAfterSource) Next() (*schema.Tuple, error) {
+	if s.pos >= s.errAt {
+		return nil, errBoom
+	}
+	if s.pos >= len(s.tuples) {
+		return nil, io.EOF
+	}
+	tu := s.tuples[s.pos]
+	s.pos++
+	return tu, nil
+}
+
+// Sink errors abort the run, even with many tuples still in flight.
+func TestPipelineSinkError(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 30, 300)
+	n := 0
+	sink := SinkFunc(func(*Result) error {
+		n++
+		if n == 10 {
+			return errBoom
+		}
+		return nil
+	})
+	_, err := Run(eng, seed, NewSliceSource(dirty), sink, &Options{Workers: 8, Window: 16})
+	if err == nil || !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
+}
+
+// An empty source is a clean no-op.
+func TestPipelineEmpty(t *testing.T) {
+	eng, _, seed := workloadEngine(t, 5, 1)
+	stats, err := Run(eng, seed, NewSliceSource(nil), Discard, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tuples != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// The pipeline against a snapshot engine is unaffected by concurrent
+// mutation of the live system (run under -race this is the isolation
+// proof at the engine layer).
+func TestPipelineAgainstSnapshotUnderMutation(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 40, 200)
+	snap := eng.Snapshot()
+	want := make([]*core.ChaseResult, len(dirty))
+	for i, tu := range dirty {
+		want[i] = snap.Chase(tu, seed)
+	}
+	stop := make(chan struct{})
+	go func() {
+		g := dataset.NewCustomerGen(99)
+		rows := g.GenerateEntities(200)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := eng.Master().InsertValues(rows[i%len(rows)].Master...); err != nil {
+				panic(err)
+			}
+		}
+	}()
+	sink := &SliceSink{}
+	_, err := Run(snap, seed, NewSliceSource(dirty), sink, &Options{Workers: 8})
+	close(stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range sink.Results {
+		if !r.Fixed.Equal(want[i].Tuple) {
+			t.Fatalf("tuple %d drifted under live mutation", i)
+		}
+	}
+}
+
+// BenchmarkPipeline measures batch throughput at several worker
+// counts (CI's bench smoke job runs this at -benchtime=1x).
+func BenchmarkPipeline(b *testing.B) {
+	eng, dirty, seed := workloadEngine(b, 100, 1000)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(eng, seed, NewSliceSource(dirty), Discard, &Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,6 +3,10 @@ package server
 import (
 	"fmt"
 	"net/http"
+
+	"cerfix"
+	"cerfix/internal/pipeline"
+	"cerfix/internal/schema"
 )
 
 // This file adds the batch-fix endpoint: the demo's monitor "supports
@@ -10,6 +14,12 @@ import (
 // with other database applications" (§3) — batch mode is the
 // integration point for bulk pipelines, applying non-interactive
 // certain-fix passes given a caller-asserted validated attribute list.
+//
+// The handler snapshots the engine under the server lock, then
+// releases it and fixes through internal/pipeline's sharded worker
+// pool, so large batches neither serialize behind each other nor
+// block interactive sessions — and concurrent rule/master mutations
+// cannot race the in-flight batch.
 
 // batchRequest is the POST /api/fix payload.
 type batchRequest struct {
@@ -53,42 +63,55 @@ func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("no tuples"))
 		return
 	}
+	// Freeze a consistent view under the lock, then fix outside it.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	input := s.sys.InputSchema()
 	for _, a := range req.Validated {
 		if !input.Has(a) {
+			s.mu.Unlock()
 			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("unknown attribute %q", a))
 			return
 		}
 	}
-	resp := batchResponse{}
+	eng := s.sys.SnapshotEngine()
+	s.mu.Unlock()
+
+	tuples := make([]*cerfix.Tuple, len(req.Tuples))
 	for i, tm := range req.Tuples {
 		tu, err := tupleFromMap(input, tm)
 		if err != nil {
 			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("tuple %d: %w", i, err))
 			return
 		}
-		fixed, res := s.sys.Fix(tu, req.Validated)
+		tuples[i] = tu
+	}
+
+	seed := schema.SetOfNames(input, req.Validated...)
+	resp := batchResponse{Results: make([]batchTupleResult, 0, len(tuples))}
+	sink := pipeline.SinkFunc(func(res *pipeline.Result) error {
 		tr := batchTupleResult{
-			Tuple:     fixed.Map(),
-			Validated: res.Validated.SortedNames(input),
-			Done:      res.AllValidated(),
+			Tuple:     res.Fixed.Map(),
+			Validated: res.Chase.Validated.SortedNames(input),
+			Done:      res.Chase.AllValidated(),
 		}
-		for _, c := range res.Conflicts {
+		for _, c := range res.Chase.Conflicts {
 			tr.Conflicts = append(tr.Conflicts, c.Error())
 		}
-		for _, c := range res.Rewrites() {
+		for _, c := range res.Chase.Rewrites() {
 			tr.Rewrites = append(tr.Rewrites, changeJSON{
 				Attr: c.Attr, Old: string(c.Old), New: string(c.New),
 				Source: c.Source.String(), RuleID: c.RuleID, MasterID: c.MasterID,
 			})
-			resp.CellsRewritten++
-		}
-		if tr.Done && len(tr.Conflicts) == 0 {
-			resp.FullyValidated++
 		}
 		resp.Results = append(resp.Results, tr)
+		return nil
+	})
+	stats, err := pipeline.Run(eng, seed, pipeline.NewSliceSource(tuples), sink, nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	}
+	resp.FullyValidated = stats.FullyValidated
+	resp.CellsRewritten = stats.CellsRewritten
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -130,6 +130,30 @@ func (t *Table) Delete(id int64) bool {
 	return true
 }
 
+// Clone returns an isolated copy of the table: fresh row registry,
+// insertion order and index structures. Stored tuples are shared — the
+// table never mutates a stored row in place (inserts and updates swap
+// in fresh copies) — so the clone is safe to read concurrently while
+// the original keeps changing, and vice versa.
+func (t *Table) Clone() *Table {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cp := &Table{
+		sch:     t.sch,
+		rows:    make(map[int64]*schema.Tuple, len(t.rows)),
+		order:   append([]int64(nil), t.order...),
+		nextID:  t.nextID,
+		indexes: make(map[string]*hashIndex, len(t.indexes)),
+	}
+	for id, tu := range t.rows {
+		cp.rows[id] = tu
+	}
+	for k, idx := range t.indexes {
+		cp.indexes[k] = idx.clone()
+	}
+	return cp
+}
+
 // Scan calls fn on a copy of every row in insertion order; fn returning
 // false stops the scan.
 func (t *Table) Scan(fn func(*schema.Tuple) bool) {
@@ -191,6 +215,14 @@ func (ix *hashIndex) keyOf(tu *schema.Tuple) string {
 func (ix *hashIndex) add(tu *schema.Tuple) {
 	k := ix.keyOf(tu)
 	ix.buckets[k] = append(ix.buckets[k], tu.ID)
+}
+
+func (ix *hashIndex) clone() *hashIndex {
+	cp := &hashIndex{attrs: ix.attrs, buckets: make(map[string][]int64, len(ix.buckets))}
+	for k, ids := range ix.buckets {
+		cp.buckets[k] = append([]int64(nil), ids...)
+	}
+	return cp
 }
 
 func (ix *hashIndex) remove(tu *schema.Tuple) {
