@@ -30,6 +30,11 @@
 // engine snapshot (SnapshotEngine) — and re-sequences results so
 // output is byte-identical to the sequential path. Bounded channels
 // and an in-flight window keep memory flat regardless of input size.
+// For batches too long to hold a connection open, internal/jobs wraps
+// the same pipeline in a persistent job queue (cerfixd -jobs-dir,
+// POST /api/jobs, `cerfix jobs`): submitted work is journaled,
+// tracked through a queued/running/done lifecycle, and recovered
+// across daemon restarts.
 //
 // The subpackages under internal/ implement the pieces; this package
 // re-exports the types a downstream user needs.

@@ -1,0 +1,367 @@
+package main
+
+// The jobs subcommand drives a running cerfixd's async batch-repair
+// queue (/api/jobs) over HTTP:
+//
+//	cerfix jobs submit  -addr URL -validated zip,type -data dirty.csv [-format csv|jsonl] [-server-path] [-wait]
+//	cerfix jobs list    -addr URL
+//	cerfix jobs status  -addr URL -id j000001
+//	cerfix jobs results -addr URL -id j000001 [-out fixed.jsonl]
+//	cerfix jobs cancel  -addr URL -id j000001
+//
+// submit reads the data file locally and sends its tuples inline
+// unless -server-path is given, in which case the daemon opens the
+// path itself (useful when the data already lives next to the
+// daemon). -wait polls until the job reaches a terminal state.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+func cmdJobs(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: cerfix jobs <submit|list|status|results|cancel> [flags]")
+	}
+	switch args[0] {
+	case "submit":
+		return cmdJobsSubmit(args[1:])
+	case "list":
+		return cmdJobsList(args[1:])
+	case "status":
+		return cmdJobsStatus(args[1:])
+	case "results":
+		return cmdJobsResults(args[1:])
+	case "cancel":
+		return cmdJobsCancel(args[1:])
+	default:
+		return fmt.Errorf("unknown jobs verb %q (want submit, list, status, results or cancel)", args[0])
+	}
+}
+
+// jobsClient is the thin HTTP helper shared by the verbs.
+type jobsClient struct {
+	base string
+	hc   http.Client
+}
+
+func newJobsClient(addr string) *jobsClient {
+	// Timeout on connect and response headers only — a whole-request
+	// timeout would cut off large inline submits and big results
+	// downloads mid-body.
+	return &jobsClient{base: strings.TrimRight(addr, "/"), hc: http.Client{
+		Transport: &http.Transport{ResponseHeaderTimeout: 30 * time.Second},
+	}}
+}
+
+// do issues one request and decodes the JSON reply (or the server's
+// error object) into out.
+func (c *jobsClient) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = strings.NewReader(string(data))
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// jobView mirrors the daemon's job JSON for display.
+type jobView struct {
+	ID        string   `json:"id"`
+	State     string   `json:"state"`
+	Validated []string `json:"validated"`
+	Format    string   `json:"format"`
+	Attempts  int      `json:"attempts"`
+	Processed int      `json:"processed"`
+	Error     string   `json:"error,omitempty"`
+	Stats     *struct {
+		Tuples         int `json:"tuples"`
+		FullyValidated int `json:"fully_validated"`
+		WithConflicts  int `json:"with_conflicts"`
+		CellsRewritten int `json:"cells_rewritten"`
+		Workers        int `json:"workers"`
+	} `json:"stats,omitempty"`
+}
+
+func printJob(j jobView) {
+	line := fmt.Sprintf("%s  %-9s attempts=%d processed=%d", j.ID, j.State, j.Attempts, j.Processed)
+	if j.Stats != nil {
+		line += fmt.Sprintf("  tuples=%d fully_validated=%d with_conflicts=%d cells_rewritten=%d",
+			j.Stats.Tuples, j.Stats.FullyValidated, j.Stats.WithConflicts, j.Stats.CellsRewritten)
+	}
+	if j.Error != "" {
+		line += "  error=" + j.Error
+	}
+	fmt.Println(line)
+}
+
+// loadTuples reads a local CSV or JSONL file into attribute→value
+// maps for inline submission.
+func loadTuples(path, format string) ([]map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch format {
+	case "csv":
+		cr := csv.NewReader(f)
+		header, err := cr.Read()
+		if err != nil {
+			return nil, fmt.Errorf("csv header: %w", err)
+		}
+		var out []map[string]string
+		for {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				return out, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			m := make(map[string]string, len(header))
+			for i, h := range header {
+				if i < len(rec) {
+					m[h] = rec[i]
+				}
+			}
+			out = append(out, m)
+		}
+	case "jsonl":
+		dec := json.NewDecoder(f)
+		var out []map[string]string
+		for {
+			var m map[string]string
+			if err := dec.Decode(&m); err == io.EOF {
+				return out, nil
+			} else if err != nil {
+				return nil, err
+			}
+			out = append(out, m)
+		}
+	default:
+		return nil, fmt.Errorf("bad format %q (want csv or jsonl)", format)
+	}
+}
+
+// guessFormat infers csv/jsonl from the filename when -format is not
+// given.
+func guessFormat(path string) string {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".jsonl", ".ndjson", ".json":
+		return "jsonl"
+	default:
+		return "csv"
+	}
+}
+
+func cmdJobsSubmit(args []string) error {
+	fs := flag.NewFlagSet("jobs submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "daemon base URL")
+	validated := fs.String("validated", "", "comma-separated attributes asserted correct")
+	dataPath := fs.String("data", "", "input tuples file (CSV or JSONL)")
+	format := fs.String("format", "", "input format: csv or jsonl (default: by extension)")
+	serverPath := fs.Bool("server-path", false, "send the path for the daemon to open instead of uploading tuples")
+	wait := fs.Bool("wait", false, "poll until the job finishes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *validated == "" || *dataPath == "" {
+		return fmt.Errorf("-validated and -data are required")
+	}
+	attrs := strings.Split(*validated, ",")
+	for i := range attrs {
+		attrs[i] = strings.TrimSpace(attrs[i])
+	}
+	f := *format
+	if f == "" {
+		f = guessFormat(*dataPath)
+	}
+	body := map[string]any{"validated": attrs}
+	if *serverPath {
+		abs, err := filepath.Abs(*dataPath)
+		if err != nil {
+			return err
+		}
+		body["input_path"] = abs
+		body["format"] = f
+	} else {
+		tuples, err := loadTuples(*dataPath, f)
+		if err != nil {
+			return err
+		}
+		if len(tuples) == 0 {
+			return fmt.Errorf("no tuples in %s", *dataPath)
+		}
+		body["tuples"] = tuples
+	}
+	c := newJobsClient(*addr)
+	var j jobView
+	if err := c.do("POST", "/api/jobs", body, &j); err != nil {
+		return err
+	}
+	printJob(j)
+	if !*wait {
+		return nil
+	}
+	for !terminalState(j.State) {
+		time.Sleep(200 * time.Millisecond)
+		if err := c.do("GET", "/api/jobs/"+j.ID, nil, &j); err != nil {
+			return err
+		}
+	}
+	printJob(j)
+	if j.State != "done" {
+		return fmt.Errorf("job %s ended %s", j.ID, j.State)
+	}
+	return nil
+}
+
+func terminalState(s string) bool {
+	return s == "done" || s == "failed" || s == "cancelled"
+}
+
+func cmdJobsList(args []string) error {
+	fs := flag.NewFlagSet("jobs list", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "daemon base URL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var resp struct {
+		Jobs []jobView `json:"jobs"`
+	}
+	if err := newJobsClient(*addr).do("GET", "/api/jobs", nil, &resp); err != nil {
+		return err
+	}
+	if len(resp.Jobs) == 0 {
+		fmt.Println("no jobs")
+		return nil
+	}
+	for _, j := range resp.Jobs {
+		printJob(j)
+	}
+	return nil
+}
+
+func cmdJobsStatus(args []string) error {
+	fs := flag.NewFlagSet("jobs status", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "daemon base URL")
+	id := fs.String("id", "", "job id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	var j jobView
+	if err := newJobsClient(*addr).do("GET", "/api/jobs/"+*id, nil, &j); err != nil {
+		return err
+	}
+	printJob(j)
+	return nil
+}
+
+func cmdJobsResults(args []string) error {
+	fs := flag.NewFlagSet("jobs results", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "daemon base URL")
+	id := fs.String("id", "", "job id")
+	outPath := fs.String("out", "", "write the JSONL artifact here (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	c := newJobsClient(*addr)
+	resp, err := c.hc.Get(c.base + "/api/jobs/" + *id + "/results")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("results: %s", resp.Status)
+	}
+	out := os.Stdout
+	if *outPath != "" {
+		out, err = os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+	}
+	if _, err := io.Copy(out, resp.Body); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		fmt.Println("results written to", *outPath)
+	}
+	return nil
+}
+
+func cmdJobsCancel(args []string) error {
+	fs := flag.NewFlagSet("jobs cancel", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "daemon base URL")
+	id := fs.String("id", "", "job id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	// DELETE cancels a live job (returns its record) or purges a
+	// terminal one (returns {"deleted": true}).
+	var j struct {
+		jobView
+		Deleted bool `json:"deleted"`
+	}
+	if err := newJobsClient(*addr).do("DELETE", "/api/jobs/"+*id, nil, &j); err != nil {
+		return err
+	}
+	if j.Deleted {
+		fmt.Printf("%s deleted\n", j.ID)
+		return nil
+	}
+	printJob(j.jobView)
+	return nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cerfix"
+	"cerfix/internal/dataset"
+	"cerfix/internal/jobs"
+	"cerfix/internal/server"
+)
+
+// jobsDaemon spins up an in-process cerfixd equivalent with the jobs
+// subsystem enabled.
+func jobsDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	sys, err := cerfix.New(dataset.CustSchema(), dataset.PersonSchema(), dataset.DemoRulesDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range dataset.DemoMasterRows() {
+		if err := sys.AddMasterRow(row.Strings()...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := server.New(sys)
+	mgr, err := jobs.Open(jobs.Config{
+		Dir:       t.TempDir(),
+		Schema:    sys.InputSchema(),
+		Snapshot:  srv.SnapshotEngine,
+		InputRoot: "/", // tests submit from arbitrary temp dirs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mgr.Close(context.Background()) })
+	srv.AttachJobs(mgr)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestCmdJobsRoundTrip(t *testing.T) {
+	ts := jobsDaemon(t)
+	dir := t.TempDir()
+	dirtyCSV := filepath.Join(dir, "dirty.csv")
+	rows := [][]string{dataset.DemoInputExample1().Vals.Strings()}
+	if err := writeCSV(dirtyCSV, dataset.CustSchema().AttrNames(), rows); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inline submit + wait runs the job to done.
+	if err := cmdJobs([]string{"submit",
+		"-addr", ts.URL, "-validated", "zip", "-data", dirtyCSV, "-wait",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The daemon-side path variant works too.
+	if err := cmdJobs([]string{"submit",
+		"-addr", ts.URL, "-validated", "zip", "-data", dirtyCSV, "-server-path", "-wait",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdJobs([]string{"list", "-addr", ts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdJobs([]string{"status", "-addr", ts.URL, "-id", "j000001"}); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "results.jsonl")
+	if err := cmdJobs([]string{"results", "-addr", ts.URL, "-id", "j000001", "-out", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), `"AC":"131"`) {
+		t.Fatalf("results artifact missing fixed AC:\n%s", got)
+	}
+
+	// Error paths: unknown verb, unknown id.
+	if err := cmdJobs([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown verb accepted")
+	}
+	if err := cmdJobs([]string{"status", "-addr", ts.URL, "-id", "j999999"}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if err := cmdJobs(nil); err == nil {
+		t.Fatal("missing verb accepted")
+	}
+}
+
+func TestLoadTuplesFormats(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "in.csv")
+	if err := writeCSV(csvPath, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}}); err != nil {
+		t.Fatal(err)
+	}
+	tuples, err := loadTuples(csvPath, "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 || tuples[0]["a"] != "1" || tuples[1]["b"] != "4" {
+		t.Fatalf("csv tuples = %+v", tuples)
+	}
+	jsonlPath := filepath.Join(dir, "in.jsonl")
+	if err := os.WriteFile(jsonlPath, []byte("{\"a\":\"5\",\"b\":\"6\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tuples, err = loadTuples(jsonlPath, "jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 1 || tuples[0]["a"] != "5" {
+		t.Fatalf("jsonl tuples = %+v", tuples)
+	}
+	if _, err := loadTuples(csvPath, "parquet"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if got := guessFormat("x.jsonl"); got != "jsonl" {
+		t.Fatalf("guessFormat(.jsonl) = %s", got)
+	}
+	if got := guessFormat("x.csv"); got != "csv" {
+		t.Fatalf("guessFormat(.csv) = %s", got)
+	}
+}

@@ -9,6 +9,8 @@
 //	           to the sequential path)
 //	monitor  — interactively fix one tuple (stdin/stdout session)
 //	demo     — run the paper's Fig. 3 walkthrough on built-in data
+//	jobs     — submit/poll async batch repairs against a running
+//	           cerfixd (persistent queue, see internal/jobs)
 //
 // Schemas are given inline as "NAME:attr1,attr2,..." (all string
 // domains; the library API supports typed domains). Master data and
@@ -20,6 +22,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +56,8 @@ func main() {
 		err = cmdDemo(os.Args[2:])
 	case "discover":
 		err = cmdDiscover(os.Args[2:])
+	case "jobs":
+		err = cmdJobs(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -66,13 +71,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cerfix <check|regions|fix|monitor|demo|discover> [flags]
+	fmt.Fprintln(os.Stderr, `usage: cerfix <check|regions|fix|monitor|demo|discover|jobs> [flags]
   cerfix check   -input CUST:FN,LN,... -master-schema PERSON:... -rules rules.txt -master master.csv
   cerfix regions -input ... -master-schema ... -rules ... -master ... [-k 5]
   cerfix fix     -input ... -master-schema ... -rules ... -master ... -data dirty.csv -validated zip,type [-workers N] [-out fixed.csv]
   cerfix monitor -input ... -master-schema ... -rules ... -master ...
   cerfix demo
-  cerfix discover -schema HOSP:prov,... -data master.csv`)
+  cerfix discover -schema HOSP:prov,... -data master.csv
+  cerfix jobs    <submit|list|status|results|cancel> -addr http://host:8080 [flags]`)
 }
 
 // config is the shared flag bundle.
@@ -239,7 +245,7 @@ func cmdFix(args []string) error {
 		sink = csvSink
 	}
 	seed := schema.SetOfNames(sys.InputSchema(), attrs...)
-	stats, err := pipeline.Run(sys.Engine(), seed, src, sink, &pipeline.Options{Workers: *workers})
+	stats, err := pipeline.Run(context.Background(), sys.Engine(), seed, src, sink, &pipeline.Options{Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -12,9 +12,20 @@
 //
 //	cerfixd -addr :8080 -demo
 //
+// With -jobs-dir the daemon additionally serves the persistent async
+// batch-repair queue (/api/jobs, see internal/jobs): submitted jobs
+// are journaled to that directory, run off the request path against
+// engine snapshots, and are recovered — re-queued and completed — if
+// the daemon restarts mid-queue or mid-run. On shutdown the -drain
+// window covers both in-flight HTTP requests and the running job;
+// work that does not finish in time is re-queued for the next start.
+// Submissions referencing server-side files (input_path) are only
+// accepted under -jobs-input-root; without it, clients must upload
+// tuples inline.
+//
 // Endpoints: see internal/server documentation (GET /api/status,
 // /api/rules, /api/regions, /api/master, /api/sessions,
-// /api/audit/...).
+// /api/audit/..., /api/jobs).
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 
 	"cerfix"
 	"cerfix/internal/dataset"
+	"cerfix/internal/jobs"
 	"cerfix/internal/server"
 )
 
@@ -43,7 +55,9 @@ func main() {
 		masterSpec = flag.String("master-schema", "", `master schema spec "NAME:attr1,..."`)
 		rulesPath  = flag.String("rules", "", "editing-rule DSL file")
 		masterPath = flag.String("master", "", "master data CSV file")
-		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight requests")
+		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight requests and running jobs")
+		jobsDir    = flag.String("jobs-dir", "", "directory for the persistent async batch-repair job queue (empty = /api/jobs disabled)")
+		jobsInput  = flag.String("jobs-input-root", "", "directory server-side job input paths may reference (empty = inline tuples only)")
 	)
 	flag.Parse()
 
@@ -52,6 +66,28 @@ func main() {
 		log.Fatal("cerfixd: ", err)
 	}
 	srv := server.New(sys)
+	// The jobs manager re-queues interrupted work at Open, so a daemon
+	// restart resumes queued and running batches from the journal.
+	var mgr *jobs.Manager
+	if *jobsDir != "" {
+		mgr, err = jobs.Open(jobs.Config{
+			Dir:       *jobsDir,
+			Schema:    sys.InputSchema(),
+			Snapshot:  srv.SnapshotEngine,
+			InputRoot: *jobsInput,
+		})
+		if err != nil {
+			log.Fatal("cerfixd: ", err)
+		}
+		srv.AttachJobs(mgr)
+		recovered := 0
+		for _, j := range mgr.List() {
+			if j.State == jobs.StateQueued {
+				recovered++
+			}
+		}
+		log.Printf("cerfixd: jobs directory %s (%d queued)", *jobsDir, recovered)
+	}
 	// An explicit http.Server rather than bare ListenAndServe: the
 	// header timeout closes slowloris connections, and Shutdown gives
 	// in-flight batch repairs a drain window instead of killing them
@@ -79,6 +115,14 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal("cerfixd: shutdown: ", err)
+		}
+		if mgr != nil {
+			// Give the running job the rest of the drain window; an
+			// interrupted run is journaled back to queued and re-runs
+			// on the next start.
+			if err := mgr.Close(ctx); err != nil {
+				log.Printf("cerfixd: jobs drain: %v (interrupted work re-queued)", err)
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -670,7 +671,7 @@ func RunE8(workerCounts []int, nEntities, nInputs int, seed uint64) ([]E8Row, er
 				return nil
 			})
 			start := time.Now()
-			stats, err := pipeline.Run(eng, seedSet, pipeline.NewSliceSource(w.Dirty), check, &pipeline.Options{Workers: n})
+			stats, err := pipeline.Run(context.Background(), eng, seedSet, pipeline.NewSliceSource(w.Dirty), check, &pipeline.Options{Workers: n})
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,576 @@
+package jobs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cerfix/internal/core"
+	"cerfix/internal/pipeline"
+	"cerfix/internal/schema"
+)
+
+// Errors the Manager reports to callers.
+var (
+	// ErrNotFound means no job has the given ID.
+	ErrNotFound = errors.New("jobs: job not found")
+	// ErrFinished means the job already reached a terminal state.
+	ErrFinished = errors.New("jobs: job already finished")
+	// ErrClosed means the manager is shutting down.
+	ErrClosed = errors.New("jobs: manager closed")
+)
+
+// Config wires a Manager.
+type Config struct {
+	// Dir is the jobs directory (created if needed); see the package
+	// comment for its layout.
+	Dir string
+	// Schema is the input relation every job's tuples live under.
+	Schema *schema.Schema
+	// Snapshot returns an isolated engine for one job run — typically
+	// the HTTP server's lock-and-snapshot. Called once per run, at
+	// job start, so each attempt sees the rules and master data of
+	// that moment.
+	Snapshot func() *core.Engine
+	// InputRoot confines SubmitFile paths: only files under this
+	// directory (after resolving symlinks) may be opened by jobs.
+	// Empty rejects every server-side path submission — inline
+	// tuples, which are materialized into the jobs directory, are
+	// always allowed.
+	InputRoot string
+	// Pipeline tunes the underlying batch runs (nil = defaults).
+	Pipeline *pipeline.Options
+}
+
+// job is the Manager's runtime view of one Job record.
+type job struct {
+	rec       Job
+	dir       string
+	cancel    context.CancelFunc // non-nil while running
+	ctxForRun context.Context    // the run's context, set with cancel
+	requeue   bool               // shutdown drain: re-queue instead of cancelling
+	// processed is the live run's counter — atomic so the per-tuple
+	// sink never touches the manager lock.
+	processed atomic.Int64
+}
+
+// snapshotLocked copies the record, folding in the live counter for a
+// running job. Callers hold m.mu.
+func (j *job) snapshotLocked() Job {
+	rec := j.rec
+	if rec.State == StateRunning {
+		rec.Processed = int(j.processed.Load())
+	}
+	return rec
+}
+
+// Manager owns the job queue: submission, the background worker,
+// journal persistence and restart recovery.
+type Manager struct {
+	cfg  Config
+	mu   sync.Mutex
+	cond *sync.Cond
+	jobs map[string]*job
+	seq  int
+	// closed stops the worker from starting new jobs; Close waits for
+	// the in-flight one.
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Open loads the jobs directory, re-queues every job found queued or
+// running (discarding partial artifacts), and starts the background
+// worker.
+func Open(cfg Config) (*Manager, error) {
+	if cfg.Dir == "" || cfg.Schema == nil || cfg.Snapshot == nil {
+		return nil, errors.New("jobs: Config needs Dir, Schema and Snapshot")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: %w", err)
+	}
+	m := &Manager{cfg: cfg, jobs: make(map[string]*job)}
+	m.cond = sync.NewCond(&m.mu)
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	m.wg.Add(1)
+	go m.worker()
+	return m, nil
+}
+
+// recover scans the directory and rebuilds the in-memory table from
+// the job.json journals.
+func (m *Manager) recover() error {
+	entries, err := os.ReadDir(m.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(m.cfg.Dir, e.Name())
+		data, err := os.ReadFile(filepath.Join(dir, "job.json"))
+		if err != nil {
+			// A directory without a readable journal is a torn submit;
+			// skip it rather than refuse to start.
+			continue
+		}
+		var rec Job
+		if err := json.Unmarshal(data, &rec); err != nil || rec.ID != e.Name() {
+			continue
+		}
+		j := &job{rec: rec, dir: dir}
+		if !rec.State.Terminal() {
+			// Interrupted mid-queue or mid-run: start over. The stale
+			// artifact is truncated when the run begins.
+			j.rec.State = StateQueued
+			j.rec.Started = time.Time{}
+			j.rec.Processed = 0
+			if err := m.persist(j); err != nil {
+				return err
+			}
+		}
+		m.jobs[rec.ID] = j
+		if n, err := strconv.Atoi(e.Name()[1:]); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
+	return nil
+}
+
+// persist journals the job record atomically: temp file + rename, so
+// a crash mid-write never leaves a torn job.json.
+func (m *Manager) persist(j *job) error {
+	data, err := json.MarshalIndent(j.rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	tmp := filepath.Join(j.dir, ".job.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, "job.json")); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	return nil
+}
+
+// validateAttrs rejects unknown or empty validated lists up front.
+func (m *Manager) validateAttrs(validated []string) error {
+	if len(validated) == 0 {
+		return errors.New("jobs: validated attribute list required")
+	}
+	for _, a := range validated {
+		if !m.cfg.Schema.Has(a) {
+			return fmt.Errorf("jobs: unknown attribute %q", a)
+		}
+	}
+	return nil
+}
+
+// SubmitInline queues a job over tuples given directly; they are
+// materialized to the job's input.jsonl so the job survives restarts.
+func (m *Manager) SubmitInline(validated []string, tuples []map[string]string) (Job, error) {
+	if err := m.validateAttrs(validated); err != nil {
+		return Job{}, err
+	}
+	if len(tuples) == 0 {
+		return Job{}, errors.New("jobs: no tuples")
+	}
+	// Parse now so submission fails fast on malformed input.
+	for i, tm := range tuples {
+		if _, err := schema.TupleFromMap(m.cfg.Schema, tm); err != nil {
+			return Job{}, fmt.Errorf("jobs: tuple %d: %w", i, err)
+		}
+	}
+	return m.enqueue(validated, "input.jsonl", FormatJSONL, func(dir string) error {
+		f, err := os.Create(filepath.Join(dir, "input.jsonl"))
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		for _, tm := range tuples {
+			if err := enc.Encode(tm); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		return f.Close()
+	})
+}
+
+// SubmitFile queues a job over a server-side CSV or JSONL file. The
+// path must resolve inside Config.InputRoot (the daemon must not
+// become an arbitrary-file reader for any HTTP client) and stay
+// readable until the job completes (it is re-read on restart
+// recovery).
+func (m *Manager) SubmitFile(validated []string, path, format string) (Job, error) {
+	if err := m.validateAttrs(validated); err != nil {
+		return Job{}, err
+	}
+	if format != FormatCSV && format != FormatJSONL {
+		return Job{}, fmt.Errorf("jobs: bad format %q (want %s or %s)", format, FormatCSV, FormatJSONL)
+	}
+	abs, err := m.confineInput(path)
+	if err != nil {
+		return Job{}, err
+	}
+	if _, err := os.Stat(abs); err != nil {
+		return Job{}, fmt.Errorf("jobs: input: %w", err)
+	}
+	return m.enqueue(validated, abs, format, nil)
+}
+
+// confineInput resolves path and rejects anything outside InputRoot,
+// following symlinks so a link inside the root cannot escape it.
+func (m *Manager) confineInput(path string) (string, error) {
+	if m.cfg.InputRoot == "" {
+		return "", errors.New("jobs: server-side input paths are disabled (no input root configured)")
+	}
+	root, err := filepath.EvalSymlinks(m.cfg.InputRoot)
+	if err != nil {
+		return "", fmt.Errorf("jobs: input root: %w", err)
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return "", fmt.Errorf("jobs: %w", err)
+	}
+	resolved, err := filepath.EvalSymlinks(abs)
+	if err != nil {
+		return "", fmt.Errorf("jobs: input: %w", err)
+	}
+	rel, err := filepath.Rel(root, resolved)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("jobs: input %q is outside the input root", path)
+	}
+	return resolved, nil
+}
+
+// enqueue allocates the job directory, runs the optional materializer
+// inside it, journals the queued record and wakes the worker.
+func (m *Manager) enqueue(validated []string, input, format string, materialize func(dir string) error) (Job, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	m.seq++
+	id := fmt.Sprintf("j%06d", m.seq)
+	m.mu.Unlock()
+
+	dir := filepath.Join(m.cfg.Dir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Job{}, fmt.Errorf("jobs: %w", err)
+	}
+	if materialize != nil {
+		if err := materialize(dir); err != nil {
+			os.RemoveAll(dir)
+			return Job{}, fmt.Errorf("jobs: %w", err)
+		}
+	}
+	j := &job{
+		rec: Job{
+			ID:        id,
+			State:     StateQueued,
+			Validated: append([]string(nil), validated...),
+			Input:     input,
+			Format:    format,
+			Submitted: time.Now().UTC(),
+		},
+		dir: dir,
+	}
+	if err := m.persist(j); err != nil {
+		os.RemoveAll(dir)
+		return Job{}, err
+	}
+	m.mu.Lock()
+	m.jobs[id] = j
+	rec := j.rec // copy under the lock; the worker may pick it up immediately
+	m.mu.Unlock()
+	m.cond.Broadcast()
+	return rec, nil
+}
+
+// Get returns a snapshot of one job record.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return j.snapshotLocked(), nil
+}
+
+// List returns snapshots of every job, oldest first.
+func (m *Manager) List() []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.snapshotLocked())
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// ResultsPath returns the job's results artifact path once the job is
+// terminal (a cancelled or failed job exposes its partial prefix).
+func (m *Manager) ResultsPath(id string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return "", ErrNotFound
+	}
+	if !j.rec.State.Terminal() {
+		return "", fmt.Errorf("jobs: job %s is %s, results not final", id, j.rec.State)
+	}
+	return filepath.Join(j.dir, "results.jsonl"), nil
+}
+
+// Cancel aborts a job: a queued job turns cancelled immediately, a
+// running one has its pipeline context cancelled (the worker journals
+// the terminal state within one backpressure window). The returned
+// snapshot reflects the record at call time.
+func (m *Manager) Cancel(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	switch j.rec.State {
+	case StateQueued:
+		j.rec.State = StateCancelled
+		j.rec.Finished = time.Now().UTC()
+		if err := m.persist(j); err != nil {
+			return Job{}, err
+		}
+	case StateRunning:
+		j.cancel()
+	default:
+		return Job{}, ErrFinished
+	}
+	return j.snapshotLocked(), nil
+}
+
+// Remove purges a terminal job: its record, its directory and every
+// artifact in it. Live jobs must reach a terminal state (Cancel)
+// first. This is the retention mechanism — terminal jobs are kept
+// until removed.
+func (m *Manager) Remove(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if !j.rec.State.Terminal() {
+		return fmt.Errorf("jobs: job %s is %s; cancel it before removing", id, j.rec.State)
+	}
+	if err := os.RemoveAll(j.dir); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	delete(m.jobs, id)
+	return nil
+}
+
+// Close drains the manager: no new job starts, and the in-flight job
+// (if any) gets until ctx expires to finish before being interrupted
+// and re-queued for the next start. Safe to call once.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			if j.rec.State == StateRunning && j.cancel != nil {
+				j.requeue = true
+				j.cancel()
+			}
+		}
+		m.mu.Unlock()
+		<-finished
+		return ctx.Err()
+	}
+}
+
+// worker is the single background runner: FIFO over queued jobs.
+// Parallelism lives inside each run (the pipeline's worker pool), so
+// one job at a time keeps batches from starving each other.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		j := m.next()
+		if j == nil {
+			return
+		}
+		m.run(j)
+	}
+}
+
+// next blocks until a queued job exists (returning the oldest) or the
+// manager closes (returning nil). It transitions the job to running
+// under the lock.
+func (m *Manager) next() *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.closed {
+			return nil
+		}
+		var pick *job
+		for _, j := range m.jobs {
+			if j.rec.State != StateQueued {
+				continue
+			}
+			if pick == nil || j.rec.ID < pick.rec.ID {
+				pick = j
+			}
+		}
+		if pick != nil {
+			pick.rec.State = StateRunning
+			pick.rec.Started = time.Now().UTC()
+			pick.rec.Attempts++
+			pick.rec.Processed = 0
+			pick.processed.Store(0)
+			pick.rec.Error = ""
+			ctx, cancel := context.WithCancel(context.Background())
+			pick.cancel = cancel
+			pick.ctxForRun = ctx
+			if err := m.persist(pick); err != nil {
+				// Journal write failure: fail the job rather than run
+				// it unrecorded.
+				pick.rec.State = StateFailed
+				pick.rec.Error = err.Error()
+				pick.rec.Finished = time.Now().UTC()
+				pick.cancel = nil
+				cancel()
+				continue
+			}
+			return pick
+		}
+		m.cond.Wait()
+	}
+}
+
+// run executes one job attempt through the pipeline and journals the
+// outcome.
+func (m *Manager) run(j *job) {
+	ctx := j.ctxForRun
+	err := m.runPipeline(ctx, j)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.cancel()
+	j.cancel = nil
+	j.ctxForRun = nil
+	j.rec.Processed = int(j.processed.Load())
+	switch {
+	case err == nil:
+		j.rec.State = StateDone
+	case errors.Is(err, context.Canceled) && j.requeue:
+		// Shutdown drain interrupted the run: journal it back to
+		// queued so the next Open re-runs it.
+		j.rec.State = StateQueued
+		j.rec.Started = time.Time{}
+		j.rec.Processed = 0
+		j.requeue = false
+	case errors.Is(err, context.Canceled):
+		j.rec.State = StateCancelled
+	default:
+		j.rec.State = StateFailed
+		j.rec.Error = err.Error()
+	}
+	if j.rec.State.Terminal() {
+		j.rec.Finished = time.Now().UTC()
+	}
+	if perr := m.persist(j); perr != nil && j.rec.State == StateDone {
+		// A job whose completion cannot be journaled must not report
+		// done: it would re-run after restart anyway.
+		j.rec.State = StateFailed
+		j.rec.Error = perr.Error()
+		_ = m.persist(j)
+	}
+}
+
+// runPipeline opens the source, streams results to the artifact, and
+// returns the pipeline's error (nil on full completion).
+func (m *Manager) runPipeline(ctx context.Context, j *job) error {
+	input := j.rec.Input
+	if !filepath.IsAbs(input) {
+		input = filepath.Join(j.dir, input)
+	}
+	in, err := os.Open(input)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	var src pipeline.Source
+	switch j.rec.Format {
+	case FormatCSV:
+		src, err = pipeline.NewCSVSource(m.cfg.Schema, in)
+		if err != nil {
+			return err
+		}
+	case FormatJSONL:
+		src = pipeline.NewJSONLSource(m.cfg.Schema, in)
+	default:
+		return fmt.Errorf("bad input format %q", j.rec.Format)
+	}
+
+	out, err := os.Create(filepath.Join(j.dir, "results.jsonl"))
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	bw := bufio.NewWriter(out)
+	enc := json.NewEncoder(bw)
+	sink := pipeline.SinkFunc(func(r *pipeline.Result) error {
+		if err := enc.Encode(NewTupleResult(m.cfg.Schema, r)); err != nil {
+			return err
+		}
+		j.processed.Add(1)
+		return nil
+	})
+
+	seed := schema.SetOfNames(m.cfg.Schema, j.rec.Validated...)
+	stats, err := pipeline.Run(ctx, m.cfg.Snapshot(), seed, src, sink, m.cfg.Pipeline)
+	if err != nil {
+		_ = bw.Flush()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	j.rec.Stats = &stats
+	m.mu.Unlock()
+	return nil
+}

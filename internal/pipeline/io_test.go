@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"strings"
@@ -56,7 +57,7 @@ func TestCSVRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		stats, err := Run(eng, seed, src, sink, &Options{Workers: workers, ChunkSize: 7})
+		stats, err := Run(context.Background(), eng, seed, src, sink, &Options{Workers: workers, ChunkSize: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 	src := NewJSONLSource(dataset.CustSchema(), &input)
 	var out bytes.Buffer
-	stats, err := Run(eng, seed, src, NewJSONLSink(&out), &Options{Workers: 8})
+	stats, err := Run(context.Background(), eng, seed, src, NewJSONLSink(&out), &Options{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

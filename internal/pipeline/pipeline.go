@@ -26,6 +26,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -112,19 +113,20 @@ func (f SinkFunc) Write(r *Result) error { return f(r) }
 var Discard Sink = SinkFunc(func(*Result) error { return nil })
 
 // Stats aggregates a run, mirroring the counters of the sequential
-// CLI and HTTP paths.
+// CLI and HTTP paths. The JSON tags are the wire shape of the jobs
+// API and journal (snake_case, like every other API field).
 type Stats struct {
 	// Tuples is the number of tuples processed.
-	Tuples int
+	Tuples int `json:"tuples"`
 	// FullyValidated counts tuples whose every attribute ended
 	// validated with no conflicts.
-	FullyValidated int
+	FullyValidated int `json:"fully_validated"`
 	// WithConflicts counts tuples that hit at least one conflict.
-	WithConflicts int
+	WithConflicts int `json:"with_conflicts"`
 	// CellsRewritten counts rule-made value changes across the batch.
-	CellsRewritten int
+	CellsRewritten int `json:"cells_rewritten"`
 	// Workers is the worker count the run actually used.
-	Workers int
+	Workers int `json:"workers"`
 }
 
 // chunk is one work unit: up to ChunkSize consecutive tuples.
@@ -145,7 +147,13 @@ type chunkResult struct {
 // when the live system may change concurrently, pass a snapshot
 // (core.Engine.Snapshot). Output is byte-identical to calling
 // eng.Chase per tuple sequentially.
-func Run(eng *core.Engine, validated schema.AttrSet, src Source, sink Sink, opts *Options) (Stats, error) {
+//
+// Cancelling ctx aborts the run: the reader stops admitting tuples,
+// workers drain, and Run returns the partial Stats accumulated so far
+// together with ctx's error. Because every stage parks inside the
+// in-flight window, cancellation is observed within at most one
+// window's worth of tuples — it never deadlocks on a full channel.
+func Run(ctx context.Context, eng *core.Engine, validated schema.AttrSet, src Source, sink Sink, opts *Options) (Stats, error) {
 	workers := opts.workers()
 	chunkSize := opts.chunkSize()
 	window := opts.window(workers)
@@ -170,6 +178,28 @@ func Run(eng *core.Engine, validated schema.AttrSet, src Source, sink Sink, opts
 			runErr = err
 			close(done)
 		})
+	}
+	if ctx != nil {
+		// A context cancelled before the run starts aborts
+		// synchronously — no tuple is admitted on the watcher's
+		// scheduling luck.
+		if err := ctx.Err(); err != nil {
+			return Stats{Workers: workers}, err
+		}
+	}
+	if ctx != nil && ctx.Done() != nil {
+		// Propagate external cancellation into the pipeline's own done
+		// channel; the watcher exits with the run.
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-ctx.Done():
+				fail(ctx.Err())
+			case <-done:
+			case <-finished:
+			}
+		}()
 	}
 
 	// Stage 1 — reader: batch the stream into chunks, admitting at
@@ -284,6 +314,13 @@ loop:
 			}
 		}
 	}
+	// Seal the error slot before reading it: every in-pipeline failure
+	// is already ordered before this point (fail → close(done) →
+	// worker exit → close(results) → loop end), but the ctx watcher
+	// runs unsynchronized — claiming the Once here means a
+	// cancellation that lost the race with a completed run can no
+	// longer write.
+	errOnce.Do(func() {})
 	if runErr != nil {
 		return stats, runErr
 	}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -42,7 +43,7 @@ func TestPipelineDeterministic(t *testing.T) {
 
 	for _, workers := range []int{1, 3, 8} {
 		sink := &SliceSink{}
-		stats, err := Run(eng, seed, NewSliceSource(dirty), sink,
+		stats, err := Run(context.Background(), eng, seed, NewSliceSource(dirty), sink,
 			&Options{Workers: workers, ChunkSize: 5, Window: 40})
 		if err != nil {
 			t.Fatal(err)
@@ -94,7 +95,7 @@ func TestPipelineStats(t *testing.T) {
 		}
 		wantStats.CellsRewritten += len(res.Rewrites())
 	}
-	got, err := Run(eng, seed, NewSliceSource(dirty), Discard, &Options{Workers: 4})
+	got, err := Run(context.Background(), eng, seed, NewSliceSource(dirty), Discard, &Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestPipelineStats(t *testing.T) {
 func TestPipelineTinyWindow(t *testing.T) {
 	eng, dirty, seed := workloadEngine(t, 30, 500)
 	sink := &SliceSink{}
-	stats, err := Run(eng, seed, NewSliceSource(dirty), sink,
+	stats, err := Run(context.Background(), eng, seed, NewSliceSource(dirty), sink,
 		&Options{Workers: 8, Window: 1, ChunkSize: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +128,7 @@ func TestPipelineTinyWindow(t *testing.T) {
 func TestPipelineSourceError(t *testing.T) {
 	eng, dirty, seed := workloadEngine(t, 10, 10)
 	src := &errAfterSource{tuples: dirty, errAt: 5}
-	_, err := Run(eng, seed, src, Discard, &Options{Workers: 4})
+	_, err := Run(context.Background(), eng, seed, src, Discard, &Options{Workers: 4})
 	if err == nil || !errors.Is(err, errBoom) {
 		t.Fatalf("err = %v, want errBoom", err)
 	}
@@ -164,7 +165,7 @@ func TestPipelineSinkError(t *testing.T) {
 		}
 		return nil
 	})
-	_, err := Run(eng, seed, NewSliceSource(dirty), sink, &Options{Workers: 8, Window: 16})
+	_, err := Run(context.Background(), eng, seed, NewSliceSource(dirty), sink, &Options{Workers: 8, Window: 16})
 	if err == nil || !errors.Is(err, errBoom) {
 		t.Fatalf("err = %v, want errBoom", err)
 	}
@@ -173,7 +174,7 @@ func TestPipelineSinkError(t *testing.T) {
 // An empty source is a clean no-op.
 func TestPipelineEmpty(t *testing.T) {
 	eng, _, seed := workloadEngine(t, 5, 1)
-	stats, err := Run(eng, seed, NewSliceSource(nil), Discard, nil)
+	stats, err := Run(context.Background(), eng, seed, NewSliceSource(nil), Discard, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestPipelineAgainstSnapshotUnderMutation(t *testing.T) {
 		}
 	}()
 	sink := &SliceSink{}
-	_, err := Run(snap, seed, NewSliceSource(dirty), sink, &Options{Workers: 8})
+	_, err := Run(context.Background(), snap, seed, NewSliceSource(dirty), sink, &Options{Workers: 8})
 	close(stop)
 	if err != nil {
 		t.Fatal(err)
@@ -227,10 +228,69 @@ func BenchmarkPipeline(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := Run(eng, seed, NewSliceSource(dirty), Discard, &Options{Workers: workers}); err != nil {
+				if _, err := Run(context.Background(), eng, seed, NewSliceSource(dirty), Discard, &Options{Workers: workers}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// blockingSink parks mid-stream until released, holding the pipeline
+// at its backpressure bound so cancellation arrives while every stage
+// is full.
+type blockingSink struct {
+	n       int
+	blockAt int
+	gate    chan struct{}
+}
+
+func (s *blockingSink) Write(*Result) error {
+	s.n++
+	if s.n == s.blockAt {
+		<-s.gate
+	}
+	return nil
+}
+
+// Cancelling mid-run must release all admission tokens, drain the
+// workers and return the partial stats — no deadlock even when the
+// sink is wedged at the moment of cancellation (run under -race).
+func TestPipelineCancelMidStream(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 30, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	sink := &blockingSink{blockAt: 20, gate: make(chan struct{})}
+	done := make(chan struct{})
+	var stats Stats
+	var err error
+	go func() {
+		defer close(done)
+		stats, err = Run(ctx, eng, seed, NewSliceSource(dirty), sink,
+			&Options{Workers: 4, Window: 8, ChunkSize: 2})
+	}()
+	cancel()
+	close(sink.gate) // release the wedged sink so the abort can drain
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Tuples >= len(dirty) {
+		t.Fatalf("processed all %d tuples despite cancellation", stats.Tuples)
+	}
+}
+
+// A context cancelled before Run starts is rejected synchronously:
+// zero tuples processed, no dependence on watcher scheduling.
+func TestPipelineCancelBeforeStart(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 10, 200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := Run(ctx, eng, seed, NewSliceSource(dirty), Discard,
+		&Options{Workers: 2, Window: 4, ChunkSize: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Tuples != 0 {
+		t.Fatalf("processed %d tuples on a pre-cancelled context, want 0", stats.Tuples)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"cerfix"
+	"cerfix/internal/jobs"
 	"cerfix/internal/pipeline"
 	"cerfix/internal/schema"
 )
@@ -30,14 +31,10 @@ type batchRequest struct {
 	Tuples []map[string]string `json:"tuples"`
 }
 
-// batchTupleResult is one tuple's outcome.
-type batchTupleResult struct {
-	Tuple     map[string]string `json:"tuple"`
-	Validated []string          `json:"validated"`
-	Done      bool              `json:"done"`
-	Conflicts []string          `json:"conflicts,omitempty"`
-	Rewrites  []changeJSON      `json:"rewrites,omitempty"`
-}
+// batchTupleResult is one tuple's outcome — the same record the async
+// jobs subsystem writes to its results artifact, so a job's JSONL
+// output is byte-identical per line to this endpoint's results array.
+type batchTupleResult = jobs.TupleResult
 
 // batchResponse is the endpoint's reply.
 type batchResponse struct {
@@ -89,24 +86,10 @@ func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
 	seed := schema.SetOfNames(input, req.Validated...)
 	resp := batchResponse{Results: make([]batchTupleResult, 0, len(tuples))}
 	sink := pipeline.SinkFunc(func(res *pipeline.Result) error {
-		tr := batchTupleResult{
-			Tuple:     res.Fixed.Map(),
-			Validated: res.Chase.Validated.SortedNames(input),
-			Done:      res.Chase.AllValidated(),
-		}
-		for _, c := range res.Chase.Conflicts {
-			tr.Conflicts = append(tr.Conflicts, c.Error())
-		}
-		for _, c := range res.Chase.Rewrites() {
-			tr.Rewrites = append(tr.Rewrites, changeJSON{
-				Attr: c.Attr, Old: string(c.Old), New: string(c.New),
-				Source: c.Source.String(), RuleID: c.RuleID, MasterID: c.MasterID,
-			})
-		}
-		resp.Results = append(resp.Results, tr)
+		resp.Results = append(resp.Results, jobs.NewTupleResult(input, res))
 		return nil
 	})
-	stats, err := pipeline.Run(eng, seed, pipeline.NewSliceSource(tuples), sink, nil)
+	stats, err := pipeline.Run(r.Context(), eng, seed, pipeline.NewSliceSource(tuples), sink, nil)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"cerfix/internal/core"
+	"cerfix/internal/jobs"
+	"cerfix/internal/pipeline"
+)
+
+// This file exposes the async batch-repair job subsystem
+// (internal/jobs) over HTTP. Where POST /api/fix holds the connection
+// open for the whole repair, /api/jobs submits work to a persistent
+// queue that survives daemon restarts:
+//
+//	POST   /api/jobs              submit (inline tuples or server-side file)
+//	GET    /api/jobs              list all jobs, oldest first
+//	GET    /api/jobs/{id}         one job's lifecycle record
+//	GET    /api/jobs/{id}/results stream the JSONL results artifact
+//	DELETE /api/jobs/{id}         cancel a queued/running job; purge a
+//	                              terminal one (record + artifacts)
+//
+// The endpoints answer 503 when the daemon runs without a jobs
+// directory (cerfixd -jobs-dir).
+
+// AttachJobs enables the /api/jobs endpoints. Call before Handler.
+func (s *Server) AttachJobs(m *jobs.Manager) { s.jobs = m }
+
+// SnapshotEngine freezes a consistent engine view under the server
+// lock — the jobs manager's per-run snapshot hook.
+func (s *Server) SnapshotEngine() *core.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys.SnapshotEngine()
+}
+
+// jobJSON is the wire shape of one job record (the journal's Input
+// path stays server-side).
+type jobJSON struct {
+	ID        string          `json:"id"`
+	State     string          `json:"state"`
+	Validated []string        `json:"validated"`
+	Format    string          `json:"format"`
+	Submitted time.Time       `json:"submitted"`
+	Started   *time.Time      `json:"started,omitempty"`
+	Finished  *time.Time      `json:"finished,omitempty"`
+	Attempts  int             `json:"attempts"`
+	Processed int             `json:"processed"`
+	Error     string          `json:"error,omitempty"`
+	Stats     *pipeline.Stats `json:"stats,omitempty"`
+}
+
+func toJobJSON(j jobs.Job) jobJSON {
+	out := jobJSON{
+		ID:        j.ID,
+		State:     string(j.State),
+		Validated: j.Validated,
+		Format:    j.Format,
+		Submitted: j.Submitted,
+		Attempts:  j.Attempts,
+		Processed: j.Processed,
+		Error:     j.Error,
+		Stats:     j.Stats,
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		out.Started = &t
+	}
+	if !j.Finished.IsZero() {
+		t := j.Finished
+		out.Finished = &t
+	}
+	return out
+}
+
+// jobsEnabled answers 503 when the subsystem is not configured.
+func (s *Server) jobsEnabled(w http.ResponseWriter) bool {
+	if s.jobs == nil {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("jobs disabled (start the daemon with -jobs-dir)"))
+		return false
+	}
+	return true
+}
+
+// jobSubmitRequest is the POST /api/jobs payload: validated plus
+// exactly one of tuples (inline) or input_path (server-side file,
+// format required; accepted only under the daemon's configured jobs
+// input root).
+type jobSubmitRequest struct {
+	Validated []string            `json:"validated"`
+	Tuples    []map[string]string `json:"tuples,omitempty"`
+	InputPath string              `json:"input_path,omitempty"`
+	Format    string              `json:"format,omitempty"`
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	var req jobSubmitRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var (
+		job jobs.Job
+		err error
+	)
+	switch {
+	case len(req.Tuples) > 0 && req.InputPath != "":
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("give tuples or input_path, not both"))
+		return
+	case len(req.Tuples) > 0:
+		job, err = s.jobs.SubmitInline(req.Validated, req.Tuples)
+	case req.InputPath != "":
+		job, err = s.jobs.SubmitFile(req.Validated, req.InputPath, req.Format)
+	default:
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("tuples or input_path required"))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, toJobJSON(job))
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	list := s.jobs.List()
+	out := make([]jobJSON, len(list))
+	for i, j := range list {
+		out[i] = toJobJSON(j)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	job, err := s.jobs.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toJobJSON(job))
+}
+
+func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	id := r.PathValue("id")
+	path, err := s.jobs.ResultsPath(id)
+	if err != nil {
+		status := http.StatusConflict
+		if errors.Is(err, jobs.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	// Open before committing headers: a job that failed before
+	// creating its artifact must answer 404, not an empty 200.
+	f, err := os.Open(path)
+	if err != nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no results artifact", id))
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	// Errors past this point only truncate the stream; the status is
+	// already committed.
+	_, _ = io.Copy(w, f)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if !s.jobsEnabled(w) {
+		return
+	}
+	id := r.PathValue("id")
+	job, err := s.jobs.Cancel(id)
+	if errors.Is(err, jobs.ErrFinished) {
+		// DELETE on a terminal job purges it — record, directory and
+		// artifacts — so the persistent queue stays reclaimable.
+		if err := s.jobs.Remove(id); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+		return
+	}
+	if err != nil {
+		status := http.StatusConflict
+		if errors.Is(err, jobs.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toJobJSON(job))
+}

@@ -16,11 +16,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
 	"sync"
 
 	"cerfix"
+	"cerfix/internal/jobs"
 	"cerfix/internal/monitor"
 )
 
@@ -29,6 +29,8 @@ type Server struct {
 	mu       sync.Mutex
 	sys      *cerfix.System
 	sessions map[int64]*monitor.Session
+	// jobs is the async batch-repair queue; nil until AttachJobs.
+	jobs *jobs.Manager
 }
 
 // New builds a server for a configured system.
@@ -55,6 +57,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/audit/tuples/{id}", s.handleAuditTuple)
 	mux.HandleFunc("GET /api/audit/cell", s.handleAuditCell)
 	mux.HandleFunc("POST /api/fix", s.handleBatchFix)
+	mux.HandleFunc("POST /api/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /api/jobs", s.handleJobList)
+	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /api/jobs/{id}/results", s.handleJobResults)
+	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleJobCancel)
 	return mux
 }
 
@@ -225,7 +232,9 @@ func (s *Server) handleMasterList(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var rows []map[string]string
+	// Always an array in JSON, never null — an empty store or limit=0
+	// must not change the response shape.
+	rows := []map[string]string{}
 	for _, tu := range s.sys.Master().All() {
 		if len(rows) >= limit {
 			break
@@ -283,9 +292,12 @@ type sessionJSON struct {
 
 func (s *Server) sessionJSONLocked(sess *monitor.Session) sessionJSON {
 	out := sessionJSON{
-		ID:         sess.ID,
-		Tuple:      sess.Tuple.Map(),
-		Validated:  sess.Validated.SortedNames(sess.Tuple.Schema),
+		ID:    sess.ID,
+		Tuple: sess.Tuple.Map(),
+		// Schema order, matching the batch and jobs endpoints (the
+		// session endpoint used to re-sort lexicographically, so the
+		// two APIs disagreed on the same validated set).
+		Validated:  sess.Validated.Names(sess.Tuple.Schema),
 		Remaining:  sess.Remaining(),
 		Suggestion: sess.Suggestion(),
 		Rounds:     sess.Rounds,
@@ -295,7 +307,6 @@ func (s *Server) sessionJSONLocked(sess *monitor.Session) sessionJSON {
 	for _, c := range sess.Conflicts {
 		out.Conflicts = append(out.Conflicts, c.Error())
 	}
-	sort.Strings(out.Validated)
 	return out
 }
 
@@ -341,14 +352,9 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sessionJSONLocked(sess))
 }
 
-type changeJSON struct {
-	Attr     string `json:"attr"`
-	Old      string `json:"old"`
-	New      string `json:"new"`
-	Source   string `json:"source"`
-	RuleID   string `json:"rule_id,omitempty"`
-	MasterID int64  `json:"master_id,omitempty"`
-}
+// changeJSON is the wire shape of one cell change — shared with the
+// jobs results artifact so sync and async outputs encode identically.
+type changeJSON = jobs.Change
 
 func (s *Server) handleSessionValidate(w http.ResponseWriter, r *http.Request) {
 	var req struct {

@@ -58,11 +58,24 @@ func schemaFromJSON(j schemaJSON) (*Schema, error) {
 	return schema.New(j.Name, attrs...)
 }
 
+// renameDir is swapped by tests to inject commit-phase failures.
+var renameDir = os.Rename
+
 // Save writes the system's configuration (schemas, rules, master data)
 // into dir, creating it if needed. The audit log and open sessions are
 // runtime state and are not persisted.
+//
+// The save is atomic at the directory level: all three files are
+// written into a staging sibling (<dir>.saving), the previous instance
+// is moved aside to <dir>.bak, and the staging directory is renamed
+// into place in one step. A crash or error at any point leaves a
+// complete instance on disk — either the old one (still at dir, or at
+// <dir>.bak during the one rename window, which Load falls back to) or
+// the new one. Mixed-version directories (new manifest with old rules)
+// cannot occur.
 func (s *System) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	dir = filepath.Clean(dir)
+	if err := os.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
 		return fmt.Errorf("cerfix: %w", err)
 	}
 	m := manifest{Input: schemaToJSON(s.input), Master: schemaToJSON(s.store.Schema())}
@@ -70,20 +83,69 @@ func (s *System) Save(dir string) error {
 	if err != nil {
 		return fmt.Errorf("cerfix: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+
+	tmp := dir + ".saving"
+	bak := dir + ".bak"
+	// Stale staging from a crashed save is dead weight; a fresh save
+	// rebuilds it from scratch.
+	if err := os.RemoveAll(tmp); err != nil {
 		return fmt.Errorf("cerfix: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "rules.txt"), []byte(s.rules.String()), 0o644); err != nil {
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
 		return fmt.Errorf("cerfix: %w", err)
 	}
-	if err := s.store.Table().SaveCSVFile(filepath.Join(dir, "master.csv")); err != nil {
+	fail := func(err error) error {
+		os.RemoveAll(tmp)
 		return err
 	}
+	if err := os.WriteFile(filepath.Join(tmp, "manifest.json"), data, 0o644); err != nil {
+		return fail(fmt.Errorf("cerfix: %w", err))
+	}
+	if err := os.WriteFile(filepath.Join(tmp, "rules.txt"), []byte(s.rules.String()), 0o644); err != nil {
+		return fail(fmt.Errorf("cerfix: %w", err))
+	}
+	if err := s.store.Table().SaveCSVFile(filepath.Join(tmp, "master.csv")); err != nil {
+		return fail(err)
+	}
+
+	// Commit: old instance aside, staging in, backup gone.
+	if _, err := os.Stat(dir); err == nil {
+		if err := os.RemoveAll(bak); err != nil {
+			return fail(fmt.Errorf("cerfix: %w", err))
+		}
+		if err := renameDir(dir, bak); err != nil {
+			return fail(fmt.Errorf("cerfix: %w", err))
+		}
+	}
+	if err := renameDir(tmp, dir); err != nil {
+		// Put the previous instance back; if even that fails, Load's
+		// .bak fallback still finds it.
+		_ = renameDir(bak, dir)
+		return fail(fmt.Errorf("cerfix: %w", err))
+	}
+	_ = os.RemoveAll(bak)
 	return nil
 }
 
-// Load rebuilds a System from a directory written by Save.
+// Load rebuilds a System from a directory written by Save. If dir has
+// no manifest but a complete <dir>.bak sibling exists, the backup is
+// loaded: that is the instance a crash caught between Save's two
+// commit renames.
 func Load(dir string) (*System, error) {
+	dir = filepath.Clean(dir)
+	sys, err := loadDir(dir)
+	if err == nil {
+		return sys, nil
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "manifest.json")); os.IsNotExist(statErr) {
+		if _, bakErr := os.Stat(filepath.Join(dir+".bak", "manifest.json")); bakErr == nil {
+			return loadDir(dir + ".bak")
+		}
+	}
+	return nil, err
+}
+
+func loadDir(dir string) (*System, error) {
 	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, fmt.Errorf("cerfix: %w", err)

@@ -1,6 +1,7 @@
 package cerfix
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -118,5 +119,94 @@ func TestSaveLoadPreservesDomains(t *testing.T) {
 	}
 	if loaded.InputSchema().Domain("n").String() != "int" {
 		t.Fatalf("domain lost: %v", loaded.InputSchema().Domain("n"))
+	}
+}
+
+// A save that fails mid-commit must leave the previously saved
+// instance intact and loadable: Save stages the whole instance in a
+// sibling directory and commits with two renames, restoring (or
+// leaving a .bak that Load falls back to) when a rename fails.
+func TestSaveFailureLeavesPreviousInstanceLoadable(t *testing.T) {
+	sys := demoSystem(t)
+	dir := filepath.Join(t.TempDir(), "instance")
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	before, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := before.Master().Len()
+	if err := sys.AddMasterRow(make([]string, sys.MasterSchema().Len())...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Case 1: the staging→dir rename fails; Save restores the backup.
+	renameDir = func(oldpath, newpath string) error {
+		if oldpath == dir+".saving" {
+			return fmt.Errorf("injected rename failure")
+		}
+		return os.Rename(oldpath, newpath)
+	}
+	t.Cleanup(func() { renameDir = os.Rename })
+	if err := sys.Save(dir); err == nil {
+		t.Fatal("save succeeded despite injected commit failure")
+	}
+	after, err := Load(dir)
+	if err != nil {
+		t.Fatalf("previous instance not loadable after failed commit: %v", err)
+	}
+	if after.Master().Len() != wantRows || after.Rules() != before.Rules() {
+		t.Fatalf("previous instance changed: %d rows, want %d", after.Master().Len(), wantRows)
+	}
+
+	// Case 2: the restore rename fails too (the crash-between-renames
+	// window); Load must fall back to the .bak sibling.
+	renameDir = func(oldpath, newpath string) error {
+		if oldpath == dir+".saving" || oldpath == dir+".bak" {
+			return fmt.Errorf("injected rename failure")
+		}
+		return os.Rename(oldpath, newpath)
+	}
+	if err := sys.Save(dir); err == nil {
+		t.Fatal("save succeeded despite injected commit failure")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); !os.IsNotExist(err) {
+		t.Fatalf("expected dir to be mid-swap, stat err = %v", err)
+	}
+	after, err = Load(dir)
+	if err != nil {
+		t.Fatalf("backup fallback not loadable: %v", err)
+	}
+	if after.Master().Len() != wantRows || after.Rules() != before.Rules() {
+		t.Fatalf("backup instance changed: %d rows, want %d", after.Master().Len(), wantRows)
+	}
+
+	// Heal: with renames working again the next save lands the new
+	// state atomically and clears staging and backup.
+	renameDir = os.Rename
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	final, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Master().Len() != wantRows+1 {
+		t.Fatalf("new save lost the added row: %d rows, want %d", final.Master().Len(), wantRows+1)
+	}
+	for _, leftover := range []string{dir + ".saving", dir + ".bak"} {
+		if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+			t.Fatalf("leftover %q after successful save", leftover)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "manifest.json" && e.Name() != "rules.txt" && e.Name() != "master.csv" {
+			t.Fatalf("unexpected leftover %q in instance dir", e.Name())
+		}
 	}
 }
