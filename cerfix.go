@@ -30,11 +30,18 @@
 // engine snapshot (SnapshotEngine) — and re-sequences results so
 // output is byte-identical to the sequential path. Bounded channels
 // and an in-flight window keep memory flat regardless of input size.
+// Snapshots are O(1) versioned copy-on-write views (ARCHITECTURE.md):
+// taking one costs microseconds regardless of master size, it is
+// internally atomic with respect to master writes, and it is
+// lock-free to read — which is what lets many batches, and many
+// async job runners, fix concurrently against their own frozen
+// views while the live system keeps absorbing master-data inserts.
 // For batches too long to hold a connection open, internal/jobs wraps
 // the same pipeline in a persistent job queue (cerfixd -jobs-dir,
 // POST /api/jobs, `cerfix jobs`): submitted work is journaled,
-// tracked through a queued/running/done lifecycle, and recovered
-// across daemon restarts.
+// tracked through a queued/running/done lifecycle, recovered across
+// daemon restarts, and executed by a configurable pool of concurrent
+// runners (cerfixd -jobs-workers) with fair FIFO admission.
 //
 // The subpackages under internal/ implement the pieces; this package
 // re-exports the types a downstream user needs.
@@ -164,14 +171,16 @@ func (s *System) Audit() *AuditLog { return s.log }
 // Engine exposes the underlying rule engine (chase + analyses).
 func (s *System) Engine() *core.Engine { return s.engine }
 
-// SnapshotEngine returns an isolated copy of the rule engine — cloned
-// rule set plus a master data snapshot. Like every System method, the
-// call itself must be serialized with mutators (AddRule,
-// AddMasterRow, ...) by the caller — the HTTP server takes it under
-// its lock. The returned snapshot, however, is immutable from the
-// live system's point of view: once taken, any number of goroutines
-// may chase against it while the live system keeps mutating. The
-// batch pipeline (internal/pipeline) runs against such snapshots.
+// SnapshotEngine returns a frozen O(1) view of the rule engine — the
+// rule set (immutable after publish) plus a copy-on-write master data
+// snapshot captured atomically under the store's own lock. Master
+// data mutations (AddMasterRow) no longer need caller-side
+// serialization with the capture; only the engine-pointer swap of
+// AddRule/RemoveRule does (the HTTP server's lock covers it). Once
+// taken, any number of goroutines chase against the snapshot while
+// the live system keeps mutating — the batch pipeline
+// (internal/pipeline) and concurrent job runners (internal/jobs) run
+// against such snapshots.
 func (s *System) SnapshotEngine() *core.Engine { return s.engine.Snapshot() }
 
 // AddMasterRow appends one master tuple given values in schema order.
@@ -203,6 +212,9 @@ func (s *System) Rules() string { return s.rules.String() }
 func (s *System) RuleSet() *RuleSet { return s.rules }
 
 // AddRule parses and installs one rule line, revalidating the set.
+// The installed set is a fresh copy (copy-on-write): rule sets are
+// immutable once published to an engine, so engine snapshots taken
+// before the change keep fixing against the rules of their instant.
 func (s *System) AddRule(dsl string) error {
 	r, err := rule.Parse(dsl)
 	if err != nil {
@@ -211,18 +223,22 @@ func (s *System) AddRule(dsl string) error {
 	if err := r.Validate(s.input, s.store.Schema()); err != nil {
 		return err
 	}
-	if err := s.rules.Add(r); err != nil {
+	rs := s.rules.Clone()
+	if err := rs.Add(r); err != nil {
 		return err
 	}
-	return s.rebuild()
+	return s.rebuild(rs)
 }
 
-// RemoveRule deletes a rule by ID, reporting whether it existed.
+// RemoveRule deletes a rule by ID, reporting whether it existed. Like
+// AddRule, the change lands in a fresh set copy; published engines
+// and snapshots keep theirs.
 func (s *System) RemoveRule(id string) bool {
-	if !s.rules.Remove(id) {
+	rs := s.rules.Clone()
+	if !rs.Remove(id) {
 		return false
 	}
-	if err := s.rebuild(); err != nil {
+	if err := s.rebuild(rs); err != nil {
 		// Removal cannot invalidate remaining rules; rebuild errors
 		// would indicate a programming error.
 		panic(err)
@@ -230,11 +246,12 @@ func (s *System) RemoveRule(id string) bool {
 	return true
 }
 
-func (s *System) rebuild() error {
-	eng, err := core.NewEngine(s.input, s.rules, s.store)
+func (s *System) rebuild(rs *rule.Set) error {
+	eng, err := core.NewEngine(s.input, rs, s.store)
 	if err != nil {
 		return err
 	}
+	s.rules = rs
 	s.engine = eng
 	s.mon = nil
 	return nil

@@ -9,17 +9,27 @@
 //	e6 — user effort vs noise
 //	e7 — region finder: exact vs greedy cost and quality
 //	e8 — batch-repair pipeline: throughput vs worker count per access path
+//	e9 — snapshot cost: deep clone vs O(1) copy-on-write, latency and
+//	     steady-state fix throughput vs master size (writes BENCH_e9.json)
 //
 // Run all with -exp all (default), or a comma-separated subset:
 //
 //	cerfixbench -exp e3,e4 -tuples 500 -noise 0.3
+//
+// e9 loads large master tables (default sizes up to 500k rows), so it
+// only runs when requested explicitly, never under -exp all:
+//
+//	cerfixbench -exp e9 -e9-sizes 10000,100000,500000 -e9-out BENCH_e9.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"cerfix/internal/experiments"
 	"cerfix/internal/textutil"
@@ -27,11 +37,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiments to run (comma-separated: e1..e7 or all)")
+		exp      = flag.String("exp", "all", "experiments to run (comma-separated: e1..e9, or all = e1..e8)")
 		entities = flag.Int("entities", 200, "master entities for generated workloads")
 		tuples   = flag.Int("tuples", 400, "input tuples per generated workload")
 		noise    = flag.Float64("noise", 0.3, "cell noise rate for e3")
 		seed     = flag.Uint64("seed", 1, "workload seed")
+		e9Sizes  = flag.String("e9-sizes", "10000,100000,500000", "comma-separated master sizes for e9")
+		e9Probes = flag.Int("e9-probes", 2000, "fix probes per master size for e9")
+		e9Out    = flag.String("e9-out", "BENCH_e9.json", "JSON results file for e9 (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -60,6 +73,87 @@ func main() {
 	run("e6", func() error { return runE6(*entities, *tuples, *seed) })
 	run("e7", func() error { return runE7(*seed) })
 	run("e8", func() error { return runE8(*entities, *tuples, *seed) })
+	// e9 never runs under "all": its default configuration loads
+	// 500k-row master tables.
+	if want["e9"] {
+		fmt.Println("=== E9 ===")
+		if err := runE9(*e9Sizes, *e9Probes, *seed, *e9Out); err != nil {
+			fmt.Fprintf(os.Stderr, "e9: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// parseSizes turns "10000,100000" into ints.
+func parseSizes(spec string) ([]int, error) {
+	var out []int
+	for _, p := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sizes")
+	}
+	return out, nil
+}
+
+func runE9(sizeSpec string, probes int, seed uint64, outPath string) error {
+	sizes, err := parseSizes(sizeSpec)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.RunE9(sizes, probes, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Snapshot cost — legacy deep clone vs O(1) copy-on-write (latency flat vs master size is the COW claim)")
+	tbl := textutil.NewTextTable("master tuples", "deep-clone snap", "COW snap", "deep µs/fix", "COW µs/fix", "COW insert µs")
+	for _, r := range rows {
+		tbl.AddRow(fmt.Sprint(r.MasterSize),
+			fmtNs(r.DeepCloneNs), fmtNs(r.CowSnapshotNs),
+			fmt.Sprintf("%.1f", r.DeepFixNs/1000),
+			fmt.Sprintf("%.1f", r.CowFixNs/1000),
+			fmt.Sprintf("%.1f", r.CowWriterNs/1000))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("(both snapshot kinds are asserted to produce identical fixes before any number is reported)")
+	if outPath == "" {
+		return nil
+	}
+	doc := map[string]any{
+		"experiment":   "e9",
+		"description":  "snapshot latency and steady-state certain-fix throughput vs master size: legacy deep-clone snapshots (Engine.SnapshotDeep) vs O(1) copy-on-write snapshots (Engine.Snapshot)",
+		"generated_at": time.Now().UTC().Format(time.RFC3339),
+		"sizes":        sizes,
+		"probes":       probes,
+		"seed":         seed,
+		"rows":         rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("results written to %s\n", outPath)
+	return nil
+}
+
+// fmtNs renders a nanosecond latency with a readable unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
 }
 
 func runE1() error {

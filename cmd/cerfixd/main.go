@@ -15,8 +15,10 @@
 // With -jobs-dir the daemon additionally serves the persistent async
 // batch-repair queue (/api/jobs, see internal/jobs): submitted jobs
 // are journaled to that directory, run off the request path against
-// engine snapshots, and are recovered — re-queued and completed — if
-// the daemon restarts mid-queue or mid-run. On shutdown the -drain
+// O(1) copy-on-write engine snapshots, and are recovered — re-queued
+// and completed — if the daemon restarts mid-queue or mid-run.
+// -jobs-workers runs several jobs concurrently (fair FIFO admission);
+// snapshots are free, so extra runners cost only the CPU they use. On shutdown the -drain
 // window covers both in-flight HTTP requests and the running job;
 // work that does not finish in time is re-queued for the next start.
 // Submissions referencing server-side files (input_path) are only
@@ -49,15 +51,16 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		demo       = flag.Bool("demo", false, "serve the built-in paper demo configuration")
-		inputSpec  = flag.String("input", "", `input schema spec "NAME:attr1,..."`)
-		masterSpec = flag.String("master-schema", "", `master schema spec "NAME:attr1,..."`)
-		rulesPath  = flag.String("rules", "", "editing-rule DSL file")
-		masterPath = flag.String("master", "", "master data CSV file")
-		drain      = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight requests and running jobs")
-		jobsDir    = flag.String("jobs-dir", "", "directory for the persistent async batch-repair job queue (empty = /api/jobs disabled)")
-		jobsInput  = flag.String("jobs-input-root", "", "directory server-side job input paths may reference (empty = inline tuples only)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		demo        = flag.Bool("demo", false, "serve the built-in paper demo configuration")
+		inputSpec   = flag.String("input", "", `input schema spec "NAME:attr1,..."`)
+		masterSpec  = flag.String("master-schema", "", `master schema spec "NAME:attr1,..."`)
+		rulesPath   = flag.String("rules", "", "editing-rule DSL file")
+		masterPath  = flag.String("master", "", "master data CSV file")
+		drain       = flag.Duration("drain", 30*time.Second, "shutdown drain timeout for in-flight requests and running jobs")
+		jobsDir     = flag.String("jobs-dir", "", "directory for the persistent async batch-repair job queue (empty = /api/jobs disabled)")
+		jobsInput   = flag.String("jobs-input-root", "", "directory server-side job input paths may reference (empty = inline tuples only)")
+		jobsWorkers = flag.Int("jobs-workers", 1, "concurrent job runners (fair FIFO admission; each run uses its own O(1) engine snapshot)")
 	)
 	flag.Parse()
 
@@ -75,6 +78,7 @@ func main() {
 			Schema:    sys.InputSchema(),
 			Snapshot:  srv.SnapshotEngine,
 			InputRoot: *jobsInput,
+			Workers:   *jobsWorkers,
 		})
 		if err != nil {
 			log.Fatal("cerfixd: ", err)
@@ -86,7 +90,7 @@ func main() {
 				recovered++
 			}
 		}
-		log.Printf("cerfixd: jobs directory %s (%d queued)", *jobsDir, recovered)
+		log.Printf("cerfixd: jobs directory %s (%d queued, %d runners)", *jobsDir, recovered, mgr.Workers())
 	}
 	// An explicit http.Server rather than bare ListenAndServe: the
 	// header timeout closes slowloris connections, and Shutdown gives

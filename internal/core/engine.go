@@ -132,6 +132,11 @@ type Engine struct {
 
 // NewEngine validates the rule set against both schemas, builds master
 // indexes for every rule, and returns the engine.
+//
+// The engine treats the rule set as immutable after publication: to
+// change rules, build a new set (rule.Set.Clone + Add/Remove) and a
+// new engine around it, as cerfix.System does. This discipline is
+// what lets Snapshot share the set instead of copying it.
 func NewEngine(input *schema.Schema, rules *rule.Set, store *master.Store) (*Engine, error) {
 	if err := rules.Validate(input, store.Schema()); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -142,15 +147,23 @@ func NewEngine(input *schema.Schema, rules *rule.Set, store *master.Store) (*Eng
 	return &Engine{input: input, rules: rules, store: store}, nil
 }
 
-// Snapshot returns an isolated copy of the engine — cloned rule set
-// plus a master data snapshot — that any number of goroutines may
-// chase against while the live engine's rules and master data keep
-// changing. This is the frozen view the batch pipeline runs over.
-// The Snapshot call itself must not race rule-set or store mutation;
-// callers serialize it with mutators (the HTTP server holds its lock
-// across the call).
+// Snapshot returns a frozen O(1) view of the engine that any number
+// of goroutines may chase against while the live engine's master data
+// keeps changing — the view the batch pipeline and concurrent job
+// runners fix over. The master store is captured atomically under its
+// own lock (see master.Store.Snapshot) and the rule set is shared
+// under the immutable-after-publish discipline, so the call needs no
+// external serialization and its cost is independent of master size.
 func (e *Engine) Snapshot() *Engine {
-	return &Engine{input: e.input, rules: e.rules.Clone(), store: e.store.Snapshot()}
+	return &Engine{input: e.input, rules: e.rules, store: e.store.Snapshot()}
+}
+
+// SnapshotDeep is the legacy deep-clone snapshot — cloned rule set
+// plus a deep-copied master store, O(master size). Retained as the
+// benchmark baseline for Snapshot (cerfixbench e9) and for callers
+// that need a mutable private copy of the whole engine state.
+func (e *Engine) SnapshotDeep() *Engine {
+	return &Engine{input: e.input, rules: e.rules.Clone(), store: e.store.CloneDeep()}
 }
 
 // InputSchema returns the input relation's schema.

@@ -1,0 +1,65 @@
+// Package cowmap provides the copy-on-write sharded-map primitive
+// shared by the storage tables and the master rule indexes. A map is
+// split across a fixed number of Shards; a snapshot marks every shard
+// Shared in O(shard count) and references them from a frozen view,
+// and the live owner copies a shard (Mut) before its first write into
+// it afterwards. One discipline, one implementation — the layers
+// differ only in key/value types and in how a key routes to a shard.
+package cowmap
+
+// Shard is one copy-on-write segment of a sharded map. Once a
+// snapshot marks it Shared, the owner must copy it (Mut) before the
+// next write; the marked shard object itself is then immutable
+// forever, so snapshot readers need no synchronization. Both fields
+// are guarded by the owner's write lock on the live side.
+type Shard[K comparable, V any] struct {
+	M      map[K]V
+	Shared bool
+}
+
+// New returns an empty private shard.
+func New[K comparable, V any]() *Shard[K, V] {
+	return &Shard[K, V]{M: make(map[K]V)}
+}
+
+// Mut returns a privately-owned shard for the slot: the shard itself
+// when no snapshot shares it, otherwise a copy stored back through
+// the slot pointer. Callers hold the owner's write lock.
+func Mut[K comparable, V any](slot **Shard[K, V]) *Shard[K, V] {
+	s := *slot
+	if !s.Shared {
+		return s
+	}
+	cp := &Shard[K, V]{M: make(map[K]V, len(s.M))}
+	for k, v := range s.M {
+		cp.M[k] = v
+	}
+	*slot = cp
+	return cp
+}
+
+// MutMap applies the same discipline to an unsharded registry map
+// guarded by its own shared flag: when a snapshot shares the map, a
+// shallow copy replaces it (and clears the flag) before the caller
+// writes. Callers hold the owner's write lock.
+func MutMap[K comparable, V any](m *map[K]V, shared *bool) map[K]V {
+	if *shared {
+		cp := make(map[K]V, len(*m))
+		for k, v := range *m {
+			cp[k] = v
+		}
+		*m = cp
+		*shared = false
+	}
+	return *m
+}
+
+// FNV routes a string key to one of fanout shards (fanout must be a
+// power of two) by FNV-1a hash.
+func FNV(k string, fanout int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(k); i++ {
+		h = (h ^ uint32(k[i])) * 16777619
+	}
+	return int(h & uint32(fanout-1))
+}

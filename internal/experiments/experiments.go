@@ -10,6 +10,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"cerfix/internal/audit"
@@ -787,4 +788,131 @@ func PairsEngine(m int, seed uint64) (*core.Engine, error) {
 		}
 	}
 	return core.NewEngine(input, rs, st)
+}
+
+// --- E9: snapshot cost — deep clone vs copy-on-write -------------------
+
+// E9Row is one master-size measurement comparing the legacy deep-clone
+// snapshot path (core.Engine.SnapshotDeep) with the O(1) copy-on-write
+// path (core.Engine.Snapshot). The acceptance claim of the COW rework
+// is visible directly in the numbers: CowSnapshotNs stays flat as the
+// master grows while DeepCloneNs scales with it, and the steady-state
+// fix latencies agree — the cheap snapshot costs readers nothing.
+type E9Row struct {
+	// MasterSize is the number of master tuples.
+	MasterSize int `json:"master_size"`
+	// DeepCloneNs is the latency of one deep-clone snapshot (best of
+	// several captures).
+	DeepCloneNs int64 `json:"deep_clone_snapshot_ns"`
+	// CowSnapshotNs is the latency of one copy-on-write snapshot
+	// (best of several captures, each taken after a live write so the
+	// capture is never a trivial re-capture).
+	CowSnapshotNs int64 `json:"cow_snapshot_ns"`
+	// DeepFixNs and CowFixNs are steady-state certain-fix latencies
+	// (ns per fix) chasing the same inputs against each snapshot kind.
+	DeepFixNs float64 `json:"deep_fix_ns_per_fix"`
+	CowFixNs  float64 `json:"cow_fix_ns_per_fix"`
+	// CowWriterNs is the mean live-store insert latency while a
+	// snapshot is outstanding — the copy-on-write cost writers absorb
+	// for the shards they touch.
+	CowWriterNs float64 `json:"cow_writer_ns_per_insert"`
+}
+
+// RunE9 measures snapshot latency and steady-state fix throughput vs
+// master size for both snapshot paths, asserting on the fly that the
+// two produce identical fixes (a latency number for a wrong answer
+// would be worthless).
+func RunE9(sizes []int, probes int, seed uint64) ([]E9Row, error) {
+	const (
+		snapReps     = 7
+		writerProbes = 1000
+	)
+	seedSet := schema.SetOfNames(dataset.CustSchema(), "zip", "phn", "type", "item")
+	var rows []E9Row
+	for _, n := range sizes {
+		g := dataset.NewCustomerGen(seed)
+		// Extra entities feed the write probes without colliding with
+		// the n loaded rows (zips embed the entity serial).
+		entities := g.GenerateEntities(n + snapReps + writerProbes)
+		st, err := dataset.MasterStore(entities[:n])
+		if err != nil {
+			return nil, err
+		}
+		eng, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+		if err != nil {
+			return nil, err
+		}
+		inputs := make([]*schema.Tuple, probes)
+		for i := range inputs {
+			inputs[i] = g.CleanInput(entities[i%n])
+		}
+		extra := entities[n:]
+
+		// Snapshot latencies. Each COW capture follows a live insert,
+		// so it can never piggyback on an identical prior capture.
+		row := E9Row{MasterSize: n}
+		for i := 0; i < snapReps; i++ {
+			start := time.Now()
+			deep := eng.SnapshotDeep()
+			el := time.Since(start).Nanoseconds()
+			if row.DeepCloneNs == 0 || el < row.DeepCloneNs {
+				row.DeepCloneNs = el
+			}
+			if deep.Master().Len() != st.Len() {
+				return nil, fmt.Errorf("e9: deep clone lost rows")
+			}
+		}
+		var cow *core.Engine
+		for i := 0; i < snapReps; i++ {
+			if _, err := st.InsertValues(extra[i].Master...); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			cow = eng.Snapshot()
+			el := time.Since(start).Nanoseconds()
+			if row.CowSnapshotNs == 0 || el < row.CowSnapshotNs {
+				row.CowSnapshotNs = el
+			}
+		}
+		deep := eng.SnapshotDeep() // same generation as cow
+
+		// Parity: both snapshot kinds fix identically.
+		for _, tu := range inputs[:min(len(inputs), 50)] {
+			a := cow.Chase(tu, seedSet).Tuple
+			b := deep.Chase(tu, seedSet).Tuple
+			if !a.Equal(b) {
+				return nil, fmt.Errorf("e9: COW and deep-clone snapshots disagree at size %d", n)
+			}
+		}
+
+		// Steady-state fix latency against each snapshot kind. The GC
+		// barrier keeps garbage from the discarded deep clones above
+		// from being collected inside a timed section.
+		runtime.GC()
+		start := time.Now()
+		ch := cow.NewChaser()
+		for _, tu := range inputs {
+			ch.Chase(tu, seedSet)
+		}
+		row.CowFixNs = float64(time.Since(start).Nanoseconds()) / float64(len(inputs))
+		runtime.GC()
+		start = time.Now()
+		ch = deep.NewChaser()
+		for _, tu := range inputs {
+			ch.Chase(tu, seedSet)
+		}
+		row.DeepFixNs = float64(time.Since(start).Nanoseconds()) / float64(len(inputs))
+
+		// Writer-side COW cost: live inserts while cow is outstanding.
+		runtime.GC()
+		start = time.Now()
+		for i := snapReps; i < snapReps+writerProbes; i++ {
+			if _, err := st.InsertValues(extra[i].Master...); err != nil {
+				return nil, err
+			}
+		}
+		row.CowWriterNs = float64(time.Since(start).Nanoseconds()) / float64(writerProbes)
+		rows = append(rows, row)
+	}
+	return rows, nil
 }

@@ -344,3 +344,31 @@ func TestRunE8Shape(t *testing.T) {
 		}
 	}
 }
+
+// E9's shape: one row per master size, every latency populated, and —
+// the point of the COW rework — the copy-on-write snapshot orders of
+// magnitude cheaper than the deep clone even at test sizes. The
+// deep-vs-COW fix-parity assertion runs inside RunE9 itself, so a
+// passing run also certifies the two snapshot kinds agree.
+func TestRunE9Shape(t *testing.T) {
+	sizes := []int{500, 2000}
+	rows, err := RunE9(sizes, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(sizes) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(sizes))
+	}
+	for i, r := range rows {
+		if r.MasterSize != sizes[i] {
+			t.Fatalf("row %d size = %d, want %d", i, r.MasterSize, sizes[i])
+		}
+		if r.DeepCloneNs <= 0 || r.CowSnapshotNs <= 0 || r.DeepFixNs <= 0 || r.CowFixNs <= 0 || r.CowWriterNs <= 0 {
+			t.Fatalf("row %d has unpopulated measurements: %+v", i, r)
+		}
+		if r.CowSnapshotNs*10 > r.DeepCloneNs {
+			t.Fatalf("size %d: COW snapshot %dns not clearly cheaper than deep clone %dns",
+				r.MasterSize, r.CowSnapshotNs, r.DeepCloneNs)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package jobs
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cerfix/internal/core"
+	"cerfix/internal/dataset"
+)
+
+// countingGate blocks each job run at its snapshot hook and reports
+// arrivals, letting tests observe true runner concurrency.
+type countingGate struct {
+	eng     *core.Engine
+	arrived chan string
+	release chan struct{}
+}
+
+func (g *countingGate) snapshot() *core.Engine {
+	g.arrived <- "run"
+	<-g.release
+	return g.eng.Snapshot()
+}
+
+// TestConcurrentRunnersOverlapFIFO: with Workers=2 the manager runs
+// two jobs at once — and admission stays fair FIFO: the two oldest
+// queued jobs start, the newest waits for a free runner, and no third
+// run is admitted while both runners are busy.
+func TestConcurrentRunnersOverlapFIFO(t *testing.T) {
+	eng, dirty, validated := testWorkload(t, 20, 30)
+	g := &countingGate{eng: eng, arrived: make(chan string, 8), release: make(chan struct{})}
+	m, err := Open(Config{Dir: t.TempDir(), Schema: dataset.CustSchema(), Snapshot: g.snapshot, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	tuples := make([]map[string]string, len(dirty))
+	for i, tu := range dirty {
+		tuples[i] = tu.Map()
+	}
+	j1, err := m.SubmitInline(validated, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := m.SubmitInline(validated, tuples[:10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := m.SubmitInline(validated, tuples[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both runners reach their (gated) snapshots concurrently.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-g.arrived:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("runner %d never started a job", i+1)
+		}
+	}
+	waitState(t, m, j1.ID, StateRunning)
+	waitState(t, m, j2.ID, StateRunning)
+	if j, _ := m.Get(j3.ID); j.State != StateQueued {
+		t.Fatalf("newest job = %s while both runners busy, want queued (FIFO admission)", j.State)
+	}
+	// No third admission beyond the configured runner count.
+	select {
+	case <-g.arrived:
+		t.Fatal("a third job was admitted with Workers=2")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(g.release)
+	for _, id := range []string{j1.ID, j2.ID, j3.ID} {
+		waitState(t, m, id, StateDone)
+	}
+}
+
+// TestConcurrentRunnersArtifactParity is the output-stability
+// regression test for concurrent runners: the artifacts of jobs run
+// by two overlapping runners are byte-identical to the same jobs run
+// sequentially by one runner — and both match the sequential
+// reference chase.
+func TestConcurrentRunnersArtifactParity(t *testing.T) {
+	eng, dirty, validated := testWorkload(t, 30, 60)
+	specs := [][]map[string]string{}
+	full := make([]map[string]string, len(dirty))
+	for i, tu := range dirty {
+		full[i] = tu.Map()
+	}
+	specs = append(specs, full, full[:20], full[20:45], full[45:])
+
+	run := func(workers int) map[int][][]byte {
+		t.Helper()
+		m, err := Open(Config{Dir: t.TempDir(), Schema: dataset.CustSchema(), Snapshot: eng.Snapshot, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close(context.Background())
+		ids := make([]string, len(specs))
+		for i, spec := range specs {
+			j, err := m.SubmitInline(validated, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = j.ID
+		}
+		out := make(map[int][][]byte, len(specs))
+		for i, id := range ids {
+			waitState(t, m, id, StateDone)
+			path, err := m.ResultsPath(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = readArtifact(t, path)
+		}
+		return out
+	}
+
+	sequential := run(1)
+	concurrent := run(2)
+	for i := range specs {
+		seq, conc := sequential[i], concurrent[i]
+		if len(seq) != len(conc) || len(seq) != len(specs[i]) {
+			t.Fatalf("job %d: %d sequential vs %d concurrent lines for %d tuples",
+				i, len(seq), len(conc), len(specs[i]))
+		}
+		for l := range seq {
+			if string(seq[l]) != string(conc[l]) {
+				t.Fatalf("job %d line %d differs between 1-runner and 2-runner managers:\nseq:  %s\nconc: %s",
+					i, l, seq[l], conc[l])
+			}
+		}
+	}
+	// Both match the reference sequential chase, byte for byte.
+	want := expectedArtifact(t, eng, dirty, validated)
+	for l := range want {
+		if string(concurrent[0][l]) != string(want[l]) {
+			t.Fatalf("line %d differs from sequential chase reference", l)
+		}
+	}
+}

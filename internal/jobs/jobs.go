@@ -5,7 +5,11 @@
 // monitor as an integration point for "other database applications"
 // (§3): a caller hands over a validated-attribute list plus an input
 // source, and polls for the outcome instead of holding a connection
-// open for the duration of the repair.
+// open for the duration of the repair. A configurable pool of
+// concurrent runners (Config.Workers) executes queued jobs with fair
+// FIFO admission, each run against its own O(1) copy-on-write engine
+// snapshot (core.Engine.Snapshot), so overlapping jobs neither block
+// each other nor pay a per-run deep copy of master data.
 //
 // # Lifecycle
 //

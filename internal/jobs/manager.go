@@ -28,7 +28,24 @@ var (
 	ErrFinished = errors.New("jobs: job already finished")
 	// ErrClosed means the manager is shutting down.
 	ErrClosed = errors.New("jobs: manager closed")
+	// ErrInvalid marks a submission rejected for client-side reasons
+	// (unknown attributes, malformed tuples, bad formats, disallowed
+	// paths). Server-side faults — journal or directory I/O — are
+	// deliberately NOT Invalid, so the HTTP layer can answer 422 for
+	// the former and 5xx for the latter.
+	ErrInvalid = errors.New("jobs: invalid submission")
 )
+
+// invalid tags err as a client-input failure:
+// errors.Is(invalid(err), ErrInvalid) holds while the message and the
+// wrapped cause stay intact.
+func invalid(err error) error { return invalidError{err} }
+
+type invalidError struct{ err error }
+
+func (e invalidError) Error() string        { return e.err.Error() }
+func (e invalidError) Unwrap() error        { return e.err }
+func (e invalidError) Is(target error) bool { return target == ErrInvalid }
 
 // Config wires a Manager.
 type Config struct {
@@ -48,6 +65,13 @@ type Config struct {
 	// tuples, which are materialized into the jobs directory, are
 	// always allowed.
 	InputRoot string
+	// Workers is the number of concurrent job runners (<=0 means 1).
+	// Each runner executes one job at a time against its own O(1)
+	// engine snapshot; admission is fair FIFO — whenever a runner
+	// frees up it starts the oldest queued job, so no job is ever
+	// overtaken by a later submission. More runners let short jobs
+	// proceed alongside long ones instead of queueing behind them.
+	Workers int
 	// Pipeline tunes the underlying batch runs (nil = defaults).
 	Pipeline *pipeline.Options
 }
@@ -89,11 +113,14 @@ type Manager struct {
 }
 
 // Open loads the jobs directory, re-queues every job found queued or
-// running (discarding partial artifacts), and starts the background
-// worker.
+// running (discarding partial artifacts), and starts the configured
+// number of background runners (Config.Workers, default 1).
 func Open(cfg Config) (*Manager, error) {
 	if cfg.Dir == "" || cfg.Schema == nil || cfg.Snapshot == nil {
 		return nil, errors.New("jobs: Config needs Dir, Schema and Snapshot")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: %w", err)
@@ -103,8 +130,10 @@ func Open(cfg Config) (*Manager, error) {
 	if err := m.recover(); err != nil {
 		return nil, err
 	}
-	m.wg.Add(1)
-	go m.worker()
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
 	return m, nil
 }
 
@@ -169,11 +198,11 @@ func (m *Manager) persist(j *job) error {
 // validateAttrs rejects unknown or empty validated lists up front.
 func (m *Manager) validateAttrs(validated []string) error {
 	if len(validated) == 0 {
-		return errors.New("jobs: validated attribute list required")
+		return invalid(errors.New("jobs: validated attribute list required"))
 	}
 	for _, a := range validated {
 		if !m.cfg.Schema.Has(a) {
-			return fmt.Errorf("jobs: unknown attribute %q", a)
+			return invalid(fmt.Errorf("jobs: unknown attribute %q", a))
 		}
 	}
 	return nil
@@ -186,12 +215,12 @@ func (m *Manager) SubmitInline(validated []string, tuples []map[string]string) (
 		return Job{}, err
 	}
 	if len(tuples) == 0 {
-		return Job{}, errors.New("jobs: no tuples")
+		return Job{}, invalid(errors.New("jobs: no tuples"))
 	}
 	// Parse now so submission fails fast on malformed input.
 	for i, tm := range tuples {
 		if _, err := schema.TupleFromMap(m.cfg.Schema, tm); err != nil {
-			return Job{}, fmt.Errorf("jobs: tuple %d: %w", i, err)
+			return Job{}, invalid(fmt.Errorf("jobs: tuple %d: %w", i, err))
 		}
 	}
 	return m.enqueue(validated, "input.jsonl", FormatJSONL, func(dir string) error {
@@ -220,14 +249,14 @@ func (m *Manager) SubmitFile(validated []string, path, format string) (Job, erro
 		return Job{}, err
 	}
 	if format != FormatCSV && format != FormatJSONL {
-		return Job{}, fmt.Errorf("jobs: bad format %q (want %s or %s)", format, FormatCSV, FormatJSONL)
+		return Job{}, invalid(fmt.Errorf("jobs: bad format %q (want %s or %s)", format, FormatCSV, FormatJSONL))
 	}
 	abs, err := m.confineInput(path)
 	if err != nil {
-		return Job{}, err
+		return Job{}, invalid(err)
 	}
 	if _, err := os.Stat(abs); err != nil {
-		return Job{}, fmt.Errorf("jobs: input: %w", err)
+		return Job{}, invalid(fmt.Errorf("jobs: input: %w", err))
 	}
 	return m.enqueue(validated, abs, format, nil)
 }
@@ -302,6 +331,21 @@ func (m *Manager) enqueue(validated []string, input, format string, materialize 
 	return rec, nil
 }
 
+// Workers returns the effective number of concurrent runners the
+// manager started (Config.Workers after normalization).
+func (m *Manager) Workers() int { return m.cfg.Workers }
+
+// jobIDLess orders job IDs by submission: IDs are "j" + a zero-padded
+// sequence number, so shorter strings sort first and equal lengths
+// compare lexicographically — correct even past the pad width, where
+// a plain string compare would put "j1000000" before "j999999".
+func jobIDLess(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
 // Get returns a snapshot of one job record.
 func (m *Manager) Get(id string) (Job, error) {
 	m.mu.Lock()
@@ -321,7 +365,7 @@ func (m *Manager) List() []Job {
 	for _, j := range m.jobs {
 		out = append(out, j.snapshotLocked())
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	sort.Slice(out, func(a, b int) bool { return jobIDLess(out[a].ID, out[b].ID) })
 	return out
 }
 
@@ -387,9 +431,9 @@ func (m *Manager) Remove(id string) error {
 	return nil
 }
 
-// Close drains the manager: no new job starts, and the in-flight job
-// (if any) gets until ctx expires to finish before being interrupted
-// and re-queued for the next start. Safe to call once.
+// Close drains the manager: no new job starts, and every in-flight
+// job gets until ctx expires to finish before being interrupted and
+// re-queued for the next start. Safe to call once.
 func (m *Manager) Close(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true
@@ -418,9 +462,13 @@ func (m *Manager) Close(ctx context.Context) error {
 	}
 }
 
-// worker is the single background runner: FIFO over queued jobs.
-// Parallelism lives inside each run (the pipeline's worker pool), so
-// one job at a time keeps batches from starving each other.
+// worker is one background runner. Config.Workers of them run
+// concurrently, each executing one job at a time against its own
+// engine snapshot — snapshots are O(1) copy-on-write views, so N
+// runners cost no more to start than one. Admission stays fair FIFO:
+// next() always hands out the oldest queued job, so concurrency never
+// reorders starts, only overlaps executions. (Intra-job parallelism
+// additionally lives inside each run: the pipeline's worker pool.)
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
@@ -447,7 +495,7 @@ func (m *Manager) next() *job {
 			if j.rec.State != StateQueued {
 				continue
 			}
-			if pick == nil || j.rec.ID < pick.rec.ID {
+			if pick == nil || jobIDLess(j.rec.ID, pick.rec.ID) {
 				pick = j
 			}
 		}

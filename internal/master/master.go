@@ -10,6 +10,8 @@ package master
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"cerfix/internal/rule"
 	"cerfix/internal/schema"
@@ -45,42 +47,142 @@ func (s LookupStatus) String() string {
 	}
 }
 
-// Store is the master data manager.
+// Store is the master data manager. A store built by New or FromTable
+// is live and thread-safe: its own mutex serializes mutators with
+// Snapshot, so a snapshot is always an atomic view of table plus rule
+// indexes — no caller-side locking required. A store returned by
+// Snapshot is a frozen read-only view that any number of goroutines
+// read without synchronization.
 type Store struct {
-	table *storage.Table
-	// mode selects the lookup access path; see LookupMode.
-	mode LookupMode
+	// mu serializes mutators (Insert, PrepareForRules) with Snapshot
+	// on the live store and guards live rule-index lookups against
+	// them. Frozen stores are immutable and skip it.
+	mu     sync.RWMutex
+	frozen bool
+	table  *storage.Table
+	// mode selects the lookup access path; see LookupMode. It is an
+	// atomic so mode flips (the E5 ablation knob, SetUseIndexes) are
+	// race-free against concurrent lookups, on live stores and
+	// snapshots alike — the mode is a per-view knob, not data.
+	mode atomic.Int32
 	// ruleIdx holds the precomputed unique-RHS maps (the fast path).
 	ruleIdx *ruleIndexes
+	// version counts rule-index mutations (Insert, PrepareRuleIndexes);
+	// together with the table snapshot identity it keys the snapshot
+	// cache below.
+	version uint64
+	// snapRuleIdx/snapTable/snapVersion cache the frozen internals of
+	// the most recent snapshot: an unchanged store reuses them instead
+	// of re-marking shards. Each Snapshot call still returns a fresh
+	// *Store wrapper with its own mode atomic, so the per-view SetMode
+	// contract holds even when the underlying data is shared.
+	snapRuleIdx *ruleIndexes
+	snapTable   *storage.Table
+	snapVersion uint64
 }
 
 // New wraps an empty master relation under sch.
 func New(sch *schema.Schema) *Store {
-	return &Store{table: storage.NewTable(sch), mode: ModeRuleIndex, ruleIdx: newRuleIndexes()}
+	m := &Store{table: storage.NewTable(sch), ruleIdx: newRuleIndexes()}
+	m.mode.Store(int32(ModeRuleIndex))
+	return m
 }
 
 // FromTable wraps an existing table (e.g. loaded from CSV).
 func FromTable(t *storage.Table) *Store {
-	return &Store{table: t, mode: ModeRuleIndex, ruleIdx: newRuleIndexes()}
+	m := &Store{table: t, ruleIdx: newRuleIndexes()}
+	m.mode.Store(int32(ModeRuleIndex))
+	return m
 }
 
-// Snapshot returns an isolated copy of the store: cloned table (rows,
-// hash indexes) and deep-copied unique-RHS rule indexes. The copy
-// shares no mutable state with the live store, so any number of
-// goroutines may read it — the batch pipeline's workers do — while
-// the original keeps absorbing inserts and mode changes. The
-// Snapshot call itself must be serialized with writers (it clones
-// table and rule indexes under separate locks, so a racing insert
-// could land in one but not the other); callers hold their own lock
-// across it, as the HTTP server does.
-func (m *Store) Snapshot() *Store {
-	return &Store{table: m.table.Clone(), mode: m.mode, ruleIdx: m.ruleIdx.clone()}
+// lock/unlock guard mutators; rlock/runlock guard live readers of the
+// rule indexes. Frozen stores are immutable: readers skip the mutex
+// and mutators must never run (callers check frozen first).
+func (m *Store) lock() {
+	if m.frozen {
+		panic("master: mutating a read-only snapshot")
+	}
+	m.mu.Lock()
 }
+
+func (m *Store) unlock() { m.mu.Unlock() }
+
+func (m *Store) rlock() {
+	if !m.frozen {
+		m.mu.RLock()
+	}
+}
+
+func (m *Store) runlock() {
+	if !m.frozen {
+		m.mu.RUnlock()
+	}
+}
+
+// Snapshot returns a frozen O(1) view of the store: the table and the
+// unique-RHS rule indexes of this instant, captured atomically under
+// the store's own lock — callers need no external serialization with
+// writers. The snapshot is immutable (mutators fail with
+// storage.ErrFrozen) and lock-free to read, so any number of
+// goroutines — the batch pipeline's workers, concurrent job runners —
+// chase against it while the live store keeps absorbing inserts. Cost
+// is independent of master size: both layers only mark their
+// constant-size shard directories copy-on-write (see storage.Table
+// and the rule-index registry). Snapshotting a snapshot returns the
+// same view. The snapshot inherits the live store's lookup mode at
+// capture; its mode remains independently settable (a per-view knob).
+func (m *Store) Snapshot() *Store {
+	if m.frozen {
+		return m
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tsnap := m.table.Snapshot()
+	// Re-freeze the rule indexes only when something changed since the
+	// last capture: a different table snapshot (the table caches by
+	// generation, covering direct-table bulk writes too) or a new
+	// rule-index version. Otherwise the previous frozen view is
+	// bit-for-bit current and re-marking shards would only re-tax
+	// writers.
+	if m.snapRuleIdx == nil || m.snapTable != tsnap || m.snapVersion != m.version {
+		m.snapRuleIdx = m.ruleIdx.snapshot()
+		m.snapTable = tsnap
+		m.snapVersion = m.version
+	}
+	// A fresh wrapper per call: callers own their view's mode knob
+	// even when the frozen data underneath is shared.
+	cp := &Store{
+		frozen:  true,
+		table:   tsnap,
+		ruleIdx: m.snapRuleIdx,
+	}
+	cp.mode.Store(m.mode.Load())
+	return cp
+}
+
+// CloneDeep returns an isolated deep copy of the store — cloned table
+// (rows, hash indexes) and deep-copied rule indexes — that is itself
+// live and mutable. This is the legacy O(master size) snapshot path,
+// retained for callers that need a private mutable copy and as the
+// benchmark baseline for Snapshot (cerfixbench e9).
+func (m *Store) CloneDeep() *Store {
+	m.rlock()
+	defer m.runlock()
+	cp := &Store{table: m.table.Clone(), ruleIdx: m.ruleIdx.clone()}
+	cp.mode.Store(m.mode.Load())
+	return cp
+}
+
+// Frozen reports whether the store is a read-only snapshot.
+func (m *Store) Frozen() bool { return m.frozen }
 
 // Schema returns the master schema.
 func (m *Store) Schema() *schema.Schema { return m.table.Schema() }
 
 // Table exposes the underlying table (for CSV I/O and the server).
+// Bulk writes that bypass the Store (ReadCSV) must be followed by
+// PrepareForRules and serialized with Snapshot by the caller; the
+// Store-level mutators need no such care.
 func (m *Store) Table() *storage.Table { return m.table }
 
 // Len returns the number of master tuples.
@@ -91,26 +193,35 @@ func (m *Store) Len() int { return m.table.Len() }
 // to ModeRuleIndex, false to ModeScan.
 func (m *Store) SetUseIndexes(on bool) {
 	if on {
-		m.mode = ModeRuleIndex
+		m.SetMode(ModeRuleIndex)
 	} else {
-		m.mode = ModeScan
+		m.SetMode(ModeScan)
 	}
 }
 
-// SetMode selects the lookup access path.
-func (m *Store) SetMode(mode LookupMode) { m.mode = mode }
+// SetMode selects the lookup access path. Safe to call concurrently
+// with lookups; on a snapshot it retargets only that view.
+func (m *Store) SetMode(mode LookupMode) { m.mode.Store(int32(mode)) }
 
 // Mode returns the current access path.
-func (m *Store) Mode() LookupMode { return m.mode }
+func (m *Store) Mode() LookupMode { return LookupMode(m.mode.Load()) }
 
-// Insert adds a master tuple and maintains the rule indexes.
+// Insert adds a master tuple and maintains the rule indexes. The
+// table row and its index entries become visible atomically: a
+// concurrent Snapshot sees either both or neither.
 func (m *Store) Insert(tu *schema.Tuple) (int64, error) {
+	if m.frozen {
+		return 0, storage.ErrFrozen
+	}
+	m.lock()
+	defer m.unlock()
 	id, err := m.table.Insert(tu)
 	if err != nil {
 		return 0, err
 	}
 	stored, _ := m.table.Get(id)
 	m.ruleIdx.insert(stored)
+	m.version++
 	return id, nil
 }
 
@@ -134,6 +245,9 @@ func (m *Store) Get(id int64) (*schema.Tuple, bool) { return m.table.Get(id) }
 // expected. Must be re-run after adding rules with new Xm lists (extra
 // runs are idempotent).
 func (m *Store) PrepareForRules(rs *rule.Set) error {
+	if m.frozen {
+		return fmt.Errorf("master: PrepareForRules: %w", storage.ErrFrozen)
+	}
 	for _, r := range rs.Rules() {
 		if err := m.table.CreateIndex(r.MatchMasterAttrs()); err != nil {
 			return fmt.Errorf("master: indexing for rule %s: %w", r.ID, err)
@@ -145,7 +259,7 @@ func (m *Store) PrepareForRules(rs *rule.Set) error {
 
 // Lookup returns all master tuples whose attrs project to key.
 func (m *Store) Lookup(attrs []string, key value.List) []*schema.Tuple {
-	if m.mode != ModeScan {
+	if m.Mode() != ModeScan {
 		return m.table.LookupEq(attrs, key)
 	}
 	// Forced-scan path: bypass any index by predicate selection.
@@ -159,8 +273,11 @@ func (m *Store) Lookup(attrs []string, key value.List) []*schema.Tuple {
 // all agree on rhsAttrs, return those values, the witness tuple's ID
 // and Unique; otherwise Conflict.
 func (m *Store) UniqueRHS(matchAttrs []string, key value.List, rhsAttrs []string) (value.List, int64, LookupStatus) {
-	if m.mode == ModeRuleIndex {
-		if rhs, witness, status, ok := m.ruleIdx.lookup(matchAttrs, key, rhsAttrs); ok {
+	if m.Mode() == ModeRuleIndex {
+		m.rlock()
+		rhs, witness, status, ok := m.ruleIdx.lookup(matchAttrs, key, rhsAttrs)
+		m.runlock()
+		if ok {
 			return rhs, witness, status
 		}
 		// No index for this pair (ad-hoc query): fall through to the

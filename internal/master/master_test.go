@@ -1,10 +1,12 @@
 package master
 
 import (
+	"errors"
 	"testing"
 
 	"cerfix/internal/rule"
 	"cerfix/internal/schema"
+	"cerfix/internal/storage"
 	"cerfix/internal/value"
 )
 
@@ -192,14 +194,26 @@ func TestSnapshotIsolation(t *testing.T) {
 		t.Fatalf("live store status = %v, want Conflict", status)
 	}
 
-	// Inserts into the snapshot don't leak back.
-	if _, err := snap.InsertValues("Zed", "Hall", "111", "1", "2", "9 Oak", "Ldn", "ZZ1 1ZZ"); err != nil {
-		t.Fatal(err)
+	// Snapshots are read-only views: writes are rejected and nothing
+	// leaks into either side.
+	if !snap.Frozen() {
+		t.Fatal("snapshot not marked frozen")
 	}
-	if m.Len() != 4 || snap.Len() != 4 {
+	if _, err := snap.InsertValues("Zed", "Hall", "111", "1", "2", "9 Oak", "Ldn", "ZZ1 1ZZ"); !errors.Is(err, storage.ErrFrozen) {
+		t.Fatalf("snapshot insert: err = %v, want ErrFrozen", err)
+	}
+	if m.Len() != 4 || snap.Len() != 3 {
 		t.Fatalf("lens = live %d snap %d", m.Len(), snap.Len())
 	}
+	// A deep clone, by contrast, stays mutable and isolated both ways.
+	cl := m.CloneDeep()
+	if _, err := cl.InsertValues("Zed", "Hall", "111", "1", "2", "9 Oak", "Ldn", "ZZ1 1ZZ"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 4 || cl.Len() != 5 {
+		t.Fatalf("lens = live %d clone %d", m.Len(), cl.Len())
+	}
 	if got := m.Lookup([]string{"zip"}, value.List{"ZZ1 1ZZ"}); len(got) != 0 {
-		t.Fatalf("snapshot insert leaked into live store: %v", got)
+		t.Fatalf("clone insert leaked into live store: %v", got)
 	}
 }

@@ -3,8 +3,8 @@ package master
 import (
 	"sort"
 	"strings"
-	"sync"
 
+	"cerfix/internal/cowmap"
 	"cerfix/internal/rule"
 	"cerfix/internal/schema"
 	"cerfix/internal/value"
@@ -25,9 +25,21 @@ import (
 // maintained incrementally on Store inserts (master data is
 // append-mostly); bulk loads that bypass the Store rebuild it via
 // PrepareForRules.
+//
+// Like the storage layer, the registry is versioned copy-on-write:
+// Store.Snapshot marks the registry, every index header and every
+// entry shard shared in O(#indexes) — constant in master size — and
+// the live store copies only what it touches afterwards. Entries are
+// immutable once published (a conflict transition swaps in a fresh
+// entry), so snapshot readers never see a torn record.
+//
+// Synchronization lives entirely in Store.mu: mutators run under its
+// write lock, live lookups under its read lock, and frozen snapshots
+// are immutable so their readers take no lock at all. ruleIndexes has
+// no mutex of its own.
 
 // LookupMode selects the master access path (E5's ablation knob).
-type LookupMode int
+type LookupMode int32
 
 const (
 	// ModeRuleIndex uses the precomputed unique-RHS map: O(1) per
@@ -54,18 +66,70 @@ func (m LookupMode) String() string {
 	}
 }
 
-// rhsEntry is the per-key precomputed answer.
+// rhsEntry is the per-key precomputed answer. Entries are immutable
+// after publication: snapshots share them, so a state change replaces
+// the entry instead of flipping fields in place.
 type rhsEntry struct {
 	rhs      value.List
 	witness  int64
 	conflict bool
 }
 
-// ruleIndex holds one (Xm, Bm) unique-RHS map.
+// entryShardCount sizes the copy-on-write granularity of one rule
+// index's entry map (power of two).
+const entryShardCount = 64
+
+// entryShard is one segment of a rule index's entry map (see cowmap
+// for the shared/copy-on-write discipline).
+type entryShard = cowmap.Shard[string, *rhsEntry]
+
+// entryShardOf routes a probe key to its shard.
+func entryShardOf(k string) int { return cowmap.FNV(k, entryShardCount) }
+
+// ruleIndex holds one (Xm, Bm) unique-RHS map. The header follows the
+// shared/copy-on-write discipline: once a snapshot references it, the
+// live store copies the header before replacing any shard pointer.
 type ruleIndex struct {
 	matchAttrs []string
 	rhsAttrs   []string
-	entries    map[string]*rhsEntry
+	shared     bool
+	shards     [entryShardCount]*entryShard
+}
+
+func newRuleIndex(matchAttrs, rhsAttrs []string) *ruleIndex {
+	ix := &ruleIndex{
+		matchAttrs: append([]string(nil), matchAttrs...),
+		rhsAttrs:   append([]string(nil), rhsAttrs...),
+	}
+	for i := range ix.shards {
+		ix.shards[i] = cowmap.New[string, *rhsEntry]()
+	}
+	return ix
+}
+
+// shardMut returns a privately-owned entry shard for key k.
+func (ix *ruleIndex) shardMut(k string) *entryShard {
+	return cowmap.Mut(&ix.shards[entryShardOf(k)])
+}
+
+// add folds one master tuple into the index.
+func (ix *ruleIndex) add(s *schema.Tuple) {
+	k := s.Project(ix.matchAttrs).Key()
+	sh := ix.shardMut(k)
+	e, ok := sh.M[k]
+	if !ok {
+		sh.M[k] = &rhsEntry{rhs: s.Project(ix.rhsAttrs), witness: s.ID}
+		return
+	}
+	if !e.conflict && !e.rhs.Equal(s.Project(ix.rhsAttrs)) {
+		// Replace, never mutate: snapshots may share the old entry.
+		sh.M[k] = &rhsEntry{rhs: e.rhs, witness: e.witness, conflict: true}
+	}
+}
+
+// get answers one probe (nil when the key is absent).
+func (ix *ruleIndex) get(k string) *rhsEntry {
+	return ix.shards[entryShardOf(k)].M[k]
 }
 
 // ruleIndexKey canonicalizes the (Xm, Bm) pair.
@@ -84,68 +148,79 @@ func ruleIndexKey(matchAttrs, rhsAttrs []string) string {
 }
 
 // ruleIndexes is the Store's registry (separate struct to keep the
-// main file focused).
+// main file focused). All access is synchronized by Store.mu or by
+// snapshot immutability.
 type ruleIndexes struct {
-	mu      sync.RWMutex
 	indexes map[string]*ruleIndex
+	// shared marks the registry map itself as referenced by a
+	// snapshot; the live store copies it before the next write.
+	shared bool
 }
 
 func newRuleIndexes() *ruleIndexes {
 	return &ruleIndexes{indexes: make(map[string]*ruleIndex)}
 }
 
+// registryMut returns the registry map, copying it first when a
+// snapshot shares it.
+func (ri *ruleIndexes) registryMut() map[string]*ruleIndex {
+	return cowmap.MutMap(&ri.indexes, &ri.shared)
+}
+
 // build constructs the index for one (Xm, Bm) pair from all rows.
 func (ri *ruleIndexes) build(matchAttrs, rhsAttrs []string, rows []*schema.Tuple) {
-	idx := &ruleIndex{
-		matchAttrs: append([]string(nil), matchAttrs...),
-		rhsAttrs:   append([]string(nil), rhsAttrs...),
-		entries:    make(map[string]*rhsEntry, len(rows)),
-	}
+	idx := newRuleIndex(matchAttrs, rhsAttrs)
 	for _, s := range rows {
 		idx.add(s)
 	}
-	ri.mu.Lock()
-	ri.indexes[ruleIndexKey(matchAttrs, rhsAttrs)] = idx
-	ri.mu.Unlock()
-}
-
-func (ix *ruleIndex) add(s *schema.Tuple) {
-	k := s.Project(ix.matchAttrs).Key()
-	rhs := s.Project(ix.rhsAttrs)
-	e, ok := ix.entries[k]
-	if !ok {
-		ix.entries[k] = &rhsEntry{rhs: rhs, witness: s.ID}
-		return
-	}
-	if !e.conflict && !e.rhs.Equal(rhs) {
-		e.conflict = true
-	}
+	ri.registryMut()[ruleIndexKey(matchAttrs, rhsAttrs)] = idx
 }
 
 // insert maintains every registered index for a new master tuple.
 func (ri *ruleIndexes) insert(s *schema.Tuple) {
-	ri.mu.Lock()
-	defer ri.mu.Unlock()
-	for _, ix := range ri.indexes {
+	if len(ri.indexes) == 0 {
+		return
+	}
+	reg := ri.registryMut()
+	for key, ix := range reg {
+		if ix.shared {
+			cp := &ruleIndex{matchAttrs: ix.matchAttrs, rhsAttrs: ix.rhsAttrs, shards: ix.shards}
+			reg[key] = cp
+			ix = cp
+		}
 		ix.add(s)
 	}
 }
 
-// clone deep-copies the registry. Entry rhs lists are shared (they are
-// never mutated after construction); the conflict flags and the maps
-// themselves are copied, so inserts on either side stay invisible to
-// the other.
+// snapshot returns a frozen O(1) view: the registry, every index
+// header and every entry shard are marked shared, so the live store
+// copies only what it subsequently touches.
+func (ri *ruleIndexes) snapshot() *ruleIndexes {
+	ri.shared = true
+	for _, ix := range ri.indexes {
+		ix.shared = true
+		for _, sh := range &ix.shards {
+			sh.Shared = true
+		}
+	}
+	return &ruleIndexes{indexes: ri.indexes, shared: true}
+}
+
+// clone deep-copies the registry (the legacy snapshot path, retained
+// for Store.CloneDeep and the e9 benchmark baseline). Entry objects
+// are shared — they are immutable after publication.
 func (ri *ruleIndexes) clone() *ruleIndexes {
-	ri.mu.RLock()
-	defer ri.mu.RUnlock()
 	cp := newRuleIndexes()
 	for k, ix := range ri.indexes {
-		entries := make(map[string]*rhsEntry, len(ix.entries))
-		for ek, e := range ix.entries {
-			ecp := *e
-			entries[ek] = &ecp
+		icp := newRuleIndex(ix.matchAttrs, ix.rhsAttrs)
+		for i, sh := range &ix.shards {
+			m := make(map[string]*rhsEntry, len(sh.M))
+			for ek, e := range sh.M {
+				m[ek] = e
+			}
+			icp.shards[i] = &entryShard{M: m}
 		}
-		cp.indexes[k] = &ruleIndex{matchAttrs: ix.matchAttrs, rhsAttrs: ix.rhsAttrs, entries: entries}
+		cp.indexes[k] = icp
 	}
 	return cp
 }
@@ -153,15 +228,12 @@ func (ri *ruleIndexes) clone() *ruleIndexes {
 // lookup answers the unique-RHS question for a registered pair; the
 // second result reports whether the pair has an index.
 func (ri *ruleIndexes) lookup(matchAttrs []string, key value.List, rhsAttrs []string) (value.List, int64, LookupStatus, bool) {
-	ri.mu.RLock()
 	ix, ok := ri.indexes[ruleIndexKey(matchAttrs, rhsAttrs)]
 	if !ok {
-		ri.mu.RUnlock()
 		return nil, 0, NoMatch, false
 	}
-	e, ok := ix.entries[key.Key()]
-	ri.mu.RUnlock()
-	if !ok {
+	e := ix.get(key.Key())
+	if e == nil {
 		return nil, 0, NoMatch, true
 	}
 	if e.conflict {
@@ -173,8 +245,6 @@ func (ri *ruleIndexes) lookup(matchAttrs []string, key value.List, rhsAttrs []st
 // registered lists the (Xm, Bm) pairs with indexes, sorted, for
 // diagnostics.
 func (ri *ruleIndexes) registered() []string {
-	ri.mu.RLock()
-	defer ri.mu.RUnlock()
 	out := make([]string, 0, len(ri.indexes))
 	for _, ix := range ri.indexes {
 		out = append(out, strings.Join(ix.matchAttrs, ",")+"->"+strings.Join(ix.rhsAttrs, ","))
@@ -187,11 +257,18 @@ func (ri *ruleIndexes) registered() []string {
 // the set. Called by PrepareForRules; callers that mutate the
 // underlying table directly must re-run it.
 func (m *Store) PrepareRuleIndexes(rs *rule.Set) {
+	m.lock()
+	defer m.unlock()
 	rows := m.table.All()
 	for _, r := range rs.Rules() {
 		m.ruleIdx.build(r.MatchMasterAttrs(), r.SetMasterAttrs(), rows)
 	}
+	m.version++
 }
 
 // RegisteredRuleIndexes lists the built indexes (diagnostics).
-func (m *Store) RegisteredRuleIndexes() []string { return m.ruleIdx.registered() }
+func (m *Store) RegisteredRuleIndexes() []string {
+	m.rlock()
+	defer m.runlock()
+	return m.ruleIdx.registered()
+}

@@ -16,11 +16,12 @@ import (
 // integration point for bulk pipelines, applying non-interactive
 // certain-fix passes given a caller-asserted validated attribute list.
 //
-// The handler snapshots the engine under the server lock, then
-// releases it and fixes through internal/pipeline's sharded worker
-// pool, so large batches neither serialize behind each other nor
-// block interactive sessions — and concurrent rule/master mutations
-// cannot race the in-flight batch.
+// The handler captures an O(1) copy-on-write engine snapshot — the
+// server lock is held only for the pointer-sized capture, never
+// across a clone of master data — then fixes through
+// internal/pipeline's sharded worker pool, so large batches neither
+// serialize behind each other nor block interactive sessions, and
+// concurrent rule/master mutations cannot race the in-flight batch.
 
 // batchRequest is the POST /api/fix payload.
 type batchRequest struct {
@@ -60,7 +61,9 @@ func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("no tuples"))
 		return
 	}
-	// Freeze a consistent view under the lock, then fix outside it.
+	// Freeze a consistent view — an O(1) COW capture; the lock only
+	// pins the engine pointer against rule-set swaps — then fix
+	// outside it.
 	s.mu.Lock()
 	input := s.sys.InputSchema()
 	for _, a := range req.Validated {

@@ -127,7 +127,17 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		// Client-side rejections are 422; a shutting-down queue is
+		// 503; anything else (journal/directory I/O) is a genuine
+		// server fault, not the client's payload.
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, jobs.ErrInvalid):
+			status = http.StatusUnprocessableEntity
+		case errors.Is(err, jobs.ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, toJobJSON(job))

@@ -63,13 +63,16 @@ func Delete(id int64) Op { return Op{Kind: OpDelete, ID: id} }
 func (t *Table) ApplyBatch(ops []Op) ([]int64, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.frozen {
+		return nil, ErrFrozen
+	}
 	// Validation pass against a staged view of row liveness.
-	staged := make(map[int64]bool, len(t.rows)) // id -> live after batch so far
+	staged := make(map[int64]bool, len(ops)) // id -> live after batch so far
 	live := func(id int64) bool {
 		if v, ok := staged[id]; ok {
 			return v
 		}
-		_, ok := t.rows[id]
+		_, ok := t.row(id)
 		return ok
 	}
 	for i, op := range ops {
@@ -100,7 +103,9 @@ func (t *Table) ApplyBatch(ops []Op) ([]int64, error) {
 			return nil, fmt.Errorf("storage: batch op %d: unknown kind %d", i, op.Kind)
 		}
 	}
-	// Apply pass — cannot fail after validation.
+	// Apply pass — cannot fail after validation (updateLocked and
+	// deleteLocked only fail on missing rows, which validation and
+	// the staged view already rule out).
 	ids := make([]int64, len(ops))
 	for i, op := range ops {
 		switch op.Kind {
@@ -108,37 +113,14 @@ func (t *Table) ApplyBatch(ops []Op) ([]int64, error) {
 			cp := op.Tuple.Clone()
 			cp.ID = t.nextID
 			t.nextID++
-			t.rows[cp.ID] = cp
-			t.order = append(t.order, cp.ID)
-			for _, idx := range t.indexes {
-				idx.add(cp)
-			}
+			t.insertLocked(cp)
 			ids[i] = cp.ID
 		case OpUpdate:
-			old := t.rows[op.Tuple.ID]
-			for _, idx := range t.indexes {
-				idx.remove(old)
-			}
-			cp := op.Tuple.Clone()
-			t.rows[cp.ID] = cp
-			for _, idx := range t.indexes {
-				idx.add(cp)
-			}
+			_ = t.updateLocked(op.Tuple.Clone())
 		case OpDelete:
-			tu, ok := t.rows[op.ID]
-			if !ok {
-				continue // deleted earlier in this batch
-			}
-			for _, idx := range t.indexes {
-				idx.remove(tu)
-			}
-			delete(t.rows, op.ID)
-			for j, oid := range t.order {
-				if oid == op.ID {
-					t.order = append(t.order[:j], t.order[j+1:]...)
-					break
-				}
-			}
+			// deleteLocked reports false for rows removed earlier in
+			// this same batch.
+			_ = t.deleteLocked(op.ID)
 		}
 	}
 	return ids, nil

@@ -5,45 +5,191 @@
 // IDs, predicate scans, hash indexes over attribute lists (the access
 // path editing-rule lookups need), and CSV import/export for
 // persistence.
+//
+// # Snapshots: versioned copy-on-write
+//
+// Table supports O(1) snapshots. The table's state is sharded —
+// a fixed number of row-map shards plus, per hash index, a fixed
+// number of bucket-map shards — and Snapshot marks every shard
+// shared and returns a frozen *Table that references the same
+// shards. The cost is proportional to the (constant) shard count,
+// never to the number of rows. A writer that later touches a shared
+// shard copies just that shard first (copy-on-write), so arbitrarily
+// many snapshots coexist with live writes while each keeps the exact
+// rows, insertion order and index contents of its generation.
+// Frozen tables are read-only — mutators return ErrFrozen — and
+// immutable, so snapshot readers take no locks at all.
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"cerfix/internal/cowmap"
 	"cerfix/internal/schema"
 	"cerfix/internal/value"
 )
 
-// Table is a mutable, thread-safe relation instance.
+// ErrFrozen is returned by mutating methods invoked on a read-only
+// snapshot (see Table.Snapshot).
+var ErrFrozen = errors.New("storage: snapshot is read-only")
+
+const (
+	// rowShardCount and bucketShardCount size the copy-on-write
+	// granularity (both powers of two). Snapshot cost is
+	// O(rowShardCount + #indexes·bucketShardCount); the first write
+	// into a shard after a snapshot copies O(rows/shardCount)
+	// entries.
+	rowShardCount    = 64
+	bucketShardCount = 64
+)
+
+// rowShard is one segment of the row registry (see cowmap for the
+// shared/copy-on-write discipline).
+type rowShard = cowmap.Shard[int64, *schema.Tuple]
+
+func rowShardOf(id int64) int { return int(uint64(id) & (rowShardCount - 1)) }
+
+// Table is a relation instance. A table created by NewTable is
+// mutable and thread-safe; a table returned by Snapshot is a frozen,
+// immutable view that any number of goroutines may read without
+// synchronization.
 type Table struct {
-	mu      sync.RWMutex
-	sch     *schema.Schema
-	rows    map[int64]*schema.Tuple
-	order   []int64 // insertion order of live row IDs
-	nextID  int64
-	indexes map[string]*hashIndex
+	mu     sync.RWMutex
+	sch    *schema.Schema
+	frozen bool
+	// gen counts mutations (insert/update/delete and index builds);
+	// snapshots carry the generation they froze at.
+	gen   uint64
+	rows  [rowShardCount]*rowShard
+	count int
+	// order holds insertion order of row IDs. Deletes tombstone
+	// (the ID stays until compaction; liveness is decided by the row
+	// map), so Delete never scans the slice and snapshots can share
+	// its backing array: live appends land beyond every snapshot's
+	// captured length, and compaction swaps in a fresh array.
+	order  []int64
+	dead   int
+	nextID int64
+	// indexes is the hash-index registry; indexesShared marks the
+	// map itself as referenced by a snapshot.
+	indexes       map[string]*hashIndex
+	indexesShared bool
+	// lastSnap caches the most recent snapshot: re-snapshotting an
+	// unchanged table (every Scan takes one) returns it outright, so
+	// read-heavy phases never re-mark shards or re-tax writers.
+	lastSnap *Table
 }
 
 // NewTable creates an empty table under sch.
 func NewTable(sch *schema.Schema) *Table {
-	return &Table{
+	t := &Table{
 		sch:     sch,
-		rows:    make(map[int64]*schema.Tuple),
 		nextID:  1,
 		indexes: make(map[string]*hashIndex),
+	}
+	for i := range t.rows {
+		t.rows[i] = cowmap.New[int64, *schema.Tuple]()
+	}
+	return t
+}
+
+// rlock/runlock guard read paths: frozen tables are immutable, so
+// their readers skip the mutex entirely.
+func (t *Table) rlock() {
+	if !t.frozen {
+		t.mu.RLock()
+	}
+}
+
+func (t *Table) runlock() {
+	if !t.frozen {
+		t.mu.RUnlock()
 	}
 }
 
 // Schema returns the table's schema.
 func (t *Table) Schema() *schema.Schema { return t.sch }
 
+// Frozen reports whether the table is a read-only snapshot.
+func (t *Table) Frozen() bool { return t.frozen }
+
+// Generation returns the mutation counter: every insert, update,
+// delete and index build increments it, and a snapshot's generation
+// tells which version of the data it froze.
+func (t *Table) Generation() uint64 {
+	t.rlock()
+	defer t.runlock()
+	return t.gen
+}
+
 // Len returns the number of live rows.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows)
+	t.rlock()
+	defer t.runlock()
+	return t.count
+}
+
+// row looks up a live row. Callers hold the read lock (or the table
+// is frozen).
+func (t *Table) row(id int64) (*schema.Tuple, bool) {
+	tu, ok := t.rows[rowShardOf(id)].M[id]
+	return tu, ok
+}
+
+// rowShardMut returns a privately-owned shard for id, copying it
+// first when a snapshot shares it. Callers hold the write lock.
+func (t *Table) rowShardMut(id int64) *rowShard {
+	return cowmap.Mut(&t.rows[rowShardOf(id)])
+}
+
+// Snapshot returns a frozen O(1) view of the table: the exact rows,
+// insertion order and hash indexes of this generation, immutable
+// forever. The call marks the live shards copy-on-write and copies
+// only the constant-size shard directory — cost is independent of the
+// number of rows. The snapshot needs no locks to read and mutators on
+// it return ErrFrozen; the live table keeps absorbing writes, copying
+// each touched shard the first time it diverges. Snapshotting a
+// snapshot returns the same view.
+func (t *Table) Snapshot() *Table {
+	if t.frozen {
+		return t
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Unchanged since the last capture (the generation counts every
+	// row mutation and index build): hand the same frozen view out
+	// again — repeated scans of a quiet table cost nothing and leave
+	// no fresh copy-on-write debt.
+	if t.lastSnap != nil && t.lastSnap.gen == t.gen {
+		return t.lastSnap
+	}
+	cp := &Table{
+		sch:           t.sch,
+		frozen:        true,
+		gen:           t.gen,
+		count:         t.count,
+		order:         t.order[:len(t.order):len(t.order)],
+		dead:          t.dead,
+		nextID:        t.nextID,
+		indexes:       t.indexes,
+		indexesShared: true,
+	}
+	t.indexesShared = true
+	for i, sh := range &t.rows {
+		sh.Shared = true
+		cp.rows[i] = sh
+	}
+	for _, ix := range t.indexes {
+		ix.shared = true
+		for _, bsh := range &ix.shards {
+			bsh.Shared = true
+		}
+	}
+	t.lastSnap = cp
+	return cp
 }
 
 // Insert stores a copy of tu, assigns it a fresh ID and returns the ID.
@@ -55,15 +201,23 @@ func (t *Table) Insert(tu *schema.Tuple) (int64, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.frozen {
+		return 0, ErrFrozen
+	}
 	cp := tu.Clone()
 	cp.ID = t.nextID
 	t.nextID++
-	t.rows[cp.ID] = cp
-	t.order = append(t.order, cp.ID)
-	for _, idx := range t.indexes {
-		idx.add(cp)
-	}
+	t.insertLocked(cp)
 	return cp.ID, nil
+}
+
+// insertLocked registers an already-cloned tuple with an assigned ID.
+func (t *Table) insertLocked(cp *schema.Tuple) {
+	t.gen++
+	t.rowShardMut(cp.ID).M[cp.ID] = cp
+	t.order = append(t.order, cp.ID)
+	t.count++
+	t.indexAddLocked(cp)
 }
 
 // InsertValues is a convenience wrapper building the tuple in place.
@@ -77,9 +231,9 @@ func (t *Table) InsertValues(vals ...value.V) (int64, error) {
 
 // Get returns a copy of the row with the given ID.
 func (t *Table) Get(id int64) (*schema.Tuple, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	tu, ok := t.rows[id]
+	t.rlock()
+	defer t.runlock()
+	tu, ok := t.row(id)
 	if !ok {
 		return nil, false
 	}
@@ -93,82 +247,114 @@ func (t *Table) Update(tu *schema.Tuple) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	old, ok := t.rows[tu.ID]
+	if t.frozen {
+		return ErrFrozen
+	}
+	return t.updateLocked(tu.Clone())
+}
+
+func (t *Table) updateLocked(cp *schema.Tuple) error {
+	old, ok := t.row(cp.ID)
 	if !ok {
-		return fmt.Errorf("storage: row %d not found", tu.ID)
+		return fmt.Errorf("storage: row %d not found", cp.ID)
 	}
-	for _, idx := range t.indexes {
-		idx.remove(old)
-	}
-	cp := tu.Clone()
-	t.rows[cp.ID] = cp
-	for _, idx := range t.indexes {
-		idx.add(cp)
-	}
+	t.gen++
+	t.indexRemoveLocked(old)
+	t.rowShardMut(cp.ID).M[cp.ID] = cp
+	t.indexAddLocked(cp)
 	return nil
 }
 
-// Delete removes the row with the given ID, reporting whether it
-// existed.
+// Delete removes the row with the given ID, reporting whether a row
+// was deleted. The insertion-order slot is tombstoned (liveness lives
+// in the row registry), so deletion never scans the order slice;
+// compaction reclaims tombstones once they dominate. On a frozen
+// snapshot nothing is deleted and Delete reports false, consistent
+// with the ErrFrozen contract of the other mutators.
 func (t *Table) Delete(id int64) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	tu, ok := t.rows[id]
+	if t.frozen {
+		return false
+	}
+	return t.deleteLocked(id)
+}
+
+func (t *Table) deleteLocked(id int64) bool {
+	tu, ok := t.row(id)
 	if !ok {
 		return false
 	}
-	for _, idx := range t.indexes {
-		idx.remove(tu)
-	}
-	delete(t.rows, id)
-	for i, oid := range t.order {
-		if oid == id {
-			t.order = append(t.order[:i], t.order[i+1:]...)
-			break
-		}
-	}
+	t.gen++
+	t.indexRemoveLocked(tu)
+	delete(t.rowShardMut(id).M, id)
+	t.count--
+	t.dead++
+	t.maybeCompactLocked()
 	return true
 }
 
-// Clone returns an isolated copy of the table: fresh row registry,
-// insertion order and index structures. Stored tuples are shared — the
-// table never mutates a stored row in place (inserts and updates swap
-// in fresh copies) — so the clone is safe to read concurrently while
-// the original keeps changing, and vice versa.
+// maybeCompactLocked rebuilds the order slice once tombstones
+// dominate it, keeping scans O(live rows) amortized. The fresh
+// backing array leaves every snapshot's captured slice untouched.
+func (t *Table) maybeCompactLocked() {
+	if t.dead < 64 || t.dead*2 < len(t.order) {
+		return
+	}
+	live := make([]int64, 0, t.count)
+	for _, id := range t.order {
+		if _, ok := t.row(id); ok {
+			live = append(live, id)
+		}
+	}
+	t.order = live
+	t.dead = 0
+}
+
+// Clone returns an isolated deep copy of the table: fresh row
+// registry, insertion order and index structures, all mutable.
+// Stored tuples are shared (the table never mutates a stored row in
+// place). This is the legacy O(n) snapshot path, retained for
+// callers that need a private mutable copy and as the benchmark
+// baseline for Snapshot (cerfixbench e9).
 func (t *Table) Clone() *Table {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.rlock()
+	defer t.runlock()
 	cp := &Table{
 		sch:     t.sch,
-		rows:    make(map[int64]*schema.Tuple, len(t.rows)),
+		gen:     t.gen,
+		count:   t.count,
 		order:   append([]int64(nil), t.order...),
+		dead:    t.dead,
 		nextID:  t.nextID,
 		indexes: make(map[string]*hashIndex, len(t.indexes)),
 	}
-	for id, tu := range t.rows {
-		cp.rows[id] = tu
+	for i, sh := range &t.rows {
+		m := make(map[int64]*schema.Tuple, len(sh.M))
+		for id, tu := range sh.M {
+			m[id] = tu
+		}
+		cp.rows[i] = &rowShard{M: m}
 	}
-	for k, idx := range t.indexes {
-		cp.indexes[k] = idx.clone()
+	for k, ix := range t.indexes {
+		cp.indexes[k] = ix.deepClone()
 	}
 	return cp
 }
 
-// Scan calls fn on a copy of every row in insertion order; fn returning
-// false stops the scan.
+// Scan calls fn on a copy of every row in insertion order; fn
+// returning false stops the scan. The scan runs over an O(1)
+// snapshot taken up front, so it holds no locks while fn runs, sees
+// a single consistent generation, and is never disturbed by (nor
+// disturbs) concurrent writers.
 func (t *Table) Scan(fn func(*schema.Tuple) bool) {
-	t.mu.RLock()
-	ids := append([]int64(nil), t.order...)
-	t.mu.RUnlock()
-	for _, id := range ids {
-		t.mu.RLock()
-		tu, ok := t.rows[id]
-		var cp *schema.Tuple
-		if ok {
-			cp = tu.Clone()
+	snap := t.Snapshot()
+	for _, id := range snap.order {
+		tu, ok := snap.row(id)
+		if !ok {
+			continue // tombstoned
 		}
-		t.mu.RUnlock()
-		if ok && !fn(cp) {
+		if !fn(tu.Clone()) {
 			return
 		}
 	}
@@ -202,40 +388,133 @@ func indexKey(attrs []string) string {
 	return string(b)
 }
 
-// hashIndex maps composite attribute values to row IDs.
+// bucketShard is one segment of a hash index's bucket map, with the
+// same shared/copy-on-write discipline as rowShard.
+type bucketShard = cowmap.Shard[string, []int64]
+
+// bucketShardOf routes a bucket key to its shard.
+func bucketShardOf(k string) int { return cowmap.FNV(k, bucketShardCount) }
+
+// hashIndex maps composite attribute values to row IDs, sharded for
+// copy-on-write. The struct itself follows the same discipline: once
+// shared with a snapshot, the live table copies the header (attrs
+// reference + shard directory) before replacing any shard pointer.
 type hashIndex struct {
-	attrs   []string // sorted
-	buckets map[string][]int64
+	attrs  []string // sorted
+	shared bool
+	shards [bucketShardCount]*bucketShard
+}
+
+func newHashIndex(attrs []string) *hashIndex {
+	ix := &hashIndex{attrs: attrs}
+	for i := range ix.shards {
+		ix.shards[i] = cowmap.New[string, []int64]()
+	}
+	return ix
 }
 
 func (ix *hashIndex) keyOf(tu *schema.Tuple) string {
 	return tu.Project(ix.attrs).Key()
 }
 
-func (ix *hashIndex) add(tu *schema.Tuple) {
-	k := ix.keyOf(tu)
-	ix.buckets[k] = append(ix.buckets[k], tu.ID)
+// lookup returns the bucket for k. Live callers hold the table's
+// read lock; frozen snapshots need none. The returned slice must not
+// be mutated.
+func (ix *hashIndex) lookup(k string) []int64 {
+	return ix.shards[bucketShardOf(k)].M[k]
 }
 
-func (ix *hashIndex) clone() *hashIndex {
-	cp := &hashIndex{attrs: ix.attrs, buckets: make(map[string][]int64, len(ix.buckets))}
-	for k, ids := range ix.buckets {
-		cp.buckets[k] = append([]int64(nil), ids...)
+// shardMut returns a privately-owned bucket shard for key k.
+func (ix *hashIndex) shardMut(k string) *bucketShard {
+	return cowmap.Mut(&ix.shards[bucketShardOf(k)])
+}
+
+// add appends tu's ID to its bucket. Appending in place is safe even
+// when the slice's backing array is shared with a snapshot: the
+// snapshot reads only its captured length, every append lands beyond
+// it, and each backing position is written at most once (remove
+// always swaps in a fresh array).
+func (ix *hashIndex) add(tu *schema.Tuple) {
+	k := ix.keyOf(tu)
+	sh := ix.shardMut(k)
+	sh.M[k] = append(sh.M[k], tu.ID)
+}
+
+// remove drops tu's ID from its bucket, rebuilding the slice into a
+// fresh array — never shifting in place — because snapshots may
+// share the old backing array.
+func (ix *hashIndex) remove(tu *schema.Tuple) {
+	k := ix.keyOf(tu)
+	sh := ix.shardMut(k)
+	ids := sh.M[k]
+	if len(ids) == 0 {
+		return
+	}
+	out := make([]int64, 0, len(ids)-1)
+	removed := false
+	for _, x := range ids {
+		if !removed && x == tu.ID {
+			removed = true
+			continue
+		}
+		out = append(out, x)
+	}
+	if len(out) == 0 {
+		delete(sh.M, k)
+	} else {
+		sh.M[k] = out
+	}
+}
+
+// deepClone copies the whole index (legacy Clone path).
+func (ix *hashIndex) deepClone() *hashIndex {
+	cp := &hashIndex{attrs: ix.attrs}
+	for i, sh := range &ix.shards {
+		m := make(map[string][]int64, len(sh.M))
+		for k, ids := range sh.M {
+			m[k] = append([]int64(nil), ids...)
+		}
+		cp.shards[i] = &bucketShard{M: m}
 	}
 	return cp
 }
 
-func (ix *hashIndex) remove(tu *schema.Tuple) {
-	k := ix.keyOf(tu)
-	ids := ix.buckets[k]
-	for i, id := range ids {
-		if id == tu.ID {
-			ix.buckets[k] = append(ids[:i], ids[i+1:]...)
-			break
-		}
+// indexesMut returns the index registry, copying the map first when
+// a snapshot shares it. Callers hold the write lock.
+func (t *Table) indexesMut() map[string]*hashIndex {
+	return cowmap.MutMap(&t.indexes, &t.indexesShared)
+}
+
+// indexMutEntry COWs one index's header inside a privately-owned
+// registry, returning the writable index.
+func indexMutEntry(reg map[string]*hashIndex, key string, ix *hashIndex) *hashIndex {
+	if ix.shared {
+		cp := &hashIndex{attrs: ix.attrs, shards: ix.shards}
+		reg[key] = cp
+		ix = cp
 	}
-	if len(ix.buckets[k]) == 0 {
-		delete(ix.buckets, k)
+	return ix
+}
+
+// indexAddLocked maintains every index for a new row version.
+func (t *Table) indexAddLocked(tu *schema.Tuple) {
+	if len(t.indexes) == 0 {
+		return
+	}
+	reg := t.indexesMut()
+	for key, ix := range reg {
+		indexMutEntry(reg, key, ix).add(tu)
+	}
+}
+
+// indexRemoveLocked drops a row version from every index.
+func (t *Table) indexRemoveLocked(tu *schema.Tuple) {
+	if len(t.indexes) == 0 {
+		return
+	}
+	reg := t.indexesMut()
+	for key, ix := range reg {
+		indexMutEntry(reg, key, ix).remove(tu)
 	}
 }
 
@@ -253,21 +532,27 @@ func (t *Table) CreateIndex(attrs []string) error {
 	if _, ok := t.indexes[key]; ok {
 		return nil
 	}
+	if t.frozen {
+		return ErrFrozen
+	}
+	t.gen++ // index DDL is a mutation: invalidates the cached snapshot
 	sorted := append([]string(nil), attrs...)
 	sort.Strings(sorted)
-	idx := &hashIndex{attrs: sorted, buckets: make(map[string][]int64)}
+	idx := newHashIndex(sorted)
 	for _, id := range t.order {
-		idx.add(t.rows[id])
+		if tu, ok := t.row(id); ok {
+			idx.add(tu)
+		}
 	}
-	t.indexes[key] = idx
+	t.indexesMut()[key] = idx
 	return nil
 }
 
 // HasIndex reports whether an index over exactly these attributes
 // exists (order-insensitive).
 func (t *Table) HasIndex(attrs []string) bool {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.rlock()
+	defer t.runlock()
 	_, ok := t.indexes[indexKey(attrs)]
 	return ok
 }
@@ -280,7 +565,7 @@ func (t *Table) LookupEq(attrs []string, key value.List) []*schema.Tuple {
 	if len(attrs) != len(key) {
 		return nil
 	}
-	t.mu.RLock()
+	t.rlock()
 	idx, ok := t.indexes[indexKey(attrs)]
 	if ok {
 		// Project the probe into the index's canonical attribute order.
@@ -295,17 +580,17 @@ func (t *Table) LookupEq(attrs []string, key value.List) []*schema.Tuple {
 				}
 			}
 		}
-		ids := append([]int64(nil), idx.buckets[probe.Key()]...)
+		ids := idx.lookup(probe.Key())
 		out := make([]*schema.Tuple, 0, len(ids))
 		for _, id := range ids {
-			if tu, live := t.rows[id]; live {
+			if tu, live := t.row(id); live {
 				out = append(out, tu.Clone())
 			}
 		}
-		t.mu.RUnlock()
+		t.runlock()
 		return out
 	}
-	t.mu.RUnlock()
+	t.runlock()
 	return t.Select(func(tu *schema.Tuple) bool {
 		return tu.Project(attrs).Equal(key)
 	})
