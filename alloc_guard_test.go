@@ -1,0 +1,41 @@
+//go:build !race
+
+package cerfix
+
+import (
+	"testing"
+
+	"cerfix/internal/dataset"
+	"cerfix/internal/experiments"
+	"cerfix/internal/schema"
+)
+
+// TestChaseSteadyStateZeroAlloc is the allocation companion of
+// BenchmarkChaseSingle: once a Chaser's scratch buffers are warm, the
+// full Fig. 3 chase on the happy path (rule-index access, no
+// conflicts) must perform ZERO heap allocations per tuple. Guarded
+// out under the race detector, whose instrumentation allocates; the
+// finer-grained variant (live vs snapshot engines) lives in
+// internal/core's alloc suite.
+func TestChaseSteadyStateZeroAlloc(t *testing.T) {
+	eng, err := experiments.DemoEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := eng.NewChaser()
+	in := dataset.DemoInputFig3()
+	seed := schema.SetOfNames(dataset.CustSchema(), "AC", "phn", "type", "item", "zip")
+	ok := true
+	for i := 0; i < 8; i++ { // warm the scratch buffers
+		ok = ok && ch.ChaseScratch(in, seed).AllValidated()
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		ok = ok && ch.ChaseScratch(in, seed).AllValidated()
+	})
+	if !ok {
+		t.Fatal("chase incomplete")
+	}
+	if avg != 0 {
+		t.Errorf("steady-state chase allocates %v per tuple, want 0", avg)
+	}
+}

@@ -303,7 +303,13 @@ func BenchmarkSuggestionAblation(b *testing.B) {
 }
 
 // BenchmarkChaseSingle measures one chase on the Fig. 3 tuple — the
-// per-keystroke latency budget of point-of-entry cleaning.
+// per-keystroke latency budget of point-of-entry cleaning — across the
+// three executors: the compiled program with a fresh result per call
+// (Chase), the compiled program into reused scratch (ChaseScratch, the
+// batch hot path, 0 allocs/op in steady state — asserted by
+// TestChaseSteadyStateZeroAlloc and internal/core's alloc suite), and
+// the legacy round-robin loop (ChaseLegacy, the parity oracle and e10
+// baseline).
 func BenchmarkChaseSingle(b *testing.B) {
 	eng, err := experiments.DemoEngine()
 	if err != nil {
@@ -311,11 +317,30 @@ func BenchmarkChaseSingle(b *testing.B) {
 	}
 	in := dataset.DemoInputFig3()
 	seed := schema.SetOfNames(dataset.CustSchema(), "AC", "phn", "type", "item", "zip")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res := eng.Chase(in, seed)
-		if !res.AllValidated() {
-			b.Fatal("incomplete")
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !eng.Chase(in, seed).AllValidated() {
+				b.Fatal("incomplete")
+			}
 		}
-	}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		ch := eng.NewChaser()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !ch.ChaseScratch(in, seed).AllValidated() {
+				b.Fatal("incomplete")
+			}
+		}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !eng.ChaseLegacy(in, seed).AllValidated() {
+				b.Fatal("incomplete")
+			}
+		}
+	})
 }

@@ -11,15 +11,20 @@
 //	e8 — batch-repair pipeline: throughput vs worker count per access path
 //	e9 — snapshot cost: deep clone vs O(1) copy-on-write, latency and
 //	     steady-state fix throughput vs master size (writes BENCH_e9.json)
+//	e10 — compiled chase program vs legacy loop: steady-state latency
+//	     and allocs per fix at rules × master-size grid (writes
+//	     BENCH_e10.json)
 //
 // Run all with -exp all (default), or a comma-separated subset:
 //
 //	cerfixbench -exp e3,e4 -tuples 500 -noise 0.3
 //
-// e9 loads large master tables (default sizes up to 500k rows), so it
-// only runs when requested explicitly, never under -exp all:
+// e9 and e10 load large master tables (default sizes up to 500k/100k
+// rows), so they only run when requested explicitly, never under
+// -exp all:
 //
 //	cerfixbench -exp e9 -e9-sizes 10000,100000,500000 -e9-out BENCH_e9.json
+//	cerfixbench -exp e10 -e10-rules 1,8,64 -e10-sizes 10000,100000 -e10-out BENCH_e10.json
 package main
 
 import (
@@ -37,14 +42,18 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiments to run (comma-separated: e1..e9, or all = e1..e8)")
-		entities = flag.Int("entities", 200, "master entities for generated workloads")
-		tuples   = flag.Int("tuples", 400, "input tuples per generated workload")
-		noise    = flag.Float64("noise", 0.3, "cell noise rate for e3")
-		seed     = flag.Uint64("seed", 1, "workload seed")
-		e9Sizes  = flag.String("e9-sizes", "10000,100000,500000", "comma-separated master sizes for e9")
-		e9Probes = flag.Int("e9-probes", 2000, "fix probes per master size for e9")
-		e9Out    = flag.String("e9-out", "BENCH_e9.json", "JSON results file for e9 (empty = don't write)")
+		exp       = flag.String("exp", "all", "experiments to run (comma-separated: e1..e10, or all = e1..e8)")
+		entities  = flag.Int("entities", 200, "master entities for generated workloads")
+		tuples    = flag.Int("tuples", 400, "input tuples per generated workload")
+		noise     = flag.Float64("noise", 0.3, "cell noise rate for e3")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		e9Sizes   = flag.String("e9-sizes", "10000,100000,500000", "comma-separated master sizes for e9")
+		e9Probes  = flag.Int("e9-probes", 2000, "fix probes per master size for e9")
+		e9Out     = flag.String("e9-out", "BENCH_e9.json", "JSON results file for e9 (empty = don't write)")
+		e10Rules  = flag.String("e10-rules", "1,8,64", "comma-separated rule counts for e10")
+		e10Sizes  = flag.String("e10-sizes", "10000,100000", "comma-separated master sizes for e10")
+		e10Probes = flag.Int("e10-probes", 2000, "chase probes per cell for e10")
+		e10Out    = flag.String("e10-out", "BENCH_e10.json", "JSON results file for e10 (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -83,6 +92,65 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// e10 never runs under "all" either: its default grid loads
+	// 100k-row master tables.
+	if want["e10"] {
+		fmt.Println("=== E10 ===")
+		if err := runE10(*e10Rules, *e10Sizes, *e10Probes, *seed, *e10Out); err != nil {
+			fmt.Fprintf(os.Stderr, "e10: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func runE10(ruleSpec, sizeSpec string, probes int, seed uint64, outPath string) error {
+	ruleCounts, err := parseSizes(ruleSpec)
+	if err != nil {
+		return err
+	}
+	sizes, err := parseSizes(sizeSpec)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.RunE10(ruleCounts, sizes, probes, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Compiled chase program (agenda-scheduled, scratch buffers) vs legacy round-robin loop")
+	tbl := textutil.NewTextTable("rules", "master tuples", "compiled µs/fix", "legacy µs/fix", "speedup", "compiled allocs/fix", "legacy allocs/fix")
+	for _, r := range rows {
+		tbl.AddRow(fmt.Sprint(r.Rules), fmt.Sprint(r.MasterSize),
+			fmt.Sprintf("%.2f", r.CompiledNsPerFix/1000),
+			fmt.Sprintf("%.2f", r.LegacyNsPerFix/1000),
+			fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%.1f", r.CompiledAllocsPerFix),
+			fmt.Sprintf("%.1f", r.LegacyAllocsPerFix))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("(compiled and legacy chases are asserted to produce identical results before any number is reported)")
+	if outPath == "" {
+		return nil
+	}
+	doc := map[string]any{
+		"experiment":   "e10",
+		"description":  "steady-state certain-fix chase latency and heap allocations per tuple: compiled agenda-scheduled chase program (core.Chaser.ChaseScratch) vs legacy round-robin loop (core.Engine.ChaseLegacy), over rule-count x master-size grid",
+		"generated_at": time.Now().UTC().Format(time.RFC3339),
+		"rule_counts":  ruleCounts,
+		"sizes":        sizes,
+		"probes":       probes,
+		"seed":         seed,
+		"rows":         rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("results written to %s\n", outPath)
+	return nil
 }
 
 // parseSizes turns "10000,100000" into ints.

@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cerfix/internal/master"
+	"cerfix/internal/pattern"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// This file implements the compiled chase program: the engine's rule
+// set resolved ONCE into a form the per-tuple hot path can execute
+// without re-deriving anything. The legacy loop (Engine.ChaseLegacy)
+// re-resolves attribute names to indexes, rebuilds premise/target
+// AttrSets, re-projects match keys and rescans the entire rule set
+// every round; the compiled program precomputes all of it per engine
+// and replaces the O(rounds × |rules|) rescan with an agenda
+// scheduler driven by an attr→dependent-rules index, so a round only
+// touches rules whose premise actually became satisfiable. Results
+// are byte-identical to the legacy loop — same changes in the same
+// order with the same Round stamps, same conflicts, same Rounds —
+// which the parity suite (parity_test.go and the pipeline artifact
+// tests) pins. See ARCHITECTURE.md, "The compiled chase program".
+
+// chaseProgram is the store-independent compiled form of one
+// (input schema, rule set) pair. It is built once in NewEngine and
+// shared by every snapshot of the engine (snapshots share the schema
+// and the immutable-after-publish rule set, so the compile stays
+// valid). Store-dependent state — the master lookup handles — binds
+// per Chaser, since each engine view carries its own store.
+type chaseProgram struct {
+	input *schema.Schema
+	rules []compiledRule
+	// deps[a] lists the indices of rules whose premise contains input
+	// attribute position a — the agenda's dependency index: when a is
+	// newly validated, exactly these rules move closer to readiness.
+	deps [][]int32
+	// words is the rule-bitset width in uint64 words (≥ 1).
+	words int
+}
+
+// compiledRule is one rule with every name resolved and every derived
+// set precomputed.
+type compiledRule struct {
+	src *rule.Rule
+	id  string
+	// premise is X ∪ Xp; targets is B (both resolved bitsets).
+	premise, targets schema.AttrSet
+	// matchInputPos are the input positions of X in rule order — the
+	// probe key's projection, encoded without materialization.
+	matchInputPos []int
+	// targetInputPos are the input positions of B in rule order.
+	targetInputPos []int
+	// conds is the compiled pattern: per condition, the input position
+	// and domain are pre-resolved so a match is a slice walk.
+	conds []compiledCond
+	// matchInputAttrs/matchMasterAttrs/rhsMasterAttrs are the rule's
+	// attribute lists, captured once (the rule methods allocate fresh
+	// slices per call). The master lists feed handle resolution and
+	// the slow-path lookup; the input list feeds conflict details.
+	matchInputAttrs  []string
+	matchMasterAttrs []string
+	rhsMasterAttrs   []string
+	// handleKey is the (Xm, Bm) registry key, canonicalized once so
+	// binding a Chaser (one handle per rule — Engine.Chase builds a
+	// fresh Chaser per call) skips the per-handle string build.
+	handleKey string
+}
+
+// compiledCond is one pattern condition with its attribute resolved.
+type compiledCond struct {
+	pos  int
+	dom  value.Domain
+	cond pattern.Condition
+}
+
+// matches reports whether the tuple satisfies the compiled pattern.
+func (r *compiledRule) matches(t *schema.Tuple) bool {
+	for i := range r.conds {
+		c := &r.conds[i]
+		if !c.cond.Matches(t.Vals[c.pos], c.dom) {
+			return false
+		}
+	}
+	return true
+}
+
+// compileProgram resolves the rule set against the input schema. The
+// rules must already be validated (NewEngine runs Set.Validate
+// first), so every attribute resolves.
+func compileProgram(input *schema.Schema, rules []*rule.Rule) *chaseProgram {
+	p := &chaseProgram{
+		input: input,
+		rules: make([]compiledRule, len(rules)),
+		deps:  make([][]int32, input.Len()),
+		words: (len(rules) + 63) / 64,
+	}
+	if p.words == 0 {
+		p.words = 1
+	}
+	for i, r := range rules {
+		cr := &p.rules[i]
+		cr.src = r
+		cr.id = r.ID
+		cr.premise = r.PremiseAttrs(input)
+		cr.targets = r.TargetAttrs(input)
+		cr.matchInputAttrs = r.MatchInputAttrs()
+		cr.matchMasterAttrs = r.MatchMasterAttrs()
+		cr.rhsMasterAttrs = r.SetMasterAttrs()
+		cr.handleKey = master.HandleKey(cr.matchMasterAttrs, cr.rhsMasterAttrs)
+		cr.matchInputPos = make([]int, len(cr.matchInputAttrs))
+		for j, a := range cr.matchInputAttrs {
+			cr.matchInputPos[j] = input.MustIndex(a)
+		}
+		cr.targetInputPos = make([]int, len(r.Set))
+		for j, c := range r.Set {
+			cr.targetInputPos[j] = input.MustIndex(c.Input)
+		}
+		cr.conds = make([]compiledCond, len(r.When.Conds))
+		for j, cond := range r.When.Conds {
+			pos := input.MustIndex(cond.Attr)
+			cr.conds[j] = compiledCond{pos: pos, dom: input.Attr(pos).Domain, cond: cond}
+		}
+		for _, a := range cr.premise.Positions() {
+			p.deps[a] = append(p.deps[a], int32(i))
+		}
+	}
+	return p
+}
+
+// Chaser executes the compiled chase program against one engine view,
+// reusing all scratch state (ready bitsets, missing-premise counters,
+// the key-encode buffer and — via ChaseScratch — the result itself)
+// across calls, so tight fixing loops run
+// allocation-free per tuple in steady state. A Chaser is NOT safe for
+// concurrent use — create one per goroutine; the batch pipeline gives
+// each worker its own. The engine's rules and master data must not be
+// mutated while chases run (snapshot the engine first when mutation
+// is possible — see Engine.Snapshot).
+type Chaser struct {
+	eng  *Engine
+	prog *chaseProgram
+	// handles are the per-rule master lookup handles, index-aligned
+	// with prog.rules (a value slice: one allocation per Chaser, not
+	// one per rule). On frozen stores each handle holds the resolved
+	// rule index; on live stores it holds the prebuilt registry key.
+	handles []master.RuleHandle
+
+	// Agenda scratch, sized to the rule set. No conflict-dedup state
+	// is needed: the legacy loop dedups MasterAmbiguous per rule and
+	// ValidatedContradiction per (rule, target) because it rescans
+	// every rule every round, but the agenda evaluates each rule at
+	// most once per chase (see run), so duplicates are impossible by
+	// construction.
+	missing   []int32  // unvalidated premise attrs per rule
+	cur, next []uint64 // this round's / next round's ready bitsets
+
+	// keyBuf is the probe key-encode scratch.
+	keyBuf []byte
+
+	// ChaseScratch's reusable result (tuple values, change/conflict
+	// slices keep their capacity across calls).
+	scratchRes   ChaseResult
+	scratchTuple schema.Tuple
+}
+
+// NewChaser builds a reusable single-goroutine chase runner bound to
+// the engine's compiled program and its master view.
+func (e *Engine) NewChaser() *Chaser {
+	p := e.prog
+	c := &Chaser{
+		eng:     e,
+		prog:    p,
+		handles: make([]master.RuleHandle, len(p.rules)),
+		missing: make([]int32, len(p.rules)),
+		cur:     make([]uint64, p.words),
+		next:    make([]uint64, p.words),
+	}
+	for i := range p.rules {
+		c.handles[i] = e.store.HandleByKey(p.rules[i].handleKey)
+	}
+	return c
+}
+
+// Chase runs the compiled chase on a copy of t, starting from the
+// validated attribute set. The result is freshly allocated and safe
+// to retain (the pipeline's resequencing window holds many at once);
+// use ChaseScratch when the result is consumed before the next call.
+// Results are byte-identical to Engine.ChaseLegacy.
+func (c *Chaser) Chase(t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
+	res := &ChaseResult{Tuple: t.Clone(), Validated: validated}
+	c.run(res)
+	return res
+}
+
+// ChaseScratch is Chase into the Chaser's reusable result: the
+// returned ChaseResult — its tuple, changes and conflicts included —
+// is valid only until the next call on this Chaser. In steady state
+// (buffers warmed, rule-index access path, no conflicts) a call
+// performs zero heap allocations; the benchmark suite asserts this.
+func (c *Chaser) ChaseScratch(t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
+	if cap(c.scratchTuple.Vals) < len(t.Vals) {
+		c.scratchTuple.Vals = make(value.List, len(t.Vals))
+	}
+	c.scratchTuple.Vals = c.scratchTuple.Vals[:len(t.Vals)]
+	copy(c.scratchTuple.Vals, t.Vals)
+	c.scratchTuple.Schema = t.Schema
+	c.scratchTuple.ID = t.ID
+	res := &c.scratchRes
+	res.Tuple = &c.scratchTuple
+	res.Validated = validated
+	res.Changes = res.Changes[:0]
+	res.Conflicts = res.Conflicts[:0]
+	res.Rounds = 0
+	c.run(res)
+	return res
+}
+
+// run executes the agenda loop. The scheduling reproduces the legacy
+// round-robin scan exactly:
+//
+//   - a rule is evaluated at most once per chase, at the first moment
+//     its premise X ∪ Xp is fully validated. Premise attributes are
+//     immutable once validated, so a premise-satisfied rule's pattern
+//     and master lookup outcomes are fixed from that moment on, and
+//     re-scanning it (as the legacy loop does every round) can never
+//     produce anything new — the single evaluation is exhaustive;
+//   - within a round, ready rules evaluate in rule-set order. A rule
+//     made ready by a firing at position p joins the CURRENT round if
+//     its position follows p (the legacy scan would still reach it)
+//     and the NEXT round otherwise;
+//   - the round counter advances exactly when the legacy pass flag
+//     would: a round with no productive evaluation is terminal.
+func (c *Chaser) run(res *ChaseResult) {
+	p := c.prog
+	for i := range c.cur {
+		c.cur[i], c.next[i] = 0, 0
+	}
+	// Seed: per-rule missing-premise counts under the initial
+	// validated set; rules already satisfied form round 1's agenda.
+	for i := range p.rules {
+		miss := int32(p.rules[i].premise.Minus(res.Validated).Count())
+		c.missing[i] = miss
+		if miss == 0 {
+			c.cur[i>>6] |= 1 << uint(i&63)
+		}
+	}
+	round := 1
+	for {
+		progressed := false
+		for w := 0; w < len(c.cur); w++ {
+			for c.cur[w] != 0 {
+				b := bits.TrailingZeros64(c.cur[w])
+				c.cur[w] &^= 1 << uint(b)
+				// Firings enqueue later-positioned rules into cur, so
+				// re-reading cur[w] (and continuing to later words)
+				// picks them up within this round, in position order.
+				if c.evaluate(w<<6|b, round, res) {
+					progressed = true
+				}
+			}
+		}
+		res.Rounds = round
+		if !progressed {
+			return
+		}
+		round++
+		// cur is fully drained (all zeros): swap in the next round's
+		// agenda and reuse cur's storage for the round after.
+		c.cur, c.next = c.next, c.cur
+	}
+}
+
+// evaluate applies rule ri (premise known satisfied), returning
+// whether it made progress. Single master lookup per evaluation: the
+// same probe serves fixing, the contradiction sweep over validated
+// targets and ambiguity detection.
+func (c *Chaser) evaluate(ri, round int, res *ChaseResult) bool {
+	cr := &c.prog.rules[ri]
+	if !cr.matches(res.Tuple) {
+		return false
+	}
+	rhs, witness, status := c.lookup(ri, cr, res.Tuple)
+	switch status {
+	case master.NoMatch:
+		return false
+	case master.Conflict:
+		// When every target is already validated the rule has nothing
+		// left to fix and the ambiguity is moot — the legacy loop
+		// skips silently (its all-validated short-circuit), so the
+		// compiled path must too.
+		if res.Validated.ContainsAll(cr.targets) {
+			return false
+		}
+		res.Conflicts = append(res.Conflicts, Conflict{
+			Kind:   MasterAmbiguous,
+			RuleID: cr.id,
+			Detail: fmt.Sprintf("key %v on %v", res.Tuple.Project(cr.matchInputAttrs).Strings(), cr.matchMasterAttrs),
+		})
+		return false
+	}
+	progressed := false
+	for i, bi := range cr.targetInputPos {
+		want := rhs[i]
+		have := res.Tuple.Vals[bi]
+		if res.Validated.Has(bi) {
+			if have != want {
+				res.Conflicts = append(res.Conflicts, Conflict{
+					Kind:     ValidatedContradiction,
+					RuleID:   cr.id,
+					Attr:     cr.src.Set[i].Input,
+					Have:     have,
+					Want:     want,
+					MasterID: witness,
+				})
+			}
+			continue
+		}
+		res.Tuple.Vals[bi] = want
+		res.Validated = res.Validated.With(bi)
+		res.Changes = append(res.Changes, Change{
+			Attr:     cr.src.Set[i].Input,
+			Old:      have,
+			New:      want,
+			Source:   SourceRule,
+			RuleID:   cr.id,
+			MasterID: witness,
+			Round:    round,
+		})
+		progressed = true
+		// Agenda maintenance: bi just went unvalidated → validated, so
+		// every rule with bi in its premise moves one attribute closer
+		// to readiness. (Already-evaluated rules can't appear here:
+		// their premises were fully validated, bi wasn't.)
+		for _, rj := range c.prog.deps[bi] {
+			c.missing[rj]--
+			if c.missing[rj] == 0 {
+				if int(rj) > ri {
+					c.cur[rj>>6] |= 1 << uint(rj&63)
+				} else {
+					c.next[rj>>6] |= 1 << uint(rj&63)
+				}
+			}
+		}
+	}
+	return progressed
+}
+
+// lookup performs the rule's unique-RHS probe. On the rule-index
+// access path the key encodes into the Chaser's scratch buffer and
+// the pre-resolved handle answers in O(1) with no allocation; other
+// modes (and unregistered ad-hoc pairs) take the store's general
+// path, byte-identical to the legacy engine's.
+func (c *Chaser) lookup(ri int, cr *compiledRule, t *schema.Tuple) (value.List, int64, master.LookupStatus) {
+	if c.eng.store.Mode() == master.ModeRuleIndex {
+		c.keyBuf = t.AppendKeyAt(c.keyBuf[:0], cr.matchInputPos)
+		if rhs, witness, status, ok := c.handles[ri].Lookup(c.keyBuf); ok {
+			return rhs, witness, status
+		}
+	}
+	return c.eng.store.UniqueRHS(cr.matchMasterAttrs, t.ProjectAt(cr.matchInputPos), cr.rhsMasterAttrs)
+}

@@ -413,22 +413,29 @@ func (e *Engine) checkOrderIndependence(rep *ConsistencyReport, o ConsistencyOpt
 	// rule premise (the states the monitor actually passes through).
 	seeds := e.probeSeeds(rules)
 	orders := e.probeOrders(rules, o.ProbeOrders, rng)
+	// One engine (and compiled program) per order, hoisted out of the
+	// probe × seed sweep; each gets a reusable chaser for the probes.
+	chasers := make([]*Chaser, len(orders))
+	names := make([]string, len(orders))
+	for i, ord := range orders {
+		chasers[i] = e.reordered(ord).NewChaser()
+		names[i] = orderName(ord)
+	}
 	for _, probe := range probes {
 		for _, seed := range seeds {
 			var baseline *ChaseResult
 			var baselineOrder string
-			for _, ord := range orders {
-				eng := e.reordered(ord)
-				res := eng.Chase(probe, seed)
+			for oi := range orders {
+				res := chasers[oi].Chase(probe, seed)
 				rep.ProbesRun++
 				if baseline == nil {
-					baseline, baselineOrder = res, orderName(ord)
+					baseline, baselineOrder = res, names[oi]
 					continue
 				}
 				if !res.Tuple.Equal(baseline.Tuple) || res.Validated != baseline.Validated {
 					rep.Issues = append(rep.Issues, Issue{
 						Kind:  IssueOrderDependence,
-						RuleA: orderName(ord),
+						RuleA: names[oi],
 						RuleB: baselineOrder,
 						Detail: fmt.Sprintf("probe %v seeded %s: orders disagree (%v vs %v)",
 							probe.Vals.Strings(), seed.Format(e.input),
@@ -582,5 +589,7 @@ func orderName(rules []*rule.Rule) string {
 // indexes are already in place).
 func (e *Engine) reordered(order []*rule.Rule) *Engine {
 	rs := rule.MustSet(order...)
-	return &Engine{input: e.input, rules: rs, store: e.store}
+	// Recompile: the chase program bakes in rule order (the agenda's
+	// firing-order guarantee), which is exactly what probing varies.
+	return &Engine{input: e.input, rules: rs, store: e.store, prog: compileProgram(e.input, rs.Rules())}
 }

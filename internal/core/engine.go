@@ -128,15 +128,22 @@ type Engine struct {
 	input *schema.Schema
 	rules *rule.Set
 	store *master.Store
+	// prog is the compiled chase program: the rule set resolved once
+	// into index form (see compile.go). Compiled in NewEngine and
+	// shared by snapshots — it depends only on the schema and the
+	// immutable-after-publish rule set, never on master data.
+	prog *chaseProgram
 }
 
 // NewEngine validates the rule set against both schemas, builds master
-// indexes for every rule, and returns the engine.
+// indexes for every rule, compiles the chase program, and returns the
+// engine.
 //
 // The engine treats the rule set as immutable after publication: to
 // change rules, build a new set (rule.Set.Clone + Add/Remove) and a
 // new engine around it, as cerfix.System does. This discipline is
-// what lets Snapshot share the set instead of copying it.
+// what lets Snapshot share the set — and the compiled program —
+// instead of recomputing them.
 func NewEngine(input *schema.Schema, rules *rule.Set, store *master.Store) (*Engine, error) {
 	if err := rules.Validate(input, store.Schema()); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -144,7 +151,12 @@ func NewEngine(input *schema.Schema, rules *rule.Set, store *master.Store) (*Eng
 	if err := store.PrepareForRules(rules); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Engine{input: input, rules: rules, store: store}, nil
+	return &Engine{
+		input: input,
+		rules: rules,
+		store: store,
+		prog:  compileProgram(input, rules.Rules()),
+	}, nil
 }
 
 // Snapshot returns a frozen O(1) view of the engine that any number
@@ -155,15 +167,23 @@ func NewEngine(input *schema.Schema, rules *rule.Set, store *master.Store) (*Eng
 // under the immutable-after-publish discipline, so the call needs no
 // external serialization and its cost is independent of master size.
 func (e *Engine) Snapshot() *Engine {
-	return &Engine{input: e.input, rules: e.rules, store: e.store.Snapshot()}
+	return &Engine{input: e.input, rules: e.rules, store: e.store.Snapshot(), prog: e.prog}
 }
 
 // SnapshotDeep is the legacy deep-clone snapshot — cloned rule set
 // plus a deep-copied master store, O(master size). Retained as the
 // benchmark baseline for Snapshot (cerfixbench e9) and for callers
-// that need a mutable private copy of the whole engine state.
+// that need a private copy of the whole engine state, e.g. to mutate
+// the cloned MASTER data without affecting the original.
+//
+// The chase program is recompiled from the cloned set so the clone
+// shares no rule objects with the original. The immutable-after-
+// publish discipline still applies per engine: as everywhere, adding
+// or removing rules afterwards means building a new engine around a
+// new set (NewEngine), as cerfix.System does.
 func (e *Engine) SnapshotDeep() *Engine {
-	return &Engine{input: e.input, rules: e.rules.Clone(), store: e.store.CloneDeep()}
+	rs := e.rules.Clone()
+	return &Engine{input: e.input, rules: rs, store: e.store.CloneDeep(), prog: compileProgram(e.input, rs.Rules())}
 }
 
 // InputSchema returns the input relation's schema.
@@ -208,8 +228,7 @@ func (r *ChaseResult) Rewrites() []Change {
 }
 
 // Chase runs the fixing procedure on a copy of t, starting from the
-// validated attribute set. Semantics per rule, scanned in set order
-// each round:
+// validated attribute set. Semantics per rule, in rule-set order:
 //
 //  1. the premise X ∪ Xp must be validated;
 //  2. the pattern tp must match the current tuple;
@@ -225,44 +244,30 @@ func (r *ChaseResult) Rewrites() []Change {
 // value. Because each productive application validates at least one
 // previously-unvalidated attribute, the chase terminates within
 // |attrs| + 1 rounds.
+//
+// Chase executes the engine's compiled program with agenda scheduling
+// (see compile.go); results are byte-identical to the legacy
+// round-robin loop, which ChaseLegacy retains as the parity oracle
+// and benchmark baseline.
 func (e *Engine) Chase(t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
 	return e.NewChaser().Chase(t, validated)
 }
 
-// Chaser runs repeated chases against one engine, reusing scratch
-// state (the rule snapshot and conflict-dedup sets) across calls so
-// tight fixing loops don't reallocate per tuple. A Chaser is NOT safe
-// for concurrent use — create one per goroutine; the batch pipeline
-// gives each worker its own. The engine's rules and master data must
-// not be mutated while chases run (snapshot the engine first when
-// mutation is possible — see Engine.Snapshot).
-type Chaser struct {
-	eng                   *Engine
-	rules                 []*rule.Rule
-	reportedAmbiguous     map[string]bool
-	reportedContradiction map[string]bool
-}
-
-// NewChaser builds a reusable single-goroutine chase runner.
-func (e *Engine) NewChaser() *Chaser {
-	return &Chaser{
-		eng:                   e,
-		rules:                 e.rules.Rules(),
-		reportedAmbiguous:     make(map[string]bool),
-		reportedContradiction: make(map[string]bool),
-	}
-}
-
-// Chase is Engine.Chase with reused scratch state; results are
-// identical to the sequential engine path.
-func (c *Chaser) Chase(t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
-	clear(c.reportedAmbiguous)
-	clear(c.reportedContradiction)
+// ChaseLegacy is the original chase executor: every round rescans the
+// entire rule set in order, re-resolving attribute names, premise and
+// target sets and projection keys per application. Retained as the
+// benchmark baseline for the compiled program (cerfixbench e10) and
+// as the oracle of the compiled/legacy parity suite — it is the
+// reference semantics the compiled path must reproduce byte for byte.
+func (e *Engine) ChaseLegacy(t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
 	res := &ChaseResult{Tuple: t.Clone(), Validated: validated}
+	rules := e.rules.Rules()
+	reportedAmbiguous := make(map[string]bool)
+	reportedContradiction := make(map[string]bool)
 	for round := 1; ; round++ {
 		progressed := false
-		for _, r := range c.rules {
-			if c.eng.applyRule(r, res, round, c.reportedAmbiguous, c.reportedContradiction) {
+		for _, r := range rules {
+			if e.applyRule(r, res, round, reportedAmbiguous, reportedContradiction) {
 				progressed = true
 			}
 		}
@@ -273,18 +278,17 @@ func (c *Chaser) Chase(t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
 	}
 }
 
-// applyRule attempts one rule application, returning whether it made
-// progress (validated a new attribute or rewrote a value).
+// applyRule attempts one rule application (the legacy executor's
+// inner step), returning whether it made progress (validated a new
+// attribute or rewrote a value). One master lookup serves fixing, the
+// contradiction sweep over already-validated targets, and ambiguity
+// detection.
 func (e *Engine) applyRule(r *rule.Rule, res *ChaseResult, round int,
 	reportedAmbiguous, reportedContradiction map[string]bool) bool {
 
 	premise := r.PremiseAttrs(e.input)
 	if !res.Validated.ContainsAll(premise) {
 		return false
-	}
-	targets := r.TargetAttrs(e.input)
-	if res.Validated.ContainsAll(targets) && !e.anyTargetDiffers(r, res) {
-		return false // nothing left for this rule to do
 	}
 	if !r.When.Matches(res.Tuple) {
 		return false
@@ -294,6 +298,11 @@ func (e *Engine) applyRule(r *rule.Rule, res *ChaseResult, round int,
 	case master.NoMatch:
 		return false
 	case master.Conflict:
+		// With every target already validated the rule has nothing
+		// left to fix and the ambiguity is moot: skip silently.
+		if res.Validated.ContainsAll(r.TargetAttrs(e.input)) {
+			return false
+		}
 		if !reportedAmbiguous[r.ID] {
 			reportedAmbiguous[r.ID] = true
 			res.Conflicts = append(res.Conflicts, Conflict{
@@ -341,23 +350,4 @@ func (e *Engine) applyRule(r *rule.Rule, res *ChaseResult, round int,
 		progressed = true
 	}
 	return progressed
-}
-
-// anyTargetDiffers reports whether some already-validated target value
-// might still disagree with master (needed so contradictions surface
-// even when every target is validated).
-func (e *Engine) anyTargetDiffers(r *rule.Rule, res *ChaseResult) bool {
-	if !r.When.Matches(res.Tuple) {
-		return false
-	}
-	rhs, _, status := e.store.UniqueRHSForRule(r, res.Tuple)
-	if status != master.Unique {
-		return false
-	}
-	for i, corr := range r.Set {
-		if res.Tuple.Get(corr.Input) != rhs[i] {
-			return true
-		}
-	}
-	return false
 }

@@ -916,3 +916,152 @@ func RunE9(sizes []int, probes int, seed uint64) ([]E9Row, error) {
 	}
 	return rows, nil
 }
+
+// --- E10: compiled chase program vs legacy loop ------------------------
+
+// E10Row is one (rule count × master size) cell comparing the compiled
+// agenda-scheduled chase (core.Chaser.ChaseScratch — the zero-alloc
+// executor for consume-before-next-call loops; pipeline workers use
+// Chaser.Chase, which allocates the results their resequencing window
+// retains but shares every other compiled-path win) with the legacy
+// round-robin loop (core.Engine.ChaseLegacy).
+// The acceptance claims of the compiled-program rework read directly
+// off the row: Speedup grows with the rule count (the agenda touches
+// only ready rules where the legacy loop rescans the whole set every
+// round), stays ≥ ~1 at one rule (the compile adds no per-tuple cost),
+// and CompiledAllocsPerFix is 0 in steady state while the legacy loop
+// pays per-call maps, slices and key strings.
+type E10Row struct {
+	// Rules is the rule-set size of this cell.
+	Rules int `json:"rules"`
+	// MasterSize is the number of master tuples.
+	MasterSize int `json:"master_size"`
+	// CompiledNsPerFix and LegacyNsPerFix are steady-state wall times
+	// per chase (ns) over the same input tuples and validated seed.
+	CompiledNsPerFix float64 `json:"compiled_ns_per_fix"`
+	LegacyNsPerFix   float64 `json:"legacy_ns_per_fix"`
+	// Speedup is LegacyNsPerFix / CompiledNsPerFix.
+	Speedup float64 `json:"speedup"`
+	// CompiledAllocsPerFix and LegacyAllocsPerFix are mean heap
+	// allocations per chase (runtime mallocs delta / probes).
+	CompiledAllocsPerFix float64 `json:"compiled_allocs_per_fix"`
+	LegacyAllocsPerFix   float64 `json:"legacy_allocs_per_fix"`
+}
+
+// ruleSetOfSize builds a rule set with exactly n rules by cycling the
+// demo rules with fresh IDs (clones are semantically idempotent, so
+// extra copies add scan cost — the quantity under test — without
+// changing any fix).
+func ruleSetOfSize(n int) (*rule.Set, error) {
+	base := dataset.DemoRules().Rules()
+	out, err := rule.NewSet()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		cp := base[i%len(base)].Clone()
+		if i >= len(base) {
+			cp.ID = fmt.Sprintf("%s_c%d", cp.ID, i/len(base))
+		}
+		if err := out.Add(cp); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// chaseResultsAgree deep-compares a compiled and a legacy chase result.
+func chaseResultsAgree(a, b *core.ChaseResult) bool {
+	if !a.Tuple.Equal(b.Tuple) || a.Validated != b.Validated ||
+		a.Rounds != b.Rounds ||
+		len(a.Changes) != len(b.Changes) || len(a.Conflicts) != len(b.Conflicts) {
+		return false
+	}
+	for i := range a.Changes {
+		if a.Changes[i] != b.Changes[i] {
+			return false
+		}
+	}
+	for i := range a.Conflicts {
+		if a.Conflicts[i] != b.Conflicts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mallocs reads the cumulative heap-allocation count.
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// RunE10 sweeps rule counts × master sizes, measuring steady-state
+// chase latency and allocations for the compiled program and the
+// legacy loop, asserting on the fly that the two produce identical
+// results (a latency number for a wrong answer would be worthless).
+// Inputs are clean tuples with {zip, phn, type, item} pre-validated,
+// so every chase does productive work (validating the remaining
+// attributes against master) on the conflict-free happy path the
+// zero-alloc contract covers.
+func RunE10(ruleCounts, sizes []int, probes int, seed uint64) ([]E10Row, error) {
+	seedSet := schema.SetOfNames(dataset.CustSchema(), "zip", "phn", "type", "item")
+	var rows []E10Row
+	for _, size := range sizes {
+		g := dataset.NewCustomerGen(seed)
+		entities := g.GenerateEntities(size)
+		st, err := dataset.MasterStore(entities)
+		if err != nil {
+			return nil, err
+		}
+		inputs := make([]*schema.Tuple, probes)
+		for i := range inputs {
+			inputs[i] = g.CleanInput(entities[i%size])
+		}
+		for _, nRules := range ruleCounts {
+			rs, err := ruleSetOfSize(nRules)
+			if err != nil {
+				return nil, err
+			}
+			eng, err := core.NewEngine(dataset.CustSchema(), rs, st)
+			if err != nil {
+				return nil, err
+			}
+			ch := eng.NewChaser()
+			// Parity gate + scratch warm-up: EVERY probe must agree
+			// before either path is timed (the printed claim promises
+			// full verification, not a sampled prefix).
+			for _, tu := range inputs {
+				if !chaseResultsAgree(ch.ChaseScratch(tu, seedSet), eng.ChaseLegacy(tu, seedSet)) {
+					return nil, fmt.Errorf("e10: compiled and legacy chases disagree at %d rules, size %d", nRules, size)
+				}
+			}
+			row := E10Row{Rules: nRules, MasterSize: size}
+
+			runtime.GC()
+			m0 := mallocs()
+			start := time.Now()
+			for _, tu := range inputs {
+				ch.ChaseScratch(tu, seedSet)
+			}
+			row.CompiledNsPerFix = float64(time.Since(start).Nanoseconds()) / float64(len(inputs))
+			row.CompiledAllocsPerFix = float64(mallocs()-m0) / float64(len(inputs))
+
+			runtime.GC()
+			m0 = mallocs()
+			start = time.Now()
+			for _, tu := range inputs {
+				eng.ChaseLegacy(tu, seedSet)
+			}
+			row.LegacyNsPerFix = float64(time.Since(start).Nanoseconds()) / float64(len(inputs))
+			row.LegacyAllocsPerFix = float64(mallocs()-m0) / float64(len(inputs))
+
+			if row.CompiledNsPerFix > 0 {
+				row.Speedup = row.LegacyNsPerFix / row.CompiledNsPerFix
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

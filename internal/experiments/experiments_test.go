@@ -372,3 +372,50 @@ func TestRunE9Shape(t *testing.T) {
 		}
 	}
 }
+
+func TestRunE10Shape(t *testing.T) {
+	ruleCounts := []int{1, 8}
+	sizes := []int{500}
+	rows, err := RunE10(ruleCounts, sizes, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ruleCounts)*len(sizes) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(ruleCounts)*len(sizes))
+	}
+	for i, r := range rows {
+		if r.Rules != ruleCounts[i%len(ruleCounts)] || r.MasterSize != sizes[i/len(ruleCounts)] {
+			t.Fatalf("row %d is cell (%d rules, %d size), want (%d, %d)",
+				i, r.Rules, r.MasterSize, ruleCounts[i%len(ruleCounts)], sizes[i/len(ruleCounts)])
+		}
+		if r.CompiledNsPerFix <= 0 || r.LegacyNsPerFix <= 0 || r.Speedup <= 0 {
+			t.Fatalf("row %d has unpopulated measurements: %+v", i, r)
+		}
+		// The legacy loop allocates per call (result clone, dedup maps,
+		// key strings); the compiled scratch path must allocate far
+		// less. The strict 0 steady-state claim is pinned by the alloc
+		// suite — here a loose bound keeps the shape test robust on
+		// noisy CI machines.
+		if r.LegacyAllocsPerFix < 10 {
+			t.Fatalf("rules=%d: legacy allocs/fix = %.1f, expected the allocating baseline", r.Rules, r.LegacyAllocsPerFix)
+		}
+		if r.CompiledAllocsPerFix > r.LegacyAllocsPerFix/4 {
+			t.Fatalf("rules=%d: compiled allocs/fix %.1f not clearly below legacy %.1f",
+				r.Rules, r.CompiledAllocsPerFix, r.LegacyAllocsPerFix)
+		}
+	}
+}
+
+// ruleSetOfSize must produce exactly n valid rules whose extra copies
+// are idempotent clones (same fixes as the base prefix).
+func TestRuleSetOfSize(t *testing.T) {
+	for _, n := range []int{1, 9, 10, 64} {
+		rs, err := ruleSetOfSize(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs.Len() != n {
+			t.Fatalf("ruleSetOfSize(%d) has %d rules", n, rs.Len())
+		}
+	}
+}

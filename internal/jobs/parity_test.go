@@ -1,0 +1,69 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"cerfix/internal/core"
+	"cerfix/internal/dataset"
+	"cerfix/internal/pipeline"
+	"cerfix/internal/schema"
+)
+
+// legacyArtifact renders the results.jsonl the LEGACY chase loop
+// implies for the tuples: the compiled/legacy parity contract applied
+// to pipeline artifacts (every job runs through pipeline workers,
+// whose chasers execute the compiled program).
+func legacyArtifact(t *testing.T, eng *core.Engine, tuples []*schema.Tuple, validated []string) [][]byte {
+	t.Helper()
+	sch := dataset.CustSchema()
+	seed := schema.SetOfNames(sch, validated...)
+	var lines [][]byte
+	for i, tu := range tuples {
+		res := eng.ChaseLegacy(tu, seed)
+		rec := NewTupleResult(sch, &pipeline.Result{Seq: i, Input: tu, Fixed: res.Tuple, Chase: res})
+		data, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, data)
+	}
+	return lines
+}
+
+// TestCompiledLegacyArtifactParity proves the compiled agenda chase
+// and the legacy loop agree byte for byte on pipeline artifacts: a
+// real job's results.jsonl (compiled chasers in pipeline workers)
+// equals the artifact rendered from Engine.ChaseLegacy, line by line.
+func TestCompiledLegacyArtifactParity(t *testing.T) {
+	eng, dirty, validated := testWorkload(t, 30, 80)
+	m, err := Open(Config{Dir: t.TempDir(), Schema: dataset.CustSchema(), Snapshot: eng.Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	spec := make([]map[string]string, len(dirty))
+	for i, tu := range dirty {
+		spec[i] = tu.Map()
+	}
+	j, err := m.SubmitInline(validated, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, StateDone)
+	path, err := m.ResultsPath(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readArtifact(t, path)
+	want := legacyArtifact(t, eng, dirty, validated)
+	if len(got) != len(want) {
+		t.Fatalf("artifact has %d lines, legacy reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("line %d differs from the legacy chase:\ncompiled: %s\nlegacy:   %s", i, got[i], want[i])
+		}
+	}
+}

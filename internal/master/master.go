@@ -262,10 +262,29 @@ func (m *Store) Lookup(attrs []string, key value.List) []*schema.Tuple {
 	if m.Mode() != ModeScan {
 		return m.table.LookupEq(attrs, key)
 	}
-	// Forced-scan path: bypass any index by predicate selection.
-	return m.table.Select(func(tu *schema.Tuple) bool {
-		return tu.Project(attrs).Equal(key)
+	// Forced-scan path: bypass any index. Attribute positions are
+	// resolved once up front and every row compares in place over the
+	// shared-scan iterator, so the per-row cost is a few value
+	// comparisons — not a tuple clone plus a projection allocation.
+	if len(attrs) != len(key) {
+		return nil
+	}
+	sch := m.table.Schema()
+	positions := make([]int, len(attrs))
+	for i, a := range attrs {
+		positions[i] = sch.MustIndex(a)
+	}
+	var out []*schema.Tuple
+	m.table.ScanShared(func(tu *schema.Tuple) bool {
+		for i, p := range positions {
+			if tu.Vals[p] != key[i] {
+				return true
+			}
+		}
+		out = append(out, tu.Clone())
+		return true
 	})
+	return out
 }
 
 // UniqueRHS performs the certain-fix lookup for one rule application:

@@ -83,8 +83,14 @@ const entryShardCount = 64
 // for the shared/copy-on-write discipline).
 type entryShard = cowmap.Shard[string, *rhsEntry]
 
-// entryShardOf routes a probe key to its shard.
+// entryShardOf routes a probe key to its shard. entryShardOfBytes is
+// its byte-slice sibling and MUST agree with it byte for byte:
+// indexes are built with string keys and probed with scratch-encoded
+// []byte keys, so divergent routing would silently read the wrong
+// shard (NoMatch for a present key).
 func entryShardOf(k string) int { return cowmap.FNV(k, entryShardCount) }
+
+func entryShardOfBytes(k []byte) int { return cowmap.FNVBytes(k, entryShardCount) }
 
 // ruleIndex holds one (Xm, Bm) unique-RHS map. The header follows the
 // shared/copy-on-write discipline: once a snapshot references it, the
@@ -130,6 +136,14 @@ func (ix *ruleIndex) add(s *schema.Tuple) {
 // get answers one probe (nil when the key is absent).
 func (ix *ruleIndex) get(k string) *rhsEntry {
 	return ix.shards[entryShardOf(k)].M[k]
+}
+
+// getBytes is get for a scratch-encoded key. The string conversion in
+// the map index expression does not allocate (compiler-recognized
+// pattern), so a probe against a reused []byte buffer is
+// allocation-free.
+func (ix *ruleIndex) getBytes(k []byte) *rhsEntry {
+	return ix.shards[entryShardOfBytes(k)].M[string(k)]
 }
 
 // ruleIndexKey canonicalizes the (Xm, Bm) pair.
@@ -232,7 +246,83 @@ func (ri *ruleIndexes) lookup(matchAttrs []string, key value.List, rhsAttrs []st
 	if !ok {
 		return nil, 0, NoMatch, false
 	}
-	e := ix.get(key.Key())
+	return entryResult(ix.get(key.Key()))
+}
+
+// RuleHandle is a pre-resolved unique-RHS lookup handle for one
+// (Xm, Bm) pair — the compiled chase's direct line to a rule's index.
+// Resolving a handle pays the registry-key build once; every probe
+// after that skips the per-lookup ruleIndexKey string construction,
+// and on frozen stores (the batch pipeline's and job runners' view)
+// the index itself is resolved at handle creation, so a probe is one
+// shard hash plus one map hit with no locking at all. On live stores
+// the handle keeps the prebuilt key and re-resolves the index under
+// the read lock per probe, staying correct across copy-on-write
+// registry swaps (Insert after Snapshot replaces shared index
+// headers).
+type RuleHandle struct {
+	store *Store
+	key   string
+	idx   *ruleIndex // resolved once when the store is frozen
+}
+
+// HandleKey canonicalizes a (Xm, Bm) pair into the registry key a
+// RuleHandle resolves by. It depends only on the attribute lists, so
+// callers that bind handles repeatedly (the compiled chase binds one
+// per rule per Chaser) compute it once and pass it to HandleByKey.
+func HandleKey(matchAttrs, rhsAttrs []string) string {
+	return ruleIndexKey(matchAttrs, rhsAttrs)
+}
+
+// Handle resolves a (Xm, Bm) pair to a lookup handle. The handle is
+// valid for the lifetime of the store view it was created from and is
+// safe for concurrent use on frozen stores; on live stores each probe
+// synchronizes with writers via the store's read lock.
+func (m *Store) Handle(matchAttrs, rhsAttrs []string) *RuleHandle {
+	h := m.HandleByKey(HandleKey(matchAttrs, rhsAttrs))
+	return &h
+}
+
+// HandleByKey is Handle for a key prebuilt with HandleKey, skipping
+// the per-call key construction. It returns the handle by value so
+// callers binding one per rule (every compiled Chaser) fill a slice
+// with a single allocation instead of one per handle.
+func (m *Store) HandleByKey(key string) RuleHandle {
+	h := RuleHandle{store: m, key: key}
+	if m.frozen {
+		h.idx = m.ruleIdx.indexes[key]
+	}
+	return h
+}
+
+// Lookup answers the unique-RHS probe for a pre-encoded composite key
+// (the value.List.Key / schema.Tuple.AppendKeyAt encoding of t[X]).
+// The final result reports whether a rule index is registered for the
+// pair — false means the caller must fall back to the group
+// verification path (Store.UniqueRHS), exactly as an unregistered
+// pair does there.
+func (h *RuleHandle) Lookup(encKey []byte) (value.List, int64, LookupStatus, bool) {
+	ix := h.idx
+	if ix == nil {
+		m := h.store
+		if m.frozen {
+			return nil, 0, NoMatch, false // no index at capture: permanent
+		}
+		m.mu.RLock()
+		ix = m.ruleIdx.indexes[h.key]
+		if ix == nil {
+			m.mu.RUnlock()
+			return nil, 0, NoMatch, false
+		}
+		e := ix.getBytes(encKey)
+		m.mu.RUnlock()
+		return entryResult(e)
+	}
+	return entryResult(ix.getBytes(encKey))
+}
+
+// entryResult decodes a probe's entry into the UniqueRHS result shape.
+func entryResult(e *rhsEntry) (value.List, int64, LookupStatus, bool) {
 	if e == nil {
 		return nil, 0, NoMatch, true
 	}

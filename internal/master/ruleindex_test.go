@@ -2,6 +2,8 @@ package master
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 	"testing"
 
 	"cerfix/internal/rule"
@@ -118,6 +120,118 @@ func TestRegisteredRuleIndexes(t *testing.T) {
 	}
 	if regs[0] != "AC->city" || regs[1] != "zip->AC" {
 		t.Fatalf("registered = %v", regs)
+	}
+}
+
+// RegisteredRuleIndexes promises sorted output; the registry is a map,
+// so pin the ordering against iteration-order luck with enough
+// indexes that an unsorted implementation cannot pass by accident.
+func TestRegisteredRuleIndexesSorted(t *testing.T) {
+	m := demoStore(t)
+	attrs := []string{"AC", "Hphn", "Mphn", "city", "str", "zip", "FN", "LN"}
+	var rules []*rule.Rule
+	for i, a := range attrs {
+		for j, b := range attrs {
+			if i == j {
+				continue
+			}
+			rules = append(rules, mustParse(t, fmt.Sprintf("s%d_%d: match %s~%s set %s := %s", i, j, a, a, b, b)))
+		}
+	}
+	rs := rule.MustSet(rules...)
+	if err := m.PrepareForRules(rs); err != nil {
+		t.Fatal(err)
+	}
+	regs := m.RegisteredRuleIndexes()
+	if len(regs) != len(rules) {
+		t.Fatalf("registered %d pairs, want %d", len(regs), len(rules))
+	}
+	if !sort.StringsAreSorted(regs) {
+		t.Fatalf("RegisteredRuleIndexes not sorted: %v", regs)
+	}
+	// Stable across calls (map iteration must not leak through).
+	for i := 0; i < 5; i++ {
+		again := m.RegisteredRuleIndexes()
+		if !slices.Equal(regs, again) {
+			t.Fatalf("call %d returned a different order:\n%v\n%v", i, regs, again)
+		}
+	}
+}
+
+// The pre-resolved handle must agree with Store.UniqueRHS on every
+// outcome — present keys, absent keys, conflicts — on live stores and
+// frozen snapshots, across live mutation.
+func TestRuleHandleAgreesWithUniqueRHS(t *testing.T) {
+	m := demoStore(t)
+	rs := rule.MustSet(mustParse(t, `r1: match zip~zip set AC := AC`))
+	if err := m.PrepareForRules(rs); err != nil {
+		t.Fatal(err)
+	}
+	match, rhs := []string{"zip"}, []string{"AC"}
+	probe := func(t *testing.T, st *Store, h *RuleHandle, key value.List) {
+		t.Helper()
+		wantRHS, wantWitness, wantStatus := st.UniqueRHS(match, key, rhs)
+		gotRHS, gotWitness, gotStatus, ok := h.Lookup(key.AppendKey(nil))
+		if !ok {
+			t.Fatalf("key %v: handle reports no index", key)
+		}
+		if gotStatus != wantStatus || gotWitness != wantWitness || fmt.Sprint(gotRHS) != fmt.Sprint(wantRHS) {
+			t.Fatalf("key %v: handle (%v,%d,%v) != store (%v,%d,%v)",
+				key, gotRHS, gotWitness, gotStatus, wantRHS, wantWitness, wantStatus)
+		}
+	}
+	keys := []value.List{{"EH8 4AH"}, {"NW1 6XE"}, {"nothing"}}
+
+	live := m.Handle(match, rhs)
+	snap := m.Snapshot()
+	snapH := snap.Handle(match, rhs)
+	for _, k := range keys {
+		probe(t, m, live, k)
+		probe(t, snap, snapH, k)
+	}
+
+	// Live mutation after the snapshot: the live handle must see the
+	// new row and the conflict flip (the COW registry swap must not
+	// strand it on a stale index); the snapshot handle keeps its view.
+	if _, err := m.InsertValues("New", "Person", "999", "1", "2", "3", "4", "ZZ9 9ZZ"); err != nil {
+		t.Fatal(err)
+	}
+	probe(t, m, live, value.List{"ZZ9 9ZZ"})
+	if _, _, st, _ := snapH.Lookup(value.List{"ZZ9 9ZZ"}.AppendKey(nil)); st != NoMatch {
+		t.Fatalf("snapshot handle sees post-snapshot row: %v", st)
+	}
+	if _, err := m.InsertValues("Other", "Person", "888", "1", "2", "3", "4", "ZZ9 9ZZ"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, st, _ := live.Lookup(value.List{"ZZ9 9ZZ"}.AppendKey(nil)); st != Conflict {
+		t.Fatalf("live handle missed incremental conflict: %v", st)
+	}
+	for _, k := range keys {
+		probe(t, m, live, k)
+		probe(t, snap, snapH, k)
+	}
+}
+
+// A handle for an unregistered pair reports ok=false so callers fall
+// back to the group-verification path.
+func TestRuleHandleUnregisteredPair(t *testing.T) {
+	m := demoStore(t)
+	h := m.Handle([]string{"zip"}, []string{"AC"})
+	if _, _, _, ok := h.Lookup(value.List{"EH8 4AH"}.AppendKey(nil)); ok {
+		t.Fatal("handle claims an index that was never built")
+	}
+	snapH := m.Snapshot().Handle([]string{"zip"}, []string{"AC"})
+	if _, _, _, ok := snapH.Lookup(value.List{"EH8 4AH"}.AppendKey(nil)); ok {
+		t.Fatal("snapshot handle claims an index that was never built")
+	}
+	// Once built, the same live handle resolves on its next probe.
+	rs := rule.MustSet(mustParse(t, `r1: match zip~zip set AC := AC`))
+	if err := m.PrepareForRules(rs); err != nil {
+		t.Fatal(err)
+	}
+	rhs, _, st, ok := h.Lookup(value.List{"EH8 4AH"}.AppendKey(nil))
+	if !ok || st != Unique || rhs[0] != "131" {
+		t.Fatalf("live handle did not pick up the new index: %v %v ok=%v", rhs, st, ok)
 	}
 }
 

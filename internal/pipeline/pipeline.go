@@ -10,7 +10,9 @@
 // mutate — core.Engine.Snapshot), each tuple's certain-fix chase is
 // independent of every other tuple's: batch repair is embarrassingly
 // parallel. Run shards the input across N workers, each owning a
-// reusable core.Chaser against the shared read-only engine, and
+// reusable core.Chaser — the compiled chase program's executor, whose
+// per-rule master handles and scratch buffers amortize across the
+// worker's whole shard — against the shared read-only engine, and
 // re-sequences results so the sink observes exactly the order — and
 // exactly the bytes — the sequential path would have produced.
 //

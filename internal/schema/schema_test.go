@@ -191,3 +191,31 @@ func TestTupleProjectAndMap(t *testing.T) {
 		t.Errorf("String = %q", tu.String())
 	}
 }
+
+// ProjectAt and AppendKeyAt are the position-resolved siblings of
+// Project and Project(...).Key(): same values, same bytes.
+func TestTupleProjectAtAndAppendKeyAt(t *testing.T) {
+	s := custSchema(t)
+	tu := MustTuple(s, "Bob", "Brady", "020", "079172485", "2", "501 Elm St", "Edi", "EH8 4AH", "CD")
+	names := []string{"zip", "AC", "FN"}
+	positions := make([]int, len(names))
+	for i, n := range names {
+		positions[i] = s.MustIndex(n)
+	}
+	want := tu.Project(names)
+	if got := tu.ProjectAt(positions); !got.Equal(want) {
+		t.Fatalf("ProjectAt = %v, want %v", got, want)
+	}
+	if got := string(tu.AppendKeyAt(nil, positions)); got != want.Key() {
+		t.Fatalf("AppendKeyAt = %q, want %q", got, want.Key())
+	}
+	// Appends extend an existing buffer.
+	buf := tu.AppendKeyAt([]byte("x"), positions)
+	if string(buf) != "x"+want.Key() {
+		t.Fatalf("AppendKeyAt clobbered the buffer: %q", buf)
+	}
+	// Empty projection encodes to nothing.
+	if got := tu.AppendKeyAt(nil, nil); len(got) != 0 {
+		t.Fatalf("empty AppendKeyAt = %q", got)
+	}
+}

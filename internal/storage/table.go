@@ -348,13 +348,24 @@ func (t *Table) Clone() *Table {
 // a single consistent generation, and is never disturbed by (nor
 // disturbs) concurrent writers.
 func (t *Table) Scan(fn func(*schema.Tuple) bool) {
+	t.ScanShared(func(tu *schema.Tuple) bool { return fn(tu.Clone()) })
+}
+
+// ScanShared calls fn on the stored rows themselves — no per-row
+// copy — in insertion order; fn returning false stops the scan. Like
+// Scan it iterates one frozen O(1) snapshot, so it holds no locks and
+// sees a single consistent generation. Callers must treat each tuple
+// as read-only and must not retain it past the callback (Clone what
+// you keep): the rows are shared with the table and with every other
+// snapshot of its generation.
+func (t *Table) ScanShared(fn func(*schema.Tuple) bool) {
 	snap := t.Snapshot()
 	for _, id := range snap.order {
 		tu, ok := snap.row(id)
 		if !ok {
 			continue // tombstoned
 		}
-		if !fn(tu.Clone()) {
+		if !fn(tu) {
 			return
 		}
 	}

@@ -116,6 +116,52 @@ func TestScanOrderAndEarlyStop(t *testing.T) {
 	}
 }
 
+// ScanShared yields the stored rows themselves (no copies) in
+// insertion order, honours early stop, and skips tombstones.
+func TestScanShared(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	ids := fill(t, tb)
+	var names []string
+	tb.ScanShared(func(tu *schema.Tuple) bool {
+		names = append(names, string(tu.Get("FN")))
+		return len(names) < 2
+	})
+	if len(names) != 2 || names[0] != "Robert" || names[1] != "Mark" {
+		t.Fatalf("ScanShared = %v", names)
+	}
+	// Identity: the callback sees the stored row, not a clone.
+	var seen *schema.Tuple
+	tb.ScanShared(func(tu *schema.Tuple) bool {
+		if tu.ID == ids[0] {
+			seen = tu
+			return false
+		}
+		return true
+	})
+	stored, _ := tb.Get(ids[0]) // Get clones
+	if seen == nil || !seen.Equal(stored) {
+		t.Fatal("ScanShared row differs from stored content")
+	}
+	var again *schema.Tuple
+	tb.ScanShared(func(tu *schema.Tuple) bool {
+		if tu.ID == ids[0] {
+			again = tu
+			return false
+		}
+		return true
+	})
+	if seen != again {
+		t.Fatal("ScanShared copied the row (want the shared instance)")
+	}
+	// Tombstones are skipped.
+	tb.Delete(ids[1])
+	count := 0
+	tb.ScanShared(func(*schema.Tuple) bool { count++; return true })
+	if count != 2 {
+		t.Fatalf("ScanShared visited %d rows after delete, want 2", count)
+	}
+}
+
 func TestSelect(t *testing.T) {
 	tb := NewTable(personSchema(t))
 	fill(t, tb)

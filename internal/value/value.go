@@ -186,6 +186,24 @@ func (l List) Key() string {
 	return b.String()
 }
 
+// AppendKey appends the Key encoding of the list to dst and returns
+// the extended slice. It produces exactly the bytes of Key() without
+// materializing the string, so hot paths can reuse one scratch buffer
+// across probes (the compiled chase's per-tuple key encode).
+func (l List) AppendKey(dst []byte) []byte {
+	for _, v := range l {
+		dst = AppendKeyV(dst, v)
+	}
+	return dst
+}
+
+// AppendKeyV appends the Key encoding of a single value to dst.
+func AppendKeyV(dst []byte, v V) []byte {
+	dst = strconv.AppendInt(dst, int64(len(v)), 10)
+	dst = append(dst, ':')
+	return append(dst, v...)
+}
+
 // Equal reports element-wise equality with the same length.
 func (l List) Equal(o List) bool {
 	if len(l) != len(o) {

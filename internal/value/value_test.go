@@ -145,6 +145,40 @@ func TestListKeyProperty(t *testing.T) {
 	}
 }
 
+// AppendKey must emit byte-for-byte what Key returns — the rule
+// indexes are built with Key strings and probed with AppendKey
+// buffers, so any drift would silently miss every entry.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	cases := []List{
+		nil,
+		{""},
+		{"a"},
+		{"ab", "c"},
+		{"a", "bc"},
+		{"", "", ""},
+		{"EH8 4AH", "131"},
+		{"with:colon", "12:34"},
+	}
+	for _, l := range cases {
+		if got := string(l.AppendKey(nil)); got != l.Key() {
+			t.Errorf("AppendKey(%v) = %q, Key = %q", l, got, l.Key())
+		}
+	}
+	// Appends extend, never restart.
+	buf := []byte("prefix")
+	buf = (List{"x"}).AppendKey(buf)
+	if string(buf) != "prefix"+(List{"x"}).Key() {
+		t.Errorf("AppendKey clobbered the buffer: %q", buf)
+	}
+	f := func(a []string) bool {
+		l := FromStrings(a)
+		return string(l.AppendKey(nil)) == l.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestListEqual(t *testing.T) {
 	if !(List{"a", "b"}).Equal(List{"a", "b"}) {
 		t.Error("equal lists reported unequal")
