@@ -193,8 +193,10 @@ func cmdRegions(args []string) error {
 
 // cmdFix is the CLI's batch-repair mode: it streams the dirty CSV
 // through internal/pipeline's sharded worker pool file-to-file, so
-// inputs of any size repair with flat memory and output identical to
-// the sequential path regardless of -workers.
+// inputs of any size repair with flat memory — the pipeline recycles
+// its tuples, results and encoder buffers through the in-flight
+// window, allocating O(window) rather than O(rows) — and output
+// identical to the sequential path regardless of -workers.
 func cmdFix(args []string) error {
 	fs := flag.NewFlagSet("fix", flag.ExitOnError)
 	var c config

@@ -14,17 +14,21 @@
 //	e10 — compiled chase program vs legacy loop: steady-state latency
 //	     and allocs per fix at rules × master-size grid (writes
 //	     BENCH_e10.json)
+//	e11 — zero-alloc batch pipeline: end-to-end throughput and allocs
+//	     per tuple at worker counts × slice/csv/jsonl paths vs the
+//	     per-tuple-boxing baseline, parity-gated (writes BENCH_e11.json)
 //
 // Run all with -exp all (default), or a comma-separated subset:
 //
 //	cerfixbench -exp e3,e4 -tuples 500 -noise 0.3
 //
 // e9 and e10 load large master tables (default sizes up to 500k/100k
-// rows), so they only run when requested explicitly, never under
-// -exp all:
+// rows) and e11 runs timed multi-pass pipeline sweeps, so they only
+// run when requested explicitly, never under -exp all:
 //
 //	cerfixbench -exp e9 -e9-sizes 10000,100000,500000 -e9-out BENCH_e9.json
 //	cerfixbench -exp e10 -e10-rules 1,8,64 -e10-sizes 10000,100000 -e10-out BENCH_e10.json
+//	cerfixbench -exp e11 -e11-workers 1,2,4,8 -e11-tuples 5000 -e11-out BENCH_e11.json
 package main
 
 import (
@@ -54,6 +58,10 @@ func main() {
 		e10Sizes  = flag.String("e10-sizes", "10000,100000", "comma-separated master sizes for e10")
 		e10Probes = flag.Int("e10-probes", 2000, "chase probes per cell for e10")
 		e10Out    = flag.String("e10-out", "BENCH_e10.json", "JSON results file for e10 (empty = don't write)")
+		e11Work   = flag.String("e11-workers", "1,2,4,8", "comma-separated worker counts for e11")
+		e11Ents   = flag.Int("e11-entities", 100, "master entities for the e11 workload")
+		e11Tuples = flag.Int("e11-tuples", 5000, "input tuples for the e11 workload")
+		e11Out    = flag.String("e11-out", "BENCH_e11.json", "JSON results file for e11 (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -102,6 +110,67 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// e11 never runs under "all" either: each cell is a warmed, timed
+	// full-pipeline sweep.
+	if want["e11"] {
+		fmt.Println("=== E11 ===")
+		if err := runE11(*e11Work, *e11Ents, *e11Tuples, *seed, *e11Out); err != nil {
+			fmt.Fprintf(os.Stderr, "e11: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func runE11(workerSpec string, entities, tuples int, seed uint64, outPath string) error {
+	workerCounts, err := parseSizes(workerSpec)
+	if err != nil {
+		return err
+	}
+	rows, baselines, err := experiments.RunE11(workerCounts, entities, tuples, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Zero-alloc batch pipeline — end-to-end throughput and allocs/tuple (recycled arenas vs per-tuple boxing)")
+	fmt.Println("baseline = sequential PR 4-style loop: fresh tuples, allocating chase results, encoding/json records")
+	btbl := textutil.NewTextTable("path", "baseline µs/tuple", "baseline allocs/tuple")
+	for _, b := range baselines {
+		btbl.AddRow(b.Path, fmt.Sprintf("%.2f", b.NsPerTuple/1000), fmt.Sprintf("%.1f", b.AllocsPerTuple))
+	}
+	fmt.Print(btbl.String())
+	tbl := textutil.NewTextTable("path", "workers", "µs/tuple", "tuples/s", "allocs/tuple", "speedup vs 1w")
+	for _, r := range rows {
+		tbl.AddRow(r.Path, fmt.Sprint(r.Workers),
+			fmt.Sprintf("%.2f", r.NsPerTuple/1000),
+			fmt.Sprintf("%.0f", r.TuplesPerSec),
+			fmt.Sprintf("%.2f", r.AllocsPerTuple),
+			fmt.Sprintf("%.2fx", r.Speedup))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("(every pipeline run is asserted byte-identical to the sequential baseline before any number is reported)")
+	if outPath == "" {
+		return nil
+	}
+	doc := map[string]any{
+		"experiment":   "e11",
+		"description":  "end-to-end batch-repair pipeline throughput and heap allocations per tuple: recycled batch arenas + ring resequencer + append-style encoders (pipeline.Run) at worker counts x slice/csv/jsonl I/O paths, vs the sequential per-tuple-boxing baseline (fresh tuples, allocating chase results, encoding/json records); all runs parity-gated byte-for-byte against the baseline output",
+		"generated_at": time.Now().UTC().Format(time.RFC3339),
+		"workers":      workerCounts,
+		"entities":     entities,
+		"tuples":       tuples,
+		"seed":         seed,
+		"baselines":    baselines,
+		"rows":         rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("results written to %s\n", outPath)
+	return nil
 }
 
 func runE10(ruleSpec, sizeSpec string, probes int, seed uint64, outPath string) error {

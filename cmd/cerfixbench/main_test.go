@@ -24,4 +24,9 @@ func TestPrinters(t *testing.T) {
 	if err := runE7(1); err != nil {
 		t.Fatal(err)
 	}
+	// e11 at toy scale: also exercises its byte-parity gate against
+	// the sequential baseline (no JSON artifact).
+	if err := runE11("1,2", 20, 200, 1, ""); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"cerfix/internal/dataset"
-	"cerfix/internal/master"
 	"cerfix/internal/schema"
 )
 
@@ -14,22 +13,8 @@ import (
 // Chaser's scratch buffers are warm, fixing a tuple on the happy path
 // (rule-index access path, no conflicts) performs ZERO heap
 // allocations. Excluded under the race detector, whose instrumentation
-// allocates.
-
-func allocEngine(t *testing.T) *Engine {
-	t.Helper()
-	st := master.New(dataset.PersonSchema())
-	for _, row := range dataset.DemoMasterRows() {
-		if _, err := st.InsertValues(row...); err != nil {
-			t.Fatal(err)
-		}
-	}
-	e, err := NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return e
-}
+// allocates. (allocEngine, shared with the pool suite, lives in
+// pool_test.go so the race build keeps it.)
 
 // TestChaseScratchZeroAllocSteadyState asserts 0 allocs/tuple for the
 // full Fig. 3 chase (multi-round, rewrites and confirmations) through

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"cerfix/internal/master"
 	"cerfix/internal/pattern"
@@ -40,6 +41,41 @@ type chaseProgram struct {
 	deps [][]int32
 	// words is the rule-bitset width in uint64 words (≥ 1).
 	words int
+	// pool holds idle Chasers for reuse across runs and across engine
+	// views (snapshots share the program, so a chaser released by one
+	// batch run can be rebound to the next run's snapshot without
+	// rebuilding its scratch). See Engine.AcquireChaser.
+	pool chaserPool
+}
+
+// chaserPool is a mutex-guarded free list of idle Chasers. A plain
+// list (rather than sync.Pool) keeps reuse deterministic — a released
+// chaser is never dropped on a GC whim — and acquisition happens once
+// per run or per pipeline worker, never per tuple, so the lock is
+// cold. The list is bounded by the peak number of concurrently live
+// chasers, which the worker counts of the pipeline and job runners
+// bound in turn.
+type chaserPool struct {
+	mu   sync.Mutex
+	idle []*Chaser
+}
+
+func (p *chaserPool) get() *Chaser {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		return c
+	}
+	return nil
+}
+
+func (p *chaserPool) put(c *Chaser) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.idle = append(p.idle, c)
 }
 
 // compiledRule is one rule with every name resolved and every derived
@@ -65,8 +101,9 @@ type compiledRule struct {
 	matchMasterAttrs []string
 	rhsMasterAttrs   []string
 	// handleKey is the (Xm, Bm) registry key, canonicalized once so
-	// binding a Chaser (one handle per rule — Engine.Chase builds a
-	// fresh Chaser per call) skips the per-handle string build.
+	// binding (or rebinding) a Chaser — one handle per rule, re-resolved
+	// every time a pooled chaser moves to a new engine view — skips the
+	// per-handle string build.
 	handleKey string
 }
 
@@ -168,21 +205,60 @@ type Chaser struct {
 }
 
 // NewChaser builds a reusable single-goroutine chase runner bound to
-// the engine's compiled program and its master view.
+// the engine's compiled program and its master view. Callers that run
+// repeatedly (pipeline workers, job runners, one-off Engine.Chase
+// calls) should prefer AcquireChaser/Release, which recycle chasers —
+// scratch buffers included — through the engine's program-level pool.
 func (e *Engine) NewChaser() *Chaser {
 	p := e.prog
 	c := &Chaser{
-		eng:     e,
 		prog:    p,
 		handles: make([]master.RuleHandle, len(p.rules)),
 		missing: make([]int32, len(p.rules)),
 		cur:     make([]uint64, p.words),
 		next:    make([]uint64, p.words),
 	}
-	for i := range p.rules {
-		c.handles[i] = e.store.HandleByKey(p.rules[i].handleKey)
-	}
+	c.rebind(e)
 	return c
+}
+
+// AcquireChaser returns a Chaser bound to this engine view, reusing an
+// idle one from the compiled program's pool when available. The pool
+// is shared by every snapshot of the engine (snapshots share the
+// program), so a chaser released after one batch run serves the next
+// run's snapshot with all its scratch — agenda bitsets, key buffer,
+// warmed result capacities — intact; only the per-rule master handles
+// are re-resolved against this view's store. Release the chaser with
+// Chaser.Release when done; like NewChaser's, the returned chaser is
+// single-goroutine.
+func (e *Engine) AcquireChaser() *Chaser {
+	if c := e.prog.pool.get(); c != nil {
+		c.rebind(e)
+		return c
+	}
+	return e.NewChaser()
+}
+
+// Release parks the chaser in its program's pool for the next
+// AcquireChaser. The chaser must not be used afterwards. Master-store
+// references are dropped so a released chaser never pins a dead
+// snapshot's store.
+func (c *Chaser) Release() {
+	c.eng = nil
+	for i := range c.handles {
+		c.handles[i] = master.RuleHandle{}
+	}
+	c.prog.pool.put(c)
+}
+
+// rebind points the chaser at an engine view, re-resolving every rule
+// handle against that view's store. The engine must share c.prog (all
+// snapshots of one engine do); scratch state carries over untouched.
+func (c *Chaser) rebind(e *Engine) {
+	c.eng = e
+	for i := range c.prog.rules {
+		c.handles[i] = e.store.HandleByKey(c.prog.rules[i].handleKey)
+	}
 }
 
 // Chase runs the compiled chase on a copy of t, starting from the
@@ -202,21 +278,40 @@ func (c *Chaser) Chase(t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
 // (buffers warmed, rule-index access path, no conflicts) a call
 // performs zero heap allocations; the benchmark suite asserts this.
 func (c *Chaser) ChaseScratch(t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
-	if cap(c.scratchTuple.Vals) < len(t.Vals) {
-		c.scratchTuple.Vals = make(value.List, len(t.Vals))
+	if c.scratchRes.Tuple == nil {
+		c.scratchRes.Tuple = &c.scratchTuple
 	}
-	c.scratchTuple.Vals = c.scratchTuple.Vals[:len(t.Vals)]
-	copy(c.scratchTuple.Vals, t.Vals)
-	c.scratchTuple.Schema = t.Schema
-	c.scratchTuple.ID = t.ID
-	res := &c.scratchRes
-	res.Tuple = &c.scratchTuple
-	res.Validated = validated
-	res.Changes = res.Changes[:0]
-	res.Conflicts = res.Conflicts[:0]
-	res.Rounds = 0
-	c.run(res)
-	return res
+	return c.ChaseInto(&c.scratchRes, t, validated)
+}
+
+// ChaseInto is ChaseScratch into a caller-owned result: the chase runs
+// on a copy of t written into dst, reusing every buffer dst already
+// carries — its tuple's value slice and its change/conflict capacity
+// survive across calls, so arenas of ChaseResults (the batch
+// pipeline's per-window result slots) reach zero steady-state
+// allocations the same way the Chaser's own scratch does. dst is
+// overwritten wholesale; whatever it references is invalid the moment
+// the caller reuses it. A nil dst.Tuple gets one allocated on first
+// use. Returns dst. Results are byte-identical to Engine.ChaseLegacy.
+func (c *Chaser) ChaseInto(dst *ChaseResult, t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
+	tu := dst.Tuple
+	if tu == nil {
+		tu = &schema.Tuple{}
+		dst.Tuple = tu
+	}
+	if cap(tu.Vals) < len(t.Vals) {
+		tu.Vals = make(value.List, len(t.Vals))
+	}
+	tu.Vals = tu.Vals[:len(t.Vals)]
+	copy(tu.Vals, t.Vals)
+	tu.Schema = t.Schema
+	tu.ID = t.ID
+	dst.Validated = validated
+	dst.Changes = dst.Changes[:0]
+	dst.Conflicts = dst.Conflicts[:0]
+	dst.Rounds = 0
+	c.run(dst)
+	return dst
 }
 
 // run executes the agenda loop. The scheduling reproduces the legacy

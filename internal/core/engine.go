@@ -216,6 +216,23 @@ func (r *ChaseResult) AllValidated() bool {
 	return r.Validated == schema.FullSet(r.Tuple.Schema)
 }
 
+// Clone returns a deep copy safe to retain indefinitely: the tuple,
+// change list and conflict list share nothing with r. Zero-length
+// slices normalize to nil — the shape a fresh sequential chase
+// produces — so a clone of a buffer-reusing result (Chaser.ChaseInto
+// truncates rather than nils its slices) compares and serializes
+// identically to the sequential path's output.
+func (r *ChaseResult) Clone() *ChaseResult {
+	cp := &ChaseResult{Tuple: r.Tuple.Clone(), Validated: r.Validated, Rounds: r.Rounds}
+	if len(r.Changes) > 0 {
+		cp.Changes = append([]Change(nil), r.Changes...)
+	}
+	if len(r.Conflicts) > 0 {
+		cp.Conflicts = append([]Conflict(nil), r.Conflicts...)
+	}
+	return cp
+}
+
 // Rewrites returns only the changes that altered values.
 func (r *ChaseResult) Rewrites() []Change {
 	var out []Change
@@ -225,6 +242,19 @@ func (r *ChaseResult) Rewrites() []Change {
 		}
 	}
 	return out
+}
+
+// RewriteCount is len(Rewrites()) without materializing the slice —
+// the counter the pipeline's per-tuple hot paths (stats, sink
+// records) share so the rewrite definition lives in one place.
+func (r *ChaseResult) RewriteCount() int {
+	n := 0
+	for i := range r.Changes {
+		if r.Changes[i].IsRewrite() {
+			n++
+		}
+	}
+	return n
 }
 
 // Chase runs the fixing procedure on a copy of t, starting from the
@@ -248,9 +278,16 @@ func (r *ChaseResult) Rewrites() []Change {
 // Chase executes the engine's compiled program with agenda scheduling
 // (see compile.go); results are byte-identical to the legacy
 // round-robin loop, which ChaseLegacy retains as the parity oracle
-// and benchmark baseline.
+// and benchmark baseline. The chaser comes from the engine's pool
+// (AcquireChaser), so interactive one-off fixes reuse the scratch a
+// previous call — or a finished batch run on any snapshot of this
+// engine — already warmed, instead of paying the compile-scratch
+// setup per call.
 func (e *Engine) Chase(t *schema.Tuple, validated schema.AttrSet) *ChaseResult {
-	return e.NewChaser().Chase(t, validated)
+	c := e.AcquireChaser()
+	res := c.Chase(t, validated)
+	c.Release()
+	return res
 }
 
 // ChaseLegacy is the original chase executor: every round rescans the

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"cerfix/internal/dataset"
+	"cerfix/internal/master"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// allocEngine wires the demo engine (Fig. 2 master rows, rules
+// φ1–φ9); shared with the alloc suite.
+func allocEngine(t *testing.T) *Engine {
+	t.Helper()
+	st := master.New(dataset.PersonSchema())
+	for _, row := range dataset.DemoMasterRows() {
+		if _, err := st.InsertValues(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := NewEngine(dataset.CustSchema(), dataset.DemoRules(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// The chaser pool contract: AcquireChaser/Release recycle chasers —
+// scratch buffers included — across runs AND across engine views
+// (every snapshot shares the compiled program, and with it the pool),
+// while each acquisition is correctly rebound to the acquiring view's
+// master store.
+
+// TestChaserPoolRecycles pins the pool's determinism: a released
+// chaser is the one the next acquire returns (the pool is a free
+// list, not a GC-droppable cache), and an empty pool builds fresh.
+func TestChaserPoolRecycles(t *testing.T) {
+	e := allocEngine(t)
+	c1 := e.AcquireChaser()
+	c2 := e.AcquireChaser()
+	if c1 == c2 {
+		t.Fatal("two live acquisitions returned the same chaser")
+	}
+	c1.Release()
+	if got := e.AcquireChaser(); got != c1 {
+		t.Fatalf("acquire after release returned %p, want the released %p", got, c1)
+	}
+	c2.Release()
+}
+
+// TestChaserPoolRebindsAcrossSnapshots proves a pooled chaser serves
+// whichever engine view acquires it: released on the live engine,
+// re-acquired through a snapshot, it must answer from the snapshot's
+// frozen master data even while the live store diverges — and a
+// subsequent live acquisition must see the divergence.
+func TestChaserPoolRebindsAcrossSnapshots(t *testing.T) {
+	e := allocEngine(t)
+	seed := schema.SetOfNames(e.InputSchema(), "AC", "phn", "type", "item", "zip")
+	in := dataset.DemoInputFig3()
+
+	// Warm the pool on the live engine.
+	live := e.AcquireChaser()
+	want := live.Chase(in, seed)
+	if !want.AllValidated() || len(want.Conflicts) != 0 {
+		t.Fatalf("baseline chase unexpectedly incomplete: %+v", want)
+	}
+	live.Release()
+
+	snap := e.Snapshot()
+
+	// Poison the LIVE master: a second person with Mark Smith's mobile
+	// number makes φ4/φ5 ambiguous for the Fig. 3 tuple from now on.
+	if _, err := e.Master().InsertValues(
+		value.V("Markus"), "Smythe", "201", "7966899", "075568485",
+		"21 Baker St", "Ldn", "NW1 6XE", "25/12/67", "M"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The snapshot's acquisition — necessarily the pooled chaser that
+	// last ran against the live store — must answer from frozen data.
+	sc := snap.AcquireChaser()
+	if sc != live {
+		t.Fatalf("expected the pooled chaser to be rebound to the snapshot")
+	}
+	got := sc.Chase(in, seed)
+	if !got.Tuple.Equal(want.Tuple) || !reflect.DeepEqual(got.Changes, want.Changes) ||
+		len(got.Conflicts) != 0 {
+		t.Fatalf("snapshot chase diverged after live mutation:\n got %+v\nwant %+v", got, want)
+	}
+	sc.Release()
+
+	// And a live acquisition of the same pooled chaser must see the
+	// poisoned store (ambiguous φ4 → conflict, FN left alone).
+	lc := e.AcquireChaser()
+	poisoned := lc.Chase(in, seed)
+	if len(poisoned.Conflicts) == 0 {
+		t.Fatalf("live chase after ambiguous insert reported no conflicts: %+v", poisoned)
+	}
+	if poisoned.Tuple.Get("FN") != "M." {
+		t.Fatalf("live chase fixed FN to %q despite ambiguous master", poisoned.Tuple.Get("FN"))
+	}
+	lc.Release()
+}
+
+// TestEngineChaseResultsIndependent: Engine.Chase routes through the
+// pool, but its results must stay safe to retain — later calls that
+// reuse the pooled chaser cannot alias or clobber earlier results.
+func TestEngineChaseResultsIndependent(t *testing.T) {
+	e := allocEngine(t)
+	seed := schema.SetOfNames(e.InputSchema(), "AC", "phn", "type", "item", "zip")
+	first := e.Chase(dataset.DemoInputFig3(), seed)
+	firstTuple := first.Tuple.Clone()
+	firstChanges := append([]Change(nil), first.Changes...)
+	for i := 0; i < 5; i++ {
+		e.Chase(dataset.DemoInputExample1(), schema.SetOfNames(e.InputSchema(), "zip"))
+	}
+	if !first.Tuple.Equal(firstTuple) {
+		t.Fatalf("retained result's tuple mutated by later pooled chases")
+	}
+	if !reflect.DeepEqual(first.Changes, firstChanges) {
+		t.Fatalf("retained result's changes mutated by later pooled chases")
+	}
+}
+
+// TestChaseIntoParity: chasing into a recycled caller-owned result —
+// including its very first use with a nil tuple — produces results
+// byte-identical to the allocating Chase path, with buffers reused
+// in between.
+func TestChaseIntoParity(t *testing.T) {
+	e := allocEngine(t)
+	seedFull := schema.SetOfNames(e.InputSchema(), "AC", "phn", "type", "item", "zip")
+	seedZip := schema.SetOfNames(e.InputSchema(), "zip")
+	inputs := []*schema.Tuple{
+		dataset.DemoInputFig3(),
+		dataset.DemoInputExample1(),
+		dataset.DemoInputFig3(),
+	}
+	seeds := []schema.AttrSet{seedFull, seedZip, seedZip}
+
+	ch := e.AcquireChaser()
+	defer ch.Release()
+	var dst ChaseResult
+	for round := 0; round < 3; round++ { // reuse the same dst repeatedly
+		for i, in := range inputs {
+			got := ch.ChaseInto(&dst, in, seeds[i])
+			if got != &dst {
+				t.Fatal("ChaseInto must return its dst")
+			}
+			want := ch.Chase(in, seeds[i])
+			if !got.Tuple.Equal(want.Tuple) || got.Validated != want.Validated ||
+				got.Rounds != want.Rounds ||
+				!changesEqual(got.Changes, want.Changes) ||
+				!conflictsEqual(got.Conflicts, want.Conflicts) {
+				t.Fatalf("round %d input %d: ChaseInto diverged from Chase\n got %+v\nwant %+v",
+					round, i, got, want)
+			}
+		}
+	}
+}
+
+// changesEqual compares element-wise, treating nil and empty alike
+// (ChaseInto truncates its reused slices instead of nilling them).
+func changesEqual(a, b []Change) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func conflictsEqual(a, b []Conflict) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaseResultClone: the clone shares nothing with its source and
+// normalizes empty slices to nil (the sequential path's shape).
+func TestChaseResultClone(t *testing.T) {
+	e := allocEngine(t)
+	seed := schema.SetOfNames(e.InputSchema(), "AC", "phn", "type", "item", "zip")
+	ch := e.AcquireChaser()
+	defer ch.Release()
+
+	res := ch.ChaseScratch(dataset.DemoInputFig3(), seed)
+	cp := res.Clone()
+	if !cp.Tuple.Equal(res.Tuple) || cp.Validated != res.Validated || cp.Rounds != res.Rounds ||
+		!changesEqual(cp.Changes, res.Changes) {
+		t.Fatalf("clone differs from source")
+	}
+	// Clobber the scratch result; the clone must not move.
+	wantTuple := cp.Tuple.Clone()
+	wantChanges := append([]Change(nil), cp.Changes...)
+	ch.ChaseScratch(dataset.DemoInputExample1(), schema.SetOfNames(e.InputSchema(), "zip"))
+	if !cp.Tuple.Equal(wantTuple) || !reflect.DeepEqual(cp.Changes, wantChanges) {
+		t.Fatalf("clone aliased the scratch buffers")
+	}
+
+	// Empty-slice normalization: a no-op chase through reused buffers
+	// yields non-nil empty slices; the clone must make them nil.
+	noop := ch.ChaseScratch(dataset.DemoInputFig3(), schema.EmptySet)
+	if noop.Changes == nil {
+		t.Skip("scratch changes unexpectedly nil; nothing to normalize")
+	}
+	ncp := noop.Clone()
+	if ncp.Changes != nil || ncp.Conflicts != nil {
+		t.Fatalf("clone kept non-nil empty slices: %+v", ncp)
+	}
+}

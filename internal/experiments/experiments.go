@@ -8,8 +8,13 @@
 package experiments
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
@@ -17,6 +22,7 @@ import (
 	"cerfix/internal/cfd"
 	"cerfix/internal/core"
 	"cerfix/internal/dataset"
+	"cerfix/internal/jobs"
 	"cerfix/internal/master"
 	"cerfix/internal/metrics"
 	"cerfix/internal/monitor"
@@ -1064,4 +1070,327 @@ func RunE10(ruleCounts, sizes []int, probes int, seed uint64) ([]E10Row, error) 
 		}
 	}
 	return rows, nil
+}
+
+// --- E11: zero-alloc pipeline — throughput & allocs per tuple ----------
+
+// E11Row is one (path × worker count) end-to-end pipeline measurement:
+// source decode → sharded chase → ordered sink encode, through the
+// recycled batch arenas. The acceptance claims of the zero-alloc
+// pipeline rework read directly off the row: AllocsPerTuple collapses
+// to a small constant (O(window) per run amortized over the input, vs
+// the per-tuple boxing of the baseline), and TuplesPerSec scales with
+// workers where cores allow.
+type E11Row struct {
+	// Path is the I/O shape: "slice", "csv" or "jsonl".
+	Path string `json:"path"`
+	// Workers is the pipeline worker count.
+	Workers int `json:"workers"`
+	// NsPerTuple is mean wall time per tuple, end to end.
+	NsPerTuple float64 `json:"ns_per_tuple"`
+	// TuplesPerSec is the end-to-end throughput.
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// AllocsPerTuple is mean heap allocations per tuple (runtime
+	// mallocs delta / tuples), whole pipeline run included.
+	AllocsPerTuple float64 `json:"allocs_per_tuple"`
+	// Speedup is TuplesPerSec relative to the same path's first
+	// (1-worker) row.
+	Speedup float64 `json:"speedup_vs_1w"`
+}
+
+// E11Baseline is the pre-recycling reference for one path: the PR 4
+// steady state — per-tuple source decode into fresh tuples, an
+// allocating chase result per tuple, encoding/json per record —
+// measured sequentially. Its output bytes are also the parity oracle
+// every pipeline run is gated against.
+type E11Baseline struct {
+	Path           string  `json:"path"`
+	NsPerTuple     float64 `json:"ns_per_tuple"`
+	AllocsPerTuple float64 `json:"allocs_per_tuple"`
+}
+
+// e11VerifyWriter compares everything written against a want buffer
+// without retaining or allocating — the in-flight parity gate of E11.
+type e11VerifyWriter struct {
+	want []byte
+	off  int
+	bad  bool
+}
+
+func (w *e11VerifyWriter) Write(p []byte) (int, error) {
+	if w.off+len(p) > len(w.want) || !bytes.Equal(w.want[w.off:w.off+len(p)], p) {
+		w.bad = true
+	}
+	w.off += len(p)
+	return len(p), nil
+}
+
+func (w *e11VerifyWriter) ok() bool { return !w.bad && w.off == len(w.want) }
+
+// e11JSONLRecord mirrors pipeline.JSONLSink's wire shape for the
+// baseline encoder.
+type e11JSONLRecord struct {
+	Tuple     map[string]string `json:"tuple"`
+	Done      bool              `json:"done"`
+	Conflicts []string          `json:"conflicts,omitempty"`
+	Rewrites  int               `json:"rewrites"`
+}
+
+// RunE11 measures end-to-end batch-repair throughput and allocations
+// per tuple for the recycled pipeline across worker counts and I/O
+// paths, against a sequential PR 4-style baseline whose output every
+// run must reproduce byte for byte (a throughput number for different
+// bytes would be worthless).
+func RunE11(workerCounts []int, nEntities, nInputs int, seed uint64) ([]E11Row, []E11Baseline, error) {
+	g := dataset.NewCustomerGen(seed)
+	w, err := g.GenerateWorkload(nEntities, nInputs, 0.3, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := core.NewEngine(dataset.CustSchema(), dataset.DemoRules(), w.Store)
+	if err != nil {
+		return nil, nil, err
+	}
+	sch := dataset.CustSchema()
+	seedSet := schema.SetOfNames(sch, "zip", "phn", "type", "item")
+	n := len(w.Dirty)
+
+	// Materialize the streaming inputs once.
+	var csvIn bytes.Buffer
+	cw := csv.NewWriter(&csvIn)
+	if err := cw.Write(sch.AttrNames()); err != nil {
+		return nil, nil, err
+	}
+	for _, tu := range w.Dirty {
+		if err := cw.Write(tu.Vals.Strings()); err != nil {
+			return nil, nil, err
+		}
+	}
+	cw.Flush()
+	var jsonlIn bytes.Buffer
+	jenc := json.NewEncoder(&jsonlIn)
+	for _, tu := range w.Dirty {
+		if err := jenc.Encode(tu.Map()); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Baselines: sequential, per-tuple boxing, encoding/json — the
+	// shape of the pre-recycling pipeline. Each also renders the
+	// expected output bytes for its path's parity gate.
+	want := map[string][]byte{}
+	var baselines []E11Baseline
+	runBaseline := func(path string, mk func(out io.Writer) (func() (*schema.Tuple, error), func(*core.ChaseResult) error)) error {
+		var out bytes.Buffer
+		next, emit := mk(&out)
+		chaser := eng.AcquireChaser()
+		defer chaser.Release()
+		runtime.GC()
+		m0 := mallocs()
+		start := time.Now()
+		count := 0
+		for {
+			tu, err := next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			res := chaser.Chase(tu, seedSet) // allocating result, as PR 4 workers did
+			if err := emit(res); err != nil {
+				return err
+			}
+			count++
+		}
+		elapsed := time.Since(start)
+		allocs := mallocs() - m0
+		if count != n {
+			return fmt.Errorf("e11 baseline %s: %d of %d tuples", path, count, n)
+		}
+		want[path] = append([]byte(nil), out.Bytes()...)
+		baselines = append(baselines, E11Baseline{
+			Path:           path,
+			NsPerTuple:     float64(elapsed.Nanoseconds()) / float64(n),
+			AllocsPerTuple: float64(allocs) / float64(n),
+		})
+		return nil
+	}
+	// slice path: in-memory tuples, TupleResult records (the jobs
+	// artifact / HTTP results shape).
+	if err := runBaseline("slice", func(out io.Writer) (func() (*schema.Tuple, error), func(*core.ChaseResult) error) {
+		enc := json.NewEncoder(out)
+		i := 0
+		next := func() (*schema.Tuple, error) {
+			if i >= n {
+				return nil, io.EOF
+			}
+			tu := w.Dirty[i]
+			i++
+			return tu, nil
+		}
+		emit := func(res *core.ChaseResult) error {
+			return enc.Encode(jobs.NewTupleResult(sch, &pipeline.Result{Input: res.Tuple, Fixed: res.Tuple, Chase: res}))
+		}
+		return next, emit
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// csv path: fresh-record CSV decode, Strings() encode.
+	if err := runBaseline("csv", func(out io.Writer) (func() (*schema.Tuple, error), func(*core.ChaseResult) error) {
+		cr := csv.NewReader(bytes.NewReader(csvIn.Bytes()))
+		header, err := cr.Read()
+		_ = header
+		outW := csv.NewWriter(out)
+		_ = outW.Write(sch.AttrNames())
+		next := func() (*schema.Tuple, error) {
+			if err != nil {
+				return nil, err
+			}
+			rec, rerr := cr.Read()
+			if rerr != nil {
+				if rerr == io.EOF {
+					outW.Flush()
+				}
+				return nil, rerr
+			}
+			vals := make(value.List, sch.Len())
+			for i, cell := range rec {
+				vals[i] = value.V(cell) // header == schema order by construction
+			}
+			return &schema.Tuple{Schema: sch, Vals: vals}, nil
+		}
+		emit := func(res *core.ChaseResult) error { return outW.Write(res.Tuple.Vals.Strings()) }
+		return next, emit
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// jsonl path: map-decode per line, jsonlRecord encode per result.
+	if err := runBaseline("jsonl", func(out io.Writer) (func() (*schema.Tuple, error), func(*core.ChaseResult) error) {
+		sc := bufio.NewScanner(bytes.NewReader(jsonlIn.Bytes()))
+		enc := json.NewEncoder(out)
+		next := func() (*schema.Tuple, error) {
+			for sc.Scan() {
+				line := sc.Bytes()
+				if len(line) == 0 {
+					continue
+				}
+				var m map[string]string
+				if err := json.Unmarshal(line, &m); err != nil {
+					return nil, err
+				}
+				return schema.TupleFromMap(sch, m)
+			}
+			if err := sc.Err(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		emit := func(res *core.ChaseResult) error {
+			rec := e11JSONLRecord{Tuple: res.Tuple.Map(), Done: res.AllValidated() && len(res.Conflicts) == 0, Rewrites: len(res.Rewrites())}
+			for _, c := range res.Conflicts {
+				rec.Conflicts = append(rec.Conflicts, c.Error())
+			}
+			return enc.Encode(rec)
+		}
+		return next, emit
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Pipeline runs: every (path × workers) cell, parity-gated against
+	// the baseline bytes.
+	var rows []E11Row
+	for _, path := range []string{"slice", "csv", "jsonl"} {
+		for _, workers := range workerCounts {
+			mkRun := func(verify *e11VerifyWriter) (pipeline.Source, pipeline.Sink, func() error, error) {
+				switch path {
+				case "slice":
+					enc := jobs.NewResultEncoder(sch)
+					var line []byte
+					sink := pipeline.SinkFunc(func(r *pipeline.Result) error {
+						line = enc.Append(line[:0], r)
+						line = append(line, '\n')
+						_, err := verify.Write(line)
+						return err
+					})
+					return pipeline.NewSliceSource(w.Dirty), sink, nil, nil
+				case "csv":
+					src, err := pipeline.NewCSVSource(sch, bytes.NewReader(csvIn.Bytes()))
+					if err != nil {
+						return nil, nil, nil, err
+					}
+					sink, err := pipeline.NewCSVSink(sch, verify)
+					if err != nil {
+						return nil, nil, nil, err
+					}
+					return src, sink, sink.Flush, nil
+				default:
+					return pipeline.NewJSONLSource(sch, bytes.NewReader(jsonlIn.Bytes())), pipeline.NewJSONLSink(verify), nil, nil
+				}
+			}
+			measure := func() (time.Duration, uint64, error) {
+				verify := &e11VerifyWriter{want: want[path]}
+				src, sink, flush, err := mkRun(verify)
+				if err != nil {
+					return 0, 0, err
+				}
+				runtime.GC()
+				m0 := mallocs()
+				start := time.Now()
+				stats, err := pipeline.Run(context.Background(), eng, seedSet, src, sink, &pipeline.Options{Workers: workers})
+				if err != nil {
+					return 0, 0, err
+				}
+				if flush != nil {
+					if err := flush(); err != nil {
+						return 0, 0, err
+					}
+				}
+				elapsed := time.Since(start)
+				allocs := mallocs() - m0
+				if stats.Tuples != n {
+					return 0, 0, fmt.Errorf("e11 %s/%dw: %d of %d tuples", path, workers, stats.Tuples, n)
+				}
+				if !verify.ok() {
+					return 0, 0, fmt.Errorf("e11 %s/%dw: output differs from the sequential baseline", path, workers)
+				}
+				return elapsed, allocs, nil
+			}
+			// Warm run (chaser pool, schema bindings), then the
+			// measured run.
+			if _, _, err := measure(); err != nil {
+				return nil, nil, err
+			}
+			elapsed, allocs, err := measure()
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, E11Row{
+				Path:           path,
+				Workers:        workers,
+				NsPerTuple:     float64(elapsed.Nanoseconds()) / float64(n),
+				TuplesPerSec:   float64(n) / elapsed.Seconds(),
+				AllocsPerTuple: float64(allocs) / float64(n),
+			})
+		}
+	}
+	// Speedups: per path, relative to its 1-worker row — or, when 1 is
+	// not among the requested counts, the lowest worker count run (so
+	// an order like "8,4,1" cannot invert the column's meaning).
+	base := map[string]float64{}
+	baseWorkers := map[string]int{}
+	for i := range rows {
+		r := &rows[i]
+		if cur, ok := baseWorkers[r.Path]; !ok || r.Workers < cur {
+			baseWorkers[r.Path] = r.Workers
+			base[r.Path] = r.TuplesPerSec
+		}
+	}
+	for i := range rows {
+		rows[i].Speedup = rows[i].TuplesPerSec / base[rows[i].Path]
+	}
+	return rows, baselines, nil
 }

@@ -1,0 +1,164 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cerfix/internal/core"
+	"cerfix/internal/dataset"
+	"cerfix/internal/pipeline"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// reference renders the record the encoder must reproduce: the
+// original struct-building path through encoding/json.
+func reference(t *testing.T, sch *schema.Schema, r *pipeline.Result) []byte {
+	t.Helper()
+	data, err := json.Marshal(NewTupleResult(sch, r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestResultEncoderAgainstRealChases pins the encoder on results the
+// engine actually produces — fixes, confirmations, conflicts — for a
+// generated workload.
+func TestResultEncoderAgainstRealChases(t *testing.T) {
+	eng, dirty, validated := testWorkload(t, 40, 200)
+	sch := dataset.CustSchema()
+	seed := schema.SetOfNames(sch, validated...)
+	enc := NewResultEncoder(sch)
+	var buf []byte
+	for i, tu := range dirty {
+		res := eng.Chase(tu, seed)
+		r := &pipeline.Result{Seq: i, Input: tu, Fixed: res.Tuple, Chase: res}
+		want := reference(t, sch, r)
+		buf = enc.Append(buf[:0], r)
+		if string(buf) != string(want) {
+			t.Fatalf("tuple %d:\n got %s\nwant %s", i, buf, want)
+		}
+	}
+
+	// Conflict-bearing chases: for a tuple whose chase rewrites some
+	// attribute A, re-validating the original (wrong) A makes the same
+	// rule derive a contradiction.
+	for _, tu := range dirty {
+		res := eng.Chase(tu, seed)
+		var rewritten string
+		for _, c := range res.Changes {
+			if c.IsRewrite() {
+				rewritten = c.Attr
+				break
+			}
+		}
+		if rewritten == "" {
+			continue
+		}
+		cres := eng.Chase(tu, seed.With(sch.MustIndex(rewritten)))
+		if len(cres.Conflicts) == 0 {
+			continue
+		}
+		r := &pipeline.Result{Seq: 0, Input: tu, Fixed: cres.Tuple, Chase: cres}
+		if got, want := string(enc.Append(nil, r)), string(reference(t, sch, r)); got != want {
+			t.Fatalf("conflict record:\n got %s\nwant %s", got, want)
+		}
+		return
+	}
+	t.Fatal("workload produced no conflict-bearing chase to pin the encoder against")
+}
+
+// TestResultEncoderQuickCheck fuzzes synthetic ChaseResults — random
+// validated sets, escape-heavy values, changes with and without
+// rewrites, empty and missing optional fields — against the
+// encoding/json reference.
+func TestResultEncoderQuickCheck(t *testing.T) {
+	sch := dataset.CustSchema()
+	enc := NewResultEncoder(sch)
+	rng := rand.New(rand.NewSource(23))
+	junk := []string{"", "plain", `qu"ote`, `back\slash`, "new\nline", "é漢🚀", "<html>&", "\u2028sep", "ctrl\x01", "1e-9", "bad\xffutf8"}
+	pick := func() value.V { return value.V(junk[rng.Intn(len(junk))]) }
+
+	var buf []byte
+	for i := 0; i < 2000; i++ {
+		vals := make(value.List, sch.Len())
+		for j := range vals {
+			vals[j] = pick()
+		}
+		tu := &schema.Tuple{Schema: sch, Vals: vals}
+		res := &core.ChaseResult{Tuple: tu, Validated: schema.AttrSet(rng.Uint64() % (1 << sch.Len())), Rounds: 1 + rng.Intn(3)}
+		for n := rng.Intn(4); n > 0; n-- {
+			old, new := pick(), pick()
+			if rng.Intn(2) == 0 {
+				new = old // confirmation, not a rewrite
+			}
+			res.Changes = append(res.Changes, core.Change{
+				Attr:     sch.Attr(rng.Intn(sch.Len())).Name,
+				Old:      old,
+				New:      new,
+				Source:   core.SourceRule,
+				RuleID:   fmt.Sprintf("phi%d", rng.Intn(9)),
+				MasterID: int64(rng.Intn(3)), // 0 exercises omitempty
+				Round:    1,
+			})
+		}
+		for n := rng.Intn(3); n > 0; n-- {
+			res.Conflicts = append(res.Conflicts, core.Conflict{
+				Kind:   core.ValidatedContradiction,
+				RuleID: "phi1",
+				Attr:   "AC",
+				Have:   pick(),
+				Want:   pick(),
+			})
+		}
+		r := &pipeline.Result{Seq: i, Input: tu, Fixed: tu, Chase: res}
+		want := reference(t, sch, r)
+		buf = enc.Append(buf[:0], r)
+		if string(buf) != string(want) {
+			t.Fatalf("iteration %d:\n got %s\nwant %s", i, buf, want)
+		}
+	}
+}
+
+// TestResultEncoderMatchesArtifact re-pins the end-to-end contract: a
+// real job's results.jsonl (written through the encoder) equals the
+// struct path line for line. Complements the compiled/legacy artifact
+// parity suite, which pins the same bytes against the legacy chase.
+func TestResultEncoderMatchesArtifact(t *testing.T) {
+	eng, dirty, validated := testWorkload(t, 25, 60)
+	m, err := Open(Config{Dir: t.TempDir(), Schema: dataset.CustSchema(), Snapshot: eng.Snapshot})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	spec := make([]map[string]string, len(dirty))
+	for i, tu := range dirty {
+		spec[i] = tu.Map()
+	}
+	j, err := m.SubmitInline(validated, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, j.ID, StateDone)
+	path, err := m.ResultsPath(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := readArtifact(t, path)
+	sch := dataset.CustSchema()
+	seed := schema.SetOfNames(sch, validated...)
+	if len(got) != len(dirty) {
+		t.Fatalf("artifact has %d lines, want %d", len(got), len(dirty))
+	}
+	for i, tu := range dirty {
+		res := eng.Chase(tu, seed)
+		want := reference(t, sch, &pipeline.Result{Seq: i, Input: tu, Fixed: res.Tuple, Chase: res})
+		if string(got[i]) != string(want) {
+			t.Fatalf("line %d:\n got %s\nwant %s", i, got[i], want)
+		}
+	}
+}

@@ -135,7 +135,11 @@ type TupleResult struct {
 	Rewrites  []Change          `json:"rewrites,omitempty"`
 }
 
-// NewTupleResult builds the record for one pipeline result.
+// NewTupleResult builds the record for one pipeline result. It is the
+// struct-building reference implementation: the hot paths (the job
+// runner's results.jsonl writer, the HTTP batch endpoint) render the
+// identical bytes through ResultEncoder without materializing the
+// struct, and the quick-check suite pins the two against each other.
 func NewTupleResult(sch *schema.Schema, r *pipeline.Result) TupleResult {
 	tr := TupleResult{
 		Tuple:     r.Fixed.Map(),

@@ -596,9 +596,18 @@ func (m *Manager) runPipeline(ctx context.Context, j *job) error {
 	}
 	defer out.Close()
 	bw := bufio.NewWriter(out)
-	enc := json.NewEncoder(bw)
+	// Results are rendered through the append-style encoder — byte-
+	// identical to json.Encoder encoding a TupleResult, but through one
+	// buffer recycled per record, honoring the pipeline's contract that
+	// a result is dead once Write returns: nothing per-tuple survives
+	// the write, so a steady-state job run allocates O(window), not
+	// O(tuples).
+	enc := NewResultEncoder(m.cfg.Schema)
+	var line []byte
 	sink := pipeline.SinkFunc(func(r *pipeline.Result) error {
-		if err := enc.Encode(NewTupleResult(m.cfg.Schema, r)); err != nil {
+		line = enc.Append(line[:0], r)
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
 			return err
 		}
 		j.processed.Add(1)

@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
+	"unicode/utf8"
 
+	"cerfix/internal/jsonenc"
 	"cerfix/internal/schema"
 	"cerfix/internal/value"
 )
@@ -17,6 +20,15 @@ import (
 // line, the natural bulk format of the JSON API). The streaming pairs
 // never materialize the dataset: rows are decoded on demand under the
 // pipeline's in-flight window and encoded as results arrive.
+//
+// All of them follow the pipeline's recycling discipline. Sources
+// decode into ONE reused tuple (the Source contract lets them: the
+// pipeline copies it into arena storage before the next Next call) and
+// amortize per-row decoding to at most one allocation — the immutable
+// backing string of the row's values. Sinks encode through reused
+// scratch buffers with the append-style jsonenc primitives, emitting
+// bytes identical to the encoding/json output they replaced, which
+// the byte-parity suites pin.
 
 // SliceSource yields tuples from an in-memory slice.
 type SliceSource struct {
@@ -39,7 +51,10 @@ func (s *SliceSource) Next() (*schema.Tuple, error) {
 	return tu, nil
 }
 
-// SliceSink collects results in input order.
+// SliceSink collects results in input order. Because it retains
+// results past Write, it deep-copies each one out of the pipeline's
+// recycled arenas (the Result contract); the stored clones are safe
+// to keep indefinitely.
 type SliceSink struct {
 	// Results accumulates every result the pipeline emits.
 	Results []*Result
@@ -47,18 +62,25 @@ type SliceSink struct {
 
 // Write implements Sink.
 func (s *SliceSink) Write(r *Result) error {
-	s.Results = append(s.Results, r)
+	s.Results = append(s.Results, r.Clone())
 	return nil
 }
 
 // CSVSource streams tuples from CSV under a schema. The header row
 // must list exactly the schema's attributes (any order); columns are
 // mapped by name, matching storage.Table.ReadCSV's contract.
+//
+// Next reuses one tuple per the Source contract. The csv.Reader runs
+// with ReuseRecord (the record slice is recycled); the field strings
+// themselves are freshly sliced from one backing string per row —
+// immutable, so results may retain them — making the steady-state
+// decode cost one allocation per row.
 type CSVSource struct {
 	sch       *schema.Schema
 	cr        *csv.Reader
 	colToAttr []int
 	line      int
+	tuple     schema.Tuple // reused; valid until the next Next
 }
 
 // NewCSVSource reads the header and prepares the column mapping.
@@ -85,10 +107,14 @@ func NewCSVSource(sch *schema.Schema, r io.Reader) (*CSVSource, error) {
 		return nil, fmt.Errorf("pipeline: csv header has %d columns, schema %s has %d attributes",
 			len(seen), sch.Name(), sch.Len())
 	}
-	return &CSVSource{sch: sch, cr: cr, colToAttr: colToAttr, line: 1}, nil
+	cr.ReuseRecord = true
+	s := &CSVSource{sch: sch, cr: cr, colToAttr: colToAttr, line: 1}
+	s.tuple = schema.Tuple{Schema: sch, Vals: make(value.List, sch.Len())}
+	return s, nil
 }
 
-// Next implements Source.
+// Next implements Source. The returned tuple is reused on the next
+// call.
 func (s *CSVSource) Next() (*schema.Tuple, error) {
 	rec, err := s.cr.Read()
 	if err == io.EOF {
@@ -98,18 +124,19 @@ func (s *CSVSource) Next() (*schema.Tuple, error) {
 	if err != nil {
 		return nil, fmt.Errorf("csv line %d: %w", s.line, err)
 	}
-	vals := make(value.List, s.sch.Len())
 	for i, cell := range rec {
-		vals[s.colToAttr[i]] = value.V(cell)
+		s.tuple.Vals[s.colToAttr[i]] = value.V(cell)
 	}
-	return &schema.Tuple{Schema: s.sch, Vals: vals}, nil
+	return &s.tuple, nil
 }
 
 // CSVSink streams fixed tuples to CSV: a header row of attribute
 // names, then one record per result in input order. Call Flush when
-// the run completes.
+// the run completes. A reused record scratch keeps Write
+// allocation-free.
 type CSVSink struct {
-	cw *csv.Writer
+	cw  *csv.Writer
+	rec []string
 }
 
 // NewCSVSink writes the header row immediately.
@@ -118,12 +145,16 @@ func NewCSVSink(sch *schema.Schema, w io.Writer) (*CSVSink, error) {
 	if err := cw.Write(sch.AttrNames()); err != nil {
 		return nil, fmt.Errorf("pipeline: writing csv header: %w", err)
 	}
-	return &CSVSink{cw: cw}, nil
+	return &CSVSink{cw: cw, rec: make([]string, 0, sch.Len())}, nil
 }
 
 // Write implements Sink, emitting the fixed tuple's values.
 func (s *CSVSink) Write(r *Result) error {
-	return s.cw.Write(r.Fixed.Vals.Strings())
+	s.rec = s.rec[:0]
+	for _, v := range r.Fixed.Vals {
+		s.rec = append(s.rec, string(v))
+	}
+	return s.cw.Write(s.rec)
 }
 
 // Flush drains buffered records and reports any deferred write error.
@@ -136,20 +167,53 @@ func (s *CSVSink) Flush() error {
 // attribute→value object per line (blank lines are skipped). Unknown
 // attributes are an error; absent ones become null, as in the HTTP
 // batch endpoint.
+//
+// Next reuses one tuple per the Source contract. A fast path parses
+// the common shape — a flat object of plain string values — straight
+// out of the scanner's buffer with one allocation per line (the
+// immutable backing string of the decoded values, the same economy
+// encoding/csv uses). Anything beyond it — escape sequences, non-
+// string values, invalid UTF-8, malformed lines, unknown attributes —
+// falls back to encoding/json so behavior and error text match the
+// original decoder exactly.
 type JSONLSource struct {
 	sch  *schema.Schema
 	sc   *bufio.Scanner
 	line int
+	// idx mirrors the schema's name→position map locally: indexing a
+	// map with string(bytes) compiles to an allocation-free lookup
+	// only as a direct map access expression.
+	idx    map[string]int
+	tuple  schema.Tuple // reused; valid until the next Next
+	valBuf []byte       // raw decoded values; one backing string per line
+	spans  []valSpan    // per attribute position, offsets into valBuf
+	m      map[string]string
 }
+
+// valSpan locates one decoded value inside valBuf; start < 0 means the
+// attribute was absent from the line.
+type valSpan struct{ start, end int }
 
 // NewJSONLSource wraps a JSONL stream under sch.
 func NewJSONLSource(sch *schema.Schema, r io.Reader) *JSONLSource {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	return &JSONLSource{sch: sch, sc: sc}
+	s := &JSONLSource{
+		sch:   sch,
+		sc:    sc,
+		idx:   make(map[string]int, sch.Len()),
+		spans: make([]valSpan, sch.Len()),
+		m:     make(map[string]string, sch.Len()),
+	}
+	for i, name := range sch.AttrNames() {
+		s.idx[name] = i
+	}
+	s.tuple = schema.Tuple{Schema: sch, Vals: make(value.List, sch.Len())}
+	return s
 }
 
-// Next implements Source.
+// Next implements Source. The returned tuple is reused on the next
+// call.
 func (s *JSONLSource) Next() (*schema.Tuple, error) {
 	for s.sc.Scan() {
 		s.line++
@@ -157,11 +221,17 @@ func (s *JSONLSource) Next() (*schema.Tuple, error) {
 		if len(line) == 0 {
 			continue
 		}
-		var m map[string]string
-		if err := json.Unmarshal(line, &m); err != nil {
+		if s.parseFast(line) {
+			return &s.tuple, nil
+		}
+		// Slow path: exact legacy behavior and error text. The scratch
+		// map is cleared and reused; the resulting tuple is fresh,
+		// which trivially satisfies the reuse contract.
+		clear(s.m)
+		if err := json.Unmarshal(line, &s.m); err != nil {
 			return nil, fmt.Errorf("jsonl line %d: %w", s.line, err)
 		}
-		tu, err := schema.TupleFromMap(s.sch, m)
+		tu, err := schema.TupleFromMap(s.sch, s.m)
 		if err != nil {
 			return nil, fmt.Errorf("jsonl line %d: %w", s.line, err)
 		}
@@ -173,7 +243,124 @@ func (s *JSONLSource) Next() (*schema.Tuple, error) {
 	return nil, io.EOF
 }
 
-// jsonlRecord is JSONLSink's per-result output shape.
+// parseFast decodes a flat {"attr":"value",...} object into the reused
+// tuple, reporting false — deciding nothing — whenever the line strays
+// from the plain shape, so the encoding/json fallback keeps semantics
+// (duplicate keys last-wins, null handling, error text) authoritative.
+func (s *JSONLSource) parseFast(line []byte) bool {
+	for i := range s.spans {
+		s.spans[i] = valSpan{-1, -1}
+	}
+	s.valBuf = s.valBuf[:0]
+	p, n := 0, len(line)
+	ws := func() {
+		for p < n && (line[p] == ' ' || line[p] == '\t' || line[p] == '\n' || line[p] == '\r') {
+			p++
+		}
+	}
+	finish := func() bool {
+		ws()
+		if p != n {
+			return false // trailing bytes: the fallback rejects them
+		}
+		backing := string(s.valBuf)
+		for i := range s.tuple.Vals {
+			sp := s.spans[i]
+			if sp.start < 0 {
+				s.tuple.Vals[i] = value.Null
+			} else {
+				s.tuple.Vals[i] = value.V(backing[sp.start:sp.end])
+			}
+		}
+		return true
+	}
+	ws()
+	if p >= n || line[p] != '{' {
+		return false
+	}
+	p++
+	ws()
+	if p < n && line[p] == '}' {
+		p++
+		return finish()
+	}
+	for {
+		ws()
+		if p >= n || line[p] != '"' {
+			return false
+		}
+		p++
+		keyStart := p
+		for p < n && line[p] != '"' {
+			c := line[p]
+			if c == '\\' || c < 0x20 || c >= utf8.RuneSelf {
+				return false // escaped/exotic keys: slow path
+			}
+			p++
+		}
+		if p >= n {
+			return false
+		}
+		ai, known := s.idx[string(line[keyStart:p])]
+		if !known {
+			return false // unknown attribute: slow path reports it
+		}
+		p++
+		ws()
+		if p >= n || line[p] != ':' {
+			return false
+		}
+		p++
+		ws()
+		if p >= n || line[p] != '"' {
+			return false // non-string value: slow path decides
+		}
+		p++
+		start := len(s.valBuf)
+		for {
+			if p >= n {
+				return false
+			}
+			c := line[p]
+			if c == '"' {
+				break
+			}
+			if c == '\\' || c < 0x20 {
+				return false // escapes & control chars: slow path
+			}
+			if c < utf8.RuneSelf {
+				s.valBuf = append(s.valBuf, c)
+				p++
+				continue
+			}
+			r, size := utf8.DecodeRune(line[p:])
+			if r == utf8.RuneError && size == 1 {
+				return false // invalid UTF-8: slow path coerces to U+FFFD
+			}
+			s.valBuf = append(s.valBuf, line[p:p+size]...)
+			p += size
+		}
+		p++                                         // closing quote
+		s.spans[ai] = valSpan{start, len(s.valBuf)} // duplicate keys: last wins
+		ws()
+		if p >= n {
+			return false
+		}
+		switch line[p] {
+		case ',':
+			p++
+		case '}':
+			p++
+			return finish()
+		default:
+			return false
+		}
+	}
+}
+
+// jsonlRecord is JSONLSink's per-result output shape. Retained as the
+// documentation of the wire format and as the encoding/json reference
+// the sink's append-style encoder is byte-parity-tested against.
 type jsonlRecord struct {
 	Tuple     map[string]string `json:"tuple"`
 	Done      bool              `json:"done"`
@@ -183,24 +370,55 @@ type jsonlRecord struct {
 
 // JSONLSink streams one JSON object per result: the fixed tuple, the
 // fully-validated flag, conflict messages and the rewrite count.
+// Records are rendered through a reused buffer with the jsonenc
+// primitives — byte-identical to json.Encoder encoding a jsonlRecord,
+// without the per-result map, slices and reflection.
 type JSONLSink struct {
-	enc *json.Encoder
+	w   io.Writer
+	buf []byte
+	// Key order and names are bound to the first result's schema
+	// (re-bound if it ever changes): encoding/json emits map keys
+	// sorted, so the attribute order is computed once.
+	sch      *schema.Schema
+	keyOrder []int
+	names    []string
 }
 
 // NewJSONLSink wraps w.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	return &JSONLSink{w: w}
+}
+
+// bind computes the schema-derived encoding state.
+func (s *JSONLSink) bind(sch *schema.Schema) {
+	s.sch = sch
+	s.names = sch.AttrNames()
+	s.keyOrder = jsonenc.KeyOrder(s.names)
 }
 
 // Write implements Sink.
 func (s *JSONLSink) Write(r *Result) error {
-	rec := jsonlRecord{
-		Tuple:    r.Fixed.Map(),
-		Done:     r.Chase.AllValidated() && len(r.Chase.Conflicts) == 0,
-		Rewrites: len(r.Chase.Rewrites()),
+	if s.sch != r.Fixed.Schema {
+		s.bind(r.Fixed.Schema)
 	}
-	for _, c := range r.Chase.Conflicts {
-		rec.Conflicts = append(rec.Conflicts, c.Error())
+	b := append(s.buf[:0], `{"tuple":`...)
+	b = jsonenc.AppendStringMap(b, s.names, s.keyOrder, r.Fixed.Vals)
+	b = append(b, `,"done":`...)
+	b = jsonenc.AppendBool(b, r.Chase.AllValidated() && len(r.Chase.Conflicts) == 0)
+	if len(r.Chase.Conflicts) > 0 {
+		b = append(b, `,"conflicts":[`...)
+		for i := range r.Chase.Conflicts {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = jsonenc.AppendString(b, r.Chase.Conflicts[i].Error())
+		}
+		b = append(b, ']')
 	}
-	return s.enc.Encode(rec)
+	b = append(b, `,"rewrites":`...)
+	b = strconv.AppendInt(b, int64(r.Chase.RewriteCount()), 10)
+	b = append(b, '}', '\n')
+	s.buf = b
+	_, err := s.w.Write(b)
+	return err
 }

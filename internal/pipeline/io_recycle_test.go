@@ -1,0 +1,306 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cerfix/internal/dataset"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// This file tests the recycling behavior the zero-alloc pipeline
+// introduced: sources that reuse their decoded tuple (and the JSONL
+// fast path's parity with the encoding/json decoder it bypasses), and
+// sinks that render through reused buffers byte-identically to the
+// encoding/json output they replaced.
+
+// legacyJSONLDecode is the pre-recycling JSONL decoder: encoding/json
+// into a fresh map, TupleFromMap into a fresh tuple. The reference the
+// fast path must match line for line — values AND errors.
+func legacyJSONLDecode(sch *schema.Schema, line []byte, lineNo int) (*schema.Tuple, error) {
+	var m map[string]string
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, fmt.Errorf("jsonl line %d: %w", lineNo, err)
+	}
+	tu, err := schema.TupleFromMap(sch, m)
+	if err != nil {
+		return nil, fmt.Errorf("jsonl line %d: %w", lineNo, err)
+	}
+	return tu, nil
+}
+
+// TestJSONLSourceMatchesLegacyDecoder feeds hand-picked and randomized
+// well-formed lines — plain, escaped, unicode, duplicate keys, odd
+// whitespace — through the reusing source and the legacy decoder,
+// expecting identical tuples.
+func TestJSONLSourceMatchesLegacyDecoder(t *testing.T) {
+	sch := dataset.CustSchema()
+	attrs := sch.AttrNames()
+	lines := []string{
+		`{"FN":"Bob","LN":"Brady","AC":"131","phn":"6884563","type":"1","str":"501 Elm St","city":"Edi","zip":"EH8 4AH","item":"CD"}`,
+		`{}`,
+		`{"FN":""}`,
+		`  { "FN" : "spaced" , "LN" : "out" }  `,
+		`{"FN":"dup","FN":"last-wins"}`,
+		`{"FN":"esc\"aped","LN":"back\\slash","AC":"tab\there"}`,
+		`{"FN":"uni\u00e9code","LN":"naïve café 漢字"}`,
+		`{"FN":"control\u0001char"}`,
+		`{"FN":"🚀 emoji"}`,
+		`{"zip":"only tail attr"}`,
+	}
+	rng := rand.New(rand.NewSource(5))
+	values := []string{"", "plain", `qu\"ote`, `back\\slash`, "é漢🚀", "<html>&amp;", "1e-9", "spaces in value"}
+	for i := 0; i < 300; i++ {
+		var sb strings.Builder
+		sb.WriteByte('{')
+		n := rng.Intn(len(attrs) + 1)
+		for j := 0; j < n; j++ {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%q:\"%s\"", attrs[rng.Intn(len(attrs))], values[rng.Intn(len(values))])
+		}
+		sb.WriteByte('}')
+		lines = append(lines, sb.String())
+	}
+
+	src := NewJSONLSource(sch, strings.NewReader(strings.Join(lines, "\n")))
+	for i, line := range lines {
+		want, wantErr := legacyJSONLDecode(sch, []byte(line), i+1)
+		if wantErr != nil {
+			t.Fatalf("test bug: reference rejects line %d %q: %v", i+1, line, wantErr)
+		}
+		got, gotErr := src.Next()
+		if gotErr != nil {
+			t.Fatalf("line %d %q: %v", i+1, line, gotErr)
+		}
+		if !got.Vals.Equal(want.Vals) {
+			t.Fatalf("line %d %q:\n got %v\nwant %v", i+1, line, got.Vals, want.Vals)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("tail err = %v, want EOF", err)
+	}
+}
+
+// TestJSONLSourceErrorParity runs malformed and fallback-shaped lines
+// as single-line streams so error text can be compared 1:1 with the
+// legacy decoder — the fast path must never accept what encoding/json
+// rejects, nor reword what it reports.
+func TestJSONLSourceErrorParity(t *testing.T) {
+	sch := dataset.CustSchema()
+	lines := []string{
+		`{"FN":null}`,
+		`{"FN":123}`,
+		`{"FN":{"nested":"x"}}`,
+		`{"unknown":"attr"}`,
+		`{"FN":"trailing"} junk`,
+		`{"FN" "colonless"}`,
+		`not json at all`,
+		`[1,2,3]`,
+		"{\"FN\":\"bad\xff utf8\"}",
+		`{"FN":"unterminated`,
+		`   `,
+		"{\"FN\":\"tab\tliteral\"}", // raw control char inside a string
+		`{"FN":"a",}`,
+	}
+	for _, line := range lines {
+		want, wantErr := legacyJSONLDecode(sch, []byte(line), 1)
+		src := NewJSONLSource(sch, strings.NewReader(line))
+		got, gotErr := src.Next()
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%q: err %v, want %v", line, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("%q:\n got error %q\nwant error %q", line, gotErr, wantErr)
+			}
+			continue
+		}
+		if !got.Vals.Equal(want.Vals) {
+			t.Fatalf("%q: got %v, want %v", line, got.Vals, want.Vals)
+		}
+	}
+}
+
+// TestJSONLSourceValuesSurviveReuse pins the part of the contract the
+// arena copy relies on: the VALUES of tuple N must stay intact after
+// Next(N+1) reuses the tuple struct, because results retain them.
+func TestJSONLSourceValuesSurviveReuse(t *testing.T) {
+	sch := dataset.CustSchema()
+	var sb strings.Builder
+	const n = 50
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "{\"FN\":\"fn%03d\",\"LN\":\"ln%03d\",\"city\":\"é%03d\"}\n", i, i, i)
+	}
+	src := NewJSONLSource(sch, strings.NewReader(sb.String()))
+	var snapshots []value.List
+	for i := 0; i < n; i++ {
+		tu, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Copy the value headers only — the strings must remain valid.
+		snapshots = append(snapshots, append(value.List(nil), tu.Vals...))
+	}
+	fn, city := sch.MustIndex("FN"), sch.MustIndex("city")
+	for i, vals := range snapshots {
+		if want := value.V(fmt.Sprintf("fn%03d", i)); vals[fn] != want {
+			t.Fatalf("tuple %d FN = %q, want %q (buffer reuse clobbered values)", i, vals[fn], want)
+		}
+		if want := value.V(fmt.Sprintf("é%03d", i)); vals[city] != want {
+			t.Fatalf("tuple %d city = %q, want %q", i, vals[city], want)
+		}
+	}
+}
+
+// TestStreamingSourcesMatchSliceSource is the end-to-end recycling
+// proof: the same workload repaired through the reusing CSV and JSONL
+// sources (with the pipeline copying out of their reused tuples)
+// produces byte-identical JSONL sink output to the slice source, at
+// several worker counts.
+func TestStreamingSourcesMatchSliceSource(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 40, 300)
+	sch := dataset.CustSchema()
+
+	var want bytes.Buffer
+	if _, err := Run(context.Background(), eng, seed, NewSliceSource(dirty), NewJSONLSink(&want), &Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	var csvData bytes.Buffer
+	cw := csv.NewWriter(&csvData)
+	if err := cw.Write(sch.AttrNames()); err != nil {
+		t.Fatal(err)
+	}
+	for _, tu := range dirty {
+		if err := cw.Write(tu.Vals.Strings()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cw.Flush()
+	var jsonlData bytes.Buffer
+	enc := json.NewEncoder(&jsonlData)
+	for _, tu := range dirty {
+		if err := enc.Encode(tu.Map()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, workers := range []int{1, 4} {
+		csvSrc, err := NewCSVSource(sch, bytes.NewReader(csvData.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if _, err := Run(context.Background(), eng, seed, csvSrc, NewJSONLSink(&got), &Options{Workers: workers, Window: 32, ChunkSize: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("csv source at %d workers diverges from slice source", workers)
+		}
+
+		got.Reset()
+		if _, err := Run(context.Background(), eng, seed, NewJSONLSource(sch, bytes.NewReader(jsonlData.Bytes())), NewJSONLSink(&got), &Options{Workers: workers, Window: 32, ChunkSize: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("jsonl source at %d workers diverges from slice source", workers)
+		}
+	}
+}
+
+// legacyJSONLSinkEncode is the pre-recycling sink: a jsonlRecord
+// through encoding/json.
+func legacyJSONLSinkEncode(t *testing.T, w io.Writer, r *Result) {
+	t.Helper()
+	rec := jsonlRecord{
+		Tuple:    r.Fixed.Map(),
+		Done:     r.Chase.AllValidated() && len(r.Chase.Conflicts) == 0,
+		Rewrites: len(r.Chase.Rewrites()),
+	}
+	for _, c := range r.Chase.Conflicts {
+		rec.Conflicts = append(rec.Conflicts, c.Error())
+	}
+	if err := json.NewEncoder(w).Encode(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJSONLSinkByteParity pins the append-style sink against the
+// encoding/json reference across fixed results, conflict-bearing
+// results and values that exercise the escaper.
+func TestJSONLSinkByteParity(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 30, 120)
+	sch := dataset.CustSchema()
+
+	// Inputs that produce conflicts (validated wrong FN/LN contradict
+	// what φ4/φ5 derive) and escape-heavy junk values that flow
+	// through unvalidated.
+	extra := []*schema.Tuple{
+		schema.MustTuple(sch, "Wrong", "Name", "201", "075568485", "2", "st", "city", "zip", "it"),
+		schema.MustTuple(sch, `qu"ote`, `back\slash`, "a&b", "<tag>", "new\nline", "é漢🚀", "\u2028sep", "ctrl\x01", "DVD"),
+	}
+	inputs := append(append([]*schema.Tuple{}, dirty...), extra...)
+	conflictSeed := schema.SetOfNames(sch, "FN", "LN", "phn", "type", "item")
+
+	for _, cfg := range []struct {
+		name string
+		seed schema.AttrSet
+	}{{"workload", seed}, {"conflicts", conflictSeed}} {
+		var want, got bytes.Buffer
+		refSink := SinkFunc(func(r *Result) error {
+			legacyJSONLSinkEncode(t, &want, r)
+			return nil
+		})
+		if _, err := Run(context.Background(), eng, cfg.seed, NewSliceSource(inputs), refSink, &Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(context.Background(), eng, cfg.seed, NewSliceSource(inputs), NewJSONLSink(&got), &Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			gl := bytes.Split(got.Bytes(), []byte("\n"))
+			wl := bytes.Split(want.Bytes(), []byte("\n"))
+			for i := range wl {
+				if i >= len(gl) || !bytes.Equal(gl[i], wl[i]) {
+					t.Fatalf("%s: line %d diverges\n got %s\nwant %s", cfg.name, i, gl[i], wl[i])
+				}
+			}
+			t.Fatalf("%s: sink output diverges in length", cfg.name)
+		}
+	}
+}
+
+// TestResultCloneIndependent: a cloned result survives the arena being
+// recycled underneath it (the SliceSink path exercised directly).
+func TestResultCloneIndependent(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 20, 64)
+	sink := &SliceSink{}
+	if _, err := Run(context.Background(), eng, seed, NewSliceSource(dirty), sink, &Options{Workers: 4, Window: 8, ChunkSize: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// With Window 8 and 64 tuples, every arena slot was recycled many
+	// times; the retained clones must still match a fresh sequential
+	// chase.
+	for i, r := range sink.Results {
+		want := eng.Chase(dirty[i], seed)
+		if !r.Fixed.Equal(want.Tuple) {
+			t.Fatalf("tuple %d: retained clone clobbered by arena recycling", i)
+		}
+		if !r.Input.Equal(dirty[i]) {
+			t.Fatalf("tuple %d: retained input clone clobbered", i)
+		}
+		if r.Fixed != r.Chase.Tuple {
+			t.Fatalf("tuple %d: clone broke the Fixed == Chase.Tuple alias", i)
+		}
+	}
+}

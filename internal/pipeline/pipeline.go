@@ -10,21 +10,44 @@
 // mutate — core.Engine.Snapshot), each tuple's certain-fix chase is
 // independent of every other tuple's: batch repair is embarrassingly
 // parallel. Run shards the input across N workers, each owning a
-// reusable core.Chaser — the compiled chase program's executor, whose
-// per-rule master handles and scratch buffers amortize across the
-// worker's whole shard — against the shared read-only engine, and
-// re-sequences results so the sink observes exactly the order — and
-// exactly the bytes — the sequential path would have produced.
+// reusable core.Chaser — the compiled chase program's executor, pooled
+// at the engine so scratch survives across runs — against the shared
+// read-only engine, and re-sequences results so the sink observes
+// exactly the order — and exactly the bytes — the sequential path
+// would have produced.
 //
-// Memory stays flat regardless of input size: tuples flow through
-// bounded channels, and an in-flight window caps how far the reader
-// may run ahead of the slowest unfinished tuple, so a slow sink (or
-// one pathological tuple) stalls the source instead of ballooning the
-// resequencing buffer.
+// Memory stays flat regardless of input size, and in steady state the
+// run allocates O(window), not O(tuples): tuples, Result structs and
+// ChaseResults live in batch arenas that recycle through the in-flight
+// window (see the memory-model section below), the resequencer is a
+// ring buffer sized by that window, and an in-flight token cap bounds
+// how far the reader may run ahead of the slowest unfinished tuple, so
+// a slow sink (or one pathological tuple) stalls the source instead of
+// ballooning the resequencing buffer.
+//
+// # Memory model
+//
+// One batch — up to ChunkSize consecutive tuples, their inputs,
+// Results and ChaseResults — is the unit of both work and memory. A
+// fixed set of batches (O(window/ChunkSize + workers)) cycles
+//
+//	free pool → reader (fills inputs) → worker (chases into the
+//	batch's result slots) → resequencer (sinks in order) → free pool
+//
+// with ownership handed off at each arrow, so no batch is ever shared
+// between stages. Recycling piggybacks on the admission tokens: a
+// batch returns to the pool only after every one of its results has
+// been written and its tokens released, which is exactly when nothing
+// in the run can still reference it. The corollary is the package's
+// recycling contract: a *Result (its Input, Fixed and Chase included)
+// is valid only until Sink.Write returns — sinks that retain results
+// must Clone them (SliceSink does).
 //
 // Sources and sinks are small interfaces; CSV and JSONL streaming
 // implementations live in io.go, and slice-backed ones serve the HTTP
-// batch endpoint and tests.
+// batch endpoint and tests. Sources may reuse the returned tuple
+// between Next calls (the streaming ones do); the reader copies every
+// tuple into batch-arena storage before asking for the next.
 package pipeline
 
 import (
@@ -47,8 +70,8 @@ type Options struct {
 	Workers int
 	// Window is the maximum number of tuples in flight between source
 	// and sink (the backpressure bound: reader admission, channel
-	// capacity and resequencing buffer all live inside it).
-	// Default: 16 per worker, minimum 64.
+	// capacity, resequencing ring and arena footprint all live inside
+	// it). Default: 16 per worker, minimum 64.
 	Window int
 	// ChunkSize is how many consecutive tuples ride one work unit.
 	// Chunking amortizes channel operations when individual fixes are
@@ -82,25 +105,48 @@ func (o *Options) chunkSize() int {
 }
 
 // Source yields input tuples in order; Next returns io.EOF when the
-// stream is drained.
+// stream is drained. The returned tuple — struct and value slice —
+// need only stay valid until the next Next call: streaming sources
+// decode into one reused tuple, and the pipeline copies it into arena
+// storage before reading on. (The string values themselves must be
+// immutable as usual; only the containers may be recycled.)
 type Source interface {
 	Next() (*schema.Tuple, error)
 }
 
 // Result is one tuple's outcome. Sinks receive results strictly in
 // input order.
+//
+// Recycling contract: a Result and everything it references — Input,
+// Fixed (which aliases Chase.Tuple) and Chase, including the change
+// and conflict slices — live in a batch arena that is recycled through
+// the pipeline's in-flight window. They are valid only until
+// Sink.Write returns; a sink that retains anything past that must
+// Clone the result (or copy the parts it keeps).
 type Result struct {
 	// Seq is the tuple's 0-based position in the input stream.
 	Seq int
 	// Input is the tuple as read from the source.
 	Input *schema.Tuple
-	// Fixed is the chased copy (Input is untouched).
+	// Fixed is the chased copy (Input is untouched). It is the same
+	// tuple Chase.Tuple points to.
 	Fixed *schema.Tuple
 	// Chase carries the full outcome: changes, conflicts, rounds.
 	Chase *core.ChaseResult
 }
 
+// Clone returns a deep copy safe to retain indefinitely, sharing
+// nothing with the arena-backed original. Fixed aliases Chase.Tuple in
+// the clone, as it does in pipeline-produced results.
+func (r *Result) Clone() *Result {
+	cp := &Result{Seq: r.Seq, Input: r.Input.Clone(), Chase: r.Chase.Clone()}
+	cp.Fixed = cp.Chase.Tuple
+	return cp
+}
+
 // Sink consumes results in input order. Write errors abort the run.
+// The *Result argument obeys the recycling contract documented on
+// Result: it is valid only until Write returns.
 type Sink interface {
 	Write(*Result) error
 }
@@ -131,17 +177,33 @@ type Stats struct {
 	Workers int `json:"workers"`
 }
 
-// chunk is one work unit: up to ChunkSize consecutive tuples.
-type chunk struct {
+// batch is one work unit AND its arena: up to ChunkSize consecutive
+// tuples with their input storage, Result structs and ChaseResults.
+// Batches are recycled through the free pool for the lifetime of one
+// Run; inner buffers (value slices, change/conflict capacity) warm up
+// on first use and persist across recycles, so a steady-state run
+// allocates nothing per tuple.
+type batch struct {
 	startSeq int
-	tuples   []*schema.Tuple
+	n        int
+	in       []schema.Tuple     // inputs, copied from the source
+	results  []Result           // handed to the sink, slot i ↔ in[i]
+	chase    []core.ChaseResult // reusable chase outcomes, slot i ↔ in[i]
 }
 
-// chunkResult carries a chunk's outcomes, index-aligned with tuples.
-type chunkResult struct {
-	startSeq int
-	results  []*Result
+func newBatch(chunkSize int) *batch {
+	return &batch{
+		in:      make([]schema.Tuple, chunkSize),
+		results: make([]Result, chunkSize),
+		chase:   make([]core.ChaseResult, chunkSize),
+	}
 }
+
+// testWorkerHook, when non-nil, runs in each worker after a batch is
+// chased and before it is handed to the resequencer. Tests use it to
+// impose adversarial completion orders on the resequencing ring;
+// production runs never set it.
+var testWorkerHook func(startSeq int)
 
 // Run executes a non-interactive certain-fix pass over every tuple of
 // src, asserting the validated attribute set, and streams results to
@@ -165,16 +227,29 @@ func Run(ctx context.Context, eng *core.Engine, validated schema.AttrSet, src So
 		// in-flight tuple inside the reader and deadlock.
 		window = chunkSize
 	}
+	// nChunks bounds the chunk-granular spread of the window: with at
+	// most window tuples admitted past the emit frontier, in-flight
+	// chunk start positions span fewer than nChunks chunk indices —
+	// the resequencing ring's structural invariant.
 	nChunks := window/chunkSize + 1
+	// The arena population: enough batches for every stage to hold a
+	// full complement (jobs queue + results queue share nChunks of
+	// window, one per worker, one in the reader) without the free pool
+	// ever being the bottleneck in steady state.
+	nBatches := 2*nChunks + workers + 1
 
 	var (
-		jobs     = make(chan chunk, nChunks)
-		results  = make(chan chunkResult, nChunks)
+		jobs     = make(chan *batch, nChunks)
+		results  = make(chan *batch, nChunks)
+		free     = make(chan *batch, nBatches)
 		inflight = make(chan struct{}, window) // admission tokens, 1/tuple
 		done     = make(chan struct{})
 		errOnce  sync.Once
 		runErr   error
 	)
+	for i := 0; i < nBatches; i++ {
+		free <- newBatch(chunkSize)
+	}
 	fail := func(err error) {
 		errOnce.Do(func() {
 			runErr = err
@@ -204,27 +279,24 @@ func Run(ctx context.Context, eng *core.Engine, validated schema.AttrSet, src So
 		}()
 	}
 
-	// Stage 1 — reader: batch the stream into chunks, admitting at
-	// most window tuples past the resequencer's emit frontier.
+	// Stage 1 — reader: copy the stream into batch arenas, admitting
+	// at most window tuples past the resequencer's emit frontier. The
+	// current batch is grabbed from the free pool only when the next
+	// admitted tuple needs one, so a reader parked on the pool never
+	// holds admission tokens hostage.
 	go func() {
 		defer close(jobs)
-		cur := chunk{}
-		flush := func() bool {
-			if len(cur.tuples) == 0 {
-				return true
-			}
-			select {
-			case jobs <- cur:
-				cur = chunk{startSeq: cur.startSeq + len(cur.tuples)}
-				return true
-			case <-done:
-				return false
-			}
-		}
-		for seq := 0; ; seq++ {
+		var cur *batch
+		seq := 0
+		for {
 			tu, err := src.Next()
 			if err == io.EOF {
-				flush()
+				if cur != nil && cur.n > 0 {
+					select {
+					case jobs <- cur:
+					case <-done:
+					}
+				}
 				return
 			}
 			if err != nil {
@@ -236,31 +308,56 @@ func Run(ctx context.Context, eng *core.Engine, validated schema.AttrSet, src So
 			case <-done:
 				return
 			}
-			cur.tuples = append(cur.tuples, tu)
-			if len(cur.tuples) >= chunkSize {
-				if !flush() {
+			if cur == nil {
+				select {
+				case cur = <-free:
+					cur.startSeq = seq
+					cur.n = 0
+				case <-done:
+					return
+				}
+			}
+			// Copy into the arena: the source may recycle tu on the
+			// next Next call; the value strings themselves are
+			// immutable and shared.
+			dst := &cur.in[cur.n]
+			dst.Schema = tu.Schema
+			dst.ID = tu.ID
+			dst.Vals = append(dst.Vals[:0], tu.Vals...)
+			cur.n++
+			seq++
+			if cur.n >= chunkSize {
+				select {
+				case jobs <- cur:
+					cur = nil
+				case <-done:
 					return
 				}
 			}
 		}
 	}()
 
-	// Stage 2 — sharded workers: each owns a reusable chaser against
-	// the shared read-only engine.
+	// Stage 2 — sharded workers: each owns a pooled chaser against the
+	// shared read-only engine and chases into the batch's own result
+	// slots, so the chase allocates nothing once the arena is warm.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			chaser := eng.NewChaser()
-			for c := range jobs {
-				out := chunkResult{startSeq: c.startSeq, results: make([]*Result, len(c.tuples))}
-				for i, tu := range c.tuples {
-					res := chaser.Chase(tu, validated)
-					out.results[i] = &Result{Seq: c.startSeq + i, Input: tu, Fixed: res.Tuple, Chase: res}
+			chaser := eng.AcquireChaser()
+			defer chaser.Release()
+			for b := range jobs {
+				for i := 0; i < b.n; i++ {
+					in := &b.in[i]
+					res := chaser.ChaseInto(&b.chase[i], in, validated)
+					b.results[i] = Result{Seq: b.startSeq + i, Input: in, Fixed: res.Tuple, Chase: res}
+				}
+				if testWorkerHook != nil {
+					testWorkerHook(b.startSeq)
 				}
 				select {
-				case results <- out:
+				case results <- b:
 				case <-done:
 					return
 				}
@@ -272,13 +369,19 @@ func Run(ctx context.Context, eng *core.Engine, validated schema.AttrSet, src So
 		close(results)
 	}()
 
-	// Stage 3 — resequencer: restore input order, release admission
-	// tokens, feed the sink.
+	// Stage 3 — resequencer: restore input order through a ring sized
+	// by the window, release admission tokens, feed the sink, recycle
+	// the batch. Out-of-order completions are pure index stores: chunk
+	// k lands in slot k mod nChunks, and the admission bound makes
+	// collisions structurally impossible (two pending chunks nChunks
+	// apart would need more than window tuples in flight).
 	stats := Stats{Workers: workers}
-	pending := make(map[int]chunkResult)
+	ring := make([]*batch, nChunks)
+	pending := 0
 	next := 0
-	emit := func(cr chunkResult) bool {
-		for _, r := range cr.results {
+	emit := func(b *batch) bool {
+		for i := 0; i < b.n; i++ {
+			r := &b.results[i]
 			stats.Tuples++
 			if r.Chase.AllValidated() && len(r.Chase.Conflicts) == 0 {
 				stats.FullyValidated++
@@ -286,32 +389,38 @@ func Run(ctx context.Context, eng *core.Engine, validated schema.AttrSet, src So
 			if len(r.Chase.Conflicts) > 0 {
 				stats.WithConflicts++
 			}
-			stats.CellsRewritten += len(r.Chase.Rewrites())
+			stats.CellsRewritten += r.Chase.RewriteCount()
 			if err := sink.Write(r); err != nil {
 				fail(fmt.Errorf("pipeline: writing tuple %d: %w", r.Seq, err))
 				return false
 			}
 			<-inflight
 		}
-		next = cr.startSeq + len(cr.results)
+		next = b.startSeq + b.n
+		// Recycle. free's capacity covers every batch ever created, so
+		// this send cannot block; a plain send keeps the invariant
+		// self-enforcing instead of silently dropping the batch.
+		free <- b
 		return true
 	}
 loop:
-	for cr := range results {
-		if cr.startSeq != next {
-			pending[cr.startSeq] = cr
+	for b := range results {
+		if b.startSeq != next {
+			ring[(b.startSeq/chunkSize)%nChunks] = b
+			pending++
 			continue
 		}
-		if !emit(cr) {
+		if !emit(b) {
 			break loop
 		}
-		for {
-			nc, ok := pending[next]
-			if !ok {
+		for pending > 0 {
+			nb := ring[(next/chunkSize)%nChunks]
+			if nb == nil || nb.startSeq != next {
 				break
 			}
-			delete(pending, next)
-			if !emit(nc) {
+			ring[(next/chunkSize)%nChunks] = nil
+			pending--
+			if !emit(nb) {
 				break loop
 			}
 		}
@@ -326,7 +435,7 @@ loop:
 	if runErr != nil {
 		return stats, runErr
 	}
-	if len(pending) > 0 {
+	if pending > 0 {
 		// Unreachable unless a worker died; keep the invariant loud.
 		return stats, errors.New("pipeline: results missing from resequencer")
 	}

@@ -1,0 +1,275 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cerfix/internal/schema"
+)
+
+// This file attacks the resequencing ring directly: testWorkerHook
+// lets tests dictate the exact order in which finished chunks reach
+// the resequencer, turning "adversarial worker scheduling" from a
+// matter of luck into a deterministic schedule. All tests here run
+// under -race in CI.
+
+// releaseController serializes chunk completion into an exact global
+// order: a worker parks in the hook until every chunk ranked before
+// its own has been released.
+type releaseController struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	rank map[int]int // chunk startSeq → global release rank
+	next int
+}
+
+func newReleaseController(order []int, chunkSize int) *releaseController {
+	rc := &releaseController{rank: make(map[int]int, len(order))}
+	rc.cond = sync.NewCond(&rc.mu)
+	for r, chunkIdx := range order {
+		rc.rank[chunkIdx*chunkSize] = r
+	}
+	return rc
+}
+
+func (rc *releaseController) hook(startSeq int) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	r, ok := rc.rank[startSeq]
+	if !ok {
+		return // final partial chunk outside the planned order: pass through
+	}
+	for r != rc.next {
+		rc.cond.Wait()
+	}
+	rc.next++
+	rc.cond.Broadcast()
+}
+
+// adversarialOrders builds completion schedules that are maximally
+// hostile yet admissible under the in-flight window: chunks may only
+// be reordered within a window's worth (F = window/chunkSize chunks),
+// because the reader cannot admit further until the oldest emits.
+// Within each consecutive group of F chunks, any permutation is
+// achievable with F workers.
+func adversarialOrders(totalChunks, f int, rng *rand.Rand) [][]int {
+	identity := make([]int, totalChunks)
+	for i := range identity {
+		identity[i] = i
+	}
+	reversed := make([]int, 0, totalChunks)
+	rotated := make([]int, 0, totalChunks)
+	shuffled := make([]int, 0, totalChunks)
+	for g := 0; g < totalChunks; g += f {
+		end := g + f
+		if end > totalChunks {
+			end = totalChunks
+		}
+		for i := end - 1; i >= g; i-- { // strict reverse within the window
+			reversed = append(reversed, i)
+		}
+		for i := g + 1; i < end; i++ { // oldest chunk arrives last but one rotation
+			rotated = append(rotated, i)
+		}
+		rotated = append(rotated, g)
+		perm := rng.Perm(end - g)
+		for _, p := range perm {
+			shuffled = append(shuffled, g+p)
+		}
+	}
+	return [][]int{identity, reversed, rotated, shuffled}
+}
+
+// TestResequencerAdversarialOrders drives every hostile completion
+// schedule through several window geometries, comparing the recycled
+// ring's output to the sequential chase tuple by tuple.
+func TestResequencerAdversarialOrders(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 30, 240)
+	rng := rand.New(rand.NewSource(17))
+
+	// Sequential reference.
+	want := make([]*schema.Tuple, len(dirty))
+	for i, tu := range dirty {
+		want[i] = eng.Chase(tu, seed).Tuple
+	}
+
+	configs := []struct{ window, chunkSize int }{
+		{16, 4},  // F=4 chunks reorderable
+		{24, 4},  // F=6, ring of 7
+		{8, 8},   // window == chunkSize: F=1, degenerate ring of 2
+		{12, 5},  // non-dividing window/chunk
+		{40, 10}, // wide chunks
+	}
+	for _, cfg := range configs {
+		f := cfg.window / cfg.chunkSize
+		if f < 1 {
+			f = 1
+		}
+		totalChunks := len(dirty) / cfg.chunkSize // planned orders cover full chunks only
+		for _, order := range adversarialOrders(totalChunks, f, rng) {
+			rc := newReleaseController(order, cfg.chunkSize)
+			testWorkerHook = rc.hook
+			sink := &SliceSink{}
+			workers := f
+			if workers < 2 {
+				workers = 2
+			}
+			stats, err := Run(context.Background(), eng, seed, NewSliceSource(dirty), sink,
+				&Options{Workers: workers, Window: cfg.window, ChunkSize: cfg.chunkSize})
+			testWorkerHook = nil
+			if err != nil {
+				t.Fatalf("cfg %+v: %v", cfg, err)
+			}
+			if stats.Tuples != len(dirty) || len(sink.Results) != len(dirty) {
+				t.Fatalf("cfg %+v: processed %d/%d results %d", cfg, stats.Tuples, len(dirty), len(sink.Results))
+			}
+			for i, r := range sink.Results {
+				if r.Seq != i {
+					t.Fatalf("cfg %+v: result %d has seq %d (ring broke input order)", cfg, i, r.Seq)
+				}
+				if !r.Fixed.Equal(want[i]) {
+					t.Fatalf("cfg %+v: tuple %d fixed %v, want %v", cfg, i, r.Fixed, want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestResequencerWindowEqualsChunk pins the clamped edge: a window no
+// larger than one chunk (including the Window < ChunkSize clamp) must
+// throttle to near-lockstep yet stay correct at full worker counts.
+func TestResequencerWindowEqualsChunk(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 20, 203) // odd count → partial final chunk
+	for _, opt := range []*Options{
+		{Workers: 6, Window: 8, ChunkSize: 8},
+		{Workers: 6, Window: 1, ChunkSize: 8}, // clamps to ChunkSize
+		{Workers: 3, Window: 7, ChunkSize: 7},
+	} {
+		sink := &SliceSink{}
+		stats, err := Run(context.Background(), eng, seed, NewSliceSource(dirty), sink, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Tuples != len(dirty) {
+			t.Fatalf("opts %+v: %d of %d", opt, stats.Tuples, len(dirty))
+		}
+		for i, r := range sink.Results {
+			if r.Seq != i {
+				t.Fatalf("opts %+v: result %d has seq %d", opt, i, r.Seq)
+			}
+		}
+	}
+}
+
+// TestResequencerCancelMidRing cancels while the ring is loaded with
+// out-of-order completions and the emit frontier's own chunk is
+// wedged in a worker: the run must unwind without deadlock, emit
+// nothing out of order, and report ctx's error.
+func TestResequencerCancelMidRing(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 20, 160)
+	const (
+		window    = 16
+		chunkSize = 4
+	)
+	f := window / chunkSize
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		gateOpen bool
+		parked   int
+	)
+	// Chunk 0 parks until the gate opens; later chunks flow straight
+	// into the resequencer's ring (they cannot emit: next == 0).
+	testWorkerHook = func(startSeq int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if startSeq != 0 {
+			parked++
+			cond.Broadcast()
+			return
+		}
+		for !gateOpen {
+			cond.Wait()
+		}
+	}
+	defer func() { testWorkerHook = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var seqs []int
+	sink := SinkFunc(func(r *Result) error { seqs = append(seqs, r.Seq); return nil })
+	done := make(chan struct{})
+	var stats Stats
+	var err error
+	go func() {
+		defer close(done)
+		stats, err = Run(ctx, eng, seed, NewSliceSource(dirty), sink,
+			&Options{Workers: f, Window: window, ChunkSize: chunkSize})
+	}()
+
+	// Wait until every other admissible chunk has been delivered — the
+	// ring now holds F-1 pending entries ahead of the wedged frontier.
+	mu.Lock()
+	for parked < f-1 {
+		cond.Wait()
+	}
+	mu.Unlock()
+
+	cancel()
+	// The wedged worker must be released for the run to unwind (as the
+	// cancellation contract says: observed within one window). Whether
+	// its chunk still lands before the abort is a scheduling race; the
+	// ring may legally flush up to one window, never more, and never
+	// out of order.
+	mu.Lock()
+	gateOpen = true
+	cond.Broadcast()
+	mu.Unlock()
+	<-done
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Tuples > window {
+		t.Fatalf("emitted %d tuples after cancellation, want ≤ one window (%d)", stats.Tuples, window)
+	}
+	if stats.Tuples == len(dirty) {
+		t.Fatalf("run completed despite cancellation")
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("post-cancel flush broke order: position %d got seq %d", i, s)
+		}
+	}
+}
+
+// TestResequencerRandomGeometry is the randomized stress: many runs
+// over random (workers, window, chunk) geometry with natural
+// scheduling, asserting order and completeness each time.
+func TestResequencerRandomGeometry(t *testing.T) {
+	eng, dirty, seed := workloadEngine(t, 20, 150)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20; i++ {
+		opt := &Options{
+			Workers:   1 + rng.Intn(8),
+			Window:    1 + rng.Intn(40),
+			ChunkSize: 1 + rng.Intn(10),
+		}
+		sink := &SliceSink{}
+		stats, err := Run(context.Background(), eng, seed, NewSliceSource(dirty), sink, opt)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opt, err)
+		}
+		if stats.Tuples != len(dirty) || len(sink.Results) != len(dirty) {
+			t.Fatalf("opts %+v: %d/%d", opt, stats.Tuples, len(dirty))
+		}
+		for j, r := range sink.Results {
+			if r.Seq != j {
+				t.Fatalf("opts %+v: result %d has seq %d", opt, j, r.Seq)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"cerfix"
 	"cerfix/internal/jobs"
@@ -37,7 +38,12 @@ type batchRequest struct {
 // output is byte-identical per line to this endpoint's results array.
 type batchTupleResult = jobs.TupleResult
 
-// batchResponse is the endpoint's reply.
+// batchResponse is the endpoint's reply. The handler renders it
+// incrementally with jobs.ResultEncoder rather than marshaling this
+// struct (the pipeline recycles results out from under a retained
+// slice); the type remains the authoritative wire shape, decoded by
+// the API tests and pinned byte-for-byte against the encoder by the
+// response regression test.
 type batchResponse struct {
 	Results []batchTupleResult `json:"results"`
 	// FullyValidated counts tuples whose every attribute ended
@@ -86,10 +92,22 @@ func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
 		tuples[i] = tu
 	}
 
+	// The response is rendered incrementally per result through the
+	// jobs ResultEncoder — byte-identical to writeJSON encoding a
+	// batchResponse (the regression test pins this), but honoring the
+	// pipeline's recycling contract: each result is serialized before
+	// Write returns, so the run allocates O(window) plus the response
+	// buffer instead of materializing a TupleResult per tuple.
 	seed := schema.SetOfNames(input, req.Validated...)
-	resp := batchResponse{Results: make([]batchTupleResult, 0, len(tuples))}
+	enc := jobs.NewResultEncoder(input)
+	buf := append(make([]byte, 0, 64*len(tuples)), `{"results":[`...)
+	first := true
 	sink := pipeline.SinkFunc(func(res *pipeline.Result) error {
-		resp.Results = append(resp.Results, jobs.NewTupleResult(input, res))
+		if !first {
+			buf = append(buf, ',')
+		}
+		first = false
+		buf = enc.Append(buf, res)
 		return nil
 	})
 	stats, err := pipeline.Run(r.Context(), eng, seed, pipeline.NewSliceSource(tuples), sink, nil)
@@ -97,7 +115,12 @@ func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	resp.FullyValidated = stats.FullyValidated
-	resp.CellsRewritten = stats.CellsRewritten
-	writeJSON(w, http.StatusOK, resp)
+	buf = append(buf, `],"fully_validated":`...)
+	buf = strconv.AppendInt(buf, int64(stats.FullyValidated), 10)
+	buf = append(buf, `,"cells_rewritten":`...)
+	buf = strconv.AppendInt(buf, int64(stats.CellsRewritten), 10)
+	buf = append(buf, '}', '\n') // json.Encoder's trailing newline
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf)
 }
