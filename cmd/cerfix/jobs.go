@@ -1,7 +1,7 @@
 package main
 
 // The jobs subcommand drives a running cerfixd's async batch-repair
-// queue (/api/jobs) over HTTP:
+// queue (/api/v1/jobs) over HTTP:
 //
 //	cerfix jobs submit  -addr URL -validated zip,type -data dirty.csv [-format csv|jsonl] [-server-path] [-wait]
 //	cerfix jobs list    -addr URL
@@ -86,18 +86,34 @@ func (c *jobsClient) do(method, path string, body, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+		return apiError(resp, fmt.Sprintf("%s %s", method, path))
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError turns the daemon's typed error envelope into a readable
+// error, surfacing the machine code and — on 429 sheds — the computed
+// Retry-After so scripts know when a retry is worth it.
+func apiError(resp *http.Response, what string) error {
+	var env struct {
+		Error struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			RequestID string `json:"request_id"`
+		} `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&env) != nil || env.Error.Code == "" {
+		return fmt.Errorf("%s: %s", what, resp.Status)
+	}
+	msg := fmt.Sprintf("%s: %s (%s, request %s)",
+		resp.Status, env.Error.Message, env.Error.Code, env.Error.RequestID)
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		msg += fmt.Sprintf("; retry after %ss", ra)
+	}
+	return fmt.Errorf("%s", msg)
 }
 
 // jobView mirrors the daemon's job JSON for display.
@@ -232,7 +248,7 @@ func cmdJobsSubmit(args []string) error {
 	}
 	c := newJobsClient(*addr)
 	var j jobView
-	if err := c.do("POST", "/api/jobs", body, &j); err != nil {
+	if err := c.do("POST", "/api/v1/jobs", body, &j); err != nil {
 		return err
 	}
 	printJob(j)
@@ -241,7 +257,7 @@ func cmdJobsSubmit(args []string) error {
 	}
 	for !terminalState(j.State) {
 		time.Sleep(200 * time.Millisecond)
-		if err := c.do("GET", "/api/jobs/"+j.ID, nil, &j); err != nil {
+		if err := c.do("GET", "/api/v1/jobs/"+j.ID, nil, &j); err != nil {
 			return err
 		}
 	}
@@ -262,17 +278,31 @@ func cmdJobsList(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var resp struct {
-		Jobs []jobView `json:"jobs"`
+	// The list endpoint answers the uniform page envelope; pull pages
+	// until the reported total is covered.
+	c := newJobsClient(*addr)
+	var all []jobView
+	for offset := 0; ; {
+		var resp struct {
+			Items  []jobView `json:"items"`
+			Total  int       `json:"total"`
+			Limit  int       `json:"limit"`
+			Offset int       `json:"offset"`
+		}
+		if err := c.do("GET", fmt.Sprintf("/api/v1/jobs?offset=%d", offset), nil, &resp); err != nil {
+			return err
+		}
+		all = append(all, resp.Items...)
+		offset += len(resp.Items)
+		if offset >= resp.Total || len(resp.Items) == 0 {
+			break
+		}
 	}
-	if err := newJobsClient(*addr).do("GET", "/api/jobs", nil, &resp); err != nil {
-		return err
-	}
-	if len(resp.Jobs) == 0 {
+	if len(all) == 0 {
 		fmt.Println("no jobs")
 		return nil
 	}
-	for _, j := range resp.Jobs {
+	for _, j := range all {
 		printJob(j)
 	}
 	return nil
@@ -289,7 +319,7 @@ func cmdJobsStatus(args []string) error {
 		return fmt.Errorf("-id is required")
 	}
 	var j jobView
-	if err := newJobsClient(*addr).do("GET", "/api/jobs/"+*id, nil, &j); err != nil {
+	if err := newJobsClient(*addr).do("GET", "/api/v1/jobs/"+*id, nil, &j); err != nil {
 		return err
 	}
 	printJob(j)
@@ -308,19 +338,13 @@ func cmdJobsResults(args []string) error {
 		return fmt.Errorf("-id is required")
 	}
 	c := newJobsClient(*addr)
-	resp, err := c.hc.Get(c.base + "/api/jobs/" + *id + "/results")
+	resp, err := c.hc.Get(c.base + "/api/v1/jobs/" + *id + "/results")
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, e.Error)
-		}
-		return fmt.Errorf("results: %s", resp.Status)
+		return apiError(resp, "results")
 	}
 	out := os.Stdout
 	if *outPath != "" {
@@ -355,7 +379,7 @@ func cmdJobsCancel(args []string) error {
 		jobView
 		Deleted bool `json:"deleted"`
 	}
-	if err := newJobsClient(*addr).do("DELETE", "/api/jobs/"+*id, nil, &j); err != nil {
+	if err := newJobsClient(*addr).do("DELETE", "/api/v1/jobs/"+*id, nil, &j); err != nil {
 		return err
 	}
 	if j.Deleted {

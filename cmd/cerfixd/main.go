@@ -25,9 +25,18 @@
 // accepted under -jobs-input-root; without it, clients must upload
 // tuples inline.
 //
-// Endpoints: see internal/server documentation (GET /api/status,
-// /api/rules, /api/regions, /api/master, /api/sessions,
-// /api/audit/..., /api/jobs).
+// The production front door (see docs/API.md) is configured with:
+// -rate/-burst enable per-key token-bucket rate limiting (key =
+// X-Api-Key, else client IP); -max-sync-fix caps concurrent
+// synchronous POST /fix runs; -max-queued-jobs bounds the persistent
+// backlog. Past any limit, requests shed with a 429 envelope and a
+// computed Retry-After instead of queueing. -access-log emits one
+// structured line per request.
+//
+// Endpoints are mounted under /api/v1 (canonical) and /api
+// (byte-identical alias): see docs/API.md and internal/server (GET
+// /api/v1/status, /rules, /regions, /master, /sessions, /audit/...,
+// /fix, /jobs).
 package main
 
 import (
@@ -61,6 +70,11 @@ func main() {
 		jobsDir     = flag.String("jobs-dir", "", "directory for the persistent async batch-repair job queue (empty = /api/jobs disabled)")
 		jobsInput   = flag.String("jobs-input-root", "", "directory server-side job input paths may reference (empty = inline tuples only)")
 		jobsWorkers = flag.Int("jobs-workers", 1, "concurrent job runners (fair FIFO admission; each run uses its own O(1) engine snapshot)")
+		rate        = flag.Float64("rate", 0, "per-key admission rate in requests/second (0 = rate limiting off)")
+		burst       = flag.Int("burst", 0, "per-key token-bucket burst capacity (with -rate; min 1)")
+		maxSyncFix  = flag.Int("max-sync-fix", 0, "max concurrent synchronous /fix runs; excess sheds 429 (0 = unlimited)")
+		maxQueued   = flag.Int("max-queued-jobs", 0, "max queued jobs in the persistent backlog; excess sheds 429 (0 = unbounded)")
+		accessLog   = flag.Bool("access-log", false, "log one structured line per request (status, duration, shed reason)")
 	)
 	flag.Parse()
 
@@ -69,6 +83,14 @@ func main() {
 		log.Fatal("cerfixd: ", err)
 	}
 	srv := server.New(sys)
+	srv.SetLimits(server.Limits{Rate: *rate, Burst: *burst, MaxSyncFix: *maxSyncFix})
+	if *accessLog {
+		srv.SetAccessLog(log.New(os.Stderr, "", log.LstdFlags))
+	}
+	if *rate > 0 || *maxSyncFix > 0 || *maxQueued > 0 {
+		log.Printf("cerfixd: admission limits: rate=%g/s burst=%d max-sync-fix=%d max-queued-jobs=%d",
+			*rate, *burst, *maxSyncFix, *maxQueued)
+	}
 	// The jobs manager re-queues interrupted work at Open, so a daemon
 	// restart resumes queued and running batches from the journal.
 	var mgr *jobs.Manager
@@ -79,6 +101,7 @@ func main() {
 			Snapshot:  srv.SnapshotEngine,
 			InputRoot: *jobsInput,
 			Workers:   *jobsWorkers,
+			MaxQueued: *maxQueued,
 		})
 		if err != nil {
 			log.Fatal("cerfixd: ", err)

@@ -34,7 +34,7 @@ func main() {
 
 	// --- rule management (Fig. 2) ---
 	var check map[string]any
-	post(ts.URL+"/api/rules/check", nil, &check)
+	post(ts.URL+"/api/v1/rules/check", nil, &check)
 	fmt.Printf("consistency check: consistent=%v issues=%v probes=%v\n\n",
 		check["consistent"], lenOf(check["issues"]), check["probes_run"])
 
@@ -43,7 +43,7 @@ func main() {
 		ID         int64    `json:"id"`
 		Suggestion []string `json:"suggestion"`
 	}
-	post(ts.URL+"/api/sessions", map[string]any{
+	post(ts.URL+"/api/v1/sessions", map[string]any{
 		"tuple": dataset.DemoInputFig3().Map(),
 	}, &sess)
 	fmt.Printf("session %d opened; CerFix suggests validating %v\n", sess.ID, sess.Suggestion)
@@ -57,7 +57,7 @@ func main() {
 		} `json:"session"`
 		Changes []map[string]any `json:"changes"`
 	}
-	post(fmt.Sprintf("%s/api/sessions/%d/validate", ts.URL, sess.ID), map[string]any{
+	post(fmt.Sprintf("%s/api/v1/sessions/%d/validate", ts.URL, sess.ID), map[string]any{
 		"assertions": map[string]string{"AC": "201", "phn": "075568485", "type": "2", "item": "DVD"},
 	}, &round)
 	fmt.Println("round 1 changes:")
@@ -66,7 +66,7 @@ func main() {
 	}
 	fmt.Println("next suggestion:", round.Session.Suggestion)
 
-	post(fmt.Sprintf("%s/api/sessions/%d/validate", ts.URL, sess.ID), map[string]any{
+	post(fmt.Sprintf("%s/api/v1/sessions/%d/validate", ts.URL, sess.ID), map[string]any{
 		"assertions": map[string]string{"zip": "NW1 6XE"},
 	}, &round)
 	fmt.Printf("round 2: done=%v certain=%v FN=%q\n\n",
@@ -74,7 +74,7 @@ func main() {
 
 	// --- auditing (Fig. 4) ---
 	var cell map[string]any
-	get(fmt.Sprintf("%s/api/audit/cell?tuple=%d&attr=FN", ts.URL, sess.ID), &cell)
+	get(fmt.Sprintf("%s/api/v1/audit/cell?tuple=%d&attr=FN", ts.URL, sess.ID), &cell)
 	fmt.Printf("FN provenance: %q -> %q by rule %v using master tuple #%v\n",
 		cell["old"], cell["new"], cell["rule_id"], cell["master_id"])
 
@@ -84,7 +84,7 @@ func main() {
 			AutoPct float64 `json:"auto_pct"`
 		} `json:"overall"`
 	}
-	get(ts.URL+"/api/audit/stats", &stats)
+	get(ts.URL+"/api/v1/audit/stats", &stats)
 	fmt.Printf("overall: %.1f%% user / %.1f%% auto\n", stats.Overall.UserPct, stats.Overall.AutoPct)
 
 	// --- batch integration ---
@@ -92,7 +92,7 @@ func main() {
 		FullyValidated int `json:"fully_validated"`
 		CellsRewritten int `json:"cells_rewritten"`
 	}
-	post(ts.URL+"/api/fix", map[string]any{
+	post(ts.URL+"/api/v1/fix", map[string]any{
 		"validated": []string{"zip", "phn", "type", "item"},
 		"tuples": []map[string]string{
 			dataset.DemoInputFig3().Map(),

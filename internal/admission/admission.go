@@ -1,0 +1,240 @@
+// Package admission is the serving-layer front door: the primitives a
+// production HTTP surface needs to survive overload without falling
+// over — per-key token-bucket rate limiting, a concurrency gate for
+// synchronous work, and a service-time estimator that turns observed
+// latency plus queue depth into an honest Retry-After.
+//
+// The package deliberately holds no HTTP types and imports nothing
+// from the rest of the system: the server composes these primitives
+// into middleware, the jobs queue uses the estimator for backlog
+// shedding, and both stay testable in isolation. Admission control
+// belongs in the serving layer, not the engine — the chase never
+// learns it is being rationed.
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+// Limiter is a per-key token-bucket rate limiter. Each key (client
+// IP, API key) owns an independent bucket holding up to Burst tokens
+// refilled continuously at Rate tokens/second; a request spends one
+// token. Buckets are created on first sight and pruned once idle, so
+// key churn (e.g. scanning IPs) cannot grow memory without bound.
+type Limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds the per-key table; reaching it evicts idle (fully
+// refilled) buckets, which lose no admission state — a full bucket
+// behaves identically to a fresh one.
+const maxBuckets = 65536
+
+// NewLimiter builds a limiter admitting rate requests/second per key
+// with bursts up to burst. Rate must be > 0; burst < 1 is raised to 1
+// (a bucket that can never hold a whole token would deny everything).
+func NewLimiter(rate float64, burst int) *Limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &Limiter{rate: rate, burst: float64(burst), buckets: make(map[string]*bucket)}
+}
+
+// Rate returns the per-key refill rate in tokens/second.
+func (l *Limiter) Rate() float64 { return l.rate }
+
+// Burst returns the per-key bucket capacity.
+func (l *Limiter) Burst() int { return int(l.burst) }
+
+// Allow spends one token from key's bucket at time now. It returns
+// whether the request is admitted, the whole tokens remaining, and —
+// when denied — how long until the next token accrues.
+func (l *Limiter) Allow(key string, now time.Time) (ok bool, remaining int, retryAfter time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= maxBuckets {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	}
+	if el := now.Sub(b.last); el > 0 {
+		b.tokens += el.Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, int(b.tokens), 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, 0, ceilSeconds(time.Duration(need * float64(time.Second)))
+}
+
+// pruneLocked evicts every bucket whose lazily-refilled balance has
+// reached the burst cap — refill happens only inside Allow, so the
+// equivalent-to-fresh test must be computed from elapsed time, not
+// the stored token count. If that frees nothing — every key is
+// mid-burst — it drops arbitrary entries instead; a dropped hot
+// bucket restarts full, which only errs on the side of admitting.
+func (l *Limiter) pruneLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+	if len(l.buckets) < maxBuckets {
+		return
+	}
+	for k := range l.buckets {
+		delete(l.buckets, k)
+		if len(l.buckets) <= maxBuckets/2 {
+			break
+		}
+	}
+}
+
+// Keys returns the number of tracked buckets (for stats and tests).
+func (l *Limiter) Keys() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// Gate is a counting semaphore capping concurrent synchronous work.
+// TryAcquire never blocks: past the cap the caller sheds instead of
+// queueing, which is the whole point — latency stays bounded because
+// waiting happens client-side, steered by Retry-After.
+type Gate struct {
+	mu  sync.Mutex
+	cap int
+	n   int
+}
+
+// NewGate builds a gate admitting up to capacity concurrent holders
+// (minimum 1).
+func NewGate(capacity int) *Gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Gate{cap: capacity}
+}
+
+// TryAcquire claims a slot, reporting false when the gate is full.
+func (g *Gate) TryAcquire() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n >= g.cap {
+		return false
+	}
+	g.n++
+	return true
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n <= 0 {
+		panic("admission: Gate.Release without acquire")
+	}
+	g.n--
+}
+
+// InFlight returns the current number of holders.
+func (g *Gate) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Capacity returns the configured cap.
+func (g *Gate) Capacity() int { return g.cap }
+
+// EWMA tracks an exponentially-weighted moving average of observed
+// service durations — the basis for computed Retry-After values. The
+// first observation seeds the average directly; later ones blend in
+// at weight alpha, so the estimate follows load shifts without
+// whipsawing on one slow request.
+type EWMA struct {
+	mu sync.Mutex
+	v  float64 // nanoseconds
+	n  int64
+}
+
+// alpha is the blend weight for new observations.
+const alpha = 0.2
+
+// Observe folds one service duration into the average.
+func (e *EWMA) Observe(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.v = float64(d)
+	} else {
+		e.v = alpha*float64(d) + (1-alpha)*e.v
+	}
+	e.n++
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() time.Duration {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return time.Duration(e.v)
+}
+
+// Count returns how many durations have been observed.
+func (e *EWMA) Count() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// RetryAfter estimates when shed work is worth retrying: pending
+// units of work draining through lanes parallel servers, each taking
+// ~avg. With no latency history yet (avg <= 0) it assumes one second
+// per unit. The result is rounded up to whole seconds and never less
+// than one — Retry-After: 0 invites an immediate, equally doomed
+// retry.
+func RetryAfter(pending, lanes int, avg time.Duration) time.Duration {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if avg <= 0 {
+		avg = time.Second
+	}
+	if pending < 1 {
+		pending = 1
+	}
+	est := time.Duration(float64(avg) * float64(pending) / float64(lanes))
+	return ceilSeconds(est)
+}
+
+// ceilSeconds rounds d up to whole seconds, minimum one.
+func ceilSeconds(d time.Duration) time.Duration {
+	if d <= time.Second {
+		return time.Second
+	}
+	if rem := d % time.Second; rem != 0 {
+		d += time.Second - rem
+	}
+	return d
+}

@@ -1,0 +1,200 @@
+package admission
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionLimiterRefillAndBurst(t *testing.T) {
+	l := NewLimiter(2, 3) // 2 tokens/s, burst 3
+	now := time.Unix(1000, 0)
+
+	// The full burst is admitted back to back.
+	for i := 0; i < 3; i++ {
+		ok, _, _ := l.Allow("k", now)
+		if !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	// The 4th is denied with a sane Retry-After.
+	ok, remaining, retry := l.Allow("k", now)
+	if ok {
+		t.Fatal("over-burst request admitted")
+	}
+	if remaining != 0 {
+		t.Fatalf("remaining = %d, want 0", remaining)
+	}
+	if retry < time.Second || retry > 2*time.Second {
+		t.Fatalf("retry = %v, want within [1s, 2s]", retry)
+	}
+	// Half a second refills one token at rate 2.
+	ok, _, _ = l.Allow("k", now.Add(500*time.Millisecond))
+	if !ok {
+		t.Fatal("refilled token denied")
+	}
+	// Idle time refills to burst, never beyond.
+	ok, remaining, _ = l.Allow("k", now.Add(time.Hour))
+	if !ok || remaining != 2 {
+		t.Fatalf("after idle: ok=%v remaining=%d, want ok remaining=2", ok, remaining)
+	}
+}
+
+func TestAdmissionLimiterKeysIsolated(t *testing.T) {
+	l := NewLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	if ok, _, _ := l.Allow("a", now); !ok {
+		t.Fatal("first a denied")
+	}
+	if ok, _, _ := l.Allow("a", now); ok {
+		t.Fatal("second a admitted")
+	}
+	// A different key has its own bucket.
+	if ok, _, _ := l.Allow("b", now); !ok {
+		t.Fatal("first b denied")
+	}
+	if l.Keys() != 2 {
+		t.Fatalf("keys = %d, want 2", l.Keys())
+	}
+}
+
+func TestAdmissionLimiterConcurrentTotal(t *testing.T) {
+	// Under concurrency, admissions for one key never exceed the
+	// bucket's capacity at a frozen clock.
+	l := NewLimiter(1, 10)
+	now := time.Unix(1000, 0)
+	var wg sync.WaitGroup
+	admitted := make(chan struct{}, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if ok, _, _ := l.Allow("k", now); ok {
+					admitted <- struct{}{}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(admitted)
+	n := 0
+	for range admitted {
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("admitted %d, want exactly burst=10", n)
+	}
+}
+
+func TestAdmissionGate(t *testing.T) {
+	g := NewGate(2)
+	if !g.TryAcquire() || !g.TryAcquire() {
+		t.Fatal("gate denied within capacity")
+	}
+	if g.TryAcquire() {
+		t.Fatal("gate admitted past capacity")
+	}
+	if g.InFlight() != 2 || g.Capacity() != 2 {
+		t.Fatalf("inflight=%d cap=%d", g.InFlight(), g.Capacity())
+	}
+	g.Release()
+	if !g.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestAdmissionGateConcurrentCap(t *testing.T) {
+	g := NewGate(3)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	peak, cur := 0, 0
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if !g.TryAcquire() {
+					continue
+				}
+				mu.Lock()
+				cur++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > 3 {
+		t.Fatalf("peak in-flight %d exceeds capacity 3", peak)
+	}
+	if g.InFlight() != 0 {
+		t.Fatalf("leaked slots: %d", g.InFlight())
+	}
+}
+
+func TestAdmissionEWMA(t *testing.T) {
+	var e EWMA
+	if e.Value() != 0 {
+		t.Fatal("fresh EWMA non-zero")
+	}
+	e.Observe(100 * time.Millisecond)
+	if e.Value() != 100*time.Millisecond {
+		t.Fatalf("seed = %v", e.Value())
+	}
+	e.Observe(200 * time.Millisecond)
+	// 0.2*200ms + 0.8*100ms = 120ms
+	if got := e.Value(); got != 120*time.Millisecond {
+		t.Fatalf("blend = %v, want 120ms", got)
+	}
+	if e.Count() != 2 {
+		t.Fatalf("count = %d", e.Count())
+	}
+}
+
+func TestAdmissionRetryAfter(t *testing.T) {
+	cases := []struct {
+		pending, lanes int
+		avg            time.Duration
+		want           time.Duration
+	}{
+		{0, 1, 0, time.Second},                           // no info: 1s floor
+		{1, 4, 100 * time.Millisecond, time.Second},      // sub-second rounds up
+		{8, 2, time.Second, 4 * time.Second},             // depth/lanes scaling
+		{3, 1, 2500 * time.Millisecond, 8 * time.Second}, // ceil to whole seconds
+		{5, 0, time.Second, 5 * time.Second},             // lanes floor of 1
+	}
+	for _, c := range cases {
+		if got := RetryAfter(c.pending, c.lanes, c.avg); got != c.want {
+			t.Fatalf("RetryAfter(%d, %d, %v) = %v, want %v", c.pending, c.lanes, c.avg, got, c.want)
+		}
+	}
+}
+
+func TestAdmissionLimiterPrune(t *testing.T) {
+	l := NewLimiter(1, 1)
+	now := time.Unix(1000, 0)
+	// Spend a batch of keys an hour ago and one key just now.
+	for i := 0; i < 100; i++ {
+		l.Allow(string(rune('a'+i%26))+string(rune('0'+i/26)), now.Add(-time.Hour))
+	}
+	l.Allow("hot", now)
+	// The hour-old buckets have lazily refilled to burst — prune
+	// treats them as fresh and drops them; "hot" just spent its token
+	// and must keep its denial state.
+	l.mu.Lock()
+	l.pruneLocked(now)
+	l.mu.Unlock()
+	if got := l.Keys(); got != 1 {
+		t.Fatalf("keys after prune = %d, want 1", got)
+	}
+	if ok, _, _ := l.Allow("hot", now); ok {
+		t.Fatal("hot bucket lost its spent state")
+	}
+}

@@ -1,0 +1,156 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+
+	"cerfix/internal/dataset"
+)
+
+// countJobDirs returns how many job subdirectories exist — the "shed
+// without disk growth" witness.
+func countJobDirs(t *testing.T, dir string) int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			n++
+		}
+	}
+	return n
+}
+
+// A submission past MaxQueued sheds with ErrBacklogFull before
+// touching disk, and admission reopens once the backlog drains.
+func TestJobsBacklogBound(t *testing.T) {
+	eng, dirty, validated := testWorkload(t, 20, 30)
+	dir := t.TempDir()
+	gs := &gatedSnapshot{eng: eng, gate: make(chan struct{})}
+	m, err := Open(Config{Dir: dir, Schema: dataset.CustSchema(), Snapshot: gs.snapshot, MaxQueued: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(gs.gate)
+		}
+	}
+	defer func() {
+		release()
+		m.Close(context.Background())
+	}()
+
+	tuples := make([]map[string]string, len(dirty))
+	for i, tu := range dirty {
+		tuples[i] = tu.Map()
+	}
+
+	// A occupies the single runner (blocked at snapshot), B fills the
+	// one queued slot.
+	a, err := m.SubmitInline(validated, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, a.ID, StateRunning)
+	b, err := m.SubmitInline(validated, tuples[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countJobDirs(t, dir); got != 2 {
+		t.Fatalf("job dirs = %d, want 2", got)
+	}
+
+	// C is shed — ErrBacklogFull, not ErrInvalid, and no disk growth.
+	if _, err := m.SubmitInline(validated, tuples[:5]); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("over-backlog submit err = %v, want ErrBacklogFull", err)
+	} else if errors.Is(err, ErrInvalid) {
+		t.Fatal("ErrBacklogFull must not classify as ErrInvalid (it maps to 429, not 422)")
+	}
+	if got := countJobDirs(t, dir); got != 2 {
+		t.Fatalf("job dirs after shed = %d, want 2 (shed touched disk)", got)
+	}
+
+	st := m.Stats()
+	if st.Queued != 1 || st.Running != 1 || st.MaxQueued != 1 || st.Workers != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Draining the backlog reopens admission, and completed service
+	// time feeds the average.
+	release()
+	waitState(t, m, a.ID, StateDone)
+	waitState(t, m, b.ID, StateDone)
+	if st := m.Stats(); st.AvgServiceMS <= 0 {
+		t.Fatalf("avg service ms = %v, want > 0 after completions", st.AvgServiceMS)
+	}
+	d, err := m.SubmitInline(validated, tuples[:5])
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	waitState(t, m, d.ID, StateDone)
+}
+
+// Concurrent submitters cannot jointly overshoot the bound: the
+// reservation in enqueue makes the backlog check atomic with the
+// admission.
+func TestJobsBacklogConcurrentSubmits(t *testing.T) {
+	eng, dirty, validated := testWorkload(t, 20, 10)
+	dir := t.TempDir()
+	gs := &gatedSnapshot{eng: eng, gate: make(chan struct{})}
+	m, err := Open(Config{Dir: dir, Schema: dataset.CustSchema(), Snapshot: gs.snapshot, MaxQueued: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		close(gs.gate)
+		m.Close(context.Background())
+	}()
+
+	tuples := make([]map[string]string, len(dirty))
+	for i, tu := range dirty {
+		tuples[i] = tu.Map()
+	}
+	var wg sync.WaitGroup
+	results := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := m.SubmitInline(validated, tuples)
+			results <- err
+		}()
+	}
+	wg.Wait()
+	close(results)
+	admitted, shed := 0, 0
+	for err := range results {
+		switch {
+		case err == nil:
+			admitted++
+		case errors.Is(err, ErrBacklogFull):
+			shed++
+		default:
+			t.Fatalf("unexpected submit error: %v", err)
+		}
+	}
+	// At most MaxQueued admitted while every runner slot is blocked,
+	// plus one the single runner may have already picked up.
+	if admitted < 4 || admitted > 5 {
+		t.Fatalf("admitted = %d, want 4 or 5 (MaxQueued=4, 1 runner)", admitted)
+	}
+	if admitted+shed != 32 {
+		t.Fatalf("admitted %d + shed %d != 32", admitted, shed)
+	}
+	if got := countJobDirs(t, dir); got != admitted {
+		t.Fatalf("job dirs = %d, want %d (one per admitted job only)", got, admitted)
+	}
+}

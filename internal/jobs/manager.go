@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cerfix/internal/admission"
 	"cerfix/internal/core"
 	"cerfix/internal/pipeline"
 	"cerfix/internal/schema"
@@ -34,6 +35,10 @@ var (
 	// deliberately NOT Invalid, so the HTTP layer can answer 422 for
 	// the former and 5xx for the latter.
 	ErrInvalid = errors.New("jobs: invalid submission")
+	// ErrBacklogFull means the queue holds Config.MaxQueued jobs
+	// already: admission is load shedding, not disk growth. The HTTP
+	// layer answers 429 with a Retry-After computed from QueueStats.
+	ErrBacklogFull = errors.New("jobs: backlog full")
 )
 
 // invalid tags err as a client-input failure:
@@ -65,6 +70,13 @@ type Config struct {
 	// tuples, which are materialized into the jobs directory, are
 	// always allowed.
 	InputRoot string
+	// MaxQueued bounds the number of jobs waiting to run (<=0 means
+	// unbounded). A submission past the bound fails with
+	// ErrBacklogFull before touching disk — the persistent backlog
+	// must not grow just because callers outpace the runners. The
+	// bound gates new admissions only: restart recovery re-queues
+	// every interrupted job even when that exceeds it.
+	MaxQueued int
 	// Workers is the number of concurrent job runners (<=0 means 1).
 	// Each runner executes one job at a time against its own O(1)
 	// engine snapshot; admission is fair FIFO — whenever a runner
@@ -106,10 +118,68 @@ type Manager struct {
 	cond *sync.Cond
 	jobs map[string]*job
 	seq  int
+	// reserved counts submissions between backlog admission and
+	// appearing in jobs — in-flight enqueues hold a reservation so
+	// concurrent submitters cannot jointly overshoot MaxQueued.
+	reserved int
 	// closed stops the worker from starting new jobs; Close waits for
 	// the in-flight one.
 	closed bool
 	wg     sync.WaitGroup
+	// svc tracks the moving average of completed-job service time
+	// (started → finished) — the basis for backlog Retry-After hints.
+	svc admission.EWMA
+}
+
+// QueueStats is a point-in-time view of the queue for status
+// endpoints and load-shedding decisions.
+type QueueStats struct {
+	// Queued through Cancelled count jobs per lifecycle state.
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Workers and MaxQueued echo the configuration (MaxQueued 0 =
+	// unbounded).
+	Workers   int `json:"workers"`
+	MaxQueued int `json:"max_queued"`
+	// AvgServiceMS is the moving average of completed-job service
+	// time in milliseconds (0 until a job completes).
+	AvgServiceMS float64 `json:"avg_service_ms"`
+}
+
+// AvgService returns the average service time as a duration.
+func (s QueueStats) AvgService() time.Duration {
+	return time.Duration(s.AvgServiceMS * float64(time.Millisecond))
+}
+
+// Stats returns current queue depths, configuration and the observed
+// service-time average.
+func (m *Manager) Stats() QueueStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := QueueStats{
+		Workers:      m.cfg.Workers,
+		MaxQueued:    m.cfg.MaxQueued,
+		AvgServiceMS: float64(m.svc.Value()) / float64(time.Millisecond),
+	}
+	st.Queued = m.reserved
+	for _, j := range m.jobs {
+		switch j.rec.State {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
 }
 
 // Open loads the jobs directory, re-queues every job found queued or
@@ -211,6 +281,12 @@ func (m *Manager) validateAttrs(validated []string) error {
 // SubmitInline queues a job over tuples given directly; they are
 // materialized to the job's input.jsonl so the job survives restarts.
 func (m *Manager) SubmitInline(validated []string, tuples []map[string]string) (Job, error) {
+	// Shed before the O(tuples) parse below — under overload the
+	// rejection itself must stay cheap. enqueue re-checks
+	// authoritatively under its reservation.
+	if err := m.backlogRoom(); err != nil {
+		return Job{}, err
+	}
 	if err := m.validateAttrs(validated); err != nil {
 		return Job{}, err
 	}
@@ -287,24 +363,40 @@ func (m *Manager) confineInput(path string) (string, error) {
 }
 
 // enqueue allocates the job directory, runs the optional materializer
-// inside it, journals the queued record and wakes the worker.
+// inside it, journals the queued record and wakes the worker. The
+// backlog bound is enforced here, under the lock, BEFORE any disk
+// work: a shed submission leaves no trace, and the reservation held
+// until the job lands in the table keeps concurrent submitters from
+// jointly overshooting MaxQueued.
 func (m *Manager) enqueue(validated []string, input, format string, materialize func(dir string) error) (Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return Job{}, ErrClosed
 	}
+	if m.cfg.MaxQueued > 0 && m.queuedLocked() >= m.cfg.MaxQueued {
+		m.mu.Unlock()
+		return Job{}, ErrBacklogFull
+	}
+	m.reserved++
 	m.seq++
 	id := fmt.Sprintf("j%06d", m.seq)
 	m.mu.Unlock()
+	release := func() {
+		m.mu.Lock()
+		m.reserved--
+		m.mu.Unlock()
+	}
 
 	dir := filepath.Join(m.cfg.Dir, id)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		release()
 		return Job{}, fmt.Errorf("jobs: %w", err)
 	}
 	if materialize != nil {
 		if err := materialize(dir); err != nil {
 			os.RemoveAll(dir)
+			release()
 			return Job{}, fmt.Errorf("jobs: %w", err)
 		}
 	}
@@ -321,14 +413,40 @@ func (m *Manager) enqueue(validated []string, input, format string, materialize 
 	}
 	if err := m.persist(j); err != nil {
 		os.RemoveAll(dir)
+		release()
 		return Job{}, err
 	}
 	m.mu.Lock()
 	m.jobs[id] = j
+	m.reserved--
 	rec := j.rec // copy under the lock; the worker may pick it up immediately
 	m.mu.Unlock()
 	m.cond.Broadcast()
 	return rec, nil
+}
+
+// backlogRoom is the advisory fast-path backlog check: it sheds
+// without disk or parse work when the queue is already full. The
+// authoritative check lives in enqueue.
+func (m *Manager) backlogRoom() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cfg.MaxQueued > 0 && m.queuedLocked() >= m.cfg.MaxQueued {
+		return ErrBacklogFull
+	}
+	return nil
+}
+
+// queuedLocked counts jobs waiting to run plus in-flight enqueue
+// reservations. Callers hold m.mu.
+func (m *Manager) queuedLocked() int {
+	n := m.reserved
+	for _, j := range m.jobs {
+		if j.rec.State == StateQueued {
+			n++
+		}
+	}
+	return n
 }
 
 // Workers returns the effective number of concurrent runners the
@@ -562,6 +680,11 @@ func (m *Manager) run(j *job) {
 		j.rec.State = StateFailed
 		j.rec.Error = perr.Error()
 		_ = m.persist(j)
+	}
+	if j.rec.State == StateDone {
+		// Completed-job service time feeds the backlog Retry-After
+		// estimate (QueueStats.AvgServiceMS).
+		m.svc.Observe(j.rec.Finished.Sub(j.rec.Started))
 	}
 }
 

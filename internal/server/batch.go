@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"cerfix"
 	"cerfix/internal/jobs"
@@ -54,17 +55,18 @@ type batchResponse struct {
 }
 
 func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req batchRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
 		return
 	}
 	if len(req.Validated) == 0 {
-		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("validated attribute list required"))
+		writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput, fmt.Errorf("validated attribute list required"))
 		return
 	}
 	if len(req.Tuples) == 0 {
-		writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("no tuples"))
+		writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput, fmt.Errorf("no tuples"))
 		return
 	}
 	// Freeze a consistent view — an O(1) COW capture; the lock only
@@ -75,7 +77,7 @@ func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
 	for _, a := range req.Validated {
 		if !input.Has(a) {
 			s.mu.Unlock()
-			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("unknown attribute %q", a))
+			writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput, fmt.Errorf("unknown attribute %q", a))
 			return
 		}
 	}
@@ -86,7 +88,7 @@ func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
 	for i, tm := range req.Tuples {
 		tu, err := tupleFromMap(input, tm)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("tuple %d: %w", i, err))
+			writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput, fmt.Errorf("tuple %d: %w", i, err))
 			return
 		}
 		tuples[i] = tu
@@ -112,9 +114,11 @@ func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
 	})
 	stats, err := pipeline.Run(r.Context(), eng, seed, pipeline.NewSliceSource(tuples), sink, nil)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
+	// Feed the shed path's Retry-After estimate with real service time.
+	s.fixTime.Observe(time.Since(start))
 	buf = append(buf, `],"fully_validated":`...)
 	buf = strconv.AppendInt(buf, int64(stats.FullyValidated), 10)
 	buf = append(buf, `,"cells_rewritten":`...)

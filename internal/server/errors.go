@@ -1,0 +1,94 @@
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+// This file defines the API's one error shape. Every handler, the
+// panic-recovery middleware and the rate limiter answer failures with
+// the same typed envelope,
+//
+//	{"error": {"code": "...", "message": "...", "request_id": "..."}}
+//
+// where code is a stable machine-readable identifier (clients switch
+// on it; the message is for humans and may change), and request_id
+// echoes the X-Request-Id the request was served under, so a client
+// report can be joined against the access log.
+//
+// Status mapping is uniform across the surface:
+//
+//	400 invalid_argument   malformed body/query/path — not valid input
+//	404 not_found          no such rule/session/job/tuple/route
+//	409 conflict           valid request, wrong lifecycle state
+//	422 invalid_input      well-formed but semantically rejected
+//	429 rate_limited       per-key token bucket empty
+//	429 overloaded         sync fix concurrency cap reached
+//	429 backlog_full       jobs queue at -max-queued-jobs
+//	500 internal           server fault (I/O, panic)
+//	503 jobs_disabled      daemon started without -jobs-dir
+//	503 shutting_down      draining; queue closed
+//
+// Every 429 carries a computed Retry-After (seconds).
+
+// The stable error codes.
+const (
+	codeInvalidArgument = "invalid_argument"
+	codeInvalidInput    = "invalid_input"
+	codeNotFound        = "not_found"
+	codeConflict        = "conflict"
+	codeRateLimited     = "rate_limited"
+	codeOverloaded      = "overloaded"
+	codeBacklogFull     = "backlog_full"
+	codeInternal        = "internal"
+	codeJobsDisabled    = "jobs_disabled"
+	codeShuttingDown    = "shutting_down"
+)
+
+// errorBody is the envelope payload.
+type errorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id"`
+}
+
+// errorEnvelope is the wire shape of every non-2xx response.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+// reqMeta travels in the request context: the assigned request ID,
+// plus the error code of the response (set by writeErr) for the
+// access log's shed/fault column.
+type reqMeta struct {
+	id   string
+	code string
+}
+
+type reqMetaKey struct{}
+
+// metaFrom returns the request's meta, or a zero placeholder when the
+// middleware chain is absent (direct handler tests).
+func metaFrom(r *http.Request) *reqMeta {
+	if m, ok := r.Context().Value(reqMetaKey{}).(*reqMeta); ok {
+		return m
+	}
+	return &reqMeta{}
+}
+
+// withMeta stores meta in the request context.
+func withMeta(r *http.Request, m *reqMeta) *http.Request {
+	return r.WithContext(context.WithValue(r.Context(), reqMetaKey{}, m))
+}
+
+// writeErr renders the typed envelope. All error paths funnel through
+// here — writeError-style ad-hoc shapes are gone.
+func writeErr(w http.ResponseWriter, r *http.Request, status int, code string, err error) {
+	m := metaFrom(r)
+	m.code = code
+	writeJSON(w, status, errorEnvelope{Error: errorBody{
+		Code:      code,
+		Message:   err.Error(),
+		RequestID: m.id,
+	}})
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"time"
 
+	"cerfix/internal/admission"
 	"cerfix/internal/core"
 	"cerfix/internal/jobs"
 	"cerfix/internal/pipeline"
@@ -78,10 +79,11 @@ func toJobJSON(j jobs.Job) jobJSON {
 	return out
 }
 
-// jobsEnabled answers 503 when the subsystem is not configured.
-func (s *Server) jobsEnabled(w http.ResponseWriter) bool {
+// jobsEnabled answers 503 jobs_disabled when the subsystem is not
+// configured.
+func (s *Server) jobsEnabled(w http.ResponseWriter, r *http.Request) bool {
 	if s.jobs == nil {
-		writeError(w, http.StatusServiceUnavailable,
+		writeErr(w, r, http.StatusServiceUnavailable, codeJobsDisabled,
 			fmt.Errorf("jobs disabled (start the daemon with -jobs-dir)"))
 		return false
 	}
@@ -100,12 +102,12 @@ type jobSubmitRequest struct {
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	if !s.jobsEnabled(w) {
+	if !s.jobsEnabled(w, r) {
 		return
 	}
 	var req jobSubmitRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
 		return
 	}
 	var (
@@ -114,7 +116,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	)
 	switch {
 	case len(req.Tuples) > 0 && req.InputPath != "":
-		writeError(w, http.StatusUnprocessableEntity,
+		writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput,
 			fmt.Errorf("give tuples or input_path, not both"))
 		return
 	case len(req.Tuples) > 0:
@@ -122,70 +124,83 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	case req.InputPath != "":
 		job, err = s.jobs.SubmitFile(req.Validated, req.InputPath, req.Format)
 	default:
-		writeError(w, http.StatusUnprocessableEntity,
+		writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput,
 			fmt.Errorf("tuples or input_path required"))
 		return
 	}
 	if err != nil {
-		// Client-side rejections are 422; a shutting-down queue is
-		// 503; anything else (journal/directory I/O) is a genuine
-		// server fault, not the client's payload.
-		status := http.StatusInternalServerError
+		// A full backlog is load shedding, not failure: 429 with a
+		// Retry-After sized to the queue draining through the worker
+		// pool at the observed per-job service time. Client-side
+		// rejections are 422; a shutting-down queue is 503; anything
+		// else (journal/directory I/O) is a genuine server fault.
 		switch {
+		case errors.Is(err, jobs.ErrBacklogFull):
+			s.shed.backlogFull.Add(1)
+			st := s.jobs.Stats()
+			retry := admission.RetryAfter(st.Queued+st.Running, st.Workers, st.AvgService())
+			writeShed(w, r, codeBacklogFull, retry, err)
 		case errors.Is(err, jobs.ErrInvalid):
-			status = http.StatusUnprocessableEntity
+			writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput, err)
 		case errors.Is(err, jobs.ErrClosed):
-			status = http.StatusServiceUnavailable
+			writeErr(w, r, http.StatusServiceUnavailable, codeShuttingDown, err)
+		default:
+			writeErr(w, r, http.StatusInternalServerError, codeInternal, err)
 		}
-		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, toJobJSON(job))
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	if !s.jobsEnabled(w) {
+	if !s.jobsEnabled(w, r) {
+		return
+	}
+	limit, offset, err := pageParams(r, defaultPageLimit)
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
 		return
 	}
 	list := s.jobs.List()
-	out := make([]jobJSON, len(list))
-	for i, j := range list {
-		out[i] = toJobJSON(j)
+	total := len(list)
+	out := make([]jobJSON, 0, limit)
+	for i := offset; i < total && len(out) < limit; i++ {
+		out = append(out, toJobJSON(list[i]))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	writeJSON(w, http.StatusOK, listPage{Items: out, Total: total, Limit: limit, Offset: offset})
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	if !s.jobsEnabled(w) {
+	if !s.jobsEnabled(w, r) {
 		return
 	}
 	job, err := s.jobs.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeErr(w, r, http.StatusNotFound, codeNotFound, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toJobJSON(job))
 }
 
 func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
-	if !s.jobsEnabled(w) {
+	if !s.jobsEnabled(w, r) {
 		return
 	}
 	id := r.PathValue("id")
 	path, err := s.jobs.ResultsPath(id)
 	if err != nil {
-		status := http.StatusConflict
 		if errors.Is(err, jobs.ErrNotFound) {
-			status = http.StatusNotFound
+			writeErr(w, r, http.StatusNotFound, codeNotFound, err)
+		} else {
+			writeErr(w, r, http.StatusConflict, codeConflict, err)
 		}
-		writeError(w, status, err)
 		return
 	}
 	// Open before committing headers: a job that failed before
 	// creating its artifact must answer 404, not an empty 200.
 	f, err := os.Open(path)
 	if err != nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("job %s has no results artifact", id))
+		writeErr(w, r, http.StatusNotFound, codeNotFound, fmt.Errorf("job %s has no results artifact", id))
 		return
 	}
 	defer f.Close()
@@ -196,7 +211,7 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	if !s.jobsEnabled(w) {
+	if !s.jobsEnabled(w, r) {
 		return
 	}
 	id := r.PathValue("id")
@@ -205,18 +220,18 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		// DELETE on a terminal job purges it — record, directory and
 		// artifacts — so the persistent queue stays reclaimable.
 		if err := s.jobs.Remove(id); err != nil {
-			writeError(w, http.StatusConflict, err)
+			writeErr(w, r, http.StatusConflict, codeConflict, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
 		return
 	}
 	if err != nil {
-		status := http.StatusConflict
 		if errors.Is(err, jobs.ErrNotFound) {
-			status = http.StatusNotFound
+			writeErr(w, r, http.StatusNotFound, codeNotFound, err)
+		} else {
+			writeErr(w, r, http.StatusConflict, codeConflict, err)
 		}
-		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toJobJSON(job))

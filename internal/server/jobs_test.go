@@ -138,7 +138,7 @@ func TestJobsAPILifecycle(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(body), `"jobs":[]`) {
+	if !strings.Contains(string(body), `"items":[]`) {
 		t.Fatalf("empty jobs list = %s", body)
 	}
 
@@ -168,11 +168,12 @@ func TestJobsAPILifecycle(t *testing.T) {
 		"tuples":    []map[string]string{dataset.DemoInputFig3().Map()},
 	}, http.StatusAccepted, &j)
 	var list struct {
-		Jobs []jobJSON `json:"jobs"`
+		Items []jobJSON `json:"items"`
+		Total int       `json:"total"`
 	}
 	doJSON(t, "GET", ts.URL+"/api/jobs", nil, 200, &list)
-	if len(list.Jobs) != 1 || list.Jobs[0].ID != j.ID {
-		t.Fatalf("list = %+v", list.Jobs)
+	if len(list.Items) != 1 || list.Items[0].ID != j.ID || list.Total != 1 {
+		t.Fatalf("list = %+v", list)
 	}
 	done := pollJobDone(t, ts.URL, j.ID)
 	if done.State != "done" {

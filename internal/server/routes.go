@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+
+	"cerfix/internal/admission"
+)
+
+// The API surface is one declarative route table mounted twice: the
+// canonical versioned prefix /api/v1 and the original bare /api as a
+// compatibility alias. Both prefixes dispatch to the same wrapped
+// handler, so responses are byte-identical (pinned by regression
+// test); new clients should use /api/v1.
+
+// limitClass names the admission treatment a route gets beyond the
+// global middleware chain (rate limiting applies to every class).
+type limitClass int
+
+const (
+	// classRead and classMutate take no extra gating.
+	classRead limitClass = iota
+	classMutate
+	// classSyncFix runs under the synchronous-fix concurrency gate
+	// (-max-sync-fix): past the cap, requests shed with 429.
+	classSyncFix
+)
+
+// route is one line of the API surface: method, path (under the
+// prefix), limits class and handler.
+type route struct {
+	method string
+	path   string
+	class  limitClass
+	h      http.HandlerFunc
+}
+
+// routeTable declares every endpoint once. Paths use net/http
+// ServeMux patterns ({id} wildcards).
+func (s *Server) routeTable() []route {
+	return []route{
+		{"GET", "/status", classRead, s.handleStatus},
+		{"GET", "/rules", classRead, s.handleRulesList},
+		{"POST", "/rules", classMutate, s.handleRulesAdd},
+		{"DELETE", "/rules/{id}", classMutate, s.handleRulesDelete},
+		{"POST", "/rules/check", classRead, s.handleRulesCheck},
+		{"GET", "/regions", classRead, s.handleRegions},
+		{"GET", "/master", classRead, s.handleMasterList},
+		{"POST", "/master", classMutate, s.handleMasterAdd},
+		{"POST", "/sessions", classMutate, s.handleSessionOpen},
+		{"GET", "/sessions/{id}", classRead, s.handleSessionGet},
+		{"POST", "/sessions/{id}/validate", classMutate, s.handleSessionValidate},
+		{"GET", "/sessions/{id}/explain", classRead, s.handleSessionExplain},
+		{"GET", "/audit/stats", classRead, s.handleAuditStats},
+		{"GET", "/audit/tuples/{id}", classRead, s.handleAuditTuple},
+		{"GET", "/audit/cell", classRead, s.handleAuditCell},
+		{"POST", "/fix", classSyncFix, s.handleBatchFix},
+		{"POST", "/jobs", classMutate, s.handleJobSubmit},
+		{"GET", "/jobs", classRead, s.handleJobList},
+		{"GET", "/jobs/{id}", classRead, s.handleJobGet},
+		{"GET", "/jobs/{id}/results", classRead, s.handleJobResults},
+		{"DELETE", "/jobs/{id}", classMutate, s.handleJobCancel},
+	}
+}
+
+// Handler returns the HTTP surface: the route table mounted under
+// /api/v1 and /api, wrapped in the admission middleware chain.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, rt := range s.routeTable() {
+		h := rt.h
+		if rt.class == classSyncFix {
+			h = s.withSyncGate(h)
+		}
+		mux.HandleFunc(rt.method+" /api/v1"+rt.path, h)
+		mux.HandleFunc(rt.method+" /api"+rt.path, h)
+	}
+	// Unknown paths get the envelope too, not net/http's text 404.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, r, http.StatusNotFound, codeNotFound,
+			fmt.Errorf("no such endpoint: %s %s", r.Method, r.URL.Path))
+	})
+	return s.chain(mux)
+}
+
+// Limits configures the front door. Zero values disable each control,
+// preserving the unlimited development behavior.
+type Limits struct {
+	// Rate admits this many requests/second per key (X-Api-Key or
+	// client IP); 0 disables rate limiting.
+	Rate float64
+	// Burst is the token-bucket capacity per key (min 1 when rate
+	// limiting is on).
+	Burst int
+	// MaxSyncFix caps concurrent POST /fix runs; 0 means unlimited.
+	MaxSyncFix int
+}
+
+// SetLimits installs the admission configuration. Call before
+// Handler.
+func (s *Server) SetLimits(l Limits) {
+	s.limits = l
+	if l.Rate > 0 {
+		s.limiter = admission.NewLimiter(l.Rate, l.Burst)
+	} else {
+		s.limiter = nil
+	}
+	if l.MaxSyncFix > 0 {
+		s.fixGate = admission.NewGate(l.MaxSyncFix)
+	} else {
+		s.fixGate = nil
+	}
+}
+
+// SetAccessLog installs the structured per-request logger (nil keeps
+// access logging off; panics always log to the error logger).
+func (s *Server) SetAccessLog(l *log.Logger) { s.accessLog = l }
+
+// SetErrorLog overrides the destination for panic and fault logs
+// (default: the process-standard logger).
+func (s *Server) SetErrorLog(l *log.Logger) { s.errorLog = l }

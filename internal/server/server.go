@@ -15,54 +15,61 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"cerfix"
+	"cerfix/internal/admission"
 	"cerfix/internal/jobs"
 	"cerfix/internal/monitor"
 )
 
-// Server wraps a cerfix.System with HTTP session state.
+// Server wraps a cerfix.System with HTTP session state and the
+// admission front door (see routes.go and middleware.go).
 type Server struct {
 	mu       sync.Mutex
 	sys      *cerfix.System
 	sessions map[int64]*monitor.Session
 	// jobs is the async batch-repair queue; nil until AttachJobs.
 	jobs *jobs.Manager
+
+	// Admission state (SetLimits): per-key limiter, sync-fix gate and
+	// the moving average of sync batch service time behind computed
+	// Retry-After values.
+	limits  Limits
+	limiter *admission.Limiter
+	fixGate *admission.Gate
+	fixTime admission.EWMA
+	// shed counts load-shedding decisions per reason, surfaced by
+	// /api/v1/status.
+	shed struct {
+		rateLimited atomic.Int64
+		overloaded  atomic.Int64
+		backlogFull atomic.Int64
+	}
+
+	// Request-ID assignment: per-process random prefix + counter.
+	idPrefix string
+	reqSeq   atomic.Int64
+
+	accessLog *log.Logger
+	errorLog  *log.Logger
+
+	// syncFixHook, when set by tests, runs inside the sync-fix gate —
+	// the deterministic way to hold slots occupied or inject faults.
+	syncFixHook func()
 }
 
 // New builds a server for a configured system.
 func New(sys *cerfix.System) *Server {
-	return &Server{sys: sys, sessions: make(map[int64]*monitor.Session)}
-}
-
-// Handler returns the HTTP routes.
-func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/status", s.handleStatus)
-	mux.HandleFunc("GET /api/rules", s.handleRulesList)
-	mux.HandleFunc("POST /api/rules", s.handleRulesAdd)
-	mux.HandleFunc("DELETE /api/rules/{id}", s.handleRulesDelete)
-	mux.HandleFunc("POST /api/rules/check", s.handleRulesCheck)
-	mux.HandleFunc("GET /api/regions", s.handleRegions)
-	mux.HandleFunc("GET /api/master", s.handleMasterList)
-	mux.HandleFunc("POST /api/master", s.handleMasterAdd)
-	mux.HandleFunc("POST /api/sessions", s.handleSessionOpen)
-	mux.HandleFunc("GET /api/sessions/{id}", s.handleSessionGet)
-	mux.HandleFunc("POST /api/sessions/{id}/validate", s.handleSessionValidate)
-	mux.HandleFunc("GET /api/sessions/{id}/explain", s.handleSessionExplain)
-	mux.HandleFunc("GET /api/audit/stats", s.handleAuditStats)
-	mux.HandleFunc("GET /api/audit/tuples/{id}", s.handleAuditTuple)
-	mux.HandleFunc("GET /api/audit/cell", s.handleAuditCell)
-	mux.HandleFunc("POST /api/fix", s.handleBatchFix)
-	mux.HandleFunc("POST /api/jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /api/jobs", s.handleJobList)
-	mux.HandleFunc("GET /api/jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("GET /api/jobs/{id}/results", s.handleJobResults)
-	mux.HandleFunc("DELETE /api/jobs/{id}", s.handleJobCancel)
-	return mux
+	return &Server{
+		sys:      sys,
+		sessions: make(map[int64]*monitor.Session),
+		idPrefix: newIDPrefix(),
+	}
 }
 
 // --- helpers -----------------------------------------------------------
@@ -73,8 +80,38 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// listPage is the uniform list envelope: items plus the pagination
+// window that produced them. Every collection endpoint answers this
+// shape — never a bare array.
+type listPage struct {
+	Items  any `json:"items"`
+	Total  int `json:"total"`
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
+}
+
+// defaultPageLimit is the page size when a list request names none.
+const defaultPageLimit = 100
+
+// pageParams reads limit/offset (default limit defLimit, offset 0),
+// rejecting malformed or negative values.
+func pageParams(r *http.Request, defLimit int) (limit, offset int, err error) {
+	limit = defLimit
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, perr := strconv.Atoi(q)
+		if perr != nil || n < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", q)
+		}
+		limit = n
+	}
+	if q := r.URL.Query().Get("offset"); q != "" {
+		n, perr := strconv.Atoi(q)
+		if perr != nil || n < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q", q)
+		}
+		offset = n
+	}
+	return limit, offset, nil
 }
 
 func decodeBody(r *http.Request, v any) error {
@@ -90,16 +127,63 @@ func tupleFromMap(sch *cerfix.Schema, m map[string]string) (*cerfix.Tuple, error
 
 // --- status ------------------------------------------------------------
 
+// shedCounters reports load-shedding decisions since start, per
+// reason (the error code the shed request received).
+type shedCounters struct {
+	RateLimited int64 `json:"rate_limited"`
+	Overloaded  int64 `json:"overloaded"`
+	BacklogFull int64 `json:"backlog_full"`
+}
+
+// admissionStatus reports the front-door configuration and live
+// occupancy.
+type admissionStatus struct {
+	// RatePerKey and Burst echo -rate/-burst (0 = rate limiting off).
+	RatePerKey float64 `json:"rate_per_key"`
+	Burst      int     `json:"burst"`
+	// MaxSyncFix echoes -max-sync-fix (0 = unlimited); SyncInFlight
+	// is the current gate occupancy.
+	MaxSyncFix   int `json:"max_sync_fix"`
+	SyncInFlight int `json:"sync_fix_in_flight"`
+	// AvgFixMS is the moving average of synchronous batch service
+	// time in milliseconds (feeds Retry-After on overload sheds).
+	AvgFixMS float64      `json:"avg_fix_ms"`
+	Shed     shedCounters `json:"shed"`
+}
+
 type statusResponse struct {
-	InputSchema  string `json:"input_schema"`
-	MasterSchema string `json:"master_schema"`
-	MasterTuples int    `json:"master_tuples"`
-	Rules        int    `json:"rules"`
-	AuditRecords int    `json:"audit_records"`
-	OpenSessions int    `json:"open_sessions"`
+	InputSchema  string          `json:"input_schema"`
+	MasterSchema string          `json:"master_schema"`
+	MasterTuples int             `json:"master_tuples"`
+	Rules        int             `json:"rules"`
+	AuditRecords int             `json:"audit_records"`
+	OpenSessions int             `json:"open_sessions"`
+	Admission    admissionStatus `json:"admission"`
+	// Jobs reports the async queue (absent when the daemon runs
+	// without -jobs-dir).
+	Jobs *jobs.QueueStats `json:"jobs,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	adm := admissionStatus{
+		RatePerKey: s.limits.Rate,
+		Burst:      s.limits.Burst,
+		MaxSyncFix: s.limits.MaxSyncFix,
+		AvgFixMS:   float64(s.fixTime.Value().Microseconds()) / 1000,
+	}
+	if s.fixGate != nil {
+		adm.SyncInFlight = s.fixGate.InFlight()
+	}
+	adm.Shed = shedCounters{
+		RateLimited: s.shed.rateLimited.Load(),
+		Overloaded:  s.shed.overloaded.Load(),
+		BacklogFull: s.shed.backlogFull.Load(),
+	}
+	var qs *jobs.QueueStats
+	if s.jobs != nil {
+		st := s.jobs.Stats()
+		qs = &st
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	writeJSON(w, http.StatusOK, statusResponse{
@@ -109,6 +193,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Rules:        s.sys.RuleSet().Len(),
 		AuditRecords: s.sys.Audit().Len(),
 		OpenSessions: len(s.sessions),
+		Admission:    adm,
+		Jobs:         qs,
 	})
 }
 
@@ -136,13 +222,13 @@ func (s *Server) handleRulesAdd(w http.ResponseWriter, r *http.Request) {
 		DSL string `json:"dsl"`
 	}
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.sys.AddRule(req.DSL); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int{"rules": s.sys.RuleSet().Len()})
@@ -153,7 +239,7 @@ func (s *Server) handleRulesDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.sys.RemoveRule(id) {
-		writeError(w, http.StatusNotFound, fmt.Errorf("rule %q not found", id))
+		writeErr(w, r, http.StatusNotFound, codeNotFound, fmt.Errorf("rule %q not found", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"rules": s.sys.RuleSet().Len()})
@@ -203,7 +289,7 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("k"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", q))
+			writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("bad k %q", q))
 			return
 		}
 		k = n
@@ -221,21 +307,22 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
 // --- master data ---------------------------------------------------------
 
 func (s *Server) handleMasterList(w http.ResponseWriter, r *http.Request) {
-	limit := 100
-	if q := r.URL.Query().Get("limit"); q != "" {
-		n, err := strconv.Atoi(q)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
-			return
-		}
-		limit = n
+	limit, offset, err := pageParams(r, defaultPageLimit)
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
+		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	// Always an array in JSON, never null — an empty store or limit=0
-	// must not change the response shape.
+	// Always an array in JSON, never null — an empty store, a high
+	// offset or limit=0 must not change the response shape.
 	rows := []map[string]string{}
+	skip := offset
 	for _, tu := range s.sys.Master().All() {
+		if skip > 0 {
+			skip--
+			continue
+		}
 		if len(rows) >= limit {
 			break
 		}
@@ -243,9 +330,11 @@ func (s *Server) handleMasterList(w http.ResponseWriter, r *http.Request) {
 		m["_id"] = strconv.FormatInt(tu.ID, 10)
 		rows = append(rows, m)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"total": s.sys.Master().Len(),
-		"rows":  rows,
+	writeJSON(w, http.StatusOK, listPage{
+		Items:  rows,
+		Total:  s.sys.Master().Len(),
+		Limit:  limit,
+		Offset: offset,
 	})
 }
 
@@ -254,7 +343,7 @@ func (s *Server) handleMasterAdd(w http.ResponseWriter, r *http.Request) {
 		Values map[string]string `json:"values"`
 	}
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
 		return
 	}
 	s.mu.Lock()
@@ -264,13 +353,13 @@ func (s *Server) handleMasterAdd(w http.ResponseWriter, r *http.Request) {
 	for k, v := range req.Values {
 		i, ok := sch.Index(k)
 		if !ok {
-			writeError(w, http.StatusUnprocessableEntity, fmt.Errorf("unknown attribute %q", k))
+			writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput, fmt.Errorf("unknown attribute %q", k))
 			return
 		}
 		vals[i] = v
 	}
 	if err := s.sys.AddMasterRow(vals...); err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]int{"master_tuples": s.sys.Master().Len()})
@@ -315,38 +404,43 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		Tuple map[string]string `json:"tuple"`
 	}
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sess, err := s.sys.NewSession(req.Tuple)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput, err)
 		return
 	}
 	s.sessions[sess.ID] = sess
 	writeJSON(w, http.StatusCreated, s.sessionJSONLocked(sess))
 }
 
-func (s *Server) lookupSession(r *http.Request) (*monitor.Session, error) {
+// lookupSession resolves {id}, writing the envelope itself on failure
+// — a malformed id is the caller's argument (400), an unknown one is
+// absent state (404).
+func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) (*monitor.Session, bool) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		return nil, fmt.Errorf("bad session id")
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument,
+			fmt.Errorf("bad session id %q", r.PathValue("id")))
+		return nil, false
 	}
 	sess, ok := s.sessions[id]
 	if !ok {
-		return nil, fmt.Errorf("session %d not found", id)
+		writeErr(w, r, http.StatusNotFound, codeNotFound, fmt.Errorf("session %d not found", id))
+		return nil, false
 	}
-	return sess, nil
+	return sess, true
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, err := s.lookupSession(r)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.sessionJSONLocked(sess))
@@ -361,19 +455,18 @@ func (s *Server) handleSessionValidate(w http.ResponseWriter, r *http.Request) {
 		Assertions map[string]string `json:"assertions"`
 	}
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, err := s.lookupSession(r)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
 		return
 	}
 	res, err := sess.Validate(req.Assertions)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput, err)
 		return
 	}
 	changes := make([]changeJSON, len(res.Changes))
@@ -394,9 +487,8 @@ func (s *Server) handleSessionValidate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionExplain(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sess, err := s.lookupSession(r)
-	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -463,7 +555,7 @@ func recordJSON(rec cerfix.AuditRecord) auditRecordJSON {
 func (s *Server) handleAuditTuple(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tuple id"))
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("bad tuple id"))
 		return
 	}
 	s.mu.Lock()
@@ -481,19 +573,19 @@ func (s *Server) handleAuditTuple(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAuditCell(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(r.URL.Query().Get("tuple"), 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tuple id"))
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("bad tuple id"))
 		return
 	}
 	attr := r.URL.Query().Get("attr")
 	if attr == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing attr"))
+		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, fmt.Errorf("missing attr"))
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec, ok := s.sys.Audit().CellProvenance(id, attr)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no audit record for tuple %d attr %s", id, attr))
+		writeErr(w, r, http.StatusNotFound, codeNotFound, fmt.Errorf("no audit record for tuple %d attr %s", id, attr))
 		return
 	}
 	writeJSON(w, http.StatusOK, recordJSON(rec))

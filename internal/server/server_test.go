@@ -131,22 +131,28 @@ func TestMasterEndpoints(t *testing.T) {
 	ts := demoServer(t)
 	var list struct {
 		Total int                 `json:"total"`
-		Rows  []map[string]string `json:"rows"`
+		Items []map[string]string `json:"items"`
 	}
 	doJSON(t, "GET", ts.URL+"/api/master", nil, 200, &list)
-	if list.Total != 3 || len(list.Rows) != 3 {
+	if list.Total != 3 || len(list.Items) != 3 {
 		t.Fatalf("master = %+v", list)
 	}
-	if list.Rows[0]["FN"] != "Robert" {
-		t.Fatalf("row 0 = %v", list.Rows[0])
+	if list.Items[0]["FN"] != "Robert" {
+		t.Fatalf("row 0 = %v", list.Items[0])
 	}
 	doJSON(t, "POST", ts.URL+"/api/master", map[string]any{
 		"values": map[string]string{"FN": "New", "LN": "Person", "zip": "XX1 1XX"},
 	}, 201, nil)
 	doJSON(t, "GET", ts.URL+"/api/master?limit=2", nil, 200, &list)
-	if list.Total != 4 || len(list.Rows) != 2 {
+	if list.Total != 4 || len(list.Items) != 2 {
 		t.Fatalf("after add = %+v", list)
 	}
+	// Offset pages through the remainder.
+	doJSON(t, "GET", ts.URL+"/api/master?limit=2&offset=3", nil, 200, &list)
+	if list.Total != 4 || len(list.Items) != 1 {
+		t.Fatalf("offset page = %+v", list)
+	}
+	doJSON(t, "GET", ts.URL+"/api/master?limit=bogus", nil, 400, nil)
 	doJSON(t, "POST", ts.URL+"/api/master", map[string]any{
 		"values": map[string]string{"bogus": "x"},
 	}, 422, nil)

@@ -12,7 +12,7 @@ import (
 	"cerfix/internal/dataset"
 )
 
-// Regression: /api/master must encode rows as [] — never null — when
+// Regression: /api/master must encode items as [] — never null — when
 // the store is empty or limit=0.
 func TestMasterListRowsNeverNull(t *testing.T) {
 	// Empty store.
@@ -35,11 +35,11 @@ func TestMasterListRowsNeverNull(t *testing.T) {
 		if resp.StatusCode != 200 {
 			t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
 		}
-		if strings.Contains(string(body), `"rows":null`) {
-			t.Fatalf("GET %s returned null rows: %s", url, body)
+		if strings.Contains(string(body), `"items":null`) {
+			t.Fatalf("GET %s returned null items: %s", url, body)
 		}
-		if !strings.Contains(string(body), `"rows":[]`) {
-			t.Fatalf("GET %s missing empty rows array: %s", url, body)
+		if !strings.Contains(string(body), `"items":[]`) {
+			t.Fatalf("GET %s missing empty items array: %s", url, body)
 		}
 	}
 }
