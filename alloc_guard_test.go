@@ -1,6 +1,9 @@
 //go:build !race
 
-package cerfix
+// External test package: internal/experiments imports cerfix (for the
+// e12 persistence measurements), so an in-package test file could not
+// import experiments back without a cycle.
+package cerfix_test
 
 import (
 	"testing"

@@ -1,4 +1,7 @@
-package cerfix
+// External test package like alloc_guard_test.go: internal/experiments
+// imports cerfix (for the e12 persistence measurements), so in-package
+// test files could not import experiments back without a cycle.
+package cerfix_test
 
 // Benchmarks, one (or more) per reproduced table/figure — see the
 // experiment index in DESIGN.md §4 and the recorded results in

@@ -17,18 +17,24 @@
 //	e11 — zero-alloc batch pipeline: end-to-end throughput and allocs
 //	     per tuple at worker counts × slice/csv/jsonl paths vs the
 //	     per-tuple-boxing baseline, parity-gated (writes BENCH_e11.json)
+//	e12 — memory-scale master data: bytes/row boxed vs columnar-packed,
+//	     snapshot latency before/after packing, checkpoint vs WAL-append
+//	     save latency and load (replay) latency vs master size,
+//	     parity-gated chase output (writes BENCH_e12.json)
 //
 // Run all with -exp all (default), or a comma-separated subset:
 //
 //	cerfixbench -exp e3,e4 -tuples 500 -noise 0.3
 //
 // e9 and e10 load large master tables (default sizes up to 500k/100k
-// rows) and e11 runs timed multi-pass pipeline sweeps, so they only
-// run when requested explicitly, never under -exp all:
+// rows), e11 runs timed multi-pass pipeline sweeps, and e12 builds
+// million-row masters, so they only run when requested explicitly,
+// never under -exp all:
 //
 //	cerfixbench -exp e9 -e9-sizes 10000,100000,500000 -e9-out BENCH_e9.json
 //	cerfixbench -exp e10 -e10-rules 1,8,64 -e10-sizes 10000,100000 -e10-out BENCH_e10.json
 //	cerfixbench -exp e11 -e11-workers 1,2,4,8 -e11-tuples 5000 -e11-out BENCH_e11.json
+//	cerfixbench -exp e12 -e12-sizes 100000,1000000 -e12-out BENCH_e12.json
 package main
 
 import (
@@ -46,7 +52,7 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiments to run (comma-separated: e1..e10, or all = e1..e8)")
+		exp       = flag.String("exp", "all", "experiments to run (comma-separated: e1..e12, or all = e1..e8)")
 		entities  = flag.Int("entities", 200, "master entities for generated workloads")
 		tuples    = flag.Int("tuples", 400, "input tuples per generated workload")
 		noise     = flag.Float64("noise", 0.3, "cell noise rate for e3")
@@ -62,6 +68,9 @@ func main() {
 		e11Ents   = flag.Int("e11-entities", 100, "master entities for the e11 workload")
 		e11Tuples = flag.Int("e11-tuples", 5000, "input tuples for the e11 workload")
 		e11Out    = flag.String("e11-out", "BENCH_e11.json", "JSON results file for e11 (empty = don't write)")
+		e12Sizes  = flag.String("e12-sizes", "100000,1000000", "comma-separated master sizes for e12")
+		e12Probes = flag.Int("e12-probes", 200, "parity-gated chase probes per master size for e12")
+		e12Out    = flag.String("e12-out", "BENCH_e12.json", "JSON results file for e12 (empty = don't write)")
 	)
 	flag.Parse()
 
@@ -120,6 +129,62 @@ func main() {
 		}
 		fmt.Println()
 	}
+	// e12 never runs under "all" either: its default sizes build
+	// million-row master tables.
+	if want["e12"] {
+		fmt.Println("=== E12 ===")
+		if err := runE12(*e12Sizes, *e12Probes, *seed, *e12Out); err != nil {
+			fmt.Fprintf(os.Stderr, "e12: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func runE12(sizeSpec string, probes int, seed uint64, outPath string) error {
+	sizes, err := parseSizes(sizeSpec)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.RunE12(sizes, probes, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Memory-scale master data — boxed vs columnar-packed bytes/row, snapshot latency, checkpoint vs WAL-append save")
+	tbl := textutil.NewTextTable("master tuples", "boxed B/row", "packed B/row", "reduction",
+		"snap boxed", "snap packed", "save ckpt", "save append", "load")
+	for _, r := range rows {
+		tbl.AddRow(fmt.Sprint(r.MasterSize),
+			fmt.Sprintf("%.1f", r.BoxedBytesPerRow),
+			fmt.Sprintf("%.1f", r.PackedBytesPerRow),
+			fmt.Sprintf("%.2fx", r.Reduction),
+			fmtNs(r.SnapshotNsBoxed), fmtNs(r.SnapshotNsPacked),
+			fmtNs(r.SaveCheckpointNs), fmtNs(r.SaveAppendNs),
+			fmtNs(r.LoadNs))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("(chase output over the packed master is asserted identical to the boxed master before any number is reported)")
+	if outPath == "" {
+		return nil
+	}
+	doc := map[string]any{
+		"experiment":   "e12",
+		"description":  "memory-scale master data: per-row bytes of the boxed live layout (accounted value.V cells + per-row slice headers) vs the columnar frozen layout (one []Sym block per shard column, storage.Table.PackColumnar), O(1) snapshot latency before and after packing, full-checkpoint System.Save vs single-row WAL-append System.Save, and Load (CSV + WAL replay) latency; chase output over the packed master is parity-gated against the boxed master",
+		"generated_at": time.Now().UTC().Format(time.RFC3339),
+		"sizes":        sizes,
+		"probes":       probes,
+		"seed":         seed,
+		"rows":         rows,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("results written to %s\n", outPath)
+	return nil
 }
 
 func runE11(workerSpec string, entities, tuples int, seed uint64, outPath string) error {

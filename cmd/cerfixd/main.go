@@ -12,6 +12,13 @@
 //
 //	cerfixd -addr :8080 -demo
 //
+// or from a saved instance directory (System.Save layout; any
+// wal.jsonl is replayed on top of the checkpoint and the load
+// provenance — directory, backup fallback, WAL rows — is reported
+// under "persistence" on GET /api/v1/status):
+//
+//	cerfixd -addr :8080 -load ./instance
+//
 // With -jobs-dir the daemon additionally serves the persistent async
 // batch-repair queue (/api/jobs, see internal/jobs): submitted jobs
 // are journaled to that directory, run off the request path against
@@ -62,6 +69,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		demo        = flag.Bool("demo", false, "serve the built-in paper demo configuration")
+		loadDir     = flag.String("load", "", "load a saved instance directory (System.Save layout: manifest.json, rules.txt, master.csv, optional wal.jsonl; provenance on /api/v1/status)")
 		inputSpec   = flag.String("input", "", `input schema spec "NAME:attr1,..."`)
 		masterSpec  = flag.String("master-schema", "", `master schema spec "NAME:attr1,..."`)
 		rulesPath   = flag.String("rules", "", "editing-rule DSL file")
@@ -75,10 +83,12 @@ func main() {
 		maxSyncFix  = flag.Int("max-sync-fix", 0, "max concurrent synchronous /fix runs; excess sheds 429 (0 = unlimited)")
 		maxQueued   = flag.Int("max-queued-jobs", 0, "max queued jobs in the persistent backlog; excess sheds 429 (0 = unbounded)")
 		accessLog   = flag.Bool("access-log", false, "log one structured line per request (status, duration, shed reason)")
+		packEvery   = flag.Duration("pack-interval", time.Minute, "how often to pack mutation-quiet master shards into the columnar frozen layout (0 = never)")
+		packShards  = flag.Int("pack-shards", 8, "max master shards packed per -pack-interval tick (bounds per-tick work; <= 0 packs all eligible)")
 	)
 	flag.Parse()
 
-	sys, err := buildSystem(*demo, *inputSpec, *masterSpec, *rulesPath, *masterPath)
+	sys, err := buildSystem(*demo, *loadDir, *inputSpec, *masterSpec, *rulesPath, *masterPath)
 	if err != nil {
 		log.Fatal("cerfixd: ", err)
 	}
@@ -96,12 +106,13 @@ func main() {
 	var mgr *jobs.Manager
 	if *jobsDir != "" {
 		mgr, err = jobs.Open(jobs.Config{
-			Dir:       *jobsDir,
-			Schema:    sys.InputSchema(),
-			Snapshot:  srv.SnapshotEngine,
-			InputRoot: *jobsInput,
-			Workers:   *jobsWorkers,
-			MaxQueued: *maxQueued,
+			Dir:          *jobsDir,
+			Schema:       sys.InputSchema(),
+			Snapshot:     srv.SnapshotEngine,
+			MasterMemory: sys.MemStats,
+			InputRoot:    *jobsInput,
+			Workers:      *jobsWorkers,
+			MaxQueued:    *maxQueued,
 		})
 		if err != nil {
 			log.Fatal("cerfixd: ", err)
@@ -114,6 +125,22 @@ func main() {
 			}
 		}
 		log.Printf("cerfixd: jobs directory %s (%d queued, %d runners)", *jobsDir, recovered, mgr.Workers())
+	}
+	// Columnar packing is decoupled from snapshotting (snapshots stay
+	// O(1)); the daemon amortizes it on a ticker instead, a few shards
+	// per tick, off the request path. Packed shards cut master memory
+	// to one []Sym block per shard; GET /api/v1/status shows the
+	// boxed/packed balance under "memory".
+	if *packEvery > 0 {
+		go func() {
+			t := time.NewTicker(*packEvery)
+			defer t.Stop()
+			for range t.C {
+				if n := sys.PackMaster(*packShards); n > 0 {
+					log.Printf("cerfixd: packed %d master shard(s) into columnar layout", n)
+				}
+			}
+		}()
 	}
 	// An explicit http.Server rather than bare ListenAndServe: the
 	// header timeout closes slowloris connections, and Shutdown gives
@@ -154,7 +181,20 @@ func main() {
 	}
 }
 
-func buildSystem(demo bool, inputSpec, masterSpec, rulesPath, masterPath string) (*cerfix.System, error) {
+func buildSystem(demo bool, loadDir, inputSpec, masterSpec, rulesPath, masterPath string) (*cerfix.System, error) {
+	if loadDir != "" {
+		if demo || inputSpec != "" || masterSpec != "" || rulesPath != "" || masterPath != "" {
+			return nil, fmt.Errorf("-load is exclusive with -demo/-input/-master-schema/-rules/-master")
+		}
+		sys, err := cerfix.Load(loadDir)
+		if err != nil {
+			return nil, err
+		}
+		info := sys.LoadInfo()
+		log.Printf("cerfixd: loaded instance %s (%d master tuples, %d WAL rows replayed, backup fallback: %v)",
+			info.Dir, sys.Master().Len(), info.WALRows, info.UsedBackup)
+		return sys, nil
+	}
 	if demo {
 		sys, err := cerfix.New(dataset.CustSchema(), dataset.PersonSchema(), dataset.DemoRulesDSL)
 		if err != nil {

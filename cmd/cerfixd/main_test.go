@@ -11,7 +11,7 @@ import (
 )
 
 func TestBuildSystemDemo(t *testing.T) {
-	sys, err := buildSystem(true, "", "", "", "")
+	sys, err := buildSystem(true, "", "", "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestBuildSystemFromFiles(t *testing.T) {
 	if err := os.WriteFile(rules, []byte(dataset.DemoRulesDSL), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	sys, err := buildSystem(false,
+	sys, err := buildSystem(false, "",
 		"CUST:FN,LN,AC,phn,type,str,city,zip,item",
 		"PERSON:FN,LN,AC,Hphn,Mphn,str,city,zip,DOB,gender",
 		rules, "")
@@ -49,17 +49,51 @@ func TestBuildSystemFromFiles(t *testing.T) {
 	}
 }
 
+func TestBuildSystemLoad(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "instance")
+	seed, err := buildSystem(true, "", "", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// One more row so the second save takes the WAL-append path — the
+	// loaded daemon must replay it and report the provenance.
+	if err := seed.AddMasterRow("Walter", "White", "505", "5550001", "5550002",
+		"Negra Arroyo", "Albuquerque", "NM 87104", "07/09/58", "M"); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := buildSystem(false, dir, "", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Master().Len() != 4 {
+		t.Fatalf("loaded %d master tuples, want 4", sys.Master().Len())
+	}
+	info := sys.LoadInfo()
+	if info == nil || info.WALRows != 1 || info.UsedBackup {
+		t.Fatalf("load provenance = %+v", info)
+	}
+	if _, err := buildSystem(true, dir, "", "", "", ""); err == nil {
+		t.Fatal("-load combined with -demo accepted")
+	}
+}
+
 func TestBuildSystemErrors(t *testing.T) {
-	if _, err := buildSystem(false, "", "", "", ""); err == nil {
+	if _, err := buildSystem(false, "", "", "", "", ""); err == nil {
 		t.Fatal("missing flags accepted")
 	}
-	if _, err := buildSystem(false, "bad", "PERSON:a", "nope.txt", ""); err == nil {
+	if _, err := buildSystem(false, "", "bad", "PERSON:a", "nope.txt", ""); err == nil {
 		t.Fatal("bad input spec accepted")
 	}
-	if _, err := buildSystem(false, "CUST:a", "bad", "nope.txt", ""); err == nil {
+	if _, err := buildSystem(false, "", "CUST:a", "bad", "nope.txt", ""); err == nil {
 		t.Fatal("bad master spec accepted")
 	}
-	if _, err := buildSystem(false, "CUST:a", "PERSON:a", filepath.Join(t.TempDir(), "nope.txt"), ""); err == nil {
+	if _, err := buildSystem(false, "", "CUST:a", "PERSON:a", filepath.Join(t.TempDir(), "nope.txt"), ""); err == nil {
 		t.Fatal("missing rules file accepted")
 	}
 }

@@ -195,8 +195,10 @@ type Chaser struct {
 	missing   []int32  // unvalidated premise attrs per rule
 	cur, next []uint64 // this round's / next round's ready bitsets
 
-	// keyBuf is the probe key-encode scratch.
+	// keyBuf is the probe key-encode scratch; dict is the bound
+	// store's interning dictionary (probe keys are sym-encoded).
 	keyBuf []byte
+	dict   *value.Dict
 
 	// ChaseScratch's reusable result (tuple values, change/conflict
 	// slices keep their capacity across calls).
@@ -245,6 +247,7 @@ func (e *Engine) AcquireChaser() *Chaser {
 // snapshot's store.
 func (c *Chaser) Release() {
 	c.eng = nil
+	c.dict = nil // don't pin a dead snapshot's dictionary arena
 	for i := range c.handles {
 		c.handles[i] = master.RuleHandle{}
 	}
@@ -256,6 +259,7 @@ func (c *Chaser) Release() {
 // snapshots of one engine do); scratch state carries over untouched.
 func (c *Chaser) rebind(e *Engine) {
 	c.eng = e
+	c.dict = e.store.Dict()
 	for i := range c.prog.rules {
 		c.handles[i] = e.store.HandleByKey(c.prog.rules[i].handleKey)
 	}
@@ -445,14 +449,18 @@ func (c *Chaser) evaluate(ri, round int, res *ChaseResult) bool {
 }
 
 // lookup performs the rule's unique-RHS probe. On the rule-index
-// access path the key encodes into the Chaser's scratch buffer and
-// the pre-resolved handle answers in O(1) with no allocation; other
-// modes (and unregistered ad-hoc pairs) take the store's general
-// path, byte-identical to the legacy engine's.
+// access path the key sym-encodes into the Chaser's scratch buffer —
+// one lock-free dictionary hit per match attribute — and the
+// pre-resolved handle answers in O(1) with no allocation. A probe
+// value the dictionary has never seen short-circuits to NoMatch for
+// registered pairs (no master tuple carries it); other modes and
+// unregistered ad-hoc pairs take the store's general path,
+// byte-identical to the legacy engine's.
 func (c *Chaser) lookup(ri int, cr *compiledRule, t *schema.Tuple) (value.List, int64, master.LookupStatus) {
 	if c.eng.store.Mode() == master.ModeRuleIndex {
-		c.keyBuf = t.AppendKeyAt(c.keyBuf[:0], cr.matchInputPos)
-		if rhs, witness, status, ok := c.handles[ri].Lookup(c.keyBuf); ok {
+		var encoded bool
+		c.keyBuf, encoded = master.AppendProbeKey(c.dict, c.keyBuf[:0], t, cr.matchInputPos)
+		if rhs, witness, status, ok := c.handles[ri].Lookup(c.keyBuf, encoded); ok {
 			return rhs, witness, status
 		}
 	}

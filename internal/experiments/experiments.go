@@ -15,9 +15,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
+	"cerfix"
 	"cerfix/internal/audit"
 	"cerfix/internal/cfd"
 	"cerfix/internal/core"
@@ -1393,4 +1396,213 @@ func RunE11(workerCounts []int, nEntities, nInputs int, seed uint64) ([]E11Row, 
 		rows[i].Speedup = rows[i].TuplesPerSec / base[rows[i].Path]
 	}
 	return rows, baselines, nil
+}
+
+// --- E12: memory-scale master data --------------------------------------
+
+// E12Row is one master size of the memory-scale experiment: the byte
+// cost of a master row in the boxed (map-of-tuples) layout vs the
+// columnar frozen layout, snapshot latency in both layouts, and the
+// persistence cost of a save in the checkpoint (rewrite master.csv)
+// vs WAL-append (fsync a few records) regime. Chase output over the
+// same probes must be byte-identical before and after packing — a
+// memory number for a wrong answer would be worthless — so every row
+// in this table is parity-gated.
+type E12Row struct {
+	// MasterSize is the number of generated master tuples.
+	MasterSize int `json:"master_size"`
+	// BoxedBytesPerRow and PackedBytesPerRow are the table's own byte
+	// accounting divided by row count, before and after PackColumnar.
+	// The packed figure is exact (8 bytes id + 4 bytes per cell); the
+	// boxed figure is the estimator rowBoxedCost documents.
+	BoxedBytesPerRow  float64 `json:"boxed_bytes_per_row"`
+	PackedBytesPerRow float64 `json:"packed_bytes_per_row"`
+	// Reduction is BoxedBytesPerRow / PackedBytesPerRow.
+	Reduction float64 `json:"bytes_per_row_reduction"`
+	// DictBytes is the interning dictionary footprint (shared across
+	// every snapshot and generation, amortized over all rows).
+	DictBytes int64 `json:"dict_bytes"`
+	// HeapSavedBytes corroborates the accounting with the runtime: the
+	// drop in live HeapAlloc across the pack (after a full GC on both
+	// sides).
+	HeapSavedBytes int64 `json:"heap_saved_bytes"`
+	// PackNs is the wall time of PackColumnar over the whole table;
+	// PackedShards the shards it converted.
+	PackNs       int64 `json:"pack_ns"`
+	PackedShards int   `json:"packed_shards"`
+	// SnapshotNsBoxed/Packed are min-of-reps COW capture latencies
+	// (each after a live insert, so no capture reuses a cached one).
+	// Packing must not disturb the O(1) snapshot contract.
+	SnapshotNsBoxed  int64 `json:"snapshot_ns_boxed"`
+	SnapshotNsPacked int64 `json:"snapshot_ns_packed"`
+	// SaveCheckpointNs is a full Save (rewrite + directory swap);
+	// SaveAppendNs is a Save after one more insert (WAL append +
+	// fsync). SaveSpeedup is their ratio — the point of the WAL.
+	SaveCheckpointNs int64   `json:"save_checkpoint_ns"`
+	SaveAppendNs     int64   `json:"save_append_ns"`
+	SaveSpeedup      float64 `json:"save_speedup"`
+	// LoadNs rebuilds the system from checkpoint + WAL replay.
+	LoadNs int64 `json:"load_ns"`
+	// ParityProbes counts the chases compared pre/post pack.
+	ParityProbes int `json:"parity_probes"`
+}
+
+// heapAlloc returns live heap bytes after a full collection.
+func heapAlloc() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// RunE12 measures the memory-scale rework: interned + columnar master
+// layout and WAL-based incremental persistence, per master size.
+func RunE12(sizes []int, probes int, seed uint64) ([]E12Row, error) {
+	const snapReps = 5
+	seedSet := schema.SetOfNames(dataset.CustSchema(), "zip", "phn", "type", "item")
+	tmp, err := os.MkdirTemp("", "cerfix-e12-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	var rows []E12Row
+	for _, n := range sizes {
+		g := dataset.NewCustomerGen(seed)
+		// Extra entities feed the snapshot-latency and WAL-append
+		// probes without colliding with the n loaded rows.
+		entities := g.GenerateEntities(n + 2*snapReps + 1)
+		sys, err := cerfix.NewWithRules(dataset.CustSchema(), dataset.PersonSchema(), dataset.DemoRules())
+		if err != nil {
+			return nil, err
+		}
+		st := sys.Master()
+		tb := st.Table()
+		for _, e := range entities[:n] {
+			if _, err := tb.InsertValues(e.Master...); err != nil {
+				return nil, err
+			}
+		}
+		if err := st.PrepareForRules(dataset.DemoRules()); err != nil {
+			return nil, err
+		}
+		inputs := make([]*schema.Tuple, probes)
+		for i := range inputs {
+			inputs[i] = g.CleanInput(entities[i%n])
+		}
+		extra := entities[n:]
+
+		// Boxed-layout probe results (the parity baseline) and boxed
+		// accounting.
+		eng := sys.Engine()
+		pre := make([]*core.ChaseResult, len(inputs))
+		ch := eng.Snapshot().NewChaser()
+		for i, tu := range inputs {
+			pre[i] = ch.Chase(tu, seedSet)
+		}
+		row := E12Row{MasterSize: n, ParityProbes: len(inputs)}
+		mem := sys.MemStats()
+		if mem.Table.Rows == 0 || mem.Table.BoxedBytes == 0 {
+			return nil, fmt.Errorf("e12: empty boxed accounting at size %d", n)
+		}
+		row.BoxedBytesPerRow = float64(mem.Table.BoxedBytes) / float64(mem.Table.Rows)
+
+		// Boxed snapshot latency (insert first so no capture is cached).
+		for i := 0; i < snapReps; i++ {
+			if _, err := st.InsertValues(extra[i].Master...); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			snap := eng.Snapshot()
+			el := time.Since(start).Nanoseconds()
+			if row.SnapshotNsBoxed == 0 || el < row.SnapshotNsBoxed {
+				row.SnapshotNsBoxed = el
+			}
+			if snap.Master().Len() != st.Len() {
+				return nil, fmt.Errorf("e12: snapshot lost rows at size %d", n)
+			}
+		}
+
+		// Pack, with the runtime watching the heap on both sides.
+		heapBefore := heapAlloc()
+		start := time.Now()
+		row.PackedShards = sys.PackMaster(0)
+		row.PackNs = time.Since(start).Nanoseconds()
+		if row.PackedShards == 0 {
+			return nil, fmt.Errorf("e12: nothing packed at size %d", n)
+		}
+		// The pre-pack frozen view stays referenced by the
+		// generation-snapshot caches until a fresh capture replaces
+		// them; refresh so the boxed shard maps are collectable before
+		// the after-side heap reading.
+		eng.Snapshot()
+		row.HeapSavedBytes = int64(heapBefore) - int64(heapAlloc())
+		mem = sys.MemStats()
+		if mem.Table.PackedRows == 0 {
+			return nil, fmt.Errorf("e12: no packed rows at size %d", n)
+		}
+		row.PackedBytesPerRow = float64(mem.Table.PackedBytes) / float64(mem.Table.PackedRows)
+		row.Reduction = row.BoxedBytesPerRow / row.PackedBytesPerRow
+		row.DictBytes = mem.Table.Dict.Bytes
+
+		// Parity gate: the packed layout must chase byte-identically.
+		ch = eng.Snapshot().NewChaser()
+		for i, tu := range inputs {
+			if !chaseResultsAgree(pre[i], ch.Chase(tu, seedSet)) {
+				return nil, fmt.Errorf("e12: packed chase diverged at size %d probe %d", n, i)
+			}
+		}
+
+		// Packed snapshot latency.
+		for i := snapReps; i < 2*snapReps; i++ {
+			if _, err := st.InsertValues(extra[i].Master...); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			eng.Snapshot()
+			el := time.Since(start).Nanoseconds()
+			if row.SnapshotNsPacked == 0 || el < row.SnapshotNsPacked {
+				row.SnapshotNsPacked = el
+			}
+		}
+
+		// Persistence: full checkpoint, then a one-insert WAL append,
+		// then a load (checkpoint + replay).
+		dir := filepath.Join(tmp, fmt.Sprintf("instance-%d", n))
+		start = time.Now()
+		if err := sys.Save(dir); err != nil {
+			return nil, err
+		}
+		row.SaveCheckpointNs = time.Since(start).Nanoseconds()
+		if _, err := st.InsertValues(extra[2*snapReps].Master...); err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		if err := sys.Save(dir); err != nil {
+			return nil, err
+		}
+		row.SaveAppendNs = time.Since(start).Nanoseconds()
+		if row.SaveAppendNs > 0 {
+			row.SaveSpeedup = float64(row.SaveCheckpointNs) / float64(row.SaveAppendNs)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "wal.jsonl")); err != nil {
+			return nil, fmt.Errorf("e12: append save wrote no WAL at size %d: %w", n, err)
+		}
+		start = time.Now()
+		loaded, err := cerfix.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		row.LoadNs = time.Since(start).Nanoseconds()
+		if loaded.Master().Len() != st.Len() {
+			return nil, fmt.Errorf("e12: load got %d rows, want %d", loaded.Master().Len(), st.Len())
+		}
+		info := loaded.LoadInfo()
+		if info == nil || info.WALRows != 1 {
+			return nil, fmt.Errorf("e12: load did not replay the WAL append: %+v", info)
+		}
+		os.RemoveAll(dir) // free disk before the next size
+		rows = append(rows, row)
+	}
+	return rows, nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"cerfix/internal/admission"
 	"cerfix/internal/core"
+	"cerfix/internal/master"
 	"cerfix/internal/pipeline"
 	"cerfix/internal/schema"
 )
@@ -64,6 +65,11 @@ type Config struct {
 	// job start, so each attempt sees the rules and master data of
 	// that moment.
 	Snapshot func() *core.Engine
+	// MasterMemory optionally reports the master data manager's byte
+	// accounting for QueueStats. Unlike Snapshot it is called on every
+	// Stats read, so it must be cheap and non-blocking (nil omits the
+	// field).
+	MasterMemory func() master.MemStats
 	// InputRoot confines SubmitFile paths: only files under this
 	// directory (after resolving symlinks) may be opened by jobs.
 	// Empty rejects every server-side path submission — inline
@@ -147,6 +153,12 @@ type QueueStats struct {
 	// AvgServiceMS is the moving average of completed-job service
 	// time in milliseconds (0 until a job completes).
 	AvgServiceMS float64 `json:"avg_service_ms"`
+	// MasterMemory is the memory accounting of the master data the
+	// jobs run against (nil when the manager has no snapshot source).
+	// Job runners chase against O(1) COW snapshots, so this shows the
+	// shared bytes those snapshots pin and the COW debt live writes
+	// have accrued against them.
+	MasterMemory *master.MemStats `json:"master_memory,omitempty"`
 }
 
 // AvgService returns the average service time as a duration.
@@ -154,15 +166,24 @@ func (s QueueStats) AvgService() time.Duration {
 	return time.Duration(s.AvgServiceMS * float64(time.Millisecond))
 }
 
-// Stats returns current queue depths, configuration and the observed
-// service-time average.
+// Stats returns current queue depths, configuration, the observed
+// service-time average and the master-memory accounting.
 func (m *Manager) Stats() QueueStats {
+	// Resolve master memory before taking m.mu: the hook typically
+	// reaches into the HTTP server's system, and nesting its lock
+	// under ours would invert the order other handlers use.
+	var mem *master.MemStats
+	if m.cfg.MasterMemory != nil {
+		ms := m.cfg.MasterMemory()
+		mem = &ms
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := QueueStats{
 		Workers:      m.cfg.Workers,
 		MaxQueued:    m.cfg.MaxQueued,
 		AvgServiceMS: float64(m.svc.Value()) / float64(time.Millisecond),
+		MasterMemory: mem,
 	}
 	st.Queued = m.reserved
 	for _, j := range m.jobs {

@@ -220,7 +220,7 @@ func (m *Store) Insert(tu *schema.Tuple) (int64, error) {
 		return 0, err
 	}
 	stored, _ := m.table.Get(id)
-	m.ruleIdx.insert(stored)
+	m.ruleIdx.insert(stored, m.table.Dict())
 	m.version++
 	return id, nil
 }
@@ -294,7 +294,7 @@ func (m *Store) Lookup(attrs []string, key value.List) []*schema.Tuple {
 func (m *Store) UniqueRHS(matchAttrs []string, key value.List, rhsAttrs []string) (value.List, int64, LookupStatus) {
 	if m.Mode() == ModeRuleIndex {
 		m.rlock()
-		rhs, witness, status, ok := m.ruleIdx.lookup(matchAttrs, key, rhsAttrs)
+		rhs, witness, status, ok := m.ruleIdx.lookup(matchAttrs, key, rhsAttrs, m.table.Dict())
 		m.runlock()
 		if ok {
 			return rhs, witness, status
@@ -321,6 +321,62 @@ func (m *Store) UniqueRHS(matchAttrs []string, key value.List, rhsAttrs []string
 func (m *Store) UniqueRHSForRule(r *rule.Rule, input *schema.Tuple) (value.List, int64, LookupStatus) {
 	key := input.Project(r.MatchInputAttrs())
 	return m.UniqueRHS(r.MatchMasterAttrs(), key, r.SetMasterAttrs())
+}
+
+// Dict returns the store's interning dictionary (the table's).
+// Append-only and shared with every snapshot, so probe-key encoders
+// may use it lock-free.
+func (m *Store) Dict() *value.Dict { return m.table.Dict() }
+
+// PackColumnar packs cold master shards into columnar form (see
+// storage.Table.PackColumnar), returning how many shards it packed.
+// Amortized off the snapshot path: cerfixd's pack ticker and the jobs
+// runner call it between requests.
+func (m *Store) PackColumnar(maxShards int) int {
+	if m.frozen {
+		return 0
+	}
+	m.lock()
+	defer m.unlock()
+	packed := m.table.PackColumnar(maxShards)
+	if packed > 0 {
+		// Representation changed: force the next Snapshot to re-freeze
+		// so it shares the packed shards instead of the cached view.
+		m.version++
+	}
+	return packed
+}
+
+// MemStats is the store's memory account: the table's (rows, shards,
+// COW debt, dictionary) plus an estimate of the unique-RHS rule
+// indexes.
+type MemStats struct {
+	Table storage.TableMem `json:"table"`
+	// RuleIndexKeys counts entries across all rule indexes;
+	// RuleIndexBytes estimates their footprint (sym-encoded keys, map
+	// entries, and the RHS value headers each entry retains).
+	RuleIndexKeys  int   `json:"rule_index_keys"`
+	RuleIndexBytes int64 `json:"rule_index_bytes"`
+}
+
+// TotalBytes sums the account.
+func (s MemStats) TotalBytes() int64 { return s.Table.TotalBytes() + s.RuleIndexBytes }
+
+// MemStats returns the store's memory account.
+func (m *Store) MemStats() MemStats {
+	m.rlock()
+	defer m.runlock()
+	out := MemStats{Table: m.table.MemStats()}
+	for _, ix := range m.ruleIdx.indexes {
+		keyBytes := int64(4*len(ix.matchAttrs)) + 16 // sym key + string header
+		entryBytes := keyBytes + 48 + 40 + int64(16*len(ix.rhsAttrs))
+		for _, sh := range &ix.shards {
+			n := len(sh.M)
+			out.RuleIndexKeys += n
+			out.RuleIndexBytes += int64(n) * entryBytes
+		}
+	}
+	return out
 }
 
 // Stats summarizes the store for the web interface and CLIs.

@@ -95,17 +95,30 @@ func entryShardOfBytes(k []byte) int { return cowmap.FNVBytes(k, entryShardCount
 // ruleIndex holds one (Xm, Bm) unique-RHS map. The header follows the
 // shared/copy-on-write discipline: once a snapshot references it, the
 // live store copies the header before replacing any shard pointer.
+//
+// Entry keys are sym-encoded: the fixed-width dictionary ids of the
+// projected match values (value.AppendSym), 4 bytes per attribute
+// instead of a length-prefixed copy of every string. Build and probe
+// sides MUST use the same dictionary — the store's table dictionary —
+// and the encoding makes the dictionary a sound prefilter: every key
+// in the index interned its values at add time, so a probe value the
+// dictionary has never seen cannot match any key (a certain NoMatch).
 type ruleIndex struct {
 	matchAttrs []string
 	rhsAttrs   []string
+	matchPos   []int // schema positions of matchAttrs
 	shared     bool
 	shards     [entryShardCount]*entryShard
 }
 
-func newRuleIndex(matchAttrs, rhsAttrs []string) *ruleIndex {
+func newRuleIndex(sch *schema.Schema, matchAttrs, rhsAttrs []string) *ruleIndex {
 	ix := &ruleIndex{
 		matchAttrs: append([]string(nil), matchAttrs...),
 		rhsAttrs:   append([]string(nil), rhsAttrs...),
+		matchPos:   make([]int, len(matchAttrs)),
+	}
+	for i, a := range matchAttrs {
+		ix.matchPos[i] = sch.MustIndex(a)
 	}
 	for i := range ix.shards {
 		ix.shards[i] = cowmap.New[string, *rhsEntry]()
@@ -118,9 +131,14 @@ func (ix *ruleIndex) shardMut(k string) *entryShard {
 	return cowmap.Mut(&ix.shards[entryShardOf(k)])
 }
 
-// add folds one master tuple into the index.
-func (ix *ruleIndex) add(s *schema.Tuple) {
-	k := s.Project(ix.matchAttrs).Key()
+// add folds one master tuple into the index, interning its match
+// values into dict.
+func (ix *ruleIndex) add(s *schema.Tuple, dict *value.Dict) {
+	kb := make([]byte, 0, 4*len(ix.matchPos))
+	for _, p := range ix.matchPos {
+		kb = value.AppendSym(kb, dict.InternV(s.Vals[p]))
+	}
+	k := string(kb)
 	sh := ix.shardMut(k)
 	e, ok := sh.M[k]
 	if !ok {
@@ -131,11 +149,6 @@ func (ix *ruleIndex) add(s *schema.Tuple) {
 		// Replace, never mutate: snapshots may share the old entry.
 		sh.M[k] = &rhsEntry{rhs: e.rhs, witness: e.witness, conflict: true}
 	}
-}
-
-// get answers one probe (nil when the key is absent).
-func (ix *ruleIndex) get(k string) *rhsEntry {
-	return ix.shards[entryShardOf(k)].M[k]
 }
 
 // getBytes is get for a scratch-encoded key. The string conversion in
@@ -182,27 +195,27 @@ func (ri *ruleIndexes) registryMut() map[string]*ruleIndex {
 }
 
 // build constructs the index for one (Xm, Bm) pair from all rows.
-func (ri *ruleIndexes) build(matchAttrs, rhsAttrs []string, rows []*schema.Tuple) {
-	idx := newRuleIndex(matchAttrs, rhsAttrs)
+func (ri *ruleIndexes) build(sch *schema.Schema, matchAttrs, rhsAttrs []string, rows []*schema.Tuple, dict *value.Dict) {
+	idx := newRuleIndex(sch, matchAttrs, rhsAttrs)
 	for _, s := range rows {
-		idx.add(s)
+		idx.add(s, dict)
 	}
 	ri.registryMut()[ruleIndexKey(matchAttrs, rhsAttrs)] = idx
 }
 
 // insert maintains every registered index for a new master tuple.
-func (ri *ruleIndexes) insert(s *schema.Tuple) {
+func (ri *ruleIndexes) insert(s *schema.Tuple, dict *value.Dict) {
 	if len(ri.indexes) == 0 {
 		return
 	}
 	reg := ri.registryMut()
 	for key, ix := range reg {
 		if ix.shared {
-			cp := &ruleIndex{matchAttrs: ix.matchAttrs, rhsAttrs: ix.rhsAttrs, shards: ix.shards}
+			cp := &ruleIndex{matchAttrs: ix.matchAttrs, rhsAttrs: ix.rhsAttrs, matchPos: ix.matchPos, shards: ix.shards}
 			reg[key] = cp
 			ix = cp
 		}
-		ix.add(s)
+		ix.add(s, dict)
 	}
 }
 
@@ -226,7 +239,7 @@ func (ri *ruleIndexes) snapshot() *ruleIndexes {
 func (ri *ruleIndexes) clone() *ruleIndexes {
 	cp := newRuleIndexes()
 	for k, ix := range ri.indexes {
-		icp := newRuleIndex(ix.matchAttrs, ix.rhsAttrs)
+		icp := &ruleIndex{matchAttrs: ix.matchAttrs, rhsAttrs: ix.rhsAttrs, matchPos: ix.matchPos}
 		for i, sh := range &ix.shards {
 			m := make(map[string]*rhsEntry, len(sh.M))
 			for ek, e := range sh.M {
@@ -240,13 +253,41 @@ func (ri *ruleIndexes) clone() *ruleIndexes {
 }
 
 // lookup answers the unique-RHS question for a registered pair; the
-// second result reports whether the pair has an index.
-func (ri *ruleIndexes) lookup(matchAttrs []string, key value.List, rhsAttrs []string) (value.List, int64, LookupStatus, bool) {
+// final result reports whether the pair has an index. A key value the
+// dictionary has never seen is a certain NoMatch for a registered
+// pair — no master tuple carries it (see ruleIndex).
+func (ri *ruleIndexes) lookup(matchAttrs []string, key value.List, rhsAttrs []string, dict *value.Dict) (value.List, int64, LookupStatus, bool) {
 	ix, ok := ri.indexes[ruleIndexKey(matchAttrs, rhsAttrs)]
 	if !ok {
 		return nil, 0, NoMatch, false
 	}
-	return entryResult(ix.get(key.Key()))
+	kb := make([]byte, 0, 4*len(key))
+	for _, v := range key {
+		sym, found := dict.LookupV(v)
+		if !found {
+			return nil, 0, NoMatch, true
+		}
+		kb = value.AppendSym(kb, sym)
+	}
+	return entryResult(ix.getBytes(kb))
+}
+
+// AppendProbeKey appends the sym-encoded rule-index probe key for t's
+// projection on positions, resolving each value through dict without
+// interning. ok=false means some value has never been interned: no
+// master tuple carries it, so for any registered (Xm, Bm) pair the
+// probe is a certain NoMatch (pass encoded=false to RuleHandle.Lookup
+// and it answers accordingly). The compiled chase calls this with a
+// reused scratch buffer; it never allocates.
+func AppendProbeKey(dict *value.Dict, dst []byte, t *schema.Tuple, positions []int) ([]byte, bool) {
+	for _, p := range positions {
+		sym, found := dict.LookupV(t.Vals[p])
+		if !found {
+			return dst, false
+		}
+		dst = value.AppendSym(dst, sym)
+	}
+	return dst, true
 }
 
 // RuleHandle is a pre-resolved unique-RHS lookup handle for one
@@ -295,13 +336,16 @@ func (m *Store) HandleByKey(key string) RuleHandle {
 	return h
 }
 
-// Lookup answers the unique-RHS probe for a pre-encoded composite key
-// (the value.List.Key / schema.Tuple.AppendKeyAt encoding of t[X]).
-// The final result reports whether a rule index is registered for the
-// pair — false means the caller must fall back to the group
-// verification path (Store.UniqueRHS), exactly as an unregistered
-// pair does there.
-func (h *RuleHandle) Lookup(encKey []byte) (value.List, int64, LookupStatus, bool) {
+// Lookup answers the unique-RHS probe for a sym-encoded composite key
+// (the AppendProbeKey encoding of t[X]). encoded=false means the
+// probe could not be encoded because some value is absent from the
+// dictionary: for a registered pair that is a certain NoMatch (every
+// key in the index interned its values when its row was added), so
+// the handle answers without touching the shards. The final result
+// reports whether a rule index is registered for the pair — false
+// means the caller must fall back to the group verification path
+// (Store.UniqueRHS), exactly as an unregistered pair does there.
+func (h *RuleHandle) Lookup(encKey []byte, encoded bool) (value.List, int64, LookupStatus, bool) {
 	ix := h.idx
 	if ix == nil {
 		m := h.store
@@ -314,9 +358,16 @@ func (h *RuleHandle) Lookup(encKey []byte) (value.List, int64, LookupStatus, boo
 			m.mu.RUnlock()
 			return nil, 0, NoMatch, false
 		}
+		if !encoded {
+			m.mu.RUnlock()
+			return nil, 0, NoMatch, true
+		}
 		e := ix.getBytes(encKey)
 		m.mu.RUnlock()
 		return entryResult(e)
+	}
+	if !encoded {
+		return nil, 0, NoMatch, true
 	}
 	return entryResult(ix.getBytes(encKey))
 }
@@ -350,8 +401,9 @@ func (m *Store) PrepareRuleIndexes(rs *rule.Set) {
 	m.lock()
 	defer m.unlock()
 	rows := m.table.All()
+	sch, dict := m.table.Schema(), m.table.Dict()
 	for _, r := range rs.Rules() {
-		m.ruleIdx.build(r.MatchMasterAttrs(), r.SetMasterAttrs(), rows)
+		m.ruleIdx.build(sch, r.MatchMasterAttrs(), r.SetMasterAttrs(), rows, dict)
 	}
 	m.version++
 }

@@ -158,6 +158,22 @@ func TestRegisteredRuleIndexesSorted(t *testing.T) {
 	}
 }
 
+// encodeProbe sym-encodes a probe key against the store's dictionary,
+// mirroring what master.AppendProbeKey does for the compiled chase. The
+// second result reports whether every value was already interned; a
+// miss means no registered index can contain the key.
+func encodeProbe(st *Store, key value.List) ([]byte, bool) {
+	kb := make([]byte, 0, 4*len(key))
+	for _, v := range key {
+		sym, ok := st.Dict().LookupV(v)
+		if !ok {
+			return nil, false
+		}
+		kb = value.AppendSym(kb, sym)
+	}
+	return kb, true
+}
+
 // The pre-resolved handle must agree with Store.UniqueRHS on every
 // outcome — present keys, absent keys, conflicts — on live stores and
 // frozen snapshots, across live mutation.
@@ -171,7 +187,8 @@ func TestRuleHandleAgreesWithUniqueRHS(t *testing.T) {
 	probe := func(t *testing.T, st *Store, h *RuleHandle, key value.List) {
 		t.Helper()
 		wantRHS, wantWitness, wantStatus := st.UniqueRHS(match, key, rhs)
-		gotRHS, gotWitness, gotStatus, ok := h.Lookup(key.AppendKey(nil))
+		kb, enc := encodeProbe(st, key)
+		gotRHS, gotWitness, gotStatus, ok := h.Lookup(kb, enc)
 		if !ok {
 			t.Fatalf("key %v: handle reports no index", key)
 		}
@@ -197,13 +214,15 @@ func TestRuleHandleAgreesWithUniqueRHS(t *testing.T) {
 		t.Fatal(err)
 	}
 	probe(t, m, live, value.List{"ZZ9 9ZZ"})
-	if _, _, st, _ := snapH.Lookup(value.List{"ZZ9 9ZZ"}.AppendKey(nil)); st != NoMatch {
+	// The dictionary is shared and append-only, so the snapshot handle
+	// can encode the new value — its frozen index simply lacks the key.
+	if _, _, st, _ := snapH.Lookup(encodeProbe(snap, value.List{"ZZ9 9ZZ"})); st != NoMatch {
 		t.Fatalf("snapshot handle sees post-snapshot row: %v", st)
 	}
 	if _, err := m.InsertValues("Other", "Person", "888", "1", "2", "3", "4", "ZZ9 9ZZ"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, st, _ := live.Lookup(value.List{"ZZ9 9ZZ"}.AppendKey(nil)); st != Conflict {
+	if _, _, st, _ := live.Lookup(encodeProbe(m, value.List{"ZZ9 9ZZ"})); st != Conflict {
 		t.Fatalf("live handle missed incremental conflict: %v", st)
 	}
 	for _, k := range keys {
@@ -217,11 +236,11 @@ func TestRuleHandleAgreesWithUniqueRHS(t *testing.T) {
 func TestRuleHandleUnregisteredPair(t *testing.T) {
 	m := demoStore(t)
 	h := m.Handle([]string{"zip"}, []string{"AC"})
-	if _, _, _, ok := h.Lookup(value.List{"EH8 4AH"}.AppendKey(nil)); ok {
+	if _, _, _, ok := h.Lookup(encodeProbe(m, value.List{"EH8 4AH"})); ok {
 		t.Fatal("handle claims an index that was never built")
 	}
 	snapH := m.Snapshot().Handle([]string{"zip"}, []string{"AC"})
-	if _, _, _, ok := snapH.Lookup(value.List{"EH8 4AH"}.AppendKey(nil)); ok {
+	if _, _, _, ok := snapH.Lookup(encodeProbe(m, value.List{"EH8 4AH"})); ok {
 		t.Fatal("snapshot handle claims an index that was never built")
 	}
 	// Once built, the same live handle resolves on its next probe.
@@ -229,7 +248,7 @@ func TestRuleHandleUnregisteredPair(t *testing.T) {
 	if err := m.PrepareForRules(rs); err != nil {
 		t.Fatal(err)
 	}
-	rhs, _, st, ok := h.Lookup(value.List{"EH8 4AH"}.AppendKey(nil))
+	rhs, _, st, ok := h.Lookup(encodeProbe(m, value.List{"EH8 4AH"}))
 	if !ok || st != Unique || rhs[0] != "131" {
 		t.Fatalf("live handle did not pick up the new index: %v %v ok=%v", rhs, st, ok)
 	}

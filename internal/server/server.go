@@ -24,6 +24,7 @@ import (
 	"cerfix"
 	"cerfix/internal/admission"
 	"cerfix/internal/jobs"
+	"cerfix/internal/master"
 	"cerfix/internal/monitor"
 )
 
@@ -162,6 +163,13 @@ type statusResponse struct {
 	// Jobs reports the async queue (absent when the daemon runs
 	// without -jobs-dir).
 	Jobs *jobs.QueueStats `json:"jobs,omitempty"`
+	// Memory is the master data manager's byte accounting: boxed vs
+	// columnar-packed rows, snapshot-shared bytes and COW debt, rule
+	// indexes, interning dictionary.
+	Memory *master.MemStats `json:"memory,omitempty"`
+	// Persistence reports where the instance was loaded from (absent
+	// for in-memory systems): directory, backup fallback, WAL replay.
+	Persistence *cerfix.LoadInfo `json:"persistence,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -186,6 +194,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	mem := s.sys.MemStats()
 	writeJSON(w, http.StatusOK, statusResponse{
 		InputSchema:  s.sys.InputSchema().String(),
 		MasterSchema: s.sys.MasterSchema().String(),
@@ -195,6 +204,8 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		OpenSessions: len(s.sessions),
 		Admission:    adm,
 		Jobs:         qs,
+		Memory:       &mem,
+		Persistence:  s.sys.LoadInfo(),
 	})
 }
 

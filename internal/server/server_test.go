@@ -68,6 +68,17 @@ func TestStatus(t *testing.T) {
 	if !strings.HasPrefix(st.InputSchema, "CUST(") {
 		t.Fatalf("input schema = %q", st.InputSchema)
 	}
+	// Memory accounting is always present; an in-memory demo system
+	// has no persistence provenance.
+	if st.Memory == nil || st.Memory.Table.Rows != 3 || st.Memory.TotalBytes() <= 0 {
+		t.Fatalf("memory status = %+v", st.Memory)
+	}
+	if st.Memory.Table.Dict.Syms == 0 {
+		t.Fatalf("dictionary not surfaced: %+v", st.Memory.Table)
+	}
+	if st.Persistence != nil {
+		t.Fatalf("persistence = %+v for an in-memory system", st.Persistence)
+	}
 }
 
 func TestRulesCRUD(t *testing.T) {

@@ -72,8 +72,7 @@ func (t *Table) ApplyBatch(ops []Op) ([]int64, error) {
 		if v, ok := staged[id]; ok {
 			return v
 		}
-		_, ok := t.row(id)
-		return ok
+		return t.rowHas(id)
 	}
 	for i, op := range ops {
 		switch op.Kind {

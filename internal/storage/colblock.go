@@ -1,0 +1,252 @@
+package storage
+
+import (
+	"slices"
+
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// This file is the columnar half of the table's memory model. Live
+// shards hold rows as boxed *schema.Tuple maps — cheap to mutate.
+// Cold shards can be packed into column-major []value.Sym blocks: one
+// allocation per shard instead of one per row, 4 bytes per cell
+// instead of a 16-byte string header plus per-row data. Packed shards
+// are immutable, so they are shared freely between the live table and
+// every snapshot; the first write into one unpacks it back to map
+// form under the usual copy-on-write discipline.
+
+// rowShard is one segment of the row registry. Exactly one of m
+// (boxed map form) and col (packed columnar form) is non-nil. shared
+// marks the shard as referenced by a snapshot: a writer copies (or
+// unpacks) it before mutating. bytes is the shard's memory account —
+// an estimate for map form (see rowBoxedCost), exact for packed form.
+type rowShard struct {
+	m      map[int64]*schema.Tuple
+	col    *colBlock
+	shared bool
+	bytes  int64
+}
+
+func newRowShard() *rowShard {
+	return &rowShard{m: make(map[int64]*schema.Tuple)}
+}
+
+// rows returns the shard's row count in either form.
+func (sh *rowShard) rows() int {
+	if sh.col != nil {
+		return len(sh.col.ids)
+	}
+	return len(sh.m)
+}
+
+// colBlock is a packed shard: row ids sorted ascending and every cell
+// interned, laid out column-major (column c of row r is
+// syms[c*len(ids)+r]). Blocks are immutable after construction.
+type colBlock struct {
+	ids  []int64
+	syms []value.Sym
+	k    int // columns
+}
+
+// find binary-searches for id (ids are sorted; the table never reuses
+// an id, so insertion order is id order).
+func (c *colBlock) find(id int64) (int, bool) {
+	return slices.BinarySearch(c.ids, id)
+}
+
+// materializeInto rebuilds row r as a boxed tuple in tu, reusing
+// tu.Vals' backing array. The cell strings alias the dictionary's
+// immutable arena, so no per-cell copy happens.
+func (c *colBlock) materializeInto(tu *schema.Tuple, sch *schema.Schema, dict *value.Dict, r int) {
+	tu.Schema = sch
+	tu.ID = c.ids[r]
+	vals := tu.Vals[:0]
+	n := len(c.ids)
+	for col := 0; col < c.k; col++ {
+		vals = append(vals, dict.Val(c.syms[col*n+r]))
+	}
+	tu.Vals = vals
+}
+
+// materialize builds a fresh boxed tuple for row r.
+func (c *colBlock) materialize(sch *schema.Schema, dict *value.Dict, r int) *schema.Tuple {
+	tu := &schema.Tuple{Vals: make(value.List, 0, c.k)}
+	c.materializeInto(tu, sch, dict, r)
+	return tu
+}
+
+func (c *colBlock) memBytes() int64 {
+	return int64(len(c.ids))*8 + int64(len(c.syms))*4
+}
+
+// packShard converts a map-form shard into its packed columnar form,
+// interning every cell. Allocation is O(columns), not O(rows): one
+// ids slice, one syms block, the block and shard headers (interning a
+// never-seen string still costs arena space in the dictionary — on
+// typical master data most cells are repeats and intern to hits).
+func packShard(sh *rowShard, sch *schema.Schema, dict *value.Dict) *rowShard {
+	n := len(sh.m)
+	k := sch.Len()
+	col := &colBlock{
+		ids:  make([]int64, 0, n),
+		syms: make([]value.Sym, n*k),
+		k:    k,
+	}
+	for id := range sh.m {
+		col.ids = append(col.ids, id)
+	}
+	slices.Sort(col.ids)
+	for r, id := range col.ids {
+		tu := sh.m[id]
+		for c := 0; c < k; c++ {
+			col.syms[c*n+r] = dict.InternV(tu.Vals[c])
+		}
+	}
+	return &rowShard{col: col, shared: sh.shared, bytes: col.memBytes()}
+}
+
+// unpack converts a shard back to a privately-owned map form —
+// the write path into a packed (or shared map-form) shard.
+func (sh *rowShard) unpack(sch *schema.Schema, dict *value.Dict) *rowShard {
+	ns := &rowShard{}
+	if sh.col != nil {
+		c := sh.col
+		ns.m = make(map[int64]*schema.Tuple, len(c.ids))
+		for r, id := range c.ids {
+			tu := c.materialize(sch, dict, r)
+			ns.m[id] = tu
+			ns.bytes += rowBoxedCost(tu)
+		}
+		return ns
+	}
+	ns.m = make(map[int64]*schema.Tuple, len(sh.m))
+	for id, tu := range sh.m {
+		ns.m[id] = tu
+	}
+	ns.bytes = sh.bytes
+	return ns
+}
+
+// rowBoxedCost estimates the heap bytes one boxed row pins: the tuple
+// struct, its value-header slice, the cell bytes, and the row-map
+// entry. It deliberately ignores allocator rounding and string
+// sharing between rows — the account is for trend and ratio, not for
+// a byte-exact heap profile.
+func rowBoxedCost(tu *schema.Tuple) int64 {
+	b := int64(48 + 48) // tuple struct (+Vals header) + map entry
+	b += int64(len(tu.Vals)) * 16
+	for _, v := range tu.Vals {
+		b += int64(len(v))
+	}
+	return b
+}
+
+// TableMem is a point-in-time memory account of one table (or
+// snapshot). The accounting contract: BoxedBytes is an estimate of
+// the heap pinned by map-form shards, PackedBytes is the exact size
+// of columnar blocks, SharedBytes is the portion of both currently
+// referenced by at least one snapshot (copy-on-write debt that a
+// write would duplicate), and CowCopiedBytes is the cumulative bytes
+// this table has duplicated by copying shared shards — the COW debt
+// already paid. Dictionary bytes are shared by every snapshot and
+// reported once.
+type TableMem struct {
+	Rows         int    `json:"rows"`
+	PackedRows   int    `json:"packed_rows"`
+	PackedShards int    `json:"packed_shards"`
+	BoxedBytes   int64  `json:"boxed_bytes"`
+	PackedBytes  int64  `json:"packed_bytes"`
+	OrderBytes   int64  `json:"order_bytes"`
+	SharedBytes  int64  `json:"shared_bytes"`
+	CowCopied    int64  `json:"cow_copied_bytes"`
+	Generation   uint64 `json:"generation"`
+
+	Dict value.DictStats `json:"dict"`
+}
+
+// TotalBytes sums the table-owned accounts plus the dictionary.
+func (m TableMem) TotalBytes() int64 {
+	return m.BoxedBytes + m.PackedBytes + m.OrderBytes + m.Dict.Bytes
+}
+
+// MemStats returns the table's memory account.
+func (t *Table) MemStats() TableMem {
+	t.rlock()
+	defer t.runlock()
+	out := TableMem{
+		Rows:       t.count,
+		OrderBytes: int64(len(t.order)) * 8,
+		CowCopied:  t.cowCopied,
+		Generation: t.gen,
+		Dict:       t.dict.Stats(),
+	}
+	for _, sh := range &t.rows {
+		if sh.col != nil {
+			out.PackedBytes += sh.bytes
+			out.PackedRows += len(sh.col.ids)
+			out.PackedShards++
+		} else {
+			out.BoxedBytes += sh.bytes
+		}
+		if sh.shared {
+			out.SharedBytes += sh.bytes
+		}
+	}
+	return out
+}
+
+// PackColumnar packs up to maxShards map-form shards holding at least
+// the pack threshold (SetPackMinRows) into columnar form, returning
+// how many it packed. maxShards <= 0 packs every eligible shard.
+//
+// Packing is deliberately decoupled from Snapshot: freezing stays
+// O(1) (it only marks shards shared), while packing pays O(rows) per
+// shard to intern cells. Callers amortize it off the latency path —
+// cerfixd runs it on a ticker, the jobs runner after each job, and
+// Save's checkpoint path before writing. A packed shard is immutable,
+// so the live table and every subsequent snapshot share one block;
+// the first write into it unpacks a private map copy.
+func (t *Table) PackColumnar(maxShards int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.frozen {
+		return 0
+	}
+	packed := 0
+	for i, sh := range &t.rows {
+		if maxShards > 0 && packed >= maxShards {
+			break
+		}
+		if sh.col != nil || len(sh.m) < t.packMinRows {
+			continue
+		}
+		t.rows[i] = packShard(sh, t.sch, t.dict)
+		packed++
+	}
+	if packed > 0 {
+		// Representation changed: bump the generation so the cached
+		// snapshot (which still references the map-form shards) is not
+		// handed out for the packed state.
+		t.gen++
+	}
+	return packed
+}
+
+// SetPackMinRows overrides the per-shard row threshold below which
+// PackColumnar leaves a shard in map form (packing a tiny shard buys
+// nothing and costs an unpack on the next write). Values < 1 are
+// clamped to 1; tests use that to force-pack small tables.
+func (t *Table) SetPackMinRows(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	t.packMinRows = n
+}
+
+// Dict returns the table's interning dictionary. It is append-only
+// and shared with every snapshot and clone of this table, so callers
+// may intern and look up concurrently with readers and writers.
+func (t *Table) Dict() *value.Dict { return t.dict }

@@ -1,0 +1,63 @@
+//go:build !race
+
+package storage
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"cerfix/internal/value"
+)
+
+// TestPackColumnarAllocsOColumns guards the packing cost model:
+// converting a shard allocates O(columns) — the ids slice, the syms
+// block and two headers — never O(rows). With the dictionary primed
+// (every cell value already interned), packing 20k rows across 64
+// shards must stay within a few hundred allocations; a per-row
+// allocation anywhere in the pack path blows past the bound by two
+// orders of magnitude.
+//
+// Excluded from -race runs like the other steady-state alloc guards:
+// the race runtime adds bookkeeping allocations.
+func TestPackColumnarAllocsOColumns(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	const rows = 20000
+	pool := []value.V{"Robert", "Mark", "", "Luth", "W1B 1JL"}
+	for i := 0; i < rows; i++ {
+		if _, err := tb.InsertValues(
+			pool[i%len(pool)],
+			value.V(fmt.Sprintf("uniq-%d", i%512)),
+			pool[(i/2)%len(pool)],
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prime the dictionary so interning during the measured pack is
+	// all hits (real workloads amortize dictionary growth across the
+	// life of the table; the guard isolates the packing layout cost).
+	for i := 0; i < 512; i++ {
+		tb.Dict().Intern(fmt.Sprintf("uniq-%d", i))
+	}
+	for _, v := range pool {
+		tb.Dict().InternV(v)
+	}
+
+	tb.SetPackMinRows(1)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	packed := tb.PackColumnar(0)
+	runtime.ReadMemStats(&after)
+	if packed == 0 {
+		t.Fatal("nothing packed")
+	}
+	allocs := after.Mallocs - before.Mallocs
+	// 64 shards × ~5 allocations each, plus slack for the runtime.
+	const budget = 64*8 + 128
+	if allocs > budget {
+		t.Fatalf("PackColumnar allocated %d objects for %d rows (budget %d): packing is not O(columns)",
+			allocs, rows, budget)
+	}
+	t.Logf("packed %d shards, %d rows, %d allocs", packed, rows, allocs)
+}

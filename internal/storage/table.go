@@ -44,11 +44,14 @@ const (
 	// entries.
 	rowShardCount    = 64
 	bucketShardCount = 64
+
+	// defaultPackMinRows is the per-shard row threshold for
+	// PackColumnar (see colblock.go): tiny shards stay boxed.
+	defaultPackMinRows = 256
 )
 
-// rowShard is one segment of the row registry (see cowmap for the
-// shared/copy-on-write discipline).
-type rowShard = cowmap.Shard[int64, *schema.Tuple]
+// rowShard (two forms: boxed map, packed columnar) lives in
+// colblock.go together with the packing machinery.
 
 func rowShardOf(id int64) int { return int(uint64(id) & (rowShardCount - 1)) }
 
@@ -81,17 +84,26 @@ type Table struct {
 	// unchanged table (every Scan takes one) returns it outright, so
 	// read-heavy phases never re-mark shards or re-tax writers.
 	lastSnap *Table
+	// dict interns cell values for packed shards and sym-keyed index
+	// probes. Append-only, shared with every snapshot and clone.
+	dict *value.Dict
+	// cowCopied accumulates the bytes duplicated by copying shared
+	// shards (the COW debt already paid); packMinRows gates packing.
+	cowCopied   int64
+	packMinRows int
 }
 
 // NewTable creates an empty table under sch.
 func NewTable(sch *schema.Schema) *Table {
 	t := &Table{
-		sch:     sch,
-		nextID:  1,
-		indexes: make(map[string]*hashIndex),
+		sch:         sch,
+		nextID:      1,
+		indexes:     make(map[string]*hashIndex),
+		dict:        value.NewDict(),
+		packMinRows: defaultPackMinRows,
 	}
 	for i := range t.rows {
-		t.rows[i] = cowmap.New[int64, *schema.Tuple]()
+		t.rows[i] = newRowShard()
 	}
 	return t
 }
@@ -125,6 +137,16 @@ func (t *Table) Generation() uint64 {
 	return t.gen
 }
 
+// NextID returns the id the next insert will receive. Ids are
+// monotone and never reused, so together with Generation and Len this
+// lets the persistence layer prove a window of mutations was
+// pure-append: k new inserts move all three counters by exactly k.
+func (t *Table) NextID() int64 {
+	t.rlock()
+	defer t.runlock()
+	return t.nextID
+}
+
 // Len returns the number of live rows.
 func (t *Table) Len() int {
 	t.rlock()
@@ -132,17 +154,74 @@ func (t *Table) Len() int {
 	return t.count
 }
 
-// row looks up a live row. Callers hold the read lock (or the table
+// rowHas reports whether a live row exists, in either shard form,
+// without materializing it. Callers hold the read lock (or the table
 // is frozen).
-func (t *Table) row(id int64) (*schema.Tuple, bool) {
-	tu, ok := t.rows[rowShardOf(id)].M[id]
+func (t *Table) rowHas(id int64) bool {
+	sh := t.rows[rowShardOf(id)]
+	if sh.col != nil {
+		_, ok := sh.col.find(id)
+		return ok
+	}
+	_, ok := sh.m[id]
+	return ok
+}
+
+// rowFresh returns a privately-owned copy of a live row: a Clone from
+// a boxed shard, a fresh materialization from a packed one. Callers
+// hold the read lock (or the table is frozen).
+func (t *Table) rowFresh(id int64) (*schema.Tuple, bool) {
+	sh := t.rows[rowShardOf(id)]
+	if sh.col != nil {
+		r, ok := sh.col.find(id)
+		if !ok {
+			return nil, false
+		}
+		return sh.col.materialize(t.sch, t.dict, r), true
+	}
+	tu, ok := sh.m[id]
+	if !ok {
+		return nil, false
+	}
+	return tu.Clone(), true
+}
+
+// rowShared returns a read-only view of a live row without copying:
+// the stored tuple from a boxed shard, or scratch refilled from a
+// packed one (scratch must not be nil and must not be retained by the
+// caller past its next use). Callers hold the read lock (or the table
+// is frozen).
+func (t *Table) rowShared(id int64, scratch *schema.Tuple) (*schema.Tuple, bool) {
+	sh := t.rows[rowShardOf(id)]
+	if sh.col != nil {
+		r, ok := sh.col.find(id)
+		if !ok {
+			return nil, false
+		}
+		sh.col.materializeInto(scratch, t.sch, t.dict, r)
+		return scratch, true
+	}
+	tu, ok := sh.m[id]
 	return tu, ok
 }
 
-// rowShardMut returns a privately-owned shard for id, copying it
-// first when a snapshot shares it. Callers hold the write lock.
+// rowShardMut returns a privately-owned boxed shard for id, copying a
+// shared shard (and unpacking a packed one) first. Callers hold the
+// write lock.
 func (t *Table) rowShardMut(id int64) *rowShard {
-	return cowmap.Mut(&t.rows[rowShardOf(id)])
+	slot := &t.rows[rowShardOf(id)]
+	sh := *slot
+	if sh.col == nil && !sh.shared {
+		return sh
+	}
+	if sh.shared {
+		// The old shard stays pinned by whichever snapshots froze it:
+		// that is the COW debt this write just paid.
+		t.cowCopied += sh.bytes
+	}
+	ns := sh.unpack(t.sch, t.dict)
+	*slot = ns
+	return ns
 }
 
 // Snapshot returns a frozen O(1) view of the table: the exact rows,
@@ -176,10 +255,12 @@ func (t *Table) Snapshot() *Table {
 		nextID:        t.nextID,
 		indexes:       t.indexes,
 		indexesShared: true,
+		dict:          t.dict,
+		packMinRows:   t.packMinRows,
 	}
 	t.indexesShared = true
 	for i, sh := range &t.rows {
-		sh.Shared = true
+		sh.shared = true
 		cp.rows[i] = sh
 	}
 	for _, ix := range t.indexes {
@@ -214,7 +295,9 @@ func (t *Table) Insert(tu *schema.Tuple) (int64, error) {
 // insertLocked registers an already-cloned tuple with an assigned ID.
 func (t *Table) insertLocked(cp *schema.Tuple) {
 	t.gen++
-	t.rowShardMut(cp.ID).M[cp.ID] = cp
+	sh := t.rowShardMut(cp.ID)
+	sh.m[cp.ID] = cp
+	sh.bytes += rowBoxedCost(cp)
 	t.order = append(t.order, cp.ID)
 	t.count++
 	t.indexAddLocked(cp)
@@ -233,11 +316,7 @@ func (t *Table) InsertValues(vals ...value.V) (int64, error) {
 func (t *Table) Get(id int64) (*schema.Tuple, bool) {
 	t.rlock()
 	defer t.runlock()
-	tu, ok := t.row(id)
-	if !ok {
-		return nil, false
-	}
-	return tu.Clone(), true
+	return t.rowFresh(id)
 }
 
 // Update replaces the row with tu.ID by a copy of tu.
@@ -254,13 +333,15 @@ func (t *Table) Update(tu *schema.Tuple) error {
 }
 
 func (t *Table) updateLocked(cp *schema.Tuple) error {
-	old, ok := t.row(cp.ID)
-	if !ok {
+	if !t.rowHas(cp.ID) {
 		return fmt.Errorf("storage: row %d not found", cp.ID)
 	}
 	t.gen++
+	sh := t.rowShardMut(cp.ID)
+	old := sh.m[cp.ID]
 	t.indexRemoveLocked(old)
-	t.rowShardMut(cp.ID).M[cp.ID] = cp
+	sh.m[cp.ID] = cp
+	sh.bytes += rowBoxedCost(cp) - rowBoxedCost(old)
 	t.indexAddLocked(cp)
 	return nil
 }
@@ -281,13 +362,15 @@ func (t *Table) Delete(id int64) bool {
 }
 
 func (t *Table) deleteLocked(id int64) bool {
-	tu, ok := t.row(id)
-	if !ok {
+	if !t.rowHas(id) {
 		return false
 	}
 	t.gen++
+	sh := t.rowShardMut(id)
+	tu := sh.m[id]
 	t.indexRemoveLocked(tu)
-	delete(t.rowShardMut(id).M, id)
+	delete(sh.m, id)
+	sh.bytes -= rowBoxedCost(tu)
 	t.count--
 	t.dead++
 	t.maybeCompactLocked()
@@ -303,7 +386,7 @@ func (t *Table) maybeCompactLocked() {
 	}
 	live := make([]int64, 0, t.count)
 	for _, id := range t.order {
-		if _, ok := t.row(id); ok {
+		if t.rowHas(id) {
 			live = append(live, id)
 		}
 	}
@@ -321,20 +404,28 @@ func (t *Table) Clone() *Table {
 	t.rlock()
 	defer t.runlock()
 	cp := &Table{
-		sch:     t.sch,
-		gen:     t.gen,
-		count:   t.count,
-		order:   append([]int64(nil), t.order...),
-		dead:    t.dead,
-		nextID:  t.nextID,
-		indexes: make(map[string]*hashIndex, len(t.indexes)),
+		sch:         t.sch,
+		gen:         t.gen,
+		count:       t.count,
+		order:       append([]int64(nil), t.order...),
+		dead:        t.dead,
+		nextID:      t.nextID,
+		indexes:     make(map[string]*hashIndex, len(t.indexes)),
+		dict:        t.dict, // append-only, safe to share with the clone
+		packMinRows: t.packMinRows,
 	}
 	for i, sh := range &t.rows {
-		m := make(map[int64]*schema.Tuple, len(sh.M))
-		for id, tu := range sh.M {
+		if sh.col != nil {
+			// Packed blocks are immutable: the clone shares the block
+			// and unpacks privately if it ever writes into it.
+			cp.rows[i] = &rowShard{col: sh.col, bytes: sh.bytes}
+			continue
+		}
+		m := make(map[int64]*schema.Tuple, len(sh.m))
+		for id, tu := range sh.m {
 			m[id] = tu
 		}
-		cp.rows[i] = &rowShard{M: m}
+		cp.rows[i] = &rowShard{m: m, bytes: sh.bytes}
 	}
 	for k, ix := range t.indexes {
 		cp.indexes[k] = ix.deepClone()
@@ -356,14 +447,52 @@ func (t *Table) Scan(fn func(*schema.Tuple) bool) {
 // Scan it iterates one frozen O(1) snapshot, so it holds no locks and
 // sees a single consistent generation. Callers must treat each tuple
 // as read-only and must not retain it past the callback (Clone what
-// you keep): the rows are shared with the table and with every other
-// snapshot of its generation.
+// you keep): boxed rows are shared with the table and every snapshot
+// of its generation, and rows from packed shards are materialized
+// into one scratch tuple that the very next row overwrites.
 func (t *Table) ScanShared(fn func(*schema.Tuple) bool) {
 	snap := t.Snapshot()
-	for _, id := range snap.order {
-		tu, ok := snap.row(id)
-		if !ok {
-			continue // tombstoned
+	snap.scanIDs(snap.order, fn)
+}
+
+// ScanSharedTail is ScanShared restricted to rows with id >= minID.
+// Row ids are monotone and inserts append to the insertion-order
+// header, so for a pure-append history since minID was observed the
+// qualifying rows are a contiguous tail of the order header: the scan
+// binary-searches for its start and costs O(log n + matches) instead
+// of O(n). Histories where an old id re-enters insertion order after
+// a newer one (not produced by any current mutator) would start the
+// scan late, so callers must hold the same pure-append evidence the
+// WAL writer does.
+func (t *Table) ScanSharedTail(minID int64, fn func(*schema.Tuple) bool) {
+	snap := t.Snapshot()
+	start := sort.Search(len(snap.order), func(i int) bool { return snap.order[i] >= minID })
+	snap.scanIDs(snap.order[start:], fn)
+}
+
+// scanIDs runs the shared-row scan loop over ids, which must be a
+// subslice of the (frozen) receiver's order header.
+func (snap *Table) scanIDs(ids []int64, fn func(*schema.Tuple) bool) {
+	var scratch *schema.Tuple // lazily allocated at the first packed shard
+	for _, id := range ids {
+		sh := snap.rows[rowShardOf(id)]
+		var tu *schema.Tuple
+		if sh.col != nil {
+			r, ok := sh.col.find(id)
+			if !ok {
+				continue // tombstoned
+			}
+			if scratch == nil {
+				scratch = &schema.Tuple{Vals: make(value.List, 0, snap.sch.Len())}
+			}
+			sh.col.materializeInto(scratch, snap.sch, snap.dict, r)
+			tu = scratch
+		} else {
+			var ok bool
+			tu, ok = sh.m[id]
+			if !ok {
+				continue // tombstoned
+			}
 		}
 		if !fn(tu) {
 			return
@@ -410,29 +539,56 @@ func bucketShardOf(k string) int { return cowmap.FNV(k, bucketShardCount) }
 // copy-on-write. The struct itself follows the same discipline: once
 // shared with a snapshot, the live table copies the header (attrs
 // reference + shard directory) before replacing any shard pointer.
+//
+// Bucket keys are interned: the key is the fixed-width Sym encoding
+// of the projected values (4 bytes per attribute), not the values
+// themselves — at master scale the buckets stop repeating every
+// indexed string. Soundness of the probe-side dictionary miss: every
+// key in a bucket was interned when its row was added, so a probe
+// value the dictionary has never seen cannot match any bucket.
 type hashIndex struct {
 	attrs  []string // sorted
+	pos    []int    // schema positions of attrs
 	shared bool
 	shards [bucketShardCount]*bucketShard
 }
 
-func newHashIndex(attrs []string) *hashIndex {
-	ix := &hashIndex{attrs: attrs}
+func newHashIndex(sch *schema.Schema, attrs []string) *hashIndex {
+	ix := &hashIndex{attrs: attrs, pos: make([]int, len(attrs))}
+	for i, a := range attrs {
+		ix.pos[i] = sch.MustIndex(a)
+	}
 	for i := range ix.shards {
 		ix.shards[i] = cowmap.New[string, []int64]()
 	}
 	return ix
 }
 
-func (ix *hashIndex) keyOf(tu *schema.Tuple) string {
-	return tu.Project(ix.attrs).Key()
+// appendKey appends tu's sym-encoded bucket key to dst. With intern
+// set (the add path) unseen values are assigned ids; without it (the
+// remove path) an unseen value means the key cannot be in any bucket
+// and ok is false.
+func (ix *hashIndex) appendKey(dst []byte, tu *schema.Tuple, dict *value.Dict, intern bool) ([]byte, bool) {
+	for _, p := range ix.pos {
+		var sym value.Sym
+		if intern {
+			sym = dict.InternV(tu.Vals[p])
+		} else {
+			var ok bool
+			if sym, ok = dict.LookupV(tu.Vals[p]); !ok {
+				return dst, false
+			}
+		}
+		dst = value.AppendSym(dst, sym)
+	}
+	return dst, true
 }
 
-// lookup returns the bucket for k. Live callers hold the table's
-// read lock; frozen snapshots need none. The returned slice must not
-// be mutated.
-func (ix *hashIndex) lookup(k string) []int64 {
-	return ix.shards[bucketShardOf(k)].M[k]
+// lookupBytes returns the bucket for an encoded key without
+// allocating. Live callers hold the table's read lock; frozen
+// snapshots need none. The returned slice must not be mutated.
+func (ix *hashIndex) lookupBytes(k []byte) []int64 {
+	return ix.shards[cowmap.FNVBytes(k, bucketShardCount)].M[string(k)]
 }
 
 // shardMut returns a privately-owned bucket shard for key k.
@@ -445,8 +601,9 @@ func (ix *hashIndex) shardMut(k string) *bucketShard {
 // snapshot reads only its captured length, every append lands beyond
 // it, and each backing position is written at most once (remove
 // always swaps in a fresh array).
-func (ix *hashIndex) add(tu *schema.Tuple) {
-	k := ix.keyOf(tu)
+func (ix *hashIndex) add(tu *schema.Tuple, dict *value.Dict) {
+	kb, _ := ix.appendKey(nil, tu, dict, true)
+	k := string(kb)
 	sh := ix.shardMut(k)
 	sh.M[k] = append(sh.M[k], tu.ID)
 }
@@ -454,8 +611,12 @@ func (ix *hashIndex) add(tu *schema.Tuple) {
 // remove drops tu's ID from its bucket, rebuilding the slice into a
 // fresh array — never shifting in place — because snapshots may
 // share the old backing array.
-func (ix *hashIndex) remove(tu *schema.Tuple) {
-	k := ix.keyOf(tu)
+func (ix *hashIndex) remove(tu *schema.Tuple, dict *value.Dict) {
+	kb, ok := ix.appendKey(nil, tu, dict, false)
+	if !ok {
+		return // values never interned ⇒ key cannot be in any bucket
+	}
+	k := string(kb)
 	sh := ix.shardMut(k)
 	ids := sh.M[k]
 	if len(ids) == 0 {
@@ -479,7 +640,7 @@ func (ix *hashIndex) remove(tu *schema.Tuple) {
 
 // deepClone copies the whole index (legacy Clone path).
 func (ix *hashIndex) deepClone() *hashIndex {
-	cp := &hashIndex{attrs: ix.attrs}
+	cp := &hashIndex{attrs: ix.attrs, pos: ix.pos}
 	for i, sh := range &ix.shards {
 		m := make(map[string][]int64, len(sh.M))
 		for k, ids := range sh.M {
@@ -500,7 +661,7 @@ func (t *Table) indexesMut() map[string]*hashIndex {
 // registry, returning the writable index.
 func indexMutEntry(reg map[string]*hashIndex, key string, ix *hashIndex) *hashIndex {
 	if ix.shared {
-		cp := &hashIndex{attrs: ix.attrs, shards: ix.shards}
+		cp := &hashIndex{attrs: ix.attrs, pos: ix.pos, shards: ix.shards}
 		reg[key] = cp
 		ix = cp
 	}
@@ -514,7 +675,7 @@ func (t *Table) indexAddLocked(tu *schema.Tuple) {
 	}
 	reg := t.indexesMut()
 	for key, ix := range reg {
-		indexMutEntry(reg, key, ix).add(tu)
+		indexMutEntry(reg, key, ix).add(tu, t.dict)
 	}
 }
 
@@ -525,7 +686,7 @@ func (t *Table) indexRemoveLocked(tu *schema.Tuple) {
 	}
 	reg := t.indexesMut()
 	for key, ix := range reg {
-		indexMutEntry(reg, key, ix).remove(tu)
+		indexMutEntry(reg, key, ix).remove(tu, t.dict)
 	}
 }
 
@@ -549,10 +710,11 @@ func (t *Table) CreateIndex(attrs []string) error {
 	t.gen++ // index DDL is a mutation: invalidates the cached snapshot
 	sorted := append([]string(nil), attrs...)
 	sort.Strings(sorted)
-	idx := newHashIndex(sorted)
+	idx := newHashIndex(t.sch, sorted)
+	scratch := &schema.Tuple{Vals: make(value.List, 0, t.sch.Len())}
 	for _, id := range t.order {
-		if tu, ok := t.row(id); ok {
-			idx.add(tu)
+		if tu, ok := t.rowShared(id, scratch); ok {
+			idx.add(tu, t.dict)
 		}
 	}
 	t.indexesMut()[key] = idx
@@ -591,11 +753,26 @@ func (t *Table) LookupEq(attrs []string, key value.List) []*schema.Tuple {
 				}
 			}
 		}
-		ids := idx.lookup(probe.Key())
+		// Sym-encode the probe. A dictionary miss is a proven miss:
+		// every bucket key was interned when its row was indexed.
+		var ids []int64
+		kb := make([]byte, 0, 4*len(probe))
+		enc := true
+		for _, v := range probe {
+			sym, found := t.dict.LookupV(v)
+			if !found {
+				enc = false
+				break
+			}
+			kb = value.AppendSym(kb, sym)
+		}
+		if enc {
+			ids = idx.lookupBytes(kb)
+		}
 		out := make([]*schema.Tuple, 0, len(ids))
 		for _, id := range ids {
-			if tu, live := t.row(id); live {
-				out = append(out, tu.Clone())
+			if tu, live := t.rowFresh(id); live {
+				out = append(out, tu)
 			}
 		}
 		t.runlock()

@@ -51,6 +51,47 @@ func TestInsertGet(t *testing.T) {
 	}
 }
 
+// TestScanSharedTail pins the WAL writer's tail-scan contract: for an
+// append-only history past minID, ScanSharedTail visits exactly the
+// rows ScanShared would visit filtered to id >= minID, in the same
+// order — across boxed and packed shards and over tombstones.
+func TestScanSharedTail(t *testing.T) {
+	tb := NewTable(personSchema(t))
+	tb.SetPackMinRows(1)
+	var ids []int64
+	for i := 0; i < 300; i++ {
+		id, err := tb.InsertValues(value.V(string(rune('A'+i%26))), "L", "Z")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	tb.Delete(ids[10])
+	tb.Delete(ids[250])
+	tb.PackColumnar(16) // some shards packed, some boxed
+	for _, minID := range []int64{ids[0], ids[137], ids[299], ids[299] + 1} {
+		var want, got []int64
+		tb.ScanShared(func(tu *schema.Tuple) bool {
+			if tu.ID >= minID {
+				want = append(want, tu.ID)
+			}
+			return true
+		})
+		tb.ScanSharedTail(minID, func(tu *schema.Tuple) bool {
+			got = append(got, tu.ID)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("tail scan from %d saw %d rows, want %d", minID, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("tail scan from %d: row %d = id %d, want %d", minID, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestInsertCopies(t *testing.T) {
 	tb := NewTable(personSchema(t))
 	tu := schema.MustTuple(tb.Schema(), "A", "B", "C")

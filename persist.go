@@ -3,17 +3,42 @@ package cerfix
 // Persistence of a configured System to a directory — the reproduction
 // of the demo's "instance" configuration (§3 Initialization: schemas of
 // input tuples and master data, plus the data connection). A saved
-// instance is three files:
+// instance is three files plus an optional log:
 //
 //	manifest.json — both schemas (names, attributes, domains)
 //	rules.txt     — the editing rules in DSL form
-//	master.csv    — the master relation snapshot
+//	master.csv    — the master relation checkpoint
+//	wal.jsonl     — append-only log of master rows added since the
+//	                checkpoint (interned ids + dictionary deltas)
 //
-// Load rebuilds the System (and its indexes) from those files.
+// Load rebuilds the System (and its indexes) from the checkpoint and
+// replays the WAL on top.
+//
+// # Incremental saves
+//
+// Rewriting master.csv on every Save is O(master) — untenable once the
+// master relation is millions of rows and the common mutation between
+// saves is a handful of inserts. Save therefore keeps a cursor from
+// its last checkpoint (table generation, next row id, row count, rules
+// text) and proves whether the window since then was pure-append: k
+// inserts move all three table counters by exactly k and leave the
+// rules untouched. If so, Save appends the new rows to wal.jsonl as
+// interned-id records — each cell a dense dictionary id, with any ids
+// not yet defined in this WAL written as a dictionary-delta record
+// first, so the log is self-contained — and fsyncs. Updates, deletes,
+// rule edits, a different target directory, or a fresh process (no
+// cursor) fall back to the full checkpoint, which atomically replaces
+// the directory (including the WAL) via the staging/backup dance
+// below. The WAL append is crash-safe by construction: records land in
+// one buffered write before the fsync, so a torn write can only
+// truncate the tail, and Load stops replay at the first undecodable
+// line.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 
@@ -61,11 +86,58 @@ func schemaFromJSON(j schemaJSON) (*Schema, error) {
 // renameDir is swapped by tests to inject commit-phase failures.
 var renameDir = os.Rename
 
+// walFile is the append-only log name inside an instance directory.
+const walFile = "wal.jsonl"
+
+// walRecord is one line of wal.jsonl. Two ops exist: "dict" defines
+// dictionary ids used by later rows ({"op":"dict","defs":[...]}) and
+// "ins" appends one master row as interned cell ids in schema order
+// ({"op":"ins","row":<writer id>,"cells":[...]}). The writer row id is
+// informational (replay assigns fresh ids in record order); cells are
+// resolved against the defs seen so far, which Save guarantees is
+// always sufficient.
+type walRecord struct {
+	Op    string         `json:"op"`
+	Defs  []walDictEntry `json:"defs,omitempty"`
+	Row   int64          `json:"row,omitempty"`
+	Cells []value.Sym    `json:"cells,omitempty"`
+}
+
+type walDictEntry struct {
+	ID value.Sym `json:"id"`
+	S  string    `json:"s"`
+}
+
+// walDictBatch caps defs per dict record so WAL lines stay bounded
+// (replay reads line-at-a-time).
+const walDictBatch = 4096
+
+// walCursor is the in-memory state Save keeps after a checkpoint so
+// the next Save can prove pure-append and go to the WAL instead. It
+// is process-local by design: dictionary ids are only meaningful to
+// the process that assigned them, so a fresh process (or a Load) must
+// checkpoint once before it can append.
+type walCursor struct {
+	dir    string
+	gen    uint64
+	nextID int64
+	rows   int
+	rules  string
+	// written holds every dictionary id already defined in the current
+	// WAL; rows appended later only emit defs for ids outside it.
+	written map[value.Sym]struct{}
+}
+
 // Save writes the system's configuration (schemas, rules, master data)
 // into dir, creating it if needed. The audit log and open sessions are
 // runtime state and are not persisted.
 //
-// The save is atomic at the directory level: all three files are
+// When this process has already checkpointed dir and everything since
+// was pure-append (see the package comment), Save only appends the new
+// rows to dir/wal.jsonl with an fsync — it does not rewrite
+// master.csv. Otherwise it takes the full checkpoint path below.
+//
+// The checkpoint is atomic at the directory level: all files are
 // written into a staging sibling (<dir>.saving), the previous instance
 // is moved aside to <dir>.bak, and the staging directory is renamed
 // into place in one step. A crash or error at any point leaves a
@@ -75,8 +147,147 @@ var renameDir = os.Rename
 // cannot occur.
 func (s *System) Save(dir string) error {
 	dir = filepath.Clean(dir)
+	if s.walCursor != nil && s.walCursor.dir == dir {
+		if done, err := s.saveAppendWAL(dir); done || err != nil {
+			return err
+		}
+		// Not a pure-append window: the cursor is stale either way.
+		s.walCursor = nil
+	}
+	return s.saveCheckpoint(dir)
+}
+
+// saveAppendWAL tries the incremental path. It reports done=true when
+// the save was satisfied by a WAL append (or by nothing having
+// changed); done=false means the window was not pure-append and the
+// caller must checkpoint.
+func (s *System) saveAppendWAL(dir string) (done bool, err error) {
+	cur := s.walCursor
+	t := s.store.Table()
+	gen, nextID, rows := t.Generation(), t.NextID(), t.Len()
+	k := nextID - cur.nextID
+	if s.rules.String() != cur.rules ||
+		k < 0 || rows != cur.rows+int(k) || gen != cur.gen+uint64(k) {
+		return false, nil
+	}
+	if k == 0 {
+		return true, nil // nothing changed since the last save
+	}
+
+	// Encode the new rows. Every cell is interned (the index layer has
+	// usually done so already), and ids this WAL has not defined yet
+	// are collected into dict records that precede the rows that need
+	// them.
+	dict := t.Dict()
+	var buf bytes.Buffer
+	var defs []walDictEntry
+	flushDefs := func() error {
+		for len(defs) > 0 {
+			n := min(len(defs), walDictBatch)
+			if err := walWriteLine(&buf, &walRecord{Op: "dict", Defs: defs[:n]}); err != nil {
+				return err
+			}
+			defs = defs[n:]
+		}
+		return nil
+	}
+	var encodeErr error
+	var pending []*walRecord
+	// The pure-append proof above is exactly the evidence
+	// ScanSharedTail needs: the new rows are the tail of the insertion
+	// order, so the scan costs O(log n + k), not O(n).
+	t.ScanSharedTail(cur.nextID, func(tu *schema.Tuple) bool {
+		if tu.ID < cur.nextID {
+			return true
+		}
+		rec := &walRecord{Op: "ins", Row: tu.ID, Cells: make([]value.Sym, len(tu.Vals))}
+		for i, v := range tu.Vals {
+			sym := dict.InternV(v)
+			if _, ok := cur.written[sym]; !ok {
+				defs = append(defs, walDictEntry{ID: sym, S: string(v)})
+				cur.written[sym] = struct{}{}
+			}
+			rec.Cells[i] = sym
+		}
+		pending = append(pending, rec)
+		return true
+	})
+	if len(pending) != int(k) {
+		// The counters said pure-append but the rows disagree; be safe.
+		return false, nil
+	}
+	if encodeErr = flushDefs(); encodeErr != nil {
+		return false, fmt.Errorf("cerfix: wal: %w", encodeErr)
+	}
+	for _, rec := range pending {
+		if err := walWriteLine(&buf, rec); err != nil {
+			return false, fmt.Errorf("cerfix: wal: %w", err)
+		}
+	}
+
+	// One write, then fsync: a crash can only truncate the tail of the
+	// log, never interleave or reorder records.
+	path := filepath.Join(dir, walFile)
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return false, fmt.Errorf("cerfix: wal: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return false, fmt.Errorf("cerfix: wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return false, fmt.Errorf("cerfix: wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return false, fmt.Errorf("cerfix: wal: %w", err)
+	}
+	if created {
+		syncDir(dir) // make the new directory entry durable too
+	}
+	cur.gen, cur.nextID, cur.rows = gen, nextID, rows
+	return true, nil
+}
+
+func walWriteLine(buf *bytes.Buffer, rec *walRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	buf.Write(data)
+	buf.WriteByte('\n')
+	return nil
+}
+
+// syncDir fsyncs a directory so freshly created entries survive a
+// crash. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// saveCheckpoint is the full rewrite-and-swap path.
+func (s *System) saveCheckpoint(dir string) error {
 	if err := os.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
 		return fmt.Errorf("cerfix: %w", err)
+	}
+	// Serialize master.csv and the cursor from one frozen snapshot:
+	// the cursor must describe exactly the rows the checkpoint holds,
+	// or a concurrent insert landing mid-save would later be appended
+	// twice (cursor behind the CSV) or lost (cursor ahead of it).
+	snap := s.store.Table().Snapshot()
+	cur := &walCursor{
+		dir:     dir,
+		gen:     snap.Generation(),
+		nextID:  snap.NextID(),
+		rows:    snap.Len(),
+		rules:   s.rules.String(),
+		written: make(map[value.Sym]struct{}),
 	}
 	m := manifest{Input: schemaToJSON(s.input), Master: schemaToJSON(s.store.Schema())}
 	data, err := json.MarshalIndent(m, "", "  ")
@@ -104,7 +315,7 @@ func (s *System) Save(dir string) error {
 	if err := os.WriteFile(filepath.Join(tmp, "rules.txt"), []byte(s.rules.String()), 0o644); err != nil {
 		return fail(fmt.Errorf("cerfix: %w", err))
 	}
-	if err := s.store.Table().SaveCSVFile(filepath.Join(tmp, "master.csv")); err != nil {
+	if err := snap.SaveCSVFile(filepath.Join(tmp, "master.csv")); err != nil {
 		return fail(err)
 	}
 
@@ -124,13 +335,37 @@ func (s *System) Save(dir string) error {
 		return fail(fmt.Errorf("cerfix: %w", err))
 	}
 	_ = os.RemoveAll(bak)
+	s.walCursor = cur
 	return nil
 }
 
-// Load rebuilds a System from a directory written by Save. If dir has
-// no manifest but a complete <dir>.bak sibling exists, the backup is
-// loaded: that is the instance a crash caught between Save's two
-// commit renames.
+// LoadInfo reports where a Load resolved its instance from — surfaced
+// on GET /api/v1/status so operators can see when a daemon silently
+// recovered from a backup or replayed a write-ahead log.
+type LoadInfo struct {
+	// Dir is the directory actually loaded (the requested one, or its
+	// .bak sibling on fallback).
+	Dir string `json:"dir"`
+	// UsedBackup is true when the requested directory was incomplete
+	// and the .bak sibling was loaded instead.
+	UsedBackup bool `json:"used_backup"`
+	// WALRecords counts replayed wal.jsonl records (dict + ins);
+	// WALRows counts the rows among them; WALBytes is the log size.
+	WALRecords int   `json:"wal_records"`
+	WALRows    int   `json:"wal_rows"`
+	WALBytes   int64 `json:"wal_bytes"`
+}
+
+// LoadInfo returns the provenance of this system if it was built by
+// Load, nil for systems constructed in memory.
+func (s *System) LoadInfo() *LoadInfo { return s.loadInfo }
+
+// Load rebuilds a System from a directory written by Save: the
+// checkpoint files first, then any wal.jsonl replayed on top. If dir
+// has no manifest but a complete <dir>.bak sibling exists, the backup
+// is loaded — that is the instance a crash caught between Save's two
+// commit renames — and the fallback is logged, since it means the
+// newest save was lost.
 func Load(dir string) (*System, error) {
 	dir = filepath.Clean(dir)
 	sys, err := loadDir(dir)
@@ -139,7 +374,13 @@ func Load(dir string) (*System, error) {
 	}
 	if _, statErr := os.Stat(filepath.Join(dir, "manifest.json")); os.IsNotExist(statErr) {
 		if _, bakErr := os.Stat(filepath.Join(dir+".bak", "manifest.json")); bakErr == nil {
-			return loadDir(dir + ".bak")
+			log.Printf("cerfix: instance %s is incomplete (%v); loading backup %s", dir, err, dir+".bak")
+			sys, bakErr := loadDir(dir + ".bak")
+			if bakErr != nil {
+				return nil, bakErr
+			}
+			sys.loadInfo.UsedBackup = true
+			return sys, nil
 		}
 	}
 	return nil, err
@@ -178,5 +419,74 @@ func loadDir(dir string) (*System, error) {
 	if err := sys.LoadMasterCSV(f); err != nil {
 		return nil, err
 	}
+	info := &LoadInfo{Dir: dir}
+	if err := sys.replayWAL(filepath.Join(dir, walFile), info); err != nil {
+		return nil, err
+	}
+	sys.loadInfo = info
 	return sys, nil
+}
+
+// replayWAL applies wal.jsonl on top of a freshly loaded checkpoint.
+// Replay is torn-tail tolerant: the appender fsyncs whole batches, so
+// a crash can only leave a truncated final line, which replay treats
+// as end-of-log. A dangling cell id (one no dict record defined) can
+// only mean real corruption and fails the load.
+func (s *System) replayWAL(path string, info *LoadInfo) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil // no WAL: the checkpoint is the whole instance
+	}
+	if err != nil {
+		return fmt.Errorf("cerfix: wal: %w", err)
+	}
+	info.WALBytes = int64(len(data))
+	defs := make(map[value.Sym]value.V)
+	arity := s.store.Schema().Len()
+	vals := make(value.List, arity)
+	for len(data) > 0 {
+		line := data
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, data = data[:i], data[i+1:]
+		} else {
+			data = nil
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec walRecord
+		if json.Unmarshal(line, &rec) != nil {
+			// Torn tail from a crashed append; everything before it
+			// was fsync'd and applied.
+			log.Printf("cerfix: wal %s: ignoring torn tail after %d records", path, info.WALRecords)
+			return nil
+		}
+		switch rec.Op {
+		case "dict":
+			for _, d := range rec.Defs {
+				defs[d.ID] = value.V(d.S)
+			}
+		case "ins":
+			if len(rec.Cells) != arity {
+				return fmt.Errorf("cerfix: wal %s: row %d has %d cells, schema wants %d",
+					path, rec.Row, len(rec.Cells), arity)
+			}
+			for i, sym := range rec.Cells {
+				v, ok := defs[sym]
+				if !ok {
+					return fmt.Errorf("cerfix: wal %s: row %d references undefined dictionary id %d",
+						path, rec.Row, sym)
+				}
+				vals[i] = v
+			}
+			if _, err := s.store.InsertValues(vals...); err != nil {
+				return fmt.Errorf("cerfix: wal %s: row %d: %w", path, rec.Row, err)
+			}
+			info.WALRows++
+		default:
+			return fmt.Errorf("cerfix: wal %s: unknown op %q", path, rec.Op)
+		}
+		info.WALRecords++
+	}
+	return nil
 }

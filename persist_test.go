@@ -140,6 +140,10 @@ func TestSaveFailureLeavesPreviousInstanceLoadable(t *testing.T) {
 	if err := sys.AddMasterRow(make([]string, sys.MasterSchema().Len())...); err != nil {
 		t.Fatal(err)
 	}
+	// A lone insert would take the WAL-append path and never reach the
+	// commit renames; drop the cursor to force the checkpoint path this
+	// test exists to crash-inject (a fresh process behaves the same).
+	sys.walCursor = nil
 
 	// Case 1: the staging→dir rename fails; Save restores the backup.
 	renameDir = func(oldpath, newpath string) error {
@@ -180,6 +184,9 @@ func TestSaveFailureLeavesPreviousInstanceLoadable(t *testing.T) {
 	}
 	if after.Master().Len() != wantRows || after.Rules() != before.Rules() {
 		t.Fatalf("backup instance changed: %d rows, want %d", after.Master().Len(), wantRows)
+	}
+	if info := after.LoadInfo(); info == nil || !info.UsedBackup || info.Dir != dir+".bak" {
+		t.Fatalf("backup fallback not reported in provenance: %+v", info)
 	}
 
 	// Heal: with renames working again the next save lands the new

@@ -1,0 +1,239 @@
+package cerfix
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cerfix/internal/value"
+)
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// A Save after nothing but inserts must append to the WAL and leave
+// the checkpoint files byte-for-byte untouched; Load must replay the
+// log and report it in its provenance.
+func TestSaveAppendsWALAfterInserts(t *testing.T) {
+	sys := demoSystem(t)
+	dir := filepath.Join(t.TempDir(), "instance")
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	csvBefore := readFileT(t, filepath.Join(dir, "master.csv"))
+	baseRows := sys.Master().Len()
+
+	if err := sys.AddMasterRow("Walter", "White", "505", "5550001", "5550002", "Negra Arroyo", "Albuquerque", "NM 87104", "07/09/58", "M"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvBefore, readFileT(t, filepath.Join(dir, "master.csv"))) {
+		t.Fatal("incremental save rewrote master.csv")
+	}
+	wal := readFileT(t, filepath.Join(dir, walFile))
+	if len(wal) == 0 {
+		t.Fatal("incremental save wrote no WAL")
+	}
+	if !strings.Contains(string(wal), `"op":"ins"`) || !strings.Contains(string(wal), `"op":"dict"`) {
+		t.Fatalf("WAL missing expected records:\n%s", wal)
+	}
+
+	// A second append batch lands in the same log.
+	if err := sys.AddMasterRow("Jesse", "Pinkman", "505", "5550003", "5550004", "Margo", "Albuquerque", "NM 87104", "24/09/84", "M"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddMasterRow("Saul", "Goodman", "505", "5550005", "5550006", "Juan Tabo", "Albuquerque", "NM 87111", "12/11/60", "M"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvBefore, readFileT(t, filepath.Join(dir, "master.csv"))) {
+		t.Fatal("second incremental save rewrote master.csv")
+	}
+
+	// Saving with no changes at all is a durable no-op.
+	walBefore := readFileT(t, filepath.Join(dir, walFile))
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(walBefore, readFileT(t, filepath.Join(dir, walFile))) {
+		t.Fatal("no-op save grew the WAL")
+	}
+
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Master().Len() != baseRows+3 {
+		t.Fatalf("replayed %d rows, want %d", loaded.Master().Len(), baseRows+3)
+	}
+	rhs, _, st := loaded.Master().UniqueRHS([]string{"zip"}, value.List{"NM 87111"}, []string{"FN"})
+	if st.String() != "unique" || rhs[0] != "Saul" {
+		t.Fatalf("replayed row not indexed: %v %v", rhs, st)
+	}
+	info := loaded.LoadInfo()
+	if info == nil || info.UsedBackup || info.Dir != dir {
+		t.Fatalf("bad provenance: %+v", info)
+	}
+	if info.WALRows != 3 || info.WALRecords < 4 || info.WALBytes != int64(len(walBefore)) {
+		t.Fatalf("bad WAL provenance: %+v", info)
+	}
+
+	// A loaded system has no append cursor (dictionary ids are
+	// process-local): its first save must checkpoint and clear the WAL.
+	if err := loaded.AddMasterRow("Kim", "Wexler", "505", "5550007", "5550008", "Marble", "Albuquerque", "NM 87102", "13/02/68", "F"); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFile)); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint left a stale WAL behind: %v", err)
+	}
+	final, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Master().Len() != baseRows+4 {
+		t.Fatalf("post-checkpoint load: %d rows, want %d", final.Master().Len(), baseRows+4)
+	}
+}
+
+// A crash mid-append leaves a truncated final line; Load must apply
+// every complete record and ignore the tail.
+func TestWALTornTailTolerated(t *testing.T) {
+	sys := demoSystem(t)
+	dir := filepath.Join(t.TempDir(), "instance")
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	baseRows := sys.Master().Len()
+	if err := sys.AddMasterRow("Walter", "White", "505", "1", "2", "3", "4", "NM 87104", "07/09/58", "M"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddMasterRow("Jesse", "Pinkman", "505", "1", "2", "3", "4", "NM 87104", "24/09/84", "M"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, walFile)
+	intact := readFileT(t, walPath)
+
+	// Tear inside the last record (drop its closing bytes).
+	if err := os.WriteFile(walPath, intact[:len(intact)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatalf("torn tail broke the load: %v", err)
+	}
+	if loaded.Master().Len() != baseRows+1 {
+		t.Fatalf("torn-tail replay got %d rows, want %d", loaded.Master().Len(), baseRows+1)
+	}
+
+	// Garbage appended after valid records (e.g. a partially flushed
+	// next batch) is ignored the same way.
+	torn := append(append([]byte{}, intact...), []byte(`{"op":"ins","row":99,"ce`)...)
+	if err := os.WriteFile(walPath, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = Load(dir)
+	if err != nil {
+		t.Fatalf("garbage tail broke the load: %v", err)
+	}
+	if loaded.Master().Len() != baseRows+2 {
+		t.Fatalf("garbage-tail replay got %d rows, want %d", loaded.Master().Len(), baseRows+2)
+	}
+
+	// Real corruption — a row referencing a dictionary id no record
+	// defined, followed by a newline so it is not a torn tail — is not
+	// silently absorbed into wrong data: the load fails.
+	bad := append(append([]byte{}, intact...), []byte("{\"op\":\"ins\",\"row\":99,\"cells\":[9999999,0,0,0,0,0,0,0,0,0]}\n")...)
+	if err := os.WriteFile(walPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("load accepted a row with an undefined dictionary id")
+	}
+}
+
+// Updates, deletes and rule edits are not pure appends: Save must fall
+// back to a full checkpoint that rewrites master.csv and retires the
+// WAL.
+func TestNonAppendMutationForcesCheckpoint(t *testing.T) {
+	sys := demoSystem(t)
+	dir := filepath.Join(t.TempDir(), "instance")
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddMasterRow("Walter", "White", "505", "1", "2", "3", "4", "NM 87104", "07/09/58", "M"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFile)); err != nil {
+		t.Fatalf("expected a WAL after insert-only save: %v", err)
+	}
+
+	// An in-place update breaks the pure-append window.
+	row := sys.Master().Table().All()[0]
+	row.Set("city", "Rewritten")
+	if err := sys.Master().Table().Update(row); err != nil {
+		t.Fatal(err)
+	}
+	csvBefore := readFileT(t, filepath.Join(dir, "master.csv"))
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(csvBefore, readFileT(t, filepath.Join(dir, "master.csv"))) {
+		t.Fatal("checkpoint did not rewrite master.csv after an update")
+	}
+	if _, err := os.Stat(filepath.Join(dir, walFile)); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint left the old WAL in place: %v", err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tu := range loaded.Master().Table().All() {
+		if tu.Get("city") == "Rewritten" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("checkpoint lost the updated row")
+	}
+
+	// A rule edit also forces a checkpoint even with no table change.
+	if err := sys.AddRule(`extra: match AC~AC set city := city`); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reloaded.Rules(), "extra") {
+		t.Fatal("rule edit not persisted by forced checkpoint")
+	}
+}
