@@ -195,6 +195,15 @@ func (e *Engine) Rules() *rule.Set { return e.rules }
 // Master returns the engine's master store.
 func (e *Engine) Master() *master.Store { return e.store }
 
+// PrefilterStats returns the compiled program's lifetime premise
+// prefilter totals — rules skipped before reaching the agenda and
+// rules evaluated — aggregated across every chase on this engine and
+// all its snapshots (they share the program). The counters reset when
+// the rule set changes, since that builds a new engine and program.
+func (e *Engine) PrefilterStats() (skipped, evaluated int64) {
+	return e.prog.skipped.Load(), e.prog.evaluated.Load()
+}
+
 // ChaseResult is the outcome of one chase run.
 type ChaseResult struct {
 	// Tuple is the fixed copy of the input (the original is untouched).
@@ -209,6 +218,21 @@ type ChaseResult struct {
 	Conflicts []Conflict
 	// Rounds is the number of fixpoint iterations performed.
 	Rounds int
+	// Stats reports the compiled chase's prefilter effectiveness for
+	// this run. ChaseLegacy has no prefilter and leaves it zero; it
+	// carries no fixing semantics, so the compiled/legacy parity
+	// contract does not cover it.
+	Stats ChaseStats
+}
+
+// ChaseStats counts the premise prefilter's work avoidance in one
+// chase: RulesSkipped premise-ready rules were rejected before
+// reaching the agenda (each saves a pattern match and usually a master
+// probe), RulesEvaluated reached it. Program-lifetime totals aggregate
+// in the compiled program; see Engine.PrefilterStats.
+type ChaseStats struct {
+	RulesSkipped   int
+	RulesEvaluated int
 }
 
 // AllValidated reports whether every attribute ended validated.
@@ -223,7 +247,7 @@ func (r *ChaseResult) AllValidated() bool {
 // truncates rather than nils its slices) compares and serializes
 // identically to the sequential path's output.
 func (r *ChaseResult) Clone() *ChaseResult {
-	cp := &ChaseResult{Tuple: r.Tuple.Clone(), Validated: r.Validated, Rounds: r.Rounds}
+	cp := &ChaseResult{Tuple: r.Tuple.Clone(), Validated: r.Validated, Rounds: r.Rounds, Stats: r.Stats}
 	if len(r.Changes) > 0 {
 		cp.Changes = append([]Change(nil), r.Changes...)
 	}

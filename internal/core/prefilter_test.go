@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cerfix/internal/master"
+	"cerfix/internal/pattern"
+	"cerfix/internal/rule"
+	"cerfix/internal/schema"
+	"cerfix/internal/value"
+)
+
+// The premise prefilter may only skip rules the agenda would have
+// evaluated to no-fire: this suite pins that — a randomized
+// prefilter-on vs prefilter-off vs legacy-oracle sweep, plus crafted
+// worlds proving the skips actually happen (and don't happen where
+// stability doesn't hold).
+
+// TestPrefilterOnOffParityRandom sweeps random worlds under every
+// lookup mode comparing three executions of each chase: prefilter on,
+// prefilter off, and the legacy oracle. Results must be byte-identical
+// and the counters must reconcile: every premise-ready rule is either
+// evaluated or skipped, and the off run evaluates exactly the union.
+func TestPrefilterOnOffParityRandom(t *testing.T) {
+	modes := []master.LookupMode{master.ModeRuleIndex, master.ModePlainIndex, master.ModeScan}
+	for trial := uint64(0); trial < 40; trial++ {
+		w := newRandomWorld(t, 5000+trial)
+		w.eng.Master().SetMode(modes[trial%3])
+		on := w.eng.NewChaser()
+		off := w.eng.NewChaser()
+		off.SetPrefilter(false)
+		for i, in := range w.inputs {
+			seed := schema.EmptySet
+			for p := 0; p < w.eng.InputSchema().Len(); p++ {
+				if w.rng.Bool(0.45) {
+					seed = seed.With(p)
+				}
+			}
+			label := fmt.Sprintf("trial %d tuple %d seed %v", trial, i, seed)
+			want := w.eng.ChaseLegacy(in, seed)
+			got := on.Chase(in, seed)
+			raw := off.Chase(in, seed)
+			assertSameResult(t, label+" [prefilter on]", got, want)
+			assertSameResult(t, label+" [prefilter off]", raw, want)
+			if raw.Stats.RulesSkipped != 0 {
+				t.Fatalf("%s: prefilter-off chase reports %d skips", label, raw.Stats.RulesSkipped)
+			}
+			if raw.Stats.RulesEvaluated != got.Stats.RulesEvaluated+got.Stats.RulesSkipped {
+				t.Fatalf("%s: counters don't reconcile: off evaluated %d, on evaluated %d + skipped %d",
+					label, raw.Stats.RulesEvaluated, got.Stats.RulesEvaluated, got.Stats.RulesSkipped)
+			}
+		}
+	}
+}
+
+// prefilterEngine is a tiny crafted world: r0 fixes a1 from a0 gated
+// on a0 = "go", r1 fixes a2 from a0 unconditionally. Master knows the
+// a0 values "go" and "stop" and nothing else.
+func prefilterEngine(t *testing.T) (*Engine, *schema.Schema) {
+	t.Helper()
+	input := schema.MustNew("IN", schema.Str("a0"), schema.Str("a1"), schema.Str("a2"))
+	msch := schema.MustNew("MD", schema.Str("m0"), schema.Str("m1"), schema.Str("m2"))
+	st := master.New(msch)
+	for _, row := range [][]string{{"go", "x", "y"}, {"stop", "x2", "y2"}} {
+		if _, err := st.InsertValues(value.V(row[0]), value.V(row[1]), value.V(row[2])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs, err := rule.NewSet(
+		&rule.Rule{
+			ID:    "r0",
+			Match: []rule.Correspondence{{Input: "a0", Master: "m0"}},
+			Set:   []rule.Correspondence{{Input: "a1", Master: "m1"}},
+			When:  pattern.NewPattern(pattern.Eq("a0", value.V("go"))),
+		},
+		&rule.Rule{
+			ID:    "r1",
+			Match: []rule.Correspondence{{Input: "a0", Master: "m0"}},
+			Set:   []rule.Correspondence{{Input: "a2", Master: "m2"}},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(input, rs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, input
+}
+
+// TestPrefilterSkips proves the two per-tuple reject paths fire: a
+// failing pattern condition on a stable attribute, and a match-key
+// value the master dictionary has never seen.
+func TestPrefilterSkips(t *testing.T) {
+	eng, input := prefilterEngine(t)
+	ch := eng.NewChaser()
+	seed := schema.SetOf(0) // a0 validated: stable
+
+	// a0 = "stop": r0's condition fails (cond reject), r1 matches the
+	// master row and fixes a2.
+	in := &schema.Tuple{Schema: input, Vals: value.List{value.V("stop"), value.V(""), value.V("")}}
+	res := ch.Chase(in, seed)
+	assertSameResult(t, "cond reject", res, eng.ChaseLegacy(in, seed))
+	if res.Stats.RulesSkipped != 1 || res.Stats.RulesEvaluated != 1 {
+		t.Fatalf("cond reject: stats %+v, want 1 skipped / 1 evaluated", res.Stats)
+	}
+	if got := string(res.Tuple.Vals[2]); got != "y2" {
+		t.Fatalf("cond reject: a2 = %q, want fixed to %q", got, "y2")
+	}
+
+	// a0 = "unknown": absent from the master dictionary, so both rules'
+	// probes must return NoMatch — the whole match mask skips (r0 also
+	// fails its condition; causes overlap, the rule skips once).
+	in = &schema.Tuple{Schema: input, Vals: value.List{value.V("unknown"), value.V(""), value.V("")}}
+	res = ch.Chase(in, seed)
+	assertSameResult(t, "dict miss", res, eng.ChaseLegacy(in, seed))
+	if res.Stats.RulesSkipped != 2 || res.Stats.RulesEvaluated != 0 {
+		t.Fatalf("dict miss: stats %+v, want 2 skipped / 0 evaluated", res.Stats)
+	}
+
+	// Program-lifetime totals aggregate across both chases.
+	skipped, evaluated := eng.PrefilterStats()
+	if skipped != 3 || evaluated != 1 {
+		t.Fatalf("PrefilterStats() = (%d, %d), want (3, 1)", skipped, evaluated)
+	}
+}
+
+// TestPrefilterUnstableAttrNotFiltered pins the stability rule: a
+// condition (or match key) on an attribute some rule can still write
+// must not prefilter, because the value the agenda will see isn't the
+// seed value. Here r1's gate on a1 fails at seed time but passes after
+// r0 rewrites a1 — the chain must still complete.
+func TestPrefilterUnstableAttrNotFiltered(t *testing.T) {
+	input := schema.MustNew("IN", schema.Str("a0"), schema.Str("a1"), schema.Str("a2"))
+	msch := schema.MustNew("MD", schema.Str("m0"), schema.Str("m1"), schema.Str("m2"))
+	st := master.New(msch)
+	if _, err := st.InsertValues(value.V("go"), value.V("x"), value.V("y")); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := rule.NewSet(
+		&rule.Rule{
+			ID:    "r0",
+			Match: []rule.Correspondence{{Input: "a0", Master: "m0"}},
+			Set:   []rule.Correspondence{{Input: "a1", Master: "m1"}},
+		},
+		&rule.Rule{
+			ID:    "r1",
+			Match: []rule.Correspondence{{Input: "a1", Master: "m1"}},
+			Set:   []rule.Correspondence{{Input: "a2", Master: "m2"}},
+			When:  pattern.NewPattern(pattern.Eq("a1", value.V("x"))),
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(input, rs, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "WRONG" fails r1's gate and is absent from the dictionary — both
+	// reject paths would fire if stability were ignored.
+	in := &schema.Tuple{Schema: input, Vals: value.List{value.V("go"), value.V("WRONG"), value.V("")}}
+	seed := schema.SetOf(0)
+	res := eng.Chase(in, seed)
+	assertSameResult(t, "unstable chain", res, eng.ChaseLegacy(in, seed))
+	if got := string(res.Tuple.Vals[2]); got != "y" {
+		t.Fatalf("a2 = %q, want %q via the a1 chain", got, "y")
+	}
+	if res.Stats.RulesSkipped != 0 {
+		t.Fatalf("stats %+v: skipped a rule on an unstable attribute", res.Stats)
+	}
+}
+
+// TestPrefilterPoolReset pins that Release drops a SetPrefilter(false)
+// override: a pooled chaser always comes back filtered.
+func TestPrefilterPoolReset(t *testing.T) {
+	eng, _ := prefilterEngine(t)
+	c := eng.AcquireChaser()
+	c.SetPrefilter(false)
+	c.Release()
+	c = eng.AcquireChaser()
+	defer c.Release()
+	if c.noPrefilter {
+		t.Fatal("pooled chaser kept the prefilter disabled across Release")
+	}
+}

@@ -1,0 +1,51 @@
+package counter
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestMonotonic(t *testing.T) {
+	var c Monotonic
+	c.Inc()
+	c.Add(41)
+	c.Add(-100) // dropped: the counter never decreases
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load() = %d, want 42", got)
+	}
+}
+
+func TestMonotonicConcurrent(t *testing.T) {
+	var c Monotonic
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("Load() = %d, want 8000", got)
+	}
+}
+
+func TestMonotonicJSON(t *testing.T) {
+	type block struct {
+		RateLimited Monotonic `json:"rate_limited"`
+		Overloaded  Monotonic `json:"overloaded"`
+	}
+	var b block
+	b.RateLimited.Add(3)
+	out, err := json.Marshal(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `{"rate_limited":3,"overloaded":0}` {
+		t.Fatalf("marshal = %s", out)
+	}
+}

@@ -7,6 +7,8 @@
 // differ only in key/value types and in how a key routes to a shard.
 package cowmap
 
+import "cerfix/internal/simd"
+
 // Shard is one copy-on-write segment of a sharded map. Once a
 // snapshot marks it Shared, the owner must copy it (Mut) before the
 // next write; the marked shard object itself is then immutable
@@ -54,23 +56,15 @@ func MutMap[K comparable, V any](m *map[K]V, shared *bool) map[K]V {
 	return *m
 }
 
-// fnv is the one FNV-1a body behind FNV and FNVBytes: equal bytes
-// hash equally whether presented as a string or a []byte, so a
-// scratch-encoded probe key lands on the shard its string form was
-// stored in. One generic body, not two copies — routing divergence
-// would silently read the wrong shard.
-func fnv[K ~string | ~[]byte](k K, fanout int) int {
-	h := uint32(2166136261)
-	for i := 0; i < len(k); i++ {
-		h = (h ^ uint32(k[i])) * 16777619
-	}
-	return int(h & uint32(fanout-1))
-}
-
 // FNV routes a string key to one of fanout shards (fanout must be a
-// power of two) by FNV-1a hash.
-func FNV(k string, fanout int) int { return fnv(k, fanout) }
+// power of two) by FNV-1a hash. Both forms delegate to the simd
+// kernel's wide FNV-1a body, which is bit-identical to the scalar
+// definition (cowmap_test pins it): equal bytes hash equally whether
+// presented as a string or a []byte, so a scratch-encoded probe key
+// lands on the shard its string form was stored in — routing
+// divergence would silently read the wrong shard.
+func FNV(k string, fanout int) int { return int(simd.Hash(k) & uint32(fanout-1)) }
 
 // FNVBytes is FNV for a byte-slice key — same bytes, same shard,
 // without converting (and allocating) the string.
-func FNVBytes(k []byte, fanout int) int { return fnv(k, fanout) }
+func FNVBytes(k []byte, fanout int) int { return int(simd.HashBytes(k) & uint32(fanout-1)) }

@@ -1,16 +1,18 @@
 package pipeline
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"unicode/utf8"
 
 	"cerfix/internal/jsonenc"
 	"cerfix/internal/schema"
+	"cerfix/internal/simd"
 	"cerfix/internal/value"
 )
 
@@ -70,23 +72,39 @@ func (s *SliceSink) Write(r *Result) error {
 // must list exactly the schema's attributes (any order); columns are
 // mapped by name, matching storage.Table.ReadCSV's contract.
 //
-// Next reuses one tuple per the Source contract. The csv.Reader runs
-// with ReuseRecord (the record slice is recycled); the field strings
-// themselves are freshly sliced from one backing string per row —
-// immutable, so results may retain them — making the steady-state
-// decode cost one allocation per row.
+// Decoding no longer walks bytes through encoding/csv's rune machinery
+// row by row: lines come out of a buffered window via simd.IndexByte
+// and a quote-free line — the common shape — is sliced into fields on
+// its commas with one allocation, the immutable backing string of the
+// row (the same economy encoding/csv's recordBuffer gives, minus its
+// per-rune work). The first '"' anywhere in the input permanently
+// hands the stream to an encoding/csv reader positioned so record
+// boundaries, internal line numbers and error text stay byte-identical
+// to the csv-only decoder: quoted fields, bare-quote errors and
+// multi-line records are its semantics, not a reimplementation. Next
+// reuses one tuple per the Source contract.
 type CSVSource struct {
 	sch       *schema.Schema
-	cr        *csv.Reader
 	colToAttr []int
-	line      int
+	line      int          // record counter for error wrapping
 	tuple     schema.Tuple // reused; valid until the next Next
+
+	// Fast-path scanner state: the line window, the physical-line
+	// counter mirroring csv.Reader's numLine (blank lines count), and
+	// the expected field count (the header's).
+	lr       *lineReader
+	physLine int
+	fields   int
+
+	// cr is nil until the first quote triggers the permanent
+	// encoding/csv takeover.
+	cr *csv.Reader
 }
 
 // NewCSVSource reads the header and prepares the column mapping.
 func NewCSVSource(sch *schema.Schema, r io.Reader) (*CSVSource, error) {
-	cr := csv.NewReader(r)
-	header, err := cr.Read()
+	s := &CSVSource{sch: sch, lr: newLineReader(r, 0), line: 1}
+	header, err := s.readHeader()
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: reading csv header: %w", err)
 	}
@@ -107,15 +125,106 @@ func NewCSVSource(sch *schema.Schema, r io.Reader) (*CSVSource, error) {
 		return nil, fmt.Errorf("pipeline: csv header has %d columns, schema %s has %d attributes",
 			len(seen), sch.Name(), sch.Len())
 	}
-	cr.ReuseRecord = true
-	s := &CSVSource{sch: sch, cr: cr, colToAttr: colToAttr, line: 1}
+	s.colToAttr = colToAttr
+	s.fields = len(header)
 	s.tuple = schema.Tuple{Schema: sch, Vals: make(value.List, sch.Len())}
 	return s, nil
+}
+
+// readHeader produces the header fields through the same fast-line /
+// takeover machinery data records use; materializing []string is fine
+// here — it runs once.
+func (s *CSVSource) readHeader() ([]string, error) {
+	line, tookOver, err := s.fastLine()
+	if err != nil {
+		return nil, err
+	}
+	if tookOver {
+		header, err := s.cr.Read()
+		if err != nil {
+			return nil, err
+		}
+		return header, nil
+	}
+	return strings.Split(string(line), ","), nil
+}
+
+// fastLine returns the next non-blank record line for the fast path.
+// A '"' anywhere in a raw line means encoding/csv semantics could
+// diverge from plain comma-splitting (quoted field, bare-quote error,
+// multi-line record), so it triggers the takeover and reports
+// tookOver; the caller switches to s.cr for this and all further
+// records.
+func (s *CSVSource) fastLine() (line []byte, tookOver bool, err error) {
+	for {
+		raw, err := s.lr.next()
+		if err != nil {
+			return nil, false, err
+		}
+		s.physLine++
+		if simd.IndexByte(raw, '"') >= 0 {
+			s.takeover(raw)
+			return nil, true, nil
+		}
+		line := raw
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			// encoding/csv normalizes a \r\n ending to \n on every line
+			// and drops a trailing \r before EOF; both reduce to
+			// trimming one '\r' here.
+			line = line[:n-1]
+		}
+		if len(line) == 0 {
+			continue // blank line: skipped but counted, like csv.Reader
+		}
+		if !s.lr.hadNL && s.lr.err != io.EOF {
+			// Torn final line with a pending read error: encoding/csv
+			// surfaces the error, not the partial record.
+			return nil, false, s.lr.err
+		}
+		return line, false, nil
+	}
+}
+
+// takeover permanently switches decoding to encoding/csv. The reader
+// is fed physLine-1 blank filler lines (so its internal line counter
+// lands exactly where the fast path left off — blank lines are
+// skipped but counted), then the raw current line with its original
+// terminator, the unconsumed window bytes, and the unread tail.
+func (s *CSVSource) takeover(raw []byte) {
+	pre := make([]byte, 0, s.physLine+len(raw))
+	for i := 0; i < s.physLine-1; i++ {
+		pre = append(pre, '\n')
+	}
+	pre = append(pre, raw...)
+	if s.lr.hadNL {
+		pre = append(pre, '\n')
+	}
+	s.cr = csv.NewReader(io.MultiReader(bytes.NewReader(pre), bytes.NewReader(s.lr.rest()), s.lr.tail()))
+	s.cr.ReuseRecord = true
+	if s.fields > 0 {
+		// Mid-stream takeover: the header was fast-parsed, so the csv
+		// reader must inherit its field count instead of adopting the
+		// first record it happens to see.
+		s.cr.FieldsPerRecord = s.fields
+	}
 }
 
 // Next implements Source. The returned tuple is reused on the next
 // call.
 func (s *CSVSource) Next() (*schema.Tuple, error) {
+	if s.cr == nil {
+		line, tookOver, err := s.fastLine()
+		if err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			s.line++
+			return nil, fmt.Errorf("csv line %d: %w", s.line, err)
+		}
+		if !tookOver {
+			return s.parseRecord(line)
+		}
+	}
 	rec, err := s.cr.Read()
 	if err == io.EOF {
 		return nil, io.EOF
@@ -126,6 +235,36 @@ func (s *CSVSource) Next() (*schema.Tuple, error) {
 	}
 	for i, cell := range rec {
 		s.tuple.Vals[s.colToAttr[i]] = value.V(cell)
+	}
+	return &s.tuple, nil
+}
+
+// parseRecord slices a quote-free line into the reused tuple: one
+// backing-string allocation, commas found with simd.IndexByte. A
+// field-count violation builds the same csv.ParseError the
+// encoding/csv path reports, down to the line numbers.
+func (s *CSVSource) parseRecord(line []byte) (*schema.Tuple, error) {
+	s.line++
+	backing := string(line)
+	col, off := 0, 0
+	for {
+		end := len(backing)
+		rel := simd.IndexByte(line[off:], ',')
+		if rel >= 0 {
+			end = off + rel
+		}
+		if col < len(s.colToAttr) {
+			s.tuple.Vals[s.colToAttr[col]] = value.V(backing[off:end])
+		}
+		col++
+		if rel < 0 {
+			break
+		}
+		off = end + 1
+	}
+	if col != s.fields {
+		err := &csv.ParseError{StartLine: s.physLine, Line: s.physLine, Column: 1, Err: csv.ErrFieldCount}
+		return nil, fmt.Errorf("csv line %d: %w", s.line, err)
 	}
 	return &s.tuple, nil
 }
@@ -170,15 +309,19 @@ func (s *CSVSink) Flush() error {
 //
 // Next reuses one tuple per the Source contract. A fast path parses
 // the common shape — a flat object of plain string values — straight
-// out of the scanner's buffer with one allocation per line (the
-// immutable backing string of the decoded values, the same economy
-// encoding/csv uses). Anything beyond it — escape sequences, non-
-// string values, invalid UTF-8, malformed lines, unknown attributes —
-// falls back to encoding/json so behavior and error text match the
-// original decoder exactly.
+// out of the line window with one allocation per line (the immutable
+// backing string of the decoded values, the same economy encoding/csv
+// uses). Lines are sliced out of the input and value bytes classified
+// in 8-byte-or-wider steps by the simd kernels (IndexByte for
+// newlines, ScanJSON for quote/escape/control/non-ASCII bytes), so
+// clean runs copy in bulk instead of byte at a time. Anything beyond
+// the plain shape — escape sequences, non-string values, invalid
+// UTF-8, malformed lines, unknown attributes — falls back to
+// encoding/json so behavior and error text match the original decoder
+// exactly.
 type JSONLSource struct {
 	sch  *schema.Schema
-	sc   *bufio.Scanner
+	lr   *lineReader
 	line int
 	// idx mirrors the schema's name→position map locally: indexing a
 	// map with string(bytes) compiles to an allocation-free lookup
@@ -196,11 +339,11 @@ type valSpan struct{ start, end int }
 
 // NewJSONLSource wraps a JSONL stream under sch.
 func NewJSONLSource(sch *schema.Schema, r io.Reader) *JSONLSource {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	s := &JSONLSource{
-		sch:   sch,
-		sc:    sc,
+		sch: sch,
+		// 1 MiB line cap, matching the bufio.Scanner limit the decoder
+		// had before (over-long lines are bufio.ErrTooLong).
+		lr:    newLineReader(r, 1<<20),
 		idx:   make(map[string]int, sch.Len()),
 		spans: make([]valSpan, sch.Len()),
 		m:     make(map[string]string, sch.Len()),
@@ -215,9 +358,18 @@ func NewJSONLSource(sch *schema.Schema, r io.Reader) *JSONLSource {
 // Next implements Source. The returned tuple is reused on the next
 // call.
 func (s *JSONLSource) Next() (*schema.Tuple, error) {
-	for s.sc.Scan() {
+	for {
+		line, err := s.lr.next()
+		if err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, err // ErrTooLong / read errors: bare, like bufio.Scanner
+		}
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1] // ScanLines' dropCR
+		}
 		s.line++
-		line := s.sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
@@ -237,10 +389,6 @@ func (s *JSONLSource) Next() (*schema.Tuple, error) {
 		}
 		return tu, nil
 	}
-	if err := s.sc.Err(); err != nil {
-		return nil, err
-	}
-	return nil, io.EOF
 }
 
 // parseFast decodes a flat {"attr":"value",...} object into the reused
@@ -291,14 +439,15 @@ func (s *JSONLSource) parseFast(line []byte) bool {
 		}
 		p++
 		keyStart := p
-		for p < n && line[p] != '"' {
-			c := line[p]
-			if c == '\\' || c < 0x20 || c >= utf8.RuneSelf {
-				return false // escaped/exotic keys: slow path
-			}
-			p++
+		// One classifier scan covers the whole key: the first special
+		// byte must be the closing quote; a backslash, control byte or
+		// non-ASCII byte means an escaped/exotic key — slow path.
+		rel := simd.ScanJSON(line[p:])
+		if rel < 0 {
+			return false
 		}
-		if p >= n {
+		p += rel
+		if line[p] != '"' {
 			return false
 		}
 		ai, known := s.idx[string(line[keyStart:p])]
@@ -317,21 +466,25 @@ func (s *JSONLSource) parseFast(line []byte) bool {
 		}
 		p++
 		start := len(s.valBuf)
+		// The value loop advances a classifier scan at a time: the
+		// clean ASCII run before each special byte is appended in bulk,
+		// then the special byte decides — closing quote ends the value,
+		// a valid multi-byte rune is copied whole and scanning resumes
+		// after it, everything else (escapes, control bytes, invalid
+		// UTF-8, an unterminated line) rejects to the slow path.
 		for {
-			if p >= n {
-				return false
+			rel := simd.ScanJSON(line[p:])
+			if rel < 0 {
+				return false // no closing quote on this line
 			}
+			s.valBuf = append(s.valBuf, line[p:p+rel]...)
+			p += rel
 			c := line[p]
 			if c == '"' {
 				break
 			}
 			if c == '\\' || c < 0x20 {
 				return false // escapes & control chars: slow path
-			}
-			if c < utf8.RuneSelf {
-				s.valBuf = append(s.valBuf, c)
-				p++
-				continue
 			}
 			r, size := utf8.DecodeRune(line[p:])
 			if r == utf8.RuneError && size == 1 {

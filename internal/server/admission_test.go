@@ -136,8 +136,8 @@ func TestSyncFixConcurrencyCap(t *testing.T) {
 	if st.Admission.SyncInFlight != gateCap || st.Admission.MaxSyncFix != gateCap {
 		t.Fatalf("admission status = %+v", st.Admission)
 	}
-	if st.Admission.Shed.Overloaded != 1 {
-		t.Fatalf("shed.overloaded = %d, want 1", st.Admission.Shed.Overloaded)
+	if st.Admission.Shed.Overloaded.Load() != 1 {
+		t.Fatalf("shed.overloaded = %d, want 1", st.Admission.Shed.Overloaded.Load())
 	}
 
 	close(block)
@@ -264,8 +264,8 @@ func TestJobsBacklogShedOverHTTP(t *testing.T) {
 	if st.Jobs == nil || st.Jobs.Queued != 1 || st.Jobs.MaxQueued != 1 {
 		t.Fatalf("jobs status = %+v", st.Jobs)
 	}
-	if st.Admission.Shed.BacklogFull != 1 {
-		t.Fatalf("shed.backlog_full = %d, want 1", st.Admission.Shed.BacklogFull)
+	if st.Admission.Shed.BacklogFull.Load() != 1 {
+		t.Fatalf("shed.backlog_full = %d, want 1", st.Admission.Shed.BacklogFull.Load())
 	}
 
 	// Draining reopens admission.
@@ -388,8 +388,8 @@ func TestRateLimitPerKey(t *testing.T) {
 	if err := json.Unmarshal(body, &st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Admission.Shed.RateLimited < 2 {
-		t.Fatalf("shed.rate_limited = %d, want >= 2", st.Admission.Shed.RateLimited)
+	if st.Admission.Shed.RateLimited.Load() < 2 {
+		t.Fatalf("shed.rate_limited = %d, want >= 2", st.Admission.Shed.RateLimited.Load())
 	}
 	if st.Admission.RatePerKey != 0.001 || st.Admission.Burst != 2 {
 		t.Fatalf("admission config = %+v", st.Admission)

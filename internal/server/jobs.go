@@ -136,7 +136,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		// else (journal/directory I/O) is a genuine server fault.
 		switch {
 		case errors.Is(err, jobs.ErrBacklogFull):
-			s.shed.backlogFull.Add(1)
+			s.shed.backlogFull.Inc()
 			st := s.jobs.Stats()
 			retry := admission.RetryAfter(st.Queued+st.Running, st.Workers, st.AvgService())
 			writeShed(w, r, codeBacklogFull, retry, err)

@@ -160,7 +160,7 @@ func (s *Server) rateLimitMW(next http.Handler) http.Handler {
 		w.Header().Set("X-RateLimit-Limit", strconv.Itoa(s.limiter.Burst()))
 		w.Header().Set("X-RateLimit-Remaining", strconv.Itoa(remaining))
 		if !ok {
-			s.shed.rateLimited.Add(1)
+			s.shed.rateLimited.Inc()
 			writeShed(w, r, codeRateLimited, retry,
 				fmt.Errorf("rate limit exceeded (%g req/s per key, burst %d)", s.limiter.Rate(), s.limiter.Burst()))
 			return
@@ -200,7 +200,7 @@ func (s *Server) withSyncGate(next http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 		if !s.fixGate.TryAcquire() {
-			s.shed.overloaded.Add(1)
+			s.shed.overloaded.Inc()
 			retry := admission.RetryAfter(1, s.fixGate.Capacity(), s.fixTime.Value())
 			writeShed(w, r, codeOverloaded, retry,
 				fmt.Errorf("synchronous fix capacity (%d) saturated; retry or submit an async job", s.fixGate.Capacity()))

@@ -23,9 +23,11 @@ import (
 
 	"cerfix"
 	"cerfix/internal/admission"
+	"cerfix/internal/counter"
 	"cerfix/internal/jobs"
 	"cerfix/internal/master"
 	"cerfix/internal/monitor"
+	"cerfix/internal/simd"
 )
 
 // Server wraps a cerfix.System with HTTP session state and the
@@ -45,11 +47,13 @@ type Server struct {
 	fixGate *admission.Gate
 	fixTime admission.EWMA
 	// shed counts load-shedding decisions per reason, surfaced by
-	// /api/v1/status.
+	// /api/v1/status. Every status counter — these and the engine's
+	// prefilter totals — is a counter.Monotonic, so they all share one
+	// increment discipline and one bare-number JSON encoding.
 	shed struct {
-		rateLimited atomic.Int64
-		overloaded  atomic.Int64
-		backlogFull atomic.Int64
+		rateLimited counter.Monotonic
+		overloaded  counter.Monotonic
+		backlogFull counter.Monotonic
 	}
 
 	// Request-ID assignment: per-process random prefix + counter.
@@ -129,11 +133,13 @@ func tupleFromMap(sch *cerfix.Schema, m map[string]string) (*cerfix.Tuple, error
 // --- status ------------------------------------------------------------
 
 // shedCounters reports load-shedding decisions since start, per
-// reason (the error code the shed request received).
+// reason (the error code the shed request received). The fields point
+// at the server's live counters; counter.Monotonic marshals as a bare
+// number, so the wire shape is unchanged from the int64 days.
 type shedCounters struct {
-	RateLimited int64 `json:"rate_limited"`
-	Overloaded  int64 `json:"overloaded"`
-	BacklogFull int64 `json:"backlog_full"`
+	RateLimited *counter.Monotonic `json:"rate_limited"`
+	Overloaded  *counter.Monotonic `json:"overloaded"`
+	BacklogFull *counter.Monotonic `json:"backlog_full"`
 }
 
 // admissionStatus reports the front-door configuration and live
@@ -167,9 +173,29 @@ type statusResponse struct {
 	// columnar-packed rows, snapshot-shared bytes and COW debt, rule
 	// indexes, interning dictionary.
 	Memory *master.MemStats `json:"memory,omitempty"`
+	// Kernels reports the simd dispatch table in effect and the chase
+	// prefilter's lifetime effectiveness.
+	Kernels kernelStatus `json:"kernels"`
 	// Persistence reports where the instance was loaded from (absent
 	// for in-memory systems): directory, backup fallback, WAL replay.
 	Persistence *cerfix.LoadInfo `json:"persistence,omitempty"`
+}
+
+// kernelStatus reports which simd dispatch table the process selected
+// (simd.Active: "amd64", "portable", ...) and whether a CERFIX_KERNELS
+// override forced it, plus the compiled chase's prefilter totals.
+type kernelStatus struct {
+	Active    string          `json:"active"`
+	Override  string          `json:"override,omitempty"`
+	Prefilter prefilterStatus `json:"prefilter"`
+}
+
+// prefilterStatus is the premise prefilter's lifetime effectiveness
+// for the current rule set's compiled program (resets on rule edits,
+// which rebuild the program).
+type prefilterStatus struct {
+	RulesSkipped   int64 `json:"rules_skipped"`
+	RulesEvaluated int64 `json:"rules_evaluated"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -183,9 +209,9 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		adm.SyncInFlight = s.fixGate.InFlight()
 	}
 	adm.Shed = shedCounters{
-		RateLimited: s.shed.rateLimited.Load(),
-		Overloaded:  s.shed.overloaded.Load(),
-		BacklogFull: s.shed.backlogFull.Load(),
+		RateLimited: &s.shed.rateLimited,
+		Overloaded:  &s.shed.overloaded,
+		BacklogFull: &s.shed.backlogFull,
 	}
 	var qs *jobs.QueueStats
 	if s.jobs != nil {
@@ -195,6 +221,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	mem := s.sys.MemStats()
+	skipped, evaluated := s.sys.Engine().PrefilterStats()
 	writeJSON(w, http.StatusOK, statusResponse{
 		InputSchema:  s.sys.InputSchema().String(),
 		MasterSchema: s.sys.MasterSchema().String(),
@@ -205,7 +232,15 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Admission:    adm,
 		Jobs:         qs,
 		Memory:       &mem,
-		Persistence:  s.sys.LoadInfo(),
+		Kernels: kernelStatus{
+			Active:   simd.Active(),
+			Override: simd.Override(),
+			Prefilter: prefilterStatus{
+				RulesSkipped:   skipped,
+				RulesEvaluated: evaluated,
+			},
+		},
+		Persistence: s.sys.LoadInfo(),
 	})
 }
 

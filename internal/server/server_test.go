@@ -299,3 +299,62 @@ func TestMalformedBodies(t *testing.T) {
 		t.Fatalf("unknown field = %d", resp2.StatusCode)
 	}
 }
+
+// TestStatusCounterJSONKeys is the regression net for the status
+// document's counter shapes: every cumulative counter — admission shed
+// totals and the chase prefilter — marshals through counter.Monotonic,
+// and this pins the snake_case keys and bare-number encoding clients
+// depend on, plus the kernels section sitting next to memory.
+func TestStatusCounterJSONKeys(t *testing.T) {
+	ts := demoServer(t)
+	// Run one sync fix so the prefilter counters have moved.
+	var fixOut map[string]any
+	doJSON(t, "POST", ts.URL+"/api/v1/fix", json.RawMessage(fixPayload()), 200, &fixOut)
+
+	resp, err := http.Get(ts.URL + "/api/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+
+	section := func(m map[string]any, key string) map[string]any {
+		t.Helper()
+		v, ok := m[key].(map[string]any)
+		if !ok {
+			t.Fatalf("status missing object %q: %v", key, m[key])
+		}
+		return v
+	}
+	num := func(m map[string]any, key string) float64 {
+		t.Helper()
+		v, ok := m[key].(float64)
+		if !ok {
+			t.Fatalf("counter %q not a bare number: %T %v", key, m[key], m[key])
+		}
+		return v
+	}
+
+	shed := section(section(doc, "admission"), "shed")
+	for _, key := range []string{"rate_limited", "overloaded", "backlog_full"} {
+		if n := num(shed, key); n != 0 {
+			t.Fatalf("shed.%s = %v on an unloaded server", key, n)
+		}
+	}
+
+	kernels := section(doc, "kernels")
+	if a, ok := kernels["active"].(string); !ok || a == "" {
+		t.Fatalf("kernels.active = %v", kernels["active"])
+	}
+	pre := section(kernels, "prefilter")
+	num(pre, "rules_skipped")
+	if num(pre, "rules_evaluated") == 0 {
+		t.Fatal("kernels.prefilter.rules_evaluated still zero after a fix")
+	}
+	// The memory section the kernels section rides next to must still
+	// be there.
+	section(doc, "memory")
+}

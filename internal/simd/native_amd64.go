@@ -1,0 +1,16 @@
+//go:build amd64
+
+package simd
+
+import "bytes"
+
+// On amd64 the runtime's bytes.IndexByte is an AVX2/SSE scan — far
+// wider than the 8-byte SWAR word — so the native table delegates to
+// it. The JSON classifier and the FNV mix have no profitable upgrade
+// without hand-written assembly (the classifier needs four predicates
+// fused per byte, the hash chain is serial by definition), so they
+// keep the SWAR bodies.
+func init() {
+	nativeTable.name = "amd64"
+	nativeTable.indexByte = bytes.IndexByte
+}

@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"unsafe"
+
+	"cerfix/internal/simd"
 )
 
 // Sym is a dense dictionary id for an interned string. Equality of two
@@ -269,13 +271,9 @@ func AppendSym(dst []byte, s Sym) []byte {
 	return append(dst, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
 }
 
-// fnvString is FNV-1a over the string bytes, matching cowmap.FNVBytes
-// so future callers can hash either representation consistently.
-func fnvString(s string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= 16777619
-	}
-	return h
-}
+// fnvString is FNV-1a over the string bytes via the simd kernel's
+// wide body — bit-identical to the scalar definition and to
+// cowmap.FNVBytes, so callers can hash either representation
+// consistently and table slots never move when the kernel table
+// changes.
+func fnvString(s string) uint32 { return simd.Hash(s) }
