@@ -54,6 +54,7 @@ import (
 	"cerfix/internal/audit"
 	"cerfix/internal/core"
 	"cerfix/internal/discovery"
+	"cerfix/internal/faultfs"
 	"cerfix/internal/master"
 	"cerfix/internal/monitor"
 	"cerfix/internal/region"
@@ -132,7 +133,26 @@ type System struct {
 	walCursor *walCursor
 	// loadInfo records provenance when the system came from Load.
 	loadInfo *LoadInfo
+	// fs routes all persistence I/O; nil means the real filesystem
+	// (faultfs.OS). Fault-injection tests swap in an injector.
+	fs faultfs.FS
+	// health, when set, receives the outcome of every Save so the
+	// daemon can degrade gracefully on storage faults (persist.go).
+	health *faultfs.Health
 }
+
+// pfs returns the filesystem persistence routes through.
+func (s *System) pfs() faultfs.FS {
+	if s.fs == nil {
+		return faultfs.OS
+	}
+	return s.fs
+}
+
+// SetPersistenceHealth wires the persistence health tracker: every
+// Save reports its outcome (success restores healthy, a transient
+// storage fault degrades).
+func (s *System) SetPersistenceHealth(h *faultfs.Health) { s.health = h }
 
 // New creates a system for the given input schema, master schema and
 // rule DSL. Master data starts empty; add rows before opening

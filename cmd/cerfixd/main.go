@@ -61,6 +61,7 @@ import (
 
 	"cerfix"
 	"cerfix/internal/dataset"
+	"cerfix/internal/faultfs"
 	"cerfix/internal/jobs"
 	"cerfix/internal/server"
 	"cerfix/internal/simd"
@@ -79,6 +80,7 @@ func main() {
 		jobsDir     = flag.String("jobs-dir", "", "directory for the persistent async batch-repair job queue (empty = /api/jobs disabled)")
 		jobsInput   = flag.String("jobs-input-root", "", "directory server-side job input paths may reference (empty = inline tuples only)")
 		jobsWorkers = flag.Int("jobs-workers", 1, "concurrent job runners (fair FIFO admission; each run uses its own O(1) engine snapshot)")
+		probeEvery  = flag.Duration("persist-probe", 3*time.Second, "min interval between persistence health probes while degraded (with -jobs-dir; submissions shed 503 persistence_degraded until a probe succeeds)")
 		rate        = flag.Float64("rate", 0, "per-key admission rate in requests/second (0 = rate limiting off)")
 		burst       = flag.Int("burst", 0, "per-key token-bucket burst capacity (with -rate; min 1)")
 		maxSyncFix  = flag.Int("max-sync-fix", 0, "max concurrent synchronous /fix runs; excess sheds 429 (0 = unlimited)")
@@ -106,6 +108,19 @@ func main() {
 	// restart resumes queued and running batches from the journal.
 	var mgr *jobs.Manager
 	if *jobsDir != "" {
+		// Degraded-mode wiring: every durable jobs write reports into
+		// health; while degraded, submissions and saves shed with a
+		// typed 503 and the probe readmits them when the disk recovers.
+		// Transitions are logged, and /api/v1/status surfaces the state
+		// under persistence.health.
+		health := faultfs.NewHealth(faultfs.DiskProbe(faultfs.OS, *jobsDir), *probeEvery)
+		health.SetOnChange(func(degraded bool, reason string) {
+			if degraded {
+				log.Printf("cerfixd: persistence degraded (%s); shedding job submissions with 503 persistence_degraded", reason)
+			} else {
+				log.Printf("cerfixd: persistence recovered; job submissions readmitted")
+			}
+		})
 		mgr, err = jobs.Open(jobs.Config{
 			Dir:          *jobsDir,
 			Schema:       sys.InputSchema(),
@@ -114,11 +129,14 @@ func main() {
 			InputRoot:    *jobsInput,
 			Workers:      *jobsWorkers,
 			MaxQueued:    *maxQueued,
+			Health:       health,
 		})
 		if err != nil {
 			log.Fatal("cerfixd: ", err)
 		}
 		srv.AttachJobs(mgr)
+		srv.SetPersistenceHealth(health)
+		sys.SetPersistenceHealth(health)
 		recovered := 0
 		for _, j := range mgr.List() {
 			if j.State == jobs.StateQueued {

@@ -1,0 +1,149 @@
+// Package faultfs is the injectable filesystem layer every durability-
+// critical path routes through: persist.go's WAL appends and checkpoint
+// swaps, and internal/jobs' journals and results artifacts. In
+// production it is a thin veneer over the os package (OS); in tests an
+// Injector wraps it to fail the Nth write/sync/rename, short-write a
+// buffer, simulate ENOSPC, or crash at every point of an I/O trace and
+// replay the unsynced-data loss a real power cut would inflict.
+//
+// The package also owns the persistence health model (Health): a state
+// machine fed by the outcome of durable operations that flips the
+// daemon into degraded mode on transient storage faults (ENOSPC,
+// EIO, failed fsync) and probes its way back to healthy when the
+// fault clears — the basis for the HTTP layer's typed 503
+// persistence_degraded responses.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	iofs "io/fs"
+	"os"
+	"syscall"
+)
+
+// File is the subset of *os.File the persistence paths need.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface of every durable write path. All
+// methods mirror their os package namesakes; SyncDir is the directory
+// fsync that makes freshly created or renamed entries crash-durable.
+type FS interface {
+	// OpenFile opens for writing (create/append/truncate); use Open
+	// for reads so fault injection can tell the two apart.
+	OpenFile(name string, flag int, perm iofs.FileMode) (File, error)
+	// Open opens for reading.
+	Open(name string) (File, error)
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes data in one create+write+close sequence with NO
+	// fsync (like os.WriteFile); durable writes must OpenFile and Sync
+	// explicitly.
+	WriteFile(name string, data []byte, perm iofs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	MkdirAll(path string, perm iofs.FileMode) error
+	ReadDir(name string) ([]iofs.DirEntry, error)
+	Stat(name string) (iofs.FileInfo, error)
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs a directory. A filesystem that rejects directory
+	// fsync outright (EINVAL/ENOTSUP) is not a fault — implementations
+	// return nil for that — but a real I/O error is propagated: a
+	// failed directory sync means a rename or create whose durability
+	// the caller was counting on is NOT established.
+	SyncDir(dir string) error
+}
+
+// OS is the production filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) Open(name string) (File, error)               { return os.Open(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+func (osFS) ReadDir(name string) ([]iofs.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (iofs.FileInfo, error)      { return os.Stat(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+
+func (osFS) MkdirAll(path string, perm iofs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) WriteFile(name string, data []byte, perm iofs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		if dirSyncUnsupported(err) {
+			// The filesystem rejects directory fsync as an operation —
+			// not an I/O fault; there is nothing more the caller can do.
+			return nil
+		}
+		return err
+	}
+	return cerr
+}
+
+// dirSyncUnsupported distinguishes "this filesystem does not support
+// fsync on directories" from a genuine I/O failure.
+func dirSyncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) ||
+		errors.Is(err, syscall.ENOTSUP) ||
+		errors.Is(err, syscall.ENOTTY)
+}
+
+// Create opens name for writing, truncating any existing content.
+func Create(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+// WriteFileSync writes data durably: create, write, fsync, close. The
+// companion directory sync (for a freshly created entry) is the
+// caller's call — it knows whether the entry is new.
+func WriteFileSync(fsys FS, name string, data []byte, perm iofs.FileMode) error {
+	f, err := fsys.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Transient reports whether err looks like a transient storage fault —
+// the disk is full, quota exceeded, or the device hiccuped — as
+// opposed to a permanent input or logic error. Transient faults are
+// worth retrying with backoff and feed the Health state machine;
+// everything else fails fast.
+func Transient(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EDQUOT) ||
+		errors.Is(err, syscall.EIO) ||
+		errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EINTR)
+}

@@ -1,0 +1,266 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestInjectorTargetedFaults(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	path := filepath.Join(dir, "f.txt")
+
+	// FailNth: the second sync fails, the first succeeds.
+	in.FailNth(OpSync, "f.txt", 2, syscall.ENOSPC)
+	f, err := Create(in, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first sync: %v", err)
+	}
+	if _, err := f.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("second sync = %v, want ENOSPC", err)
+	}
+	f.Close()
+
+	// The trace recorded every effect op in order.
+	ops := []Op{}
+	for _, s := range in.Trace() {
+		ops = append(ops, s.Op)
+	}
+	want := []Op{OpOpenFile, OpWrite, OpSync, OpWrite, OpSync}
+	if len(ops) != len(want) {
+		t.Fatalf("trace %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("trace %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS)
+	path := filepath.Join(dir, "f.txt")
+	in.ShortWriteNth("f.txt", 1, 3, syscall.EIO)
+	f, err := Create(in, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello"))
+	if n != 3 || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("short write = (%d, %v), want (3, EIO)", n, err)
+	}
+	f.Close()
+	data, _ := os.ReadFile(path)
+	if string(data) != "hel" {
+		t.Fatalf("on disk %q, want %q", data, "hel")
+	}
+}
+
+func TestInjectorCrashAndLoseUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.txt")
+
+	write := func(in *Injector) error {
+		f, err := Create(in, path)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("durable")); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.Write([]byte(" volatile")); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	// Count ops, then crash after the second write (everything ran,
+	// but the tail was never synced).
+	count := NewInjector(OS)
+	if err := write(count); err != nil {
+		t.Fatal(err)
+	}
+	if n := count.EffectOps(); n != 4 {
+		t.Fatalf("effect ops = %d, want 4 (open, write, sync, write)", n)
+	}
+
+	in := NewInjector(OS)
+	in.SetCrashAt(4) // all four ops run; the crash hits afterwards
+	if err := write(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.LoseUnsynced(0); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "durable" {
+		t.Fatalf("after losing unsynced bytes: %q, want %q", data, "durable")
+	}
+
+	// keep=1 preserves the torn tail ("write landed, fsync didn't").
+	os.Remove(path)
+	in = NewInjector(OS)
+	in.SetCrashAt(4)
+	if err := write(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.LoseUnsynced(1); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if string(data) != "durable volatile" {
+		t.Fatalf("keep=1: %q", data)
+	}
+
+	// A crash mid-trace fails that op and every later one.
+	os.Remove(path)
+	in = NewInjector(OS)
+	in.SetCrashAt(2) // open and first write succeed; sync crashes
+	err := write(in)
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashed run returned %v", err)
+	}
+	if !in.Crashed() {
+		t.Fatal("Crashed() false after crash point hit")
+	}
+	// A created-but-never-synced file disappears with keep=0.
+	if err := in.LoseUnsynced(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("unsynced created file survived the crash: %v", err)
+	}
+}
+
+func TestSyncDirClassification(t *testing.T) {
+	// A real directory syncs fine (or the fs rejects the op, which is
+	// also a nil).
+	if err := OS.SyncDir(t.TempDir()); err != nil {
+		t.Fatalf("SyncDir on a real dir: %v", err)
+	}
+	// A missing directory is a real error, not best-effort silence.
+	if err := OS.SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing dir returned nil")
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	for _, err := range []error{syscall.ENOSPC, syscall.EIO, syscall.EDQUOT} {
+		if !Transient(err) {
+			t.Fatalf("%v not transient", err)
+		}
+	}
+	if Transient(errors.New("parse error")) {
+		t.Fatal("permanent error classified transient")
+	}
+	if Transient(ErrCrashed) {
+		t.Fatal("ErrCrashed must not be transient (retry loops must stop at a simulated crash)")
+	}
+}
+
+func TestHealthStateMachine(t *testing.T) {
+	probeOK := false
+	probes := 0
+	h := NewHealth(func() error {
+		probes++
+		if probeOK {
+			return nil
+		}
+		return syscall.ENOSPC
+	}, 5*time.Millisecond)
+
+	if err := h.Check(); err != nil {
+		t.Fatalf("healthy Check = %v", err)
+	}
+	h.ReportResult(syscall.ENOSPC)
+	if st := h.Status(); st.State != "degraded" || st.Degradations != 1 || st.RetryAfterSeconds < 1 {
+		t.Fatalf("after ENOSPC: %+v", st)
+	}
+	// Permanent errors do not touch health.
+	h2 := NewHealth(nil, 0)
+	h2.ReportResult(errors.New("bad input"))
+	if st := h2.Status(); st.State != "ok" {
+		t.Fatalf("permanent error degraded health: %+v", st)
+	}
+
+	// While the fault persists, Check probes (at most once per
+	// interval) and keeps failing with ErrDegraded.
+	if err := h.Check(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded Check = %v", err)
+	}
+	if probes != 1 {
+		t.Fatalf("probes = %d, want 1", probes)
+	}
+	if err := h.Check(); !errors.Is(err, ErrDegraded) {
+		t.Fatal("second immediate Check should fast-fail without probing")
+	}
+	if probes != 1 {
+		t.Fatalf("immediate re-Check probed (probes=%d)", probes)
+	}
+
+	// When the fault clears, the next due probe restores healthy and
+	// the triggering caller proceeds.
+	probeOK = true
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := h.Check(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("health never recovered after probe success")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := h.Status(); st.State != "ok" || st.Degradations != 1 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+}
+
+func TestHealthOnChange(t *testing.T) {
+	type change struct {
+		degraded bool
+		reason   string
+	}
+	var changes []change
+	h := NewHealth(nil, time.Second)
+	h.SetOnChange(func(d bool, r string) { changes = append(changes, change{d, r}) })
+	h.ReportResult(syscall.EIO)
+	h.ReportResult(syscall.EIO) // already degraded: no second notification
+	h.ReportResult(nil)
+	if len(changes) != 2 || !changes[0].degraded || changes[0].reason == "" || changes[1].degraded {
+		t.Fatalf("transitions = %+v", changes)
+	}
+}
+
+func TestDiskProbe(t *testing.T) {
+	dir := t.TempDir()
+	if err := DiskProbe(OS, dir)(); err != nil {
+		t.Fatalf("probe on a writable dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".health-probe")); !os.IsNotExist(err) {
+		t.Fatal("probe left its scratch file behind")
+	}
+	if err := DiskProbe(OS, filepath.Join(dir, "nope"))(); err == nil {
+		t.Fatal("probe on a missing dir returned nil")
+	}
+}

@@ -1,0 +1,439 @@
+package faultfs
+
+import (
+	"errors"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Op names one class of mutating filesystem operation. Reads (Open,
+// ReadFile, ReadDir, Stat) are not effect ops: they neither advance
+// the crash counter nor appear in the trace, though they do fail once
+// a crash has been injected.
+type Op string
+
+const (
+	OpOpenFile  Op = "openfile"
+	OpWrite     Op = "write"
+	OpSync      Op = "sync"
+	OpRename    Op = "rename"
+	OpRemove    Op = "remove"
+	OpRemoveAll Op = "removeall"
+	OpMkdir     Op = "mkdir"
+	OpTruncate  Op = "truncate"
+	OpSyncDir   Op = "syncdir"
+)
+
+// Step is one recorded effect op.
+type Step struct {
+	Op   Op
+	Path string
+}
+
+// ErrCrashed is returned by every operation at and after the injected
+// crash point. It is deliberately NOT Transient: once a simulated
+// crash hits, retry loops give up immediately and the harness
+// proceeds to the reload phase.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// Injector wraps an FS with deterministic fault injection. Two modes:
+//
+//   - Targeted: FailNth/ShortWriteNth arm a rule that fires on the
+//     Nth matching effect op (fail a specific sync with ENOSPC, short-
+//     write a specific buffer, ...).
+//   - Crash-point enumeration: run the operation once untouched and
+//     read EffectOps(); then for k in [0, N) re-run with SetCrashAt(k)
+//     — ops before k succeed, op k and everything after fail with
+//     ErrCrashed. LoseUnsynced then rolls every file back to what a
+//     power cut would have preserved ("write succeeded but fsync
+//     didn't"), and the test reloads and asserts invariants.
+//
+// Size tracking assumes sequential writes (append or create-then-
+// write), which is how every persistence path in this codebase
+// writes; there is no Seek in the File interface.
+type Injector struct {
+	inner FS
+
+	mu       sync.Mutex
+	trace    []Step
+	nEffects int
+	crashAt  int // -1 = off; crash when the effect counter reaches it
+	crashed  bool
+	rules    []*rule
+	faultFn  func(op Op, path string) error
+	files    map[string]*fileState
+}
+
+type rule struct {
+	op     Op
+	suffix string
+	n      int // fire on the n-th match (1-based)
+	err    error
+	short  int // for OpWrite: bytes actually written before err
+	seen   int
+}
+
+// fileState tracks how much of a file a crash would preserve: bytes
+// up to syncedSize survived an fsync, the rest is at the mercy of the
+// page cache.
+type fileState struct {
+	size       int64
+	syncedSize int64
+	created    bool // created during this run (a crash may lose the entry itself)
+}
+
+// NewInjector wraps inner (usually OS) with fault injection.
+func NewInjector(inner FS) *Injector {
+	return &Injector{inner: inner, crashAt: -1, files: make(map[string]*fileState)}
+}
+
+// FailNth arms a one-shot fault: the n-th effect op (1-based) with
+// this Op whose path ends in suffix returns err without touching the
+// underlying filesystem. suffix "" matches every path.
+func (in *Injector) FailNth(op Op, suffix string, n int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &rule{op: op, suffix: suffix, n: n, err: err})
+}
+
+// ShortWriteNth arms a short write: the n-th matching Write persists
+// only the first keep bytes, then returns err — a torn write.
+func (in *Injector) ShortWriteNth(suffix string, n, keep int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &rule{op: OpWrite, suffix: suffix, n: n, err: err, short: keep})
+}
+
+// SetFault installs a programmable fault hook consulted for every
+// effect op (after crash/rules). Returning a non-nil error fails the
+// op. Used for stateful faults like "ENOSPC while this flag is set".
+func (in *Injector) SetFault(fn func(op Op, path string) error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.faultFn = fn
+}
+
+// SetCrashAt arms crash-point mode: effect ops 0..k-1 succeed, op k
+// and all later operations (reads included) fail with ErrCrashed.
+// k < 0 disarms.
+func (in *Injector) SetCrashAt(k int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashAt = k
+	in.crashed = false
+}
+
+// Crashed reports whether the armed crash point has been reached.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// EffectOps returns how many effect ops have run (the trace length).
+func (in *Injector) EffectOps() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.nEffects
+}
+
+// Trace returns a copy of the recorded effect-op trace.
+func (in *Injector) Trace() []Step {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Step(nil), in.trace...)
+}
+
+// effect records one mutating op and decides whether it fails. The
+// returned shortN is only meaningful for OpWrite rules with short
+// writes (bytes to persist before erroring; -1 = no short write).
+func (in *Injector) effect(op Op, path string) (shortN int, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.trace = append(in.trace, Step{Op: op, Path: path})
+	in.nEffects++
+	if in.crashed {
+		return -1, ErrCrashed
+	}
+	if in.crashAt >= 0 && in.nEffects > in.crashAt {
+		in.crashed = true
+		return -1, ErrCrashed
+	}
+	for _, r := range in.rules {
+		if r.op != op || !strings.HasSuffix(path, r.suffix) {
+			continue
+		}
+		r.seen++
+		if r.seen == r.n {
+			if r.short > 0 {
+				return r.short, r.err
+			}
+			return -1, r.err
+		}
+	}
+	if in.faultFn != nil {
+		if err := in.faultFn(op, path); err != nil {
+			return -1, err
+		}
+	}
+	return -1, nil
+}
+
+// readGate fails reads after a crash (a crashed process does no I/O).
+func (in *Injector) readGate() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (in *Injector) state(path string) *fileState {
+	st := in.files[path]
+	if st == nil {
+		st = &fileState{}
+		in.files[path] = st
+	}
+	return st
+}
+
+// LoseUnsynced simulates the aftermath of a crash: for every file
+// written through this injector, bytes beyond the last successful
+// fsync are rolled back. keep in [0,1] selects how much of the
+// unsynced tail the page cache happened to flush — 0 (lose it all),
+// 1 (keep it all, the classic torn-tail "write landed, fsync didn't"),
+// or anything between for a partial flush. Files created during the
+// run and never synced are removed entirely when keep == 0.
+// Renames are modeled as atomic (they carry state to the new path).
+func (in *Injector) LoseUnsynced(keep float64) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	paths := make([]string, 0, len(in.files))
+	for p := range in.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		st := in.files[p]
+		if st.size <= st.syncedSize {
+			continue
+		}
+		target := st.syncedSize + int64(keep*float64(st.size-st.syncedSize))
+		var err error
+		if target == 0 && st.created {
+			err = in.inner.Remove(p)
+		} else {
+			err = in.inner.Truncate(p, target)
+		}
+		if err != nil && !errors.Is(err, iofs.ErrNotExist) {
+			return err
+		}
+		st.size = target
+		st.syncedSize = target
+	}
+	return nil
+}
+
+// --- FS implementation -------------------------------------------------
+
+func (in *Injector) OpenFile(name string, flag int, perm iofs.FileMode) (File, error) {
+	if _, err := in.effect(OpOpenFile, name); err != nil {
+		return nil, err
+	}
+	_, statErr := in.inner.Stat(name)
+	f, err := in.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	st := in.state(name)
+	if statErr != nil {
+		st.created = true
+		st.size, st.syncedSize = 0, 0
+	} else if flag&os.O_TRUNC != 0 {
+		st.size, st.syncedSize = 0, 0
+	} else if fi, err := in.inner.Stat(name); err == nil {
+		// Pre-existing content is assumed durable.
+		st.size, st.syncedSize = fi.Size(), fi.Size()
+	}
+	in.mu.Unlock()
+	return &injFile{in: in, f: f, path: name}, nil
+}
+
+func (in *Injector) Open(name string) (File, error) {
+	if err := in.readGate(); err != nil {
+		return nil, err
+	}
+	return in.inner.Open(name)
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error) {
+	if err := in.readGate(); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadFile(name)
+}
+
+func (in *Injector) WriteFile(name string, data []byte, perm iofs.FileMode) error {
+	f, err := in.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	// The trace records the source path: staging dirs and tmp files
+	// carry the distinctive names injection rules want to match.
+	if _, err := in.effect(OpRename, oldpath); err != nil {
+		return err
+	}
+	if err := in.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	if st, ok := in.files[oldpath]; ok {
+		delete(in.files, oldpath)
+		in.files[newpath] = st
+	} else {
+		delete(in.files, newpath)
+	}
+	in.mu.Unlock()
+	return nil
+}
+
+func (in *Injector) Remove(name string) error {
+	if _, err := in.effect(OpRemove, name); err != nil {
+		return err
+	}
+	if err := in.inner.Remove(name); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	delete(in.files, name)
+	in.mu.Unlock()
+	return nil
+}
+
+func (in *Injector) RemoveAll(path string) error {
+	if _, err := in.effect(OpRemoveAll, path); err != nil {
+		return err
+	}
+	if err := in.inner.RemoveAll(path); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	for p := range in.files {
+		if p == path || strings.HasPrefix(p, path+string(filepath.Separator)) {
+			delete(in.files, p)
+		}
+	}
+	in.mu.Unlock()
+	return nil
+}
+
+func (in *Injector) MkdirAll(path string, perm iofs.FileMode) error {
+	if _, err := in.effect(OpMkdir, path); err != nil {
+		return err
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadDir(name string) ([]iofs.DirEntry, error) {
+	if err := in.readGate(); err != nil {
+		return nil, err
+	}
+	return in.inner.ReadDir(name)
+}
+
+func (in *Injector) Stat(name string) (iofs.FileInfo, error) {
+	if err := in.readGate(); err != nil {
+		return nil, err
+	}
+	return in.inner.Stat(name)
+}
+
+func (in *Injector) Truncate(name string, size int64) error {
+	if _, err := in.effect(OpTruncate, name); err != nil {
+		return err
+	}
+	if err := in.inner.Truncate(name, size); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	st := in.state(name)
+	if st.size > size {
+		st.size = size
+	}
+	if st.syncedSize > size {
+		st.syncedSize = size
+	}
+	in.mu.Unlock()
+	return nil
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if _, err := in.effect(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return in.inner.SyncDir(dir)
+}
+
+type injFile struct {
+	in   *Injector
+	f    File
+	path string
+}
+
+func (f *injFile) Read(p []byte) (int, error) {
+	if err := f.in.readGate(); err != nil {
+		return 0, err
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	short, ferr := f.in.effect(OpWrite, f.path)
+	if ferr != nil && short < 0 {
+		return 0, ferr
+	}
+	buf := p
+	if ferr != nil && short < len(p) {
+		buf = p[:short]
+	}
+	n, err := f.f.Write(buf)
+	f.in.mu.Lock()
+	f.in.state(f.path).size += int64(n)
+	f.in.mu.Unlock()
+	if ferr != nil {
+		return n, ferr
+	}
+	return n, err
+}
+
+func (f *injFile) Sync() error {
+	if _, err := f.in.effect(OpSync, f.path); err != nil {
+		return err
+	}
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	f.in.mu.Lock()
+	st := f.in.state(f.path)
+	st.syncedSize = st.size
+	f.in.mu.Unlock()
+	return nil
+}
+
+func (f *injFile) Close() error { return f.f.Close() }
+
+func (f *injFile) Name() string { return f.path }

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -17,6 +19,7 @@ import (
 
 	"cerfix/internal/admission"
 	"cerfix/internal/core"
+	"cerfix/internal/faultfs"
 	"cerfix/internal/master"
 	"cerfix/internal/pipeline"
 	"cerfix/internal/schema"
@@ -40,6 +43,12 @@ var (
 	// already: admission is load shedding, not disk growth. The HTTP
 	// layer answers 429 with a Retry-After computed from QueueStats.
 	ErrBacklogFull = errors.New("jobs: backlog full")
+	// ErrDegraded means persistence is unhealthy (Config.Health): the
+	// journal directory cannot take durable writes, so submissions are
+	// refused rather than acknowledged into a queue that could lose
+	// them. The HTTP layer answers a typed 503 with a Retry-After; the
+	// manager recovers automatically when the health probe succeeds.
+	ErrDegraded = faultfs.ErrDegraded
 )
 
 // invalid tags err as a client-input failure:
@@ -92,6 +101,22 @@ type Config struct {
 	Workers int
 	// Pipeline tunes the underlying batch runs (nil = defaults).
 	Pipeline *pipeline.Options
+	// FS routes every durable I/O the manager performs — journals,
+	// materialized inline inputs, results artifacts. Nil means the
+	// real filesystem; the fault harness installs an injector.
+	FS faultfs.FS
+	// Health, when set, gates submissions on persistence health
+	// (Submit* fail fast with ErrDegraded while the journal directory
+	// cannot take durable writes) and receives the outcome of every
+	// journal and artifact write.
+	Health *faultfs.Health
+	// MaxAttempts bounds run attempts per job across transient storage
+	// failures — ENOSPC, EIO, failed fsync — which retry with backoff
+	// (default 3). Permanent input errors never retry.
+	MaxAttempts int
+	// RetryBackoff is the base delay before a transient-failure retry,
+	// doubled per attempt (default 100ms; tests shrink it).
+	RetryBackoff time.Duration
 }
 
 // job is the Manager's runtime view of one Job record.
@@ -120,10 +145,14 @@ func (j *job) snapshotLocked() Job {
 // journal persistence and restart recovery.
 type Manager struct {
 	cfg  Config
+	fs   faultfs.FS
 	mu   sync.Mutex
 	cond *sync.Cond
 	jobs map[string]*job
 	seq  int
+	// quarantined counts job directories set aside at recovery because
+	// their journal failed its checksum (surfaced in QueueStats).
+	quarantined int
 	// reserved counts submissions between backlog admission and
 	// appearing in jobs — in-flight enqueues hold a reservation so
 	// concurrent submitters cannot jointly overshoot MaxQueued.
@@ -150,6 +179,10 @@ type QueueStats struct {
 	// unbounded).
 	Workers   int `json:"workers"`
 	MaxQueued int `json:"max_queued"`
+	// Quarantined counts job directories set aside at recovery because
+	// their journal failed its integrity check (kept on disk as
+	// <id>.corrupt for inspection, never run).
+	Quarantined int `json:"quarantined"`
 	// AvgServiceMS is the moving average of completed-job service
 	// time in milliseconds (0 until a job completes).
 	AvgServiceMS float64 `json:"avg_service_ms"`
@@ -182,6 +215,7 @@ func (m *Manager) Stats() QueueStats {
 	st := QueueStats{
 		Workers:      m.cfg.Workers,
 		MaxQueued:    m.cfg.MaxQueued,
+		Quarantined:  m.quarantined,
 		AvgServiceMS: float64(m.svc.Value()) / float64(time.Millisecond),
 		MasterMemory: mem,
 	}
@@ -213,10 +247,19 @@ func Open(cfg Config) (*Manager, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if cfg.FS == nil {
+		cfg.FS = faultfs.OS
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobs: %w", err)
 	}
-	m := &Manager{cfg: cfg, jobs: make(map[string]*job)}
+	m := &Manager{cfg: cfg, fs: cfg.FS, jobs: make(map[string]*job)}
 	m.cond = sync.NewCond(&m.mu)
 	if err := m.recover(); err != nil {
 		return nil, err
@@ -229,25 +272,34 @@ func Open(cfg Config) (*Manager, error) {
 }
 
 // recover scans the directory and rebuilds the in-memory table from
-// the job.json journals.
+// the job.json journals. A journal that exists but fails its
+// integrity check (bad JSON, checksum mismatch, wrong ID) is real
+// corruption, not a torn submit: the whole job directory is set aside
+// as <id>.corrupt for inspection — never run, never silently dropped
+// — and counted in QueueStats.Quarantined.
 func (m *Manager) recover() error {
-	entries, err := os.ReadDir(m.cfg.Dir)
+	entries, err := m.fs.ReadDir(m.cfg.Dir)
 	if err != nil {
 		return fmt.Errorf("jobs: %w", err)
 	}
 	for _, e := range entries {
-		if !e.IsDir() {
+		if !e.IsDir() || strings.HasSuffix(e.Name(), ".corrupt") {
 			continue
 		}
 		dir := filepath.Join(m.cfg.Dir, e.Name())
-		data, err := os.ReadFile(filepath.Join(dir, "job.json"))
+		data, err := m.fs.ReadFile(filepath.Join(dir, "job.json"))
 		if err != nil {
-			// A directory without a readable journal is a torn submit;
-			// skip it rather than refuse to start.
+			// A directory without a readable journal is a torn submit
+			// (the crash hit before the journal rename); nothing was
+			// acknowledged, so skip it rather than refuse to start.
 			continue
 		}
-		var rec Job
-		if err := json.Unmarshal(data, &rec); err != nil || rec.ID != e.Name() {
+		rec, derr := decodeJournal(data)
+		if derr != nil || rec.ID != e.Name() {
+			if derr == nil {
+				derr = fmt.Errorf("journal names job %q", rec.ID)
+			}
+			m.quarantine(dir, derr)
 			continue
 		}
 		j := &job{rec: rec, dir: dir}
@@ -269,18 +321,98 @@ func (m *Manager) recover() error {
 	return nil
 }
 
-// persist journals the job record atomically: temp file + rename, so
-// a crash mid-write never leaves a torn job.json.
+// quarantine sets a corrupt job directory aside as <dir>.corrupt.
+func (m *Manager) quarantine(dir string, cause error) {
+	q := dir + ".corrupt"
+	_ = m.fs.RemoveAll(q)
+	if err := m.fs.Rename(dir, q); err != nil {
+		log.Printf("jobs: %s: corrupt journal (%v); quarantine failed: %v", dir, cause, err)
+		return
+	}
+	log.Printf("jobs: %s: corrupt journal (%v); directory preserved at %s", dir, cause, q)
+	m.quarantined++
+}
+
+// journalEnvelope is the on-disk shape of job.json: the compact job
+// record plus a CRC32-IEEE of its bytes, so restart recovery can tell
+// a damaged journal from a valid one instead of trusting whatever
+// parses.
+type journalEnvelope struct {
+	CRC uint32          `json:"crc"`
+	Job json.RawMessage `json:"job"`
+}
+
+// decodeJournal verifies and decodes a job.json. Journals written
+// before the envelope (a bare record) are accepted as-is.
+func decodeJournal(data []byte) (Job, error) {
+	var env journalEnvelope
+	if err := json.Unmarshal(data, &env); err == nil && len(env.Job) > 0 {
+		if got := crc32.ChecksumIEEE(env.Job); got != env.CRC {
+			return Job{}, fmt.Errorf("journal checksum mismatch (want %08x, have %08x)", env.CRC, got)
+		}
+		var rec Job
+		if err := json.Unmarshal(env.Job, &rec); err != nil {
+			return Job{}, fmt.Errorf("journal: %w", err)
+		}
+		return rec, nil
+	}
+	var rec Job
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return Job{}, fmt.Errorf("journal: %w", err)
+	}
+	return rec, nil
+}
+
+// persist journals the job record atomically and durably: checksummed
+// envelope into a temp file, fsync, rename over job.json, directory
+// sync — so a crash at any point leaves either the previous journal
+// or the new one, both checksum-valid, never a torn or hollow file.
+// The outcome feeds the persistence health tracker.
 func (m *Manager) persist(j *job) error {
-	data, err := json.MarshalIndent(j.rec, "", "  ")
+	err := m.persistJournal(j)
+	m.reportHealth(err)
+	return err
+}
+
+// reportHealth feeds a durable-I/O outcome to the health tracker (a
+// no-op without one; permanent errors are filtered by Health itself).
+func (m *Manager) reportHealth(err error) {
+	if m.cfg.Health != nil {
+		m.cfg.Health.ReportResult(err)
+	}
+}
+
+func (m *Manager) persistJournal(j *job) error {
+	payload, err := json.Marshal(j.rec)
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	data, err := json.Marshal(journalEnvelope{CRC: crc32.ChecksumIEEE(payload), Job: payload})
 	if err != nil {
 		return fmt.Errorf("jobs: %w", err)
 	}
 	tmp := filepath.Join(j.dir, ".job.json.tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := faultfs.WriteFileSync(m.fs, tmp, data, 0o644); err != nil {
 		return fmt.Errorf("jobs: %w", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(j.dir, "job.json")); err != nil {
+	if err := m.fs.Rename(tmp, filepath.Join(j.dir, "job.json")); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if err := m.fs.SyncDir(j.dir); err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	return nil
+}
+
+// healthGate fails fast with ErrDegraded while persistence is
+// unhealthy. The Check itself drives recovery: once the probe
+// interval elapses it re-probes the journal directory and, on
+// success, flips back to healthy and admits the triggering caller.
+func (m *Manager) healthGate() error {
+	if m.cfg.Health == nil {
+		return nil
+	}
+	if err := m.cfg.Health.Check(); err != nil {
 		return fmt.Errorf("jobs: %w", err)
 	}
 	return nil
@@ -308,6 +440,9 @@ func (m *Manager) SubmitInline(validated []string, tuples []map[string]string) (
 	if err := m.backlogRoom(); err != nil {
 		return Job{}, err
 	}
+	if err := m.healthGate(); err != nil {
+		return Job{}, err
+	}
 	if err := m.validateAttrs(validated); err != nil {
 		return Job{}, err
 	}
@@ -321,7 +456,11 @@ func (m *Manager) SubmitInline(validated []string, tuples []map[string]string) (
 		}
 	}
 	return m.enqueue(validated, "input.jsonl", FormatJSONL, func(dir string) error {
-		f, err := os.Create(filepath.Join(dir, "input.jsonl"))
+		// The materialized input must be durable before the journal
+		// acknowledges the job: on restart the job is re-run from this
+		// file, so an unsynced copy could vanish with the crash that
+		// made the re-run necessary.
+		f, err := faultfs.Create(m.fs, filepath.Join(dir, "input.jsonl"))
 		if err != nil {
 			return err
 		}
@@ -331,6 +470,10 @@ func (m *Manager) SubmitInline(validated []string, tuples []map[string]string) (
 				f.Close()
 				return err
 			}
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
 		}
 		return f.Close()
 	})
@@ -342,6 +485,9 @@ func (m *Manager) SubmitInline(validated []string, tuples []map[string]string) (
 // readable until the job completes (it is re-read on restart
 // recovery).
 func (m *Manager) SubmitFile(validated []string, path, format string) (Job, error) {
+	if err := m.healthGate(); err != nil {
+		return Job{}, err
+	}
 	if err := m.validateAttrs(validated); err != nil {
 		return Job{}, err
 	}
@@ -410,14 +556,16 @@ func (m *Manager) enqueue(validated []string, input, format string, materialize 
 	}
 
 	dir := filepath.Join(m.cfg.Dir, id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := m.fs.MkdirAll(dir, 0o755); err != nil {
 		release()
+		m.reportHealth(err)
 		return Job{}, fmt.Errorf("jobs: %w", err)
 	}
 	if materialize != nil {
 		if err := materialize(dir); err != nil {
-			os.RemoveAll(dir)
+			_ = m.fs.RemoveAll(dir)
 			release()
+			m.reportHealth(err)
 			return Job{}, fmt.Errorf("jobs: %w", err)
 		}
 	}
@@ -433,7 +581,7 @@ func (m *Manager) enqueue(validated []string, input, format string, materialize 
 		dir: dir,
 	}
 	if err := m.persist(j); err != nil {
-		os.RemoveAll(dir)
+		_ = m.fs.RemoveAll(dir)
 		release()
 		return Job{}, err
 	}
@@ -563,7 +711,7 @@ func (m *Manager) Remove(id string) error {
 	if !j.rec.State.Terminal() {
 		return fmt.Errorf("jobs: job %s is %s; cancel it before removing", id, j.rec.State)
 	}
-	if err := os.RemoveAll(j.dir); err != nil {
+	if err := m.fs.RemoveAll(j.dir); err != nil {
 		return fmt.Errorf("jobs: %w", err)
 	}
 	delete(m.jobs, id)
@@ -664,11 +812,40 @@ func (m *Manager) next() *job {
 	}
 }
 
-// run executes one job attempt through the pipeline and journals the
-// outcome.
+// run executes one job through the pipeline and journals the outcome.
+// Transient storage faults — ENOSPC, EIO, a failed fsync — retry in
+// place with exponential backoff up to Config.MaxAttempts: the input
+// is fine, the disk hiccuped, and each retry restarts the attempt
+// from scratch (the artifact is truncated on open). Permanent errors
+// — bad input, pipeline failures — never retry.
 func (m *Manager) run(j *job) {
 	ctx := j.ctxForRun
 	err := m.runPipeline(ctx, j)
+	m.reportHealth(err)
+	for err != nil && faultfs.Transient(err) && ctx.Err() == nil {
+		m.mu.Lock()
+		if j.rec.Attempts >= m.cfg.MaxAttempts {
+			m.mu.Unlock()
+			break
+		}
+		j.rec.Attempts++
+		attempt := j.rec.Attempts
+		j.rec.Processed = 0
+		j.processed.Store(0)
+		// Best-effort: the attempt count is advisory; if the journal
+		// write fails too the retry itself may still succeed.
+		_ = m.persist(j)
+		m.mu.Unlock()
+		select {
+		case <-ctx.Done():
+		case <-time.After(m.cfg.RetryBackoff << (attempt - 2)):
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		err = m.runPipeline(ctx, j)
+		m.reportHealth(err)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -716,7 +893,7 @@ func (m *Manager) runPipeline(ctx context.Context, j *job) error {
 	if !filepath.IsAbs(input) {
 		input = filepath.Join(j.dir, input)
 	}
-	in, err := os.Open(input)
+	in, err := m.fs.Open(input)
 	if err != nil {
 		return err
 	}
@@ -734,7 +911,7 @@ func (m *Manager) runPipeline(ctx context.Context, j *job) error {
 		return fmt.Errorf("bad input format %q", j.rec.Format)
 	}
 
-	out, err := os.Create(filepath.Join(j.dir, "results.jsonl"))
+	out, err := faultfs.Create(m.fs, filepath.Join(j.dir, "results.jsonl"))
 	if err != nil {
 		return err
 	}

@@ -28,8 +28,10 @@ import (
 //	500 internal           server fault (I/O, panic)
 //	503 jobs_disabled      daemon started without -jobs-dir
 //	503 shutting_down      draining; queue closed
+//	503 persistence_degraded  durable storage unhealthy; retry later
 //
-// Every 429 carries a computed Retry-After (seconds).
+// Every 429 — and the persistence_degraded 503 — carries a computed
+// Retry-After (seconds).
 
 // The stable error codes.
 const (
@@ -43,6 +45,12 @@ const (
 	codeInternal        = "internal"
 	codeJobsDisabled    = "jobs_disabled"
 	codeShuttingDown    = "shutting_down"
+	// codePersistenceDegraded marks work refused because durable
+	// storage is unhealthy (failed fsync, ENOSPC): job submissions are
+	// shed rather than acknowledged into a journal that could lose
+	// them, while read-only and in-memory work (sync /fix) continues.
+	// The daemon recovers automatically once its health probe succeeds.
+	codePersistenceDegraded = "persistence_degraded"
 )
 
 // errorBody is the envelope payload.

@@ -6,10 +6,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"cerfix/internal/admission"
 	"cerfix/internal/core"
+	"cerfix/internal/faultfs"
 	"cerfix/internal/jobs"
 	"cerfix/internal/pipeline"
 )
@@ -132,8 +134,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		// A full backlog is load shedding, not failure: 429 with a
 		// Retry-After sized to the queue draining through the worker
 		// pool at the observed per-job service time. Client-side
-		// rejections are 422; a shutting-down queue is 503; anything
-		// else (journal/directory I/O) is a genuine server fault.
+		// rejections are 422; a shutting-down queue is 503. Unhealthy
+		// persistence — the degraded fast-fail or a fresh transient
+		// storage fault — is the typed 503 with a Retry-After, so
+		// clients back off instead of hammering a full disk; anything
+		// else is a genuine server fault.
 		switch {
 		case errors.Is(err, jobs.ErrBacklogFull):
 			s.shed.backlogFull.Inc()
@@ -144,6 +149,13 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, r, http.StatusUnprocessableEntity, codeInvalidInput, err)
 		case errors.Is(err, jobs.ErrClosed):
 			writeErr(w, r, http.StatusServiceUnavailable, codeShuttingDown, err)
+		case errors.Is(err, jobs.ErrDegraded), faultfs.Transient(err):
+			retry := 5 * time.Second
+			if s.persistHealth != nil {
+				retry = s.persistHealth.RetryAfter()
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
+			writeErr(w, r, http.StatusServiceUnavailable, codePersistenceDegraded, err)
 		default:
 			writeErr(w, r, http.StatusInternalServerError, codeInternal, err)
 		}

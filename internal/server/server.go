@@ -24,6 +24,7 @@ import (
 	"cerfix"
 	"cerfix/internal/admission"
 	"cerfix/internal/counter"
+	"cerfix/internal/faultfs"
 	"cerfix/internal/jobs"
 	"cerfix/internal/master"
 	"cerfix/internal/monitor"
@@ -38,6 +39,10 @@ type Server struct {
 	sessions map[int64]*monitor.Session
 	// jobs is the async batch-repair queue; nil until AttachJobs.
 	jobs *jobs.Manager
+	// persistHealth, when set (SetPersistenceHealth), is surfaced on
+	// /api/v1/status and sizes Retry-After on persistence_degraded
+	// sheds.
+	persistHealth *faultfs.Health
 
 	// Admission state (SetLimits): per-key limiter, sync-fix gate and
 	// the moving average of sync batch service time behind computed
@@ -76,6 +81,11 @@ func New(sys *cerfix.System) *Server {
 		idPrefix: newIDPrefix(),
 	}
 }
+
+// SetPersistenceHealth wires the persistence health tracker in: its
+// state shows up under /api/v1/status persistence.health, and degraded
+// sheds answer with its Retry-After estimate. Call before Handler.
+func (s *Server) SetPersistenceHealth(h *faultfs.Health) { s.persistHealth = h }
 
 // --- helpers -----------------------------------------------------------
 
@@ -176,9 +186,19 @@ type statusResponse struct {
 	// Kernels reports the simd dispatch table in effect and the chase
 	// prefilter's lifetime effectiveness.
 	Kernels kernelStatus `json:"kernels"`
-	// Persistence reports where the instance was loaded from (absent
-	// for in-memory systems): directory, backup fallback, WAL replay.
-	Persistence *cerfix.LoadInfo `json:"persistence,omitempty"`
+	// Persistence reports where the instance was loaded from and the
+	// live durability health (absent for in-memory systems with no
+	// health tracking).
+	Persistence *persistenceStatus `json:"persistence,omitempty"`
+}
+
+// persistenceStatus merges load provenance (directory, backup
+// fallback, WAL replay — absent for in-memory systems) with the live
+// persistence health (absent when the daemon tracks none). A nil
+// LoadInfo simply omits its fields.
+type persistenceStatus struct {
+	*cerfix.LoadInfo
+	Health *faultfs.HealthStatus `json:"health,omitempty"`
 }
 
 // kernelStatus reports which simd dispatch table the process selected
@@ -218,6 +238,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		st := s.jobs.Stats()
 		qs = &st
 	}
+	var ps *persistenceStatus
+	if li := s.sys.LoadInfo(); li != nil || s.persistHealth != nil {
+		ps = &persistenceStatus{LoadInfo: li}
+		if s.persistHealth != nil {
+			hs := s.persistHealth.Status()
+			ps.Health = &hs
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	mem := s.sys.MemStats()
@@ -240,7 +268,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 				RulesEvaluated: evaluated,
 			},
 		},
-		Persistence: s.sys.LoadInfo(),
+		Persistence: ps,
 	})
 }
 

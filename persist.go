@@ -22,27 +22,47 @@ package cerfix
 // its last checkpoint (table generation, next row id, row count, rules
 // text) and proves whether the window since then was pure-append: k
 // inserts move all three table counters by exactly k and leave the
-// rules untouched. If so, Save appends the new rows to wal.jsonl as
-// interned-id records — each cell a dense dictionary id, with any ids
-// not yet defined in this WAL written as a dictionary-delta record
+// rules untouched. If so, Save appends the new rows to dir/wal.jsonl
+// as interned-id records — each cell a dense dictionary id, with any
+// ids not yet defined in this WAL written as a dictionary-delta record
 // first, so the log is self-contained — and fsyncs. Updates, deletes,
 // rule edits, a different target directory, or a fresh process (no
 // cursor) fall back to the full checkpoint, which atomically replaces
 // the directory (including the WAL) via the staging/backup dance
-// below. The WAL append is crash-safe by construction: records land in
-// one buffered write before the fsync, so a torn write can only
-// truncate the tail, and Load stops replay at the first undecodable
-// line.
+// below.
+//
+// # Crash safety
+//
+// Each WAL append is one atomic batch: the record lines land in a
+// single buffered write, terminated by a commit record carrying the
+// record count and a CRC32 of the batch bytes, then fsync. Replay
+// buffers records until their commit validates, so a torn or partially
+// flushed batch is discarded whole — never half-applied. A commit
+// whose checksum fails mid-file means real corruption: replay stops
+// there, preserves the unapplied tail in wal.jsonl.corrupt for
+// inspection, and reports it in LoadInfo rather than failing the load.
+// Before appending, Save compares the file size against its cursor and
+// truncates any torn tail a previous failed append left behind, so one
+// bad save can never corrupt the next one.
+//
+// All I/O routes through an injectable filesystem (internal/faultfs),
+// which is how the crash-point enumeration suite drives every prefix
+// of the save/checkpoint traces through a simulated crash and reload.
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
+	iofs "io/fs"
 	"log"
 	"os"
 	"path/filepath"
 
+	"cerfix/internal/faultfs"
 	"cerfix/internal/schema"
+	"cerfix/internal/storage"
 	"cerfix/internal/value"
 )
 
@@ -83,24 +103,41 @@ func schemaFromJSON(j schemaJSON) (*Schema, error) {
 	return schema.New(j.Name, attrs...)
 }
 
-// renameDir is swapped by tests to inject commit-phase failures.
-var renameDir = os.Rename
-
 // walFile is the append-only log name inside an instance directory.
 const walFile = "wal.jsonl"
 
-// walRecord is one line of wal.jsonl. Two ops exist: "dict" defines
-// dictionary ids used by later rows ({"op":"dict","defs":[...]}) and
-// "ins" appends one master row as interned cell ids in schema order
-// ({"op":"ins","row":<writer id>,"cells":[...]}). The writer row id is
-// informational (replay assigns fresh ids in record order); cells are
-// resolved against the defs seen so far, which Save guarantees is
-// always sufficient.
+// walVersion is written in the header record of every new WAL; its
+// presence selects checksummed batch replay (v2) over the legacy
+// tolerant line-at-a-time replay.
+const walVersion = 2
+
+// walRecord is one line of wal.jsonl. Ops:
+//
+//	{"op":"wal","v":2}                      — header, first line of a new log
+//	{"op":"dict","defs":[...]}              — dictionary-delta for later rows
+//	{"op":"ins","row":<id>,"cells":[...]}   — one master row, interned ids
+//	{"op":"commit","n":K,"crc":C}           — seals the previous K records;
+//	                                          C is CRC32-IEEE over their bytes
+//
+// The writer row id is informational (replay assigns fresh ids in
+// record order); cells are resolved against the defs seen so far,
+// which Save guarantees is always sufficient.
 type walRecord struct {
 	Op    string         `json:"op"`
 	Defs  []walDictEntry `json:"defs,omitempty"`
 	Row   int64          `json:"row,omitempty"`
 	Cells []value.Sym    `json:"cells,omitempty"`
+	V     int            `json:"v,omitempty"`
+	N     int            `json:"n,omitempty"`
+	CRC   uint32         `json:"crc,omitempty"`
+}
+
+// walCommit is the writer-side shape of a commit record — a separate
+// struct so crc is always emitted, even when it is legitimately zero.
+type walCommit struct {
+	Op  string `json:"op"`
+	N   int    `json:"n"`
+	CRC uint32 `json:"crc"`
 }
 
 type walDictEntry struct {
@@ -123,6 +160,10 @@ type walCursor struct {
 	nextID int64
 	rows   int
 	rules  string
+	// walSize is the durable size of wal.jsonl after the last
+	// successful append — anything beyond it on disk is a torn tail
+	// from a failed save and is truncated before the next append.
+	walSize int64
 	// written holds every dictionary id already defined in the current
 	// WAL; rows appended later only emit defs for ids outside it.
 	written map[value.Sym]struct{}
@@ -134,18 +175,31 @@ type walCursor struct {
 //
 // When this process has already checkpointed dir and everything since
 // was pure-append (see the package comment), Save only appends the new
-// rows to dir/wal.jsonl with an fsync — it does not rewrite
-// master.csv. Otherwise it takes the full checkpoint path below.
+// rows to dir/wal.jsonl as one checksummed batch with an fsync — it
+// does not rewrite master.csv. Otherwise it takes the full checkpoint
+// path below.
 //
 // The checkpoint is atomic at the directory level: all files are
-// written into a staging sibling (<dir>.saving), the previous instance
-// is moved aside to <dir>.bak, and the staging directory is renamed
-// into place in one step. A crash or error at any point leaves a
-// complete instance on disk — either the old one (still at dir, or at
-// <dir>.bak during the one rename window, which Load falls back to) or
-// the new one. Mixed-version directories (new manifest with old rules)
-// cannot occur.
+// written and fsync'd in a staging sibling (<dir>.saving), the
+// previous instance is moved aside to <dir>.bak, and the staging
+// directory is renamed into place in one step. A crash or error at
+// any point leaves a complete instance on disk — either the old one
+// (still at dir, or at <dir>.bak during the one rename window, which
+// Load falls back to) or the new one. Mixed-version directories (new
+// manifest with old rules) cannot occur.
+//
+// Save's outcome feeds the persistence health tracker when one is
+// wired (SetPersistenceHealth): transient storage faults degrade,
+// success restores.
 func (s *System) Save(dir string) error {
+	err := s.save(dir)
+	if s.health != nil {
+		s.health.ReportResult(err)
+	}
+	return err
+}
+
+func (s *System) save(dir string) error {
 	dir = filepath.Clean(dir)
 	if s.walCursor != nil && s.walCursor.dir == dir {
 		if done, err := s.saveAppendWAL(dir); done || err != nil {
@@ -160,8 +214,12 @@ func (s *System) Save(dir string) error {
 // saveAppendWAL tries the incremental path. It reports done=true when
 // the save was satisfied by a WAL append (or by nothing having
 // changed); done=false means the window was not pure-append and the
-// caller must checkpoint.
+// caller must checkpoint. On an I/O error the cursor is kept: nothing
+// was acknowledged, the durable prefix is still exactly cur.walSize,
+// and the next Save truncates whatever the failed attempt left behind
+// and re-appends the same rows.
 func (s *System) saveAppendWAL(dir string) (done bool, err error) {
+	fsys := s.pfs()
 	cur := s.walCursor
 	t := s.store.Table()
 	gen, nextID, rows := t.Generation(), t.NextID(), t.Len()
@@ -177,21 +235,22 @@ func (s *System) saveAppendWAL(dir string) (done bool, err error) {
 	// Encode the new rows. Every cell is interned (the index layer has
 	// usually done so already), and ids this WAL has not defined yet
 	// are collected into dict records that precede the rows that need
-	// them.
+	// them. Fresh defs are merged into cur.written only after the
+	// batch is durable — a failed append must re-emit them.
 	dict := t.Dict()
-	var buf bytes.Buffer
+	var batch bytes.Buffer
 	var defs []walDictEntry
+	newDefs := make(map[value.Sym]struct{})
 	flushDefs := func() error {
 		for len(defs) > 0 {
 			n := min(len(defs), walDictBatch)
-			if err := walWriteLine(&buf, &walRecord{Op: "dict", Defs: defs[:n]}); err != nil {
+			if err := walWriteLine(&batch, &walRecord{Op: "dict", Defs: defs[:n]}); err != nil {
 				return err
 			}
 			defs = defs[n:]
 		}
 		return nil
 	}
-	var encodeErr error
 	var pending []*walRecord
 	// The pure-append proof above is exactly the evidence
 	// ScanSharedTail needs: the new rows are the tail of the insertion
@@ -204,8 +263,10 @@ func (s *System) saveAppendWAL(dir string) (done bool, err error) {
 		for i, v := range tu.Vals {
 			sym := dict.InternV(v)
 			if _, ok := cur.written[sym]; !ok {
-				defs = append(defs, walDictEntry{ID: sym, S: string(v)})
-				cur.written[sym] = struct{}{}
+				if _, ok := newDefs[sym]; !ok {
+					newDefs[sym] = struct{}{}
+					defs = append(defs, walDictEntry{ID: sym, S: string(v)})
+				}
 			}
 			rec.Cells[i] = sym
 		}
@@ -216,21 +277,55 @@ func (s *System) saveAppendWAL(dir string) (done bool, err error) {
 		// The counters said pure-append but the rows disagree; be safe.
 		return false, nil
 	}
-	if encodeErr = flushDefs(); encodeErr != nil {
-		return false, fmt.Errorf("cerfix: wal: %w", encodeErr)
+	nrec := 0
+	if err := flushDefs(); err != nil {
+		return false, fmt.Errorf("cerfix: wal: %w", err)
 	}
+	nrec += countLines(&batch)
 	for _, rec := range pending {
-		if err := walWriteLine(&buf, rec); err != nil {
+		if err := walWriteLine(&batch, rec); err != nil {
 			return false, fmt.Errorf("cerfix: wal: %w", err)
 		}
 	}
+	nrec += len(pending)
 
-	// One write, then fsync: a crash can only truncate the tail of the
-	// log, never interleave or reorder records.
+	// Satellite of the batch format: the commit record seals the batch
+	// with its record count and a checksum of the exact bytes above.
+	var buf bytes.Buffer
 	path := filepath.Join(dir, walFile)
-	_, statErr := os.Stat(path)
-	created := os.IsNotExist(statErr)
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	size, serr := walDiskSize(fsys, path)
+	if serr != nil {
+		return false, fmt.Errorf("cerfix: wal: %w", serr)
+	}
+	if size < cur.walSize {
+		// The log shrank behind our back — external interference; the
+		// cursor's view of the file is wrong. Take a fresh checkpoint.
+		return false, nil
+	}
+	if size > cur.walSize {
+		// Torn tail from a previous failed append: restore the durable
+		// prefix so new batches never land after garbage.
+		if err := fsys.Truncate(path, cur.walSize); err != nil {
+			return false, fmt.Errorf("cerfix: wal: truncating torn tail: %w", err)
+		}
+		log.Printf("cerfix: wal %s: truncated %d-byte torn tail from a previous failed append", path, size-cur.walSize)
+		size = cur.walSize
+	}
+	if size == 0 {
+		if err := walWriteLine(&buf, &walRecord{Op: "wal", V: walVersion}); err != nil {
+			return false, fmt.Errorf("cerfix: wal: %w", err)
+		}
+	}
+	crc := crc32.ChecksumIEEE(batch.Bytes())
+	buf.Write(batch.Bytes())
+	if err := walWriteJSON(&buf, walCommit{Op: "commit", N: nrec, CRC: crc}); err != nil {
+		return false, fmt.Errorf("cerfix: wal: %w", err)
+	}
+
+	// One write, then fsync: a crash can only tear the tail of the
+	// batch, never interleave or reorder records — and a torn batch
+	// has no valid commit, so replay discards it whole.
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
 		return false, fmt.Errorf("cerfix: wal: %w", err)
 	}
@@ -245,11 +340,36 @@ func (s *System) saveAppendWAL(dir string) (done bool, err error) {
 	if err := f.Close(); err != nil {
 		return false, fmt.Errorf("cerfix: wal: %w", err)
 	}
-	if created {
-		syncDir(dir) // make the new directory entry durable too
+	if size == 0 {
+		// Make the new directory entry durable too. A failure here is a
+		// real fault: the batch could vanish with the entry on a crash.
+		if err := fsys.SyncDir(dir); err != nil {
+			return false, fmt.Errorf("cerfix: wal: dir sync: %w", err)
+		}
 	}
 	cur.gen, cur.nextID, cur.rows = gen, nextID, rows
+	cur.walSize = size + int64(buf.Len())
+	for sym := range newDefs {
+		cur.written[sym] = struct{}{}
+	}
 	return true, nil
+}
+
+// walDiskSize returns the current size of the WAL file, 0 if absent.
+func walDiskSize(fsys faultfs.FS, path string) (int64, error) {
+	fi, err := fsys.Stat(path)
+	switch {
+	case err == nil:
+		return fi.Size(), nil
+	case errors.Is(err, iofs.ErrNotExist):
+		return 0, nil
+	default:
+		return 0, err
+	}
+}
+
+func countLines(buf *bytes.Buffer) int {
+	return bytes.Count(buf.Bytes(), []byte{'\n'})
 }
 
 func walWriteLine(buf *bytes.Buffer, rec *walRecord) error {
@@ -262,18 +382,23 @@ func walWriteLine(buf *bytes.Buffer, rec *walRecord) error {
 	return nil
 }
 
-// syncDir fsyncs a directory so freshly created entries survive a
-// crash. Best-effort: some filesystems reject directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
+func walWriteJSON(buf *bytes.Buffer, rec any) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
 	}
+	buf.Write(data)
+	buf.WriteByte('\n')
+	return nil
 }
 
-// saveCheckpoint is the full rewrite-and-swap path.
+// saveCheckpoint is the full rewrite-and-swap path. Every staged file
+// is fsync'd and the staging directory itself synced before the commit
+// renames, so the unsynced-data-loss a crash inflicts can never leave
+// a complete-looking directory with hollow files.
 func (s *System) saveCheckpoint(dir string) error {
-	if err := os.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
+	fsys := s.pfs()
+	if err := fsys.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
 		return fmt.Errorf("cerfix: %w", err)
 	}
 	// Serialize master.csv and the cursor from one frozen snapshot:
@@ -299,49 +424,79 @@ func (s *System) saveCheckpoint(dir string) error {
 	bak := dir + ".bak"
 	// Stale staging from a crashed save is dead weight; a fresh save
 	// rebuilds it from scratch.
-	if err := os.RemoveAll(tmp); err != nil {
+	if err := fsys.RemoveAll(tmp); err != nil {
 		return fmt.Errorf("cerfix: %w", err)
 	}
-	if err := os.MkdirAll(tmp, 0o755); err != nil {
+	if err := fsys.MkdirAll(tmp, 0o755); err != nil {
 		return fmt.Errorf("cerfix: %w", err)
 	}
 	fail := func(err error) error {
-		os.RemoveAll(tmp)
+		fsys.RemoveAll(tmp)
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(tmp, "manifest.json"), data, 0o644); err != nil {
+	if err := faultfs.WriteFileSync(fsys, filepath.Join(tmp, "manifest.json"), data, 0o644); err != nil {
 		return fail(fmt.Errorf("cerfix: %w", err))
 	}
-	if err := os.WriteFile(filepath.Join(tmp, "rules.txt"), []byte(s.rules.String()), 0o644); err != nil {
+	if err := faultfs.WriteFileSync(fsys, filepath.Join(tmp, "rules.txt"), []byte(s.rules.String()), 0o644); err != nil {
 		return fail(fmt.Errorf("cerfix: %w", err))
 	}
-	if err := snap.SaveCSVFile(filepath.Join(tmp, "master.csv")); err != nil {
-		return fail(err)
+	if err := writeCSVSync(fsys, filepath.Join(tmp, "master.csv"), snap); err != nil {
+		return fail(fmt.Errorf("cerfix: %w", err))
+	}
+	// The staged entries must be durable before they can be renamed
+	// into place as the instance of record.
+	if err := fsys.SyncDir(tmp); err != nil {
+		return fail(fmt.Errorf("cerfix: %w", err))
 	}
 
 	// Commit: old instance aside, staging in, backup gone.
-	if _, err := os.Stat(dir); err == nil {
-		if err := os.RemoveAll(bak); err != nil {
+	if _, err := fsys.Stat(dir); err == nil {
+		if err := fsys.RemoveAll(bak); err != nil {
 			return fail(fmt.Errorf("cerfix: %w", err))
 		}
-		if err := renameDir(dir, bak); err != nil {
+		if err := fsys.Rename(dir, bak); err != nil {
 			return fail(fmt.Errorf("cerfix: %w", err))
 		}
 	}
-	if err := renameDir(tmp, dir); err != nil {
+	if err := fsys.Rename(tmp, dir); err != nil {
 		// Put the previous instance back; if even that fails, Load's
 		// .bak fallback still finds it.
-		_ = renameDir(bak, dir)
+		_ = fsys.Rename(bak, dir)
 		return fail(fmt.Errorf("cerfix: %w", err))
 	}
-	_ = os.RemoveAll(bak)
+	_ = fsys.RemoveAll(bak)
+	// Make the commit renames durable. On failure the directory is
+	// consistent (the new instance) but its durability is unproven —
+	// report it so callers retry rather than acknowledge.
+	if err := fsys.SyncDir(filepath.Dir(dir)); err != nil {
+		return fmt.Errorf("cerfix: %w", err)
+	}
 	s.walCursor = cur
 	return nil
 }
 
+// writeCSVSync streams the snapshot as CSV through the injectable
+// filesystem and fsyncs it.
+func writeCSVSync(fsys faultfs.FS, path string, snap *storage.Table) error {
+	f, err := faultfs.Create(fsys, path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // LoadInfo reports where a Load resolved its instance from — surfaced
 // on GET /api/v1/status so operators can see when a daemon silently
-// recovered from a backup or replayed a write-ahead log.
+// recovered from a backup, replayed a write-ahead log, or quarantined
+// a corrupt log tail.
 type LoadInfo struct {
 	// Dir is the directory actually loaded (the requested one, or its
 	// .bak sibling on fallback).
@@ -354,6 +509,16 @@ type LoadInfo struct {
 	WALRecords int   `json:"wal_records"`
 	WALRows    int   `json:"wal_rows"`
 	WALBytes   int64 `json:"wal_bytes"`
+	// WALBatches counts committed (checksum-verified) batches applied.
+	WALBatches int `json:"wal_batches"`
+	// WALTornTail is true when replay discarded an uncommitted tail —
+	// the expected residue of a crash mid-append, not corruption.
+	WALTornTail bool `json:"wal_torn_tail,omitempty"`
+	// WALCorrupt is true when a committed batch failed its checksum;
+	// replay stopped there and preserved the unapplied tail at
+	// WALQuarantine for inspection.
+	WALCorrupt    bool   `json:"wal_corrupt,omitempty"`
+	WALQuarantine string `json:"wal_quarantine,omitempty"`
 }
 
 // LoadInfo returns the provenance of this system if it was built by
@@ -366,16 +531,21 @@ func (s *System) LoadInfo() *LoadInfo { return s.loadInfo }
 // is loaded — that is the instance a crash caught between Save's two
 // commit renames — and the fallback is logged, since it means the
 // newest save was lost.
-func Load(dir string) (*System, error) {
+func Load(dir string) (*System, error) { return LoadFS(faultfs.OS, dir) }
+
+// LoadFS is Load through an explicit filesystem — the entry point the
+// fault harness uses to reload through an injector. The returned
+// system keeps fsys for its own future saves.
+func LoadFS(fsys faultfs.FS, dir string) (*System, error) {
 	dir = filepath.Clean(dir)
-	sys, err := loadDir(dir)
+	sys, err := loadDir(fsys, dir)
 	if err == nil {
 		return sys, nil
 	}
-	if _, statErr := os.Stat(filepath.Join(dir, "manifest.json")); os.IsNotExist(statErr) {
-		if _, bakErr := os.Stat(filepath.Join(dir+".bak", "manifest.json")); bakErr == nil {
+	if _, statErr := fsys.Stat(filepath.Join(dir, "manifest.json")); errors.Is(statErr, iofs.ErrNotExist) {
+		if _, bakErr := fsys.Stat(filepath.Join(dir+".bak", "manifest.json")); bakErr == nil {
 			log.Printf("cerfix: instance %s is incomplete (%v); loading backup %s", dir, err, dir+".bak")
-			sys, bakErr := loadDir(dir + ".bak")
+			sys, bakErr := loadDir(fsys, dir+".bak")
 			if bakErr != nil {
 				return nil, bakErr
 			}
@@ -386,8 +556,8 @@ func Load(dir string) (*System, error) {
 	return nil, err
 }
 
-func loadDir(dir string) (*System, error) {
-	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+func loadDir(fsys faultfs.FS, dir string) (*System, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, fmt.Errorf("cerfix: %w", err)
 	}
@@ -403,7 +573,7 @@ func loadDir(dir string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	dsl, err := os.ReadFile(filepath.Join(dir, "rules.txt"))
+	dsl, err := fsys.ReadFile(filepath.Join(dir, "rules.txt"))
 	if err != nil {
 		return nil, fmt.Errorf("cerfix: %w", err)
 	}
@@ -411,7 +581,8 @@ func loadDir(dir string) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.Open(filepath.Join(dir, "master.csv"))
+	sys.fs = fsys
+	f, err := fsys.Open(filepath.Join(dir, "master.csv"))
 	if err != nil {
 		return nil, fmt.Errorf("cerfix: %w", err)
 	}
@@ -420,7 +591,7 @@ func loadDir(dir string) (*System, error) {
 		return nil, err
 	}
 	info := &LoadInfo{Dir: dir}
-	if err := sys.replayWAL(filepath.Join(dir, walFile), info); err != nil {
+	if err := sys.replayWAL(fsys, filepath.Join(dir, walFile), info); err != nil {
 		return nil, err
 	}
 	sys.loadInfo = info
@@ -428,19 +599,172 @@ func loadDir(dir string) (*System, error) {
 }
 
 // replayWAL applies wal.jsonl on top of a freshly loaded checkpoint.
-// Replay is torn-tail tolerant: the appender fsyncs whole batches, so
-// a crash can only leave a truncated final line, which replay treats
-// as end-of-log. A dangling cell id (one no dict record defined) can
-// only mean real corruption and fails the load.
-func (s *System) replayWAL(path string, info *LoadInfo) error {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
+//
+// v2 logs (header record {"op":"wal","v":2}) replay batch-at-a-time:
+// records buffer until their commit record's count and CRC32 validate,
+// then apply atomically. An uncommitted tail (crash mid-append) is
+// discarded whole and flagged WALTornTail; a committed batch that
+// fails its checksum is corruption — replay stops, the unapplied tail
+// is preserved at wal.jsonl.corrupt, and the load succeeds on the
+// verified prefix with WALCorrupt set.
+//
+// Logs without the header predate the batch format and replay with
+// the legacy tolerant rules: records apply eagerly, replay stops at
+// the first undecodable line, and a dangling cell id fails the load.
+func (s *System) replayWAL(fsys faultfs.FS, path string, info *LoadInfo) error {
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, iofs.ErrNotExist) {
 		return nil // no WAL: the checkpoint is the whole instance
 	}
 	if err != nil {
 		return fmt.Errorf("cerfix: wal: %w", err)
 	}
 	info.WALBytes = int64(len(data))
+	if walIsV2(data) {
+		return s.replayWALV2(fsys, path, data, info)
+	}
+	return s.replayWALLegacy(path, data, info)
+}
+
+// walIsV2 reports whether the log opens with the v2 header record.
+func walIsV2(data []byte) bool {
+	line := data
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line = data[:i]
+	}
+	var rec walRecord
+	return json.Unmarshal(bytes.TrimSpace(line), &rec) == nil && rec.Op == "wal"
+}
+
+func (s *System) replayWALV2(fsys faultfs.FS, path string, data []byte, info *LoadInfo) error {
+	defs := make(map[value.Sym]value.V)
+	arity := s.store.Schema().Len()
+	vals := make(value.List, arity)
+
+	var pendingDefs []walDictEntry
+	var pendingRows []*walRecord
+	var crc uint32
+	count := 0
+	batchStart := -1 // byte offset of the current uncommitted batch
+
+	corrupt := func(off int, why string) error {
+		tail := data[off:]
+		q := path + ".corrupt"
+		if werr := fsys.WriteFile(q, tail, 0o644); werr != nil {
+			log.Printf("cerfix: wal %s: %s after %d applied records; quarantine write failed: %v", path, why, info.WALRecords, werr)
+			q = ""
+		} else {
+			log.Printf("cerfix: wal %s: %s after %d applied records; unapplied tail (%d bytes) preserved at %s", path, why, info.WALRecords, len(tail), q)
+		}
+		info.WALCorrupt = true
+		info.WALQuarantine = q
+		return nil
+	}
+
+	off := 0
+	header := false
+	for off < len(data) {
+		lineStart := off
+		var line []byte
+		if i := bytes.IndexByte(data[off:], '\n'); i >= 0 {
+			line = data[off : off+i]
+			off += i + 1
+		} else {
+			line = data[off:]
+			off = len(data)
+		}
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec walRecord
+		if json.Unmarshal(line, &rec) != nil {
+			if len(bytes.TrimSpace(data[off:])) == 0 {
+				// Undecodable final line: the torn tail of a crashed
+				// append. The uncommitted batch it belongs to is
+				// discarded whole.
+				info.WALTornTail = true
+				log.Printf("cerfix: wal %s: discarding uncommitted torn tail after %d records", path, info.WALRecords)
+				return nil
+			}
+			at := batchStart
+			if at < 0 {
+				at = lineStart
+			}
+			return corrupt(at, "undecodable record with data after it")
+		}
+		switch rec.Op {
+		case "wal":
+			if header || lineStart != 0 {
+				return corrupt(lineStart, "stray header record")
+			}
+			header = true
+		case "dict", "ins":
+			if batchStart < 0 {
+				batchStart = lineStart
+			}
+			end := off
+			crc = crc32.Update(crc, crc32.IEEETable, data[lineStart:end])
+			count++
+			if rec.Op == "dict" {
+				pendingDefs = append(pendingDefs, rec.Defs...)
+			} else {
+				pendingRows = append(pendingRows, &rec)
+			}
+		case "commit":
+			if rec.N != count || rec.CRC != crc {
+				at := batchStart
+				if at < 0 {
+					at = lineStart
+				}
+				return corrupt(at, fmt.Sprintf("batch checksum mismatch (want n=%d crc=%08x, have n=%d crc=%08x)", rec.N, rec.CRC, count, crc))
+			}
+			for _, d := range pendingDefs {
+				defs[d.ID] = value.V(d.S)
+			}
+			for _, row := range pendingRows {
+				if len(row.Cells) != arity {
+					return fmt.Errorf("cerfix: wal %s: row %d has %d cells, schema wants %d",
+						path, row.Row, len(row.Cells), arity)
+				}
+				for i, sym := range row.Cells {
+					v, ok := defs[sym]
+					if !ok {
+						return fmt.Errorf("cerfix: wal %s: row %d references undefined dictionary id %d",
+							path, row.Row, sym)
+					}
+					vals[i] = v
+				}
+				if _, err := s.store.InsertValues(vals...); err != nil {
+					return fmt.Errorf("cerfix: wal %s: row %d: %w", path, row.Row, err)
+				}
+				info.WALRows++
+			}
+			info.WALRecords += count
+			info.WALBatches++
+			pendingDefs, pendingRows = nil, nil
+			crc, count, batchStart = 0, 0, -1
+		default:
+			at := batchStart
+			if at < 0 {
+				at = lineStart
+			}
+			return corrupt(at, fmt.Sprintf("unknown op %q", rec.Op))
+		}
+	}
+	if count > 0 {
+		// Records without a commit: the append crashed before (or
+		// during) its seal. Acknowledged data always has a commit, so
+		// this is a torn tail, not loss.
+		info.WALTornTail = true
+		log.Printf("cerfix: wal %s: discarding uncommitted batch of %d record(s) at tail", path, count)
+	}
+	return nil
+}
+
+// replayWALLegacy is the pre-checksum replay, kept for logs written
+// before the batch format: apply eagerly, stop at the first
+// undecodable line, fail on a dangling dictionary id.
+func (s *System) replayWALLegacy(path string, data []byte, info *LoadInfo) error {
 	defs := make(map[value.Sym]value.V)
 	arity := s.store.Schema().Len()
 	vals := make(value.List, arity)
@@ -458,6 +782,7 @@ func (s *System) replayWAL(path string, info *LoadInfo) error {
 		if json.Unmarshal(line, &rec) != nil {
 			// Torn tail from a crashed append; everything before it
 			// was fsync'd and applied.
+			info.WALTornTail = true
 			log.Printf("cerfix: wal %s: ignoring torn tail after %d records", path, info.WALRecords)
 			return nil
 		}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cerfix/internal/dataset"
+	"cerfix/internal/faultfs"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -146,13 +147,14 @@ func TestSaveFailureLeavesPreviousInstanceLoadable(t *testing.T) {
 	sys.walCursor = nil
 
 	// Case 1: the staging→dir rename fails; Save restores the backup.
-	renameDir = func(oldpath, newpath string) error {
-		if oldpath == dir+".saving" {
+	inj := faultfs.NewInjector(faultfs.OS)
+	inj.SetFault(func(op faultfs.Op, path string) error {
+		if op == faultfs.OpRename && path == dir+".saving" {
 			return fmt.Errorf("injected rename failure")
 		}
-		return os.Rename(oldpath, newpath)
-	}
-	t.Cleanup(func() { renameDir = os.Rename })
+		return nil
+	})
+	sys.fs = inj
 	if err := sys.Save(dir); err == nil {
 		t.Fatal("save succeeded despite injected commit failure")
 	}
@@ -166,12 +168,14 @@ func TestSaveFailureLeavesPreviousInstanceLoadable(t *testing.T) {
 
 	// Case 2: the restore rename fails too (the crash-between-renames
 	// window); Load must fall back to the .bak sibling.
-	renameDir = func(oldpath, newpath string) error {
-		if oldpath == dir+".saving" || oldpath == dir+".bak" {
+	inj = faultfs.NewInjector(faultfs.OS)
+	inj.SetFault(func(op faultfs.Op, path string) error {
+		if op == faultfs.OpRename && (path == dir+".saving" || path == dir+".bak") {
 			return fmt.Errorf("injected rename failure")
 		}
-		return os.Rename(oldpath, newpath)
-	}
+		return nil
+	})
+	sys.fs = inj
 	if err := sys.Save(dir); err == nil {
 		t.Fatal("save succeeded despite injected commit failure")
 	}
@@ -191,7 +195,7 @@ func TestSaveFailureLeavesPreviousInstanceLoadable(t *testing.T) {
 
 	// Heal: with renames working again the next save lands the new
 	// state atomically and clears staging and backup.
-	renameDir = os.Rename
+	sys.fs = nil
 	if err := sys.Save(dir); err != nil {
 		t.Fatal(err)
 	}

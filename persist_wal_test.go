@@ -146,6 +146,9 @@ func TestWALTornTailTolerated(t *testing.T) {
 	if loaded.Master().Len() != baseRows+1 {
 		t.Fatalf("torn-tail replay got %d rows, want %d", loaded.Master().Len(), baseRows+1)
 	}
+	if info := loaded.LoadInfo(); !info.WALTornTail || info.WALCorrupt {
+		t.Fatalf("torn tail misreported: %+v", info)
+	}
 
 	// Garbage appended after valid records (e.g. a partially flushed
 	// next batch) is ignored the same way.
@@ -160,16 +163,91 @@ func TestWALTornTailTolerated(t *testing.T) {
 	if loaded.Master().Len() != baseRows+2 {
 		t.Fatalf("garbage-tail replay got %d rows, want %d", loaded.Master().Len(), baseRows+2)
 	}
+	if info := loaded.LoadInfo(); !info.WALTornTail || info.WALCorrupt {
+		t.Fatalf("garbage tail misreported: %+v", info)
+	}
 
-	// Real corruption — a row referencing a dictionary id no record
-	// defined, followed by a newline so it is not a torn tail — is not
-	// silently absorbed into wrong data: the load fails.
+	// A decodable but uncommitted record at the tail (e.g. a batch
+	// whose commit never landed) is discarded whole — acknowledged
+	// data always carries a commit, so nothing acknowledged is lost.
 	bad := append(append([]byte{}, intact...), []byte("{\"op\":\"ins\",\"row\":99,\"cells\":[9999999,0,0,0,0,0,0,0,0,0]}\n")...)
 	if err := os.WriteFile(walPath, bad, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(dir); err == nil {
-		t.Fatal("load accepted a row with an undefined dictionary id")
+	loaded, err = Load(dir)
+	if err != nil {
+		t.Fatalf("uncommitted tail record broke the load: %v", err)
+	}
+	if loaded.Master().Len() != baseRows+2 {
+		t.Fatalf("uncommitted-tail replay got %d rows, want %d", loaded.Master().Len(), baseRows+2)
+	}
+	if info := loaded.LoadInfo(); !info.WALTornTail {
+		t.Fatalf("uncommitted tail misreported: %+v", info)
+	}
+}
+
+// Real corruption — a committed batch whose bytes no longer match its
+// commit checksum — must not be silently absorbed: replay stops at the
+// first bad checksum (later batches stay unapplied even if they look
+// valid), the unapplied tail is preserved for inspection, the load
+// succeeds on the verified prefix, and the provenance reports it.
+func TestWALCorruptBatchQuarantined(t *testing.T) {
+	sys := demoSystem(t)
+	dir := filepath.Join(t.TempDir(), "instance")
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	baseRows := sys.Master().Len()
+	if err := sys.AddMasterRow("Walter", "White", "505", "1", "2", "3", "4", "NM 87104", "07/09/58", "M"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddMasterRow("Jesse", "Pinkman", "505", "1", "2", "3", "4", "NM 87104", "24/09/84", "M"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, walFile)
+	intact := readFileT(t, walPath)
+	// Flip a byte inside the first batch: bump the informational row id
+	// of the first ins record. The line stays valid JSON, so only the
+	// commit checksum can catch the damage.
+	i := bytes.Index(intact, []byte(`"row":`))
+	if i < 0 {
+		t.Fatalf("no ins record in WAL:\n%s", intact)
+	}
+	bad := append([]byte{}, intact...)
+	digit := &bad[i+len(`"row":`)]
+	if *digit == '9' {
+		*digit = '0'
+	} else {
+		*digit++
+	}
+	if err := os.WriteFile(walPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatalf("corrupt batch failed the load instead of quarantining: %v", err)
+	}
+	// Both batches are unapplied: the first is corrupt, the second is
+	// beyond the first bad checksum.
+	if loaded.Master().Len() != baseRows {
+		t.Fatalf("corrupt replay got %d rows, want %d", loaded.Master().Len(), baseRows)
+	}
+	info := loaded.LoadInfo()
+	if !info.WALCorrupt || info.WALQuarantine == "" || info.WALRows != 0 {
+		t.Fatalf("corruption not reported: %+v", info)
+	}
+	// The unapplied tail is preserved byte-for-byte for inspection.
+	q := readFileT(t, info.WALQuarantine)
+	if !bytes.Contains(q, []byte(`"op":"commit"`)) || !bytes.HasSuffix(bad, q) {
+		t.Fatalf("quarantined tail is not the unapplied suffix (%d bytes)", len(q))
 	}
 }
 
