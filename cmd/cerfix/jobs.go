@@ -17,12 +17,15 @@ package main
 import (
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -94,9 +97,21 @@ func (c *jobsClient) do(method, path string, body, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// apiError turns the daemon's typed error envelope into a readable
-// error, surfacing the machine code and — on 429 sheds — the computed
-// Retry-After so scripts know when a retry is worth it.
+// apiErr is a decoded daemon error: the HTTP status, machine code and
+// Retry-After hint for programmatic handling (the -wait loop backs off
+// on sheds instead of dying), and the formatted message for display.
+type apiErr struct {
+	status     int
+	code       string
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *apiErr) Error() string { return e.msg }
+
+// apiError turns the daemon's typed error envelope into an *apiErr,
+// surfacing the machine code and — on shed responses — the computed
+// Retry-After so callers know when a retry is worth it.
 func apiError(resp *http.Response, what string) error {
 	var env struct {
 		Error struct {
@@ -106,14 +121,18 @@ func apiError(resp *http.Response, what string) error {
 		} `json:"error"`
 	}
 	if json.NewDecoder(resp.Body).Decode(&env) != nil || env.Error.Code == "" {
-		return fmt.Errorf("%s: %s", what, resp.Status)
+		return &apiErr{status: resp.StatusCode, msg: fmt.Sprintf("%s: %s", what, resp.Status)}
 	}
-	msg := fmt.Sprintf("%s: %s (%s, request %s)",
+	e := &apiErr{status: resp.StatusCode, code: env.Error.Code}
+	e.msg = fmt.Sprintf("%s: %s (%s, request %s)",
 		resp.Status, env.Error.Message, env.Error.Code, env.Error.RequestID)
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		msg += fmt.Sprintf("; retry after %ss", ra)
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			e.retryAfter = time.Duration(secs) * time.Second
+		}
+		e.msg += fmt.Sprintf("; retry after %ss", ra)
 	}
-	return fmt.Errorf("%s", msg)
+	return e
 }
 
 // jobView mirrors the daemon's job JSON for display.
@@ -255,17 +274,45 @@ func cmdJobsSubmit(args []string) error {
 	if !*wait {
 		return nil
 	}
-	for !terminalState(j.State) {
-		time.Sleep(200 * time.Millisecond)
-		if err := c.do("GET", "/api/v1/jobs/"+j.ID, nil, &j); err != nil {
-			return err
-		}
+	if err := waitForJob(c, j.ID, &j, time.Sleep); err != nil {
+		return err
 	}
 	printJob(j)
 	if j.State != "done" {
 		return fmt.Errorf("job %s ended %s", j.ID, j.State)
 	}
 	return nil
+}
+
+// waitForJob polls one job until it is terminal, updating j in place.
+// Sleeps go through sleep (time.Sleep in production; recorded by
+// tests). A shed poll — 429 or 503 — backs off for the daemon's
+// Retry-After hint instead of failing the wait, so -wait survives
+// transient rate limiting, backlog pressure and memory sheds. Every
+// sleep is jittered ±25% so a fleet of waiting clients does not
+// phase-lock its polls against the daemon.
+func waitForJob(c *jobsClient, id string, j *jobView, sleep func(time.Duration)) error {
+	const base = 200 * time.Millisecond
+	for !terminalState(j.State) {
+		sleep(jitter(base))
+		if err := c.do("GET", "/api/v1/jobs/"+id, nil, j); err != nil {
+			var ae *apiErr
+			if errors.As(err, &ae) &&
+				(ae.status == http.StatusTooManyRequests || ae.status == http.StatusServiceUnavailable) {
+				if ae.retryAfter > 0 {
+					sleep(jitter(ae.retryAfter))
+				}
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// jitter spreads d uniformly over [0.75d, 1.25d].
+func jitter(d time.Duration) time.Duration {
+	return d*3/4 + time.Duration(rand.Int64N(int64(d)/2+1))
 }
 
 func terminalState(s string) bool {

@@ -2,11 +2,13 @@ package main
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"cerfix"
 	"cerfix/internal/dataset"
@@ -127,5 +129,78 @@ func TestLoadTuplesFormats(t *testing.T) {
 	}
 	if got := guessFormat("x.csv"); got != "csv" {
 		t.Fatalf("guessFormat(.csv) = %s", got)
+	}
+}
+
+// waitForJob honors Retry-After on shed polls — a 429 or 503 backs
+// off for the hinted duration instead of failing the wait — and
+// jitters every sleep ±25% around its base.
+func TestWaitForJobHonorsRetryAfter(t *testing.T) {
+	type scripted struct {
+		status int
+		retry  string // Retry-After header, "" for none
+		body   string
+	}
+	script := []scripted{
+		{429, "2", `{"error":{"code":"rate_limited","message":"slow down","request_id":"r1"}}`},
+		{503, "1", `{"error":{"code":"memory_degraded","message":"heap high","request_id":"r2"}}`},
+		{200, "", `{"id":"j000001","state":"running"}`},
+		{200, "", `{"id":"j000001","state":"done"}`},
+	}
+	var polls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/jobs/j000001" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		step := script[polls]
+		polls++
+		if step.retry != "" {
+			w.Header().Set("Retry-After", step.retry)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(step.status)
+		_, _ = w.Write([]byte(step.body))
+	}))
+	defer ts.Close()
+
+	var sleeps []time.Duration
+	j := jobView{ID: "j000001", State: "queued"}
+	err := waitForJob(newJobsClient(ts.URL), "j000001", &j, func(d time.Duration) {
+		sleeps = append(sleeps, d)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != "done" || polls != len(script) {
+		t.Fatalf("state=%s polls=%d", j.State, polls)
+	}
+	// Sleep sequence: base, retry(2s), base, retry(1s), base, base —
+	// each jittered within [0.75d, 1.25d].
+	wantBase := []time.Duration{200 * time.Millisecond, 2 * time.Second, 200 * time.Millisecond,
+		1 * time.Second, 200 * time.Millisecond, 200 * time.Millisecond}
+	if len(sleeps) != len(wantBase) {
+		t.Fatalf("sleeps = %v, want %d entries", sleeps, len(wantBase))
+	}
+	for i, d := range sleeps {
+		lo, hi := wantBase[i]*3/4, wantBase[i]*5/4
+		if d < lo || d > hi {
+			t.Fatalf("sleep %d = %s, want within [%s, %s]", i, d, lo, hi)
+		}
+	}
+}
+
+// A non-shed error (a 404 for an unknown job) still fails the wait
+// immediately — back-off is only for transient sheds.
+func TestWaitForJobFailsOnHardError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(404)
+		_, _ = w.Write([]byte(`{"error":{"code":"not_found","message":"no such job","request_id":"r1"}}`))
+	}))
+	defer ts.Close()
+	j := jobView{ID: "jX", State: "queued"}
+	err := waitForJob(newJobsClient(ts.URL), "jX", &j, func(time.Duration) {})
+	if err == nil || !strings.Contains(err.Error(), "not_found") {
+		t.Fatalf("err = %v, want not_found failure", err)
 	}
 }

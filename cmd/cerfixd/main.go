@@ -40,6 +40,17 @@
 // computed Retry-After instead of queueing. -access-log emits one
 // structured line per request.
 //
+// Runtime guardrails (see internal/guard): -request-timeout bounds
+// every non-streaming request (504 deadline_exceeded on expiry);
+// -max-body caps request bodies (413 body_too_large); -job-timeout
+// gives each job run a wall-clock budget (terminal failure on expiry);
+// -stall-timeout arms the stuck-job watchdog (a run making no tuple
+// progress is cancelled and re-queued with bounded attempts); and
+// -mem-soft/-mem-hard are heap watermarks past which job submissions
+// shed with 429 memory_pressure and 503 memory_degraded respectively,
+// with hysteresis. Runner panics never kill the daemon: they fail the
+// job with the goroutine stack journaled to its record.
+//
 // Endpoints are mounted under /api/v1 (canonical) and /api
 // (byte-identical alias): see docs/API.md and internal/server (GET
 // /api/v1/status, /rules, /regions, /master, /sessions, /audit/...,
@@ -60,8 +71,10 @@ import (
 	"time"
 
 	"cerfix"
+	"cerfix/internal/admission"
 	"cerfix/internal/dataset"
 	"cerfix/internal/faultfs"
+	"cerfix/internal/guard"
 	"cerfix/internal/jobs"
 	"cerfix/internal/server"
 	"cerfix/internal/simd"
@@ -86,6 +99,12 @@ func main() {
 		maxSyncFix  = flag.Int("max-sync-fix", 0, "max concurrent synchronous /fix runs; excess sheds 429 (0 = unlimited)")
 		maxQueued   = flag.Int("max-queued-jobs", 0, "max queued jobs in the persistent backlog; excess sheds 429 (0 = unbounded)")
 		accessLog   = flag.Bool("access-log", false, "log one structured line per request (status, duration, shed reason)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline on non-streaming endpoints; expiry answers 504 deadline_exceeded (0 = off)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "wall-clock deadline per job run; expiry fails the job terminally (0 = off)")
+		stallTO     = flag.Duration("stall-timeout", 0, "stuck-job watchdog: a run making no tuple progress for this long is cancelled and re-queued within -max-attempts (0 = off)")
+		maxBody     = flag.String("max-body", "64MiB", "max request body size (e.g. 64MiB, 1GiB); excess answers 413 body_too_large (empty or 0 = unlimited)")
+		memSoft     = flag.String("mem-soft", "", "heap soft watermark (e.g. 1GiB): past it, job submissions shed with 429 memory_pressure (empty = off)")
+		memHard     = flag.String("mem-hard", "", "heap hard watermark: past it, submissions answer 503 memory_degraded and /status reports the state (empty = off)")
 		packEvery   = flag.Duration("pack-interval", time.Minute, "how often to pack mutation-quiet master shards into the columnar frozen layout (0 = never)")
 		packShards  = flag.Int("pack-shards", 8, "max master shards packed per -pack-interval tick (bounds per-tick work; <= 0 packs all eligible)")
 	)
@@ -95,14 +114,56 @@ func main() {
 	if err != nil {
 		log.Fatal("cerfixd: ", err)
 	}
+	maxBodyBytes, err := guard.ParseBytes(*maxBody)
+	if err != nil {
+		log.Fatal("cerfixd: -max-body: ", err)
+	}
 	srv := server.New(sys)
-	srv.SetLimits(server.Limits{Rate: *rate, Burst: *burst, MaxSyncFix: *maxSyncFix})
+	srv.SetLimits(server.Limits{
+		Rate: *rate, Burst: *burst, MaxSyncFix: *maxSyncFix,
+		RequestTimeout: *reqTimeout, MaxBody: int64(maxBodyBytes),
+	})
 	if *accessLog {
 		srv.SetAccessLog(log.New(os.Stderr, "", log.LstdFlags))
 	}
 	if *rate > 0 || *maxSyncFix > 0 || *maxQueued > 0 {
 		log.Printf("cerfixd: admission limits: rate=%g/s burst=%d max-sync-fix=%d max-queued-jobs=%d",
 			*rate, *burst, *maxSyncFix, *maxQueued)
+	}
+	if *reqTimeout > 0 || *jobTimeout > 0 || *stallTO > 0 {
+		log.Printf("cerfixd: guardrails: request-timeout=%s job-timeout=%s stall-timeout=%s max-body=%d",
+			*reqTimeout, *jobTimeout, *stallTO, maxBodyBytes)
+	}
+	// Heap-watermark shedding: the monitor samples the live heap and
+	// drives soft (429) and hard (503 memory_degraded) shedding of job
+	// submissions, with hysteresis so the state cannot flap at sample
+	// rate. Transitions are logged; /api/v1/status shows the state
+	// under guardrails.memory.
+	softBytes, err := guard.ParseBytes(*memSoft)
+	if err != nil {
+		log.Fatal("cerfixd: -mem-soft: ", err)
+	}
+	hardBytes, err := guard.ParseBytes(*memHard)
+	if err != nil {
+		log.Fatal("cerfixd: -mem-hard: ", err)
+	}
+	if softBytes > 0 || hardBytes > 0 {
+		mon := guard.NewMemMonitor(guard.MemConfig{Soft: softBytes, Hard: hardBytes})
+		mon.SetOnChange(func(old, new admission.Pressure, heapBytes uint64) {
+			log.Printf("cerfixd: memory pressure %s -> %s (heap %d bytes)", old, new, heapBytes)
+		})
+		mon.Start()
+		defer mon.Close()
+		srv.SetMemMonitor(mon)
+		log.Printf("cerfixd: memory watermarks: soft=%d hard=%d bytes", softBytes, hardBytes)
+	}
+	// CERFIX_CHAOS=1 arms the chaos seam — reserved tuple values panic
+	// or stall workers — so a CI harness can prove panic isolation and
+	// watchdog recovery against a real daemon. Never set in production.
+	if os.Getenv("CERFIX_CHAOS") == "1" {
+		guard.SetChaos(true)
+		guard.ArmStalls(-1)
+		log.Printf("cerfixd: CHAOS MODE ARMED (CERFIX_CHAOS=1): reserved tuple values inject panics and stalls")
 	}
 	// The jobs manager re-queues interrupted work at Open, so a daemon
 	// restart resumes queued and running batches from the journal.
@@ -130,6 +191,8 @@ func main() {
 			Workers:      *jobsWorkers,
 			MaxQueued:    *maxQueued,
 			Health:       health,
+			JobTimeout:   *jobTimeout,
+			StallTimeout: *stallTO,
 		})
 		if err != nil {
 			log.Fatal("cerfixd: ", err)

@@ -1,0 +1,83 @@
+package admission
+
+// Watermark hysteresis: the two-level state machine behind
+// memory-pressure shedding. It is deliberately a pure function over
+// (current state, observed value) so the policy is trivially testable;
+// the sampling loop and the shedding decisions live with their owners
+// (internal/guard and internal/server).
+
+// Pressure is the load level a watermarked signal is at.
+type Pressure int
+
+const (
+	// PressureOK: below every watermark — admit everything.
+	PressureOK Pressure = iota
+	// PressureSoft: past the soft watermark — shed deferrable work
+	// (job submits) with 429 + Retry-After.
+	PressureSoft
+	// PressureHard: past the hard watermark — degraded; shed
+	// everything deferrable with 503 and say so on /status.
+	PressureHard
+)
+
+func (p Pressure) String() string {
+	switch p {
+	case PressureSoft:
+		return "soft"
+	case PressureHard:
+		return "hard"
+	default:
+		return "ok"
+	}
+}
+
+// Watermarks is a two-level threshold with hysteresis. A state is
+// entered when the value reaches its watermark but left only when the
+// value falls below RecoverFrac of it, so a signal oscillating around
+// a watermark cannot flap the state (and the log) at sample rate.
+type Watermarks struct {
+	// Soft and Hard are the thresholds, in the signal's units; 0
+	// disables that level.
+	Soft, Hard uint64
+	// RecoverFrac is the fraction of a watermark the value must fall
+	// below to leave its state (0 means the default 0.9).
+	RecoverFrac float64
+}
+
+func (wm Watermarks) recoverBelow(mark uint64) uint64 {
+	frac := wm.RecoverFrac
+	if frac <= 0 || frac > 1 {
+		frac = 0.9
+	}
+	return uint64(float64(mark) * frac)
+}
+
+// Next returns the state after observing v from state cur.
+func (wm Watermarks) Next(cur Pressure, v uint64) Pressure {
+	switch cur {
+	case PressureHard:
+		if v >= wm.recoverBelow(wm.Hard) {
+			return PressureHard
+		}
+		if wm.Soft > 0 && v >= wm.Soft {
+			return PressureSoft
+		}
+		return PressureOK
+	case PressureSoft:
+		if wm.Hard > 0 && v >= wm.Hard {
+			return PressureHard
+		}
+		if wm.Soft > 0 && v >= wm.recoverBelow(wm.Soft) {
+			return PressureSoft
+		}
+		return PressureOK
+	default:
+		if wm.Hard > 0 && v >= wm.Hard {
+			return PressureHard
+		}
+		if wm.Soft > 0 && v >= wm.Soft {
+			return PressureSoft
+		}
+		return PressureOK
+	}
+}

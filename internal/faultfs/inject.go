@@ -2,6 +2,7 @@ package faultfs
 
 import (
 	"errors"
+	"fmt"
 	iofs "io/fs"
 	"os"
 	"path/filepath"
@@ -69,12 +70,13 @@ type Injector struct {
 }
 
 type rule struct {
-	op     Op
-	suffix string
-	n      int // fire on the n-th match (1-based)
-	err    error
-	short  int // for OpWrite: bytes actually written before err
-	seen   int
+	op       Op
+	suffix   string
+	n        int // fire on the n-th match (1-based)
+	err      error
+	short    int  // for OpWrite: bytes actually written before err
+	panicNow bool // panic instead of returning an error
+	seen     int
 }
 
 // fileState tracks how much of a file a crash would preserve: bytes
@@ -106,6 +108,18 @@ func (in *Injector) ShortWriteNth(suffix string, n, keep int, err error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.rules = append(in.rules, &rule{op: OpWrite, suffix: suffix, n: n, err: err, short: keep})
+}
+
+// PanicNth arms an injected panic: the n-th matching effect op
+// (1-based) panics mid-operation instead of returning an error — the
+// filesystem twin of the guard chaos seam, used to prove runner panic
+// isolation against faults that bypass error returns entirely. The
+// injector's lock is released by defer, so the wrapped FS stays
+// usable after the panic is recovered.
+func (in *Injector) PanicNth(op Op, suffix string, n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &rule{op: op, suffix: suffix, n: n, panicNow: true})
 }
 
 // SetFault installs a programmable fault hook consulted for every
@@ -169,6 +183,9 @@ func (in *Injector) effect(op Op, path string) (shortN int, err error) {
 		}
 		r.seen++
 		if r.seen == r.n {
+			if r.panicNow {
+				panic(fmt.Sprintf("faultfs: injected panic at %s %s", op, path))
+			}
 			if r.short > 0 {
 				return r.short, r.err
 			}

@@ -1,0 +1,152 @@
+package guard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog detects wedged runs. Each watched run exposes a progress
+// counter (the jobs subsystem's atomic per-tuple count); a background
+// sweeper compares counters between ticks and, when one has not
+// advanced for the stall timeout, cancels that run with a cause that
+// wraps ErrStalled. Deadlines catch runs that are too slow overall;
+// the watchdog catches runs that stopped — a hung rule, a blocked
+// sink — long before any generous wall-clock deadline would.
+type Watchdog struct {
+	stall time.Duration
+	tick  time.Duration
+
+	mu     sync.Mutex
+	runs   map[uint64]*watched
+	nextID uint64
+
+	stalls atomic.Int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// watched is one registered run.
+type watched struct {
+	label    string
+	progress func() int64
+	cancel   func(error)
+	last     int64
+	since    time.Time
+	fired    bool
+}
+
+// NewWatchdog builds a watchdog with the given stall timeout. The
+// sweep interval is a quarter of the timeout (clamped to [1ms, 1s]),
+// so a stall is detected within at most 1.25× the timeout.
+func NewWatchdog(stall time.Duration) *Watchdog {
+	tick := stall / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	return &Watchdog{
+		stall: stall,
+		tick:  tick,
+		runs:  make(map[uint64]*watched),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Stall returns the configured stall timeout.
+func (w *Watchdog) Stall() time.Duration { return w.stall }
+
+// Start launches the background sweeper. Safe to call once; Close
+// stops it.
+func (w *Watchdog) Start() {
+	w.startOnce.Do(func() {
+		go func() {
+			defer close(w.done)
+			t := time.NewTicker(w.tick)
+			defer t.Stop()
+			for {
+				select {
+				case now := <-t.C:
+					w.Sweep(now)
+				case <-w.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the sweeper and waits for it to exit. Registered runs
+// are left alone — their contexts belong to their owners.
+func (w *Watchdog) Close() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	w.startOnce.Do(func() { close(w.done) }) // never started: nothing to wait for
+	<-w.done
+}
+
+// Watch registers a run: label for the stall message, progress for
+// the heartbeat (must be cheap and lock-free — an atomic load), and
+// cancel to fire on stall (called exactly once, with an error wrapping
+// ErrStalled). The returned unwatch deregisters the run; call it when
+// the run ends, however it ends.
+func (w *Watchdog) Watch(label string, progress func() int64, cancel func(error)) (unwatch func()) {
+	w.mu.Lock()
+	id := w.nextID
+	w.nextID++
+	w.runs[id] = &watched{
+		label:    label,
+		progress: progress,
+		cancel:   cancel,
+		last:     progress(),
+		since:    time.Now(),
+	}
+	w.mu.Unlock()
+	return func() {
+		w.mu.Lock()
+		delete(w.runs, id)
+		w.mu.Unlock()
+	}
+}
+
+// Sweep runs one detection pass at the given time. The background
+// sweeper calls it every tick; tests call it directly for determinism.
+func (w *Watchdog) Sweep(now time.Time) {
+	type firing struct {
+		cancel func(error)
+		err    error
+	}
+	var fires []firing
+	w.mu.Lock()
+	for _, r := range w.runs {
+		p := r.progress()
+		if p != r.last {
+			r.last = p
+			r.since = now
+			continue
+		}
+		if !r.fired && now.Sub(r.since) >= w.stall {
+			r.fired = true
+			fires = append(fires, firing{
+				cancel: r.cancel,
+				err: fmt.Errorf("%w: %s made no progress past tuple %d for %s",
+					ErrStalled, r.label, p, w.stall),
+			})
+		}
+	}
+	w.mu.Unlock()
+	// Fire outside the lock: cancel funcs may do arbitrary work.
+	for _, f := range fires {
+		w.stalls.Add(1)
+		f.cancel(f.err)
+	}
+}
+
+// Stalls returns the number of stall cancellations fired since start.
+func (w *Watchdog) Stalls() int64 { return w.stalls.Load() }

@@ -1,0 +1,253 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cerfix/internal/faultfs"
+	"cerfix/internal/guard"
+)
+
+// The runtime-guardrail suite: chaos-injected stalls and panics (the
+// guard seam) through the whole jobs stack, deterministic under -race.
+
+// A worker stalled at tuple K is cancelled by the watchdog within the
+// stall timeout and the job is re-queued; the second attempt — the
+// stall budget spent — runs clean and produces the byte-identical
+// artifact. Swept over several K so the stall position (first tuple,
+// mid-chunk, chunk boundary) doesn't matter.
+func TestStallWatchdogRequeuesByteIdentical(t *testing.T) {
+	guard.SetChaos(true)
+	defer guard.SetChaos(false)
+
+	for _, k := range []int{0, 5, 17} {
+		t.Run(fmt.Sprintf("stall_at_%d", k), func(t *testing.T) {
+			eng, dirty, validated := testWorkload(t, 30, 24)
+			dirty[k].Vals[0] = guard.ChaosStallValue
+			want := expectedArtifact(t, eng, dirty, validated)
+
+			cfg := faultConfig(t.TempDir(), eng, nil)
+			cfg.StallTimeout = 50 * time.Millisecond
+			m, err := Open(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close(context.Background())
+
+			guard.ArmStalls(1) // first attempt stalls, the re-run passes
+			j, err := submitTuples(m, validated, dirty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := waitTerminal(t, m, j.ID)
+			if got.State != StateDone {
+				t.Fatalf("job ended %s (%s), want done after re-queue", got.State, got.Error)
+			}
+			if got.Attempts < 2 {
+				t.Fatalf("attempts = %d, want >= 2 (stall must have re-queued)", got.Attempts)
+			}
+			if st := m.Stats(); st.Stalls < 1 {
+				t.Fatalf("Stats().Stalls = %d, want >= 1", st.Stalls)
+			}
+			path, err := m.ResultsPath(j.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertArtifact(t, path, want, "post-stall re-run")
+		})
+	}
+}
+
+// A job that stalls on every attempt exhausts MaxAttempts and fails
+// with the stall reason — bounded attempts, never an infinite
+// requeue loop.
+func TestStallExhaustsAttempts(t *testing.T) {
+	guard.SetChaos(true)
+	defer guard.SetChaos(false)
+	guard.ArmStalls(-1) // every attempt stalls
+
+	eng, dirty, validated := testWorkload(t, 20, 8)
+	dirty[3].Vals[0] = guard.ChaosStallValue
+
+	cfg := faultConfig(t.TempDir(), eng, nil)
+	cfg.StallTimeout = 30 * time.Millisecond
+	cfg.MaxAttempts = 2
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	j, err := submitTuples(m, validated, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, m, j.ID)
+	if got.State != StateFailed {
+		t.Fatalf("job ended %s, want failed after attempts exhausted", got.State)
+	}
+	if !strings.Contains(got.Error, "stalled") {
+		t.Fatalf("error = %q, want a stall reason", got.Error)
+	}
+	if got.Attempts != 2 {
+		t.Fatalf("attempts = %d, want exactly MaxAttempts (2)", got.Attempts)
+	}
+	if st := m.Stats(); st.Stalls != 2 {
+		t.Fatalf("Stats().Stalls = %d, want 2", st.Stalls)
+	}
+}
+
+// A panic inside the run — a poisoned tuple — fails the job with the
+// stack journaled to job.json, is never retried, and leaves the
+// manager serving: the next job completes normally.
+func TestRunnerPanicFailsJobWithJournaledStack(t *testing.T) {
+	guard.SetChaos(true)
+	defer guard.SetChaos(false)
+
+	eng, dirty, validated := testWorkload(t, 20, 8)
+	poisoned := dirty[:6]
+	poisoned[4].Vals[0] = guard.ChaosPanicValue
+
+	dir := t.TempDir()
+	m, err := Open(faultConfig(dir, eng, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	j, err := submitTuples(m, validated, poisoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, m, j.ID)
+	if got.State != StateFailed {
+		t.Fatalf("job ended %s, want failed", got.State)
+	}
+	if !strings.Contains(got.Error, "panic") {
+		t.Fatalf("error = %q, want a panic reason", got.Error)
+	}
+	if got.Attempts != 1 {
+		t.Fatalf("attempts = %d; a panic must never retry", got.Attempts)
+	}
+	if got.PanicStack == "" || !strings.Contains(got.PanicStack, "goroutine") {
+		t.Fatalf("PanicStack = %q, want a goroutine stack", got.PanicStack)
+	}
+	// The stack must be in the durable journal, not just in memory.
+	data, err := os.ReadFile(filepath.Join(dir, j.ID, "job.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := decodeJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PanicStack == "" {
+		t.Fatal("journal has no panic_stack")
+	}
+	if st := m.Stats(); st.Panics != 1 {
+		t.Fatalf("Stats().Panics = %d, want 1", st.Panics)
+	}
+
+	// The daemon's whole point: one poisoned job, next job fine.
+	_, clean, _ := testWorkload(t, 20, 4)
+	j2, err := submitTuples(m, validated, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, m, j2.ID); got.State != StateDone {
+		t.Fatalf("follow-up job ended %s (%s)", got.State, got.Error)
+	}
+}
+
+// A panic injected inside a filesystem op — the faultfs twin of the
+// guard chaos seam — takes the same isolation path: the job fails
+// with the stack journaled and the manager keeps serving.
+func TestFSPanicFailsJobWithJournaledStack(t *testing.T) {
+	eng, dirty, validated := testWorkload(t, 20, 6)
+
+	inj := faultfs.NewInjector(faultfs.OS)
+	inj.PanicNth(faultfs.OpWrite, "results.jsonl", 1)
+	dir := t.TempDir()
+	m, err := Open(faultConfig(dir, eng, inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	j, err := submitTuples(m, validated, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, m, j.ID)
+	if got.State != StateFailed {
+		t.Fatalf("job ended %s (%s), want failed", got.State, got.Error)
+	}
+	if !strings.Contains(got.Error, "panic") || !strings.Contains(got.Error, "faultfs") {
+		t.Fatalf("error = %q, want the injected faultfs panic", got.Error)
+	}
+	if got.PanicStack == "" {
+		t.Fatal("no panic stack on the failed job")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, j.ID, "job.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := decodeJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PanicStack == "" {
+		t.Fatal("journal has no panic_stack")
+	}
+
+	// One-shot rule spent: the next job writes its artifact normally.
+	_, clean, _ := testWorkload(t, 20, 4)
+	j2, err := submitTuples(m, validated, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, m, j2.ID); got.State != StateDone {
+		t.Fatalf("follow-up job ended %s (%s)", got.State, got.Error)
+	}
+}
+
+// A run past Config.JobTimeout is cancelled and journals as a
+// terminal failure with the deadline reason. (Deadline expiry is
+// deliberately terminal, not a re-queue: the job ran and was too big
+// for the budget — the re-queue/byte-parity path is the stall test's.)
+func TestJobDeadlineFailsTerminal(t *testing.T) {
+	guard.SetChaos(true)
+	defer guard.SetChaos(false)
+	guard.ArmStalls(-1) // hold the run well past its deadline
+
+	eng, dirty, validated := testWorkload(t, 20, 8)
+	dirty[2].Vals[0] = guard.ChaosStallValue
+
+	cfg := faultConfig(t.TempDir(), eng, nil)
+	cfg.JobTimeout = 40 * time.Millisecond
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	j, err := submitTuples(m, validated, dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, m, j.ID)
+	if got.State != StateFailed {
+		t.Fatalf("job ended %s, want failed on deadline", got.State)
+	}
+	if !strings.Contains(got.Error, "deadline") {
+		t.Fatalf("error = %q, want the deadline reason", got.Error)
+	}
+	if st := m.Stats(); st.JobTimeoutMS != 40 {
+		t.Fatalf("Stats().JobTimeoutMS = %d, want 40", st.JobTimeoutMS)
+	}
+}

@@ -108,6 +108,10 @@ type Job struct {
 	Processed int `json:"processed"`
 	// Error holds the failure cause for StateFailed.
 	Error string `json:"error,omitempty"`
+	// PanicStack is the goroutine stack of a recovered runner panic —
+	// journaled with the failure so a poisoned tuple or rule can be
+	// diagnosed from the job record alone.
+	PanicStack string `json:"panic_stack,omitempty"`
 	// Stats is the pipeline aggregate, set when the job completes.
 	Stats *pipeline.Stats `json:"stats,omitempty"`
 }

@@ -10,6 +10,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"cerfix/internal/admission"
 	"cerfix/internal/core"
 	"cerfix/internal/faultfs"
+	"cerfix/internal/guard"
 	"cerfix/internal/master"
 	"cerfix/internal/pipeline"
 	"cerfix/internal/schema"
@@ -49,6 +51,12 @@ var (
 	// them. The HTTP layer answers a typed 503 with a Retry-After; the
 	// manager recovers automatically when the health probe succeeds.
 	ErrDegraded = faultfs.ErrDegraded
+	// ErrDeadline marks a run cancelled for exceeding Config.JobTimeout.
+	// The job journals as a terminal failure with this reason — unlike a
+	// watchdog stall, a deadline means the job ran and was simply too
+	// big for the configured budget, so re-running it would only burn
+	// another budget.
+	ErrDeadline = errors.New("jobs: job deadline exceeded")
 )
 
 // invalid tags err as a client-input failure:
@@ -117,17 +125,33 @@ type Config struct {
 	// RetryBackoff is the base delay before a transient-failure retry,
 	// doubled per attempt (default 100ms; tests shrink it).
 	RetryBackoff time.Duration
+	// JobTimeout bounds one run's wall clock (0 = unbounded). A run
+	// past it is cancelled and journaled as failed with the deadline
+	// reason — the guardrail against jobs that are making progress but
+	// will never fit the operator's budget.
+	JobTimeout time.Duration
+	// StallTimeout arms the stuck-job watchdog (0 = off): a running
+	// job whose per-tuple progress counter has not advanced for this
+	// long is cancelled and re-queued for another attempt — bounded by
+	// MaxAttempts, after which it fails with the stall reason.
+	StallTimeout time.Duration
 }
 
 // job is the Manager's runtime view of one Job record.
 type job struct {
-	rec       Job
-	dir       string
-	cancel    context.CancelFunc // non-nil while running
+	rec Job
+	dir string
+	// cancel aborts the run with a cause: nil for user cancels and
+	// shutdown, a guard.ErrStalled-wrapped error when the watchdog
+	// fires. Non-nil while running.
+	cancel    context.CancelCauseFunc
+	stopTimer context.CancelFunc // releases the JobTimeout timer, if any
+	unwatch   func()             // deregisters from the watchdog, if any
 	ctxForRun context.Context    // the run's context, set with cancel
 	requeue   bool               // shutdown drain: re-queue instead of cancelling
 	// processed is the live run's counter — atomic so the per-tuple
-	// sink never touches the manager lock.
+	// sink never touches the manager lock. It doubles as the watchdog
+	// heartbeat.
 	processed atomic.Int64
 }
 
@@ -164,6 +188,11 @@ type Manager struct {
 	// svc tracks the moving average of completed-job service time
 	// (started → finished) — the basis for backlog Retry-After hints.
 	svc admission.EWMA
+	// watchdog cancels runs whose progress counter stalls past
+	// Config.StallTimeout (nil when the guardrail is off).
+	watchdog *guard.Watchdog
+	// panics counts runner panics converted into job failures.
+	panics atomic.Int64
 }
 
 // QueueStats is a point-in-time view of the queue for status
@@ -192,6 +221,14 @@ type QueueStats struct {
 	// shared bytes those snapshots pin and the COW debt live writes
 	// have accrued against them.
 	MasterMemory *master.MemStats `json:"master_memory,omitempty"`
+	// Stalls counts watchdog cancellations of wedged runs; Panics
+	// counts runner panics converted into job failures.
+	Stalls int64 `json:"stalls"`
+	Panics int64 `json:"panics"`
+	// JobTimeoutMS and StallTimeoutMS echo the runtime guardrails
+	// (0 = disabled).
+	JobTimeoutMS   int64 `json:"job_timeout_ms"`
+	StallTimeoutMS int64 `json:"stall_timeout_ms"`
 }
 
 // AvgService returns the average service time as a duration.
@@ -213,11 +250,17 @@ func (m *Manager) Stats() QueueStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := QueueStats{
-		Workers:      m.cfg.Workers,
-		MaxQueued:    m.cfg.MaxQueued,
-		Quarantined:  m.quarantined,
-		AvgServiceMS: float64(m.svc.Value()) / float64(time.Millisecond),
-		MasterMemory: mem,
+		Workers:        m.cfg.Workers,
+		MaxQueued:      m.cfg.MaxQueued,
+		Quarantined:    m.quarantined,
+		AvgServiceMS:   float64(m.svc.Value()) / float64(time.Millisecond),
+		MasterMemory:   mem,
+		Panics:         m.panics.Load(),
+		JobTimeoutMS:   m.cfg.JobTimeout.Milliseconds(),
+		StallTimeoutMS: m.cfg.StallTimeout.Milliseconds(),
+	}
+	if m.watchdog != nil {
+		st.Stalls = m.watchdog.Stalls()
 	}
 	st.Queued = m.reserved
 	for _, j := range m.jobs {
@@ -261,6 +304,10 @@ func Open(cfg Config) (*Manager, error) {
 	}
 	m := &Manager{cfg: cfg, fs: cfg.FS, jobs: make(map[string]*job)}
 	m.cond = sync.NewCond(&m.mu)
+	if cfg.StallTimeout > 0 {
+		m.watchdog = guard.NewWatchdog(cfg.StallTimeout)
+		m.watchdog.Start()
+	}
 	if err := m.recover(); err != nil {
 		return nil, err
 	}
@@ -690,7 +737,7 @@ func (m *Manager) Cancel(id string) (Job, error) {
 			return Job{}, err
 		}
 	case StateRunning:
-		j.cancel()
+		j.cancel(nil)
 	default:
 		return Job{}, ErrFinished
 	}
@@ -732,21 +779,25 @@ func (m *Manager) Close(ctx context.Context) error {
 		m.wg.Wait()
 		close(finished)
 	}()
+	var err error
 	select {
 	case <-finished:
-		return nil
 	case <-ctx.Done():
 		m.mu.Lock()
 		for _, j := range m.jobs {
 			if j.rec.State == StateRunning && j.cancel != nil {
 				j.requeue = true
-				j.cancel()
+				j.cancel(nil)
 			}
 		}
 		m.mu.Unlock()
 		<-finished
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if m.watchdog != nil {
+		m.watchdog.Close()
+	}
+	return err
 }
 
 // worker is one background runner. Config.Workers of them run
@@ -793,9 +844,21 @@ func (m *Manager) next() *job {
 			pick.rec.Processed = 0
 			pick.processed.Store(0)
 			pick.rec.Error = ""
-			ctx, cancel := context.WithCancel(context.Background())
+			pick.rec.PanicStack = ""
+			// The run's context carries its own termination story in the
+			// cancellation cause: nil for user cancel and shutdown, the
+			// stall error when the watchdog fires, the deadline error
+			// when JobTimeout elapses — run() classifies on it.
+			ctx, cancel := context.WithCancelCause(context.Background())
+			runCtx := ctx
+			var stopTimer context.CancelFunc = func() {}
+			if m.cfg.JobTimeout > 0 {
+				runCtx, stopTimer = context.WithTimeoutCause(ctx, m.cfg.JobTimeout,
+					fmt.Errorf("%w after %s", ErrDeadline, m.cfg.JobTimeout))
+			}
 			pick.cancel = cancel
-			pick.ctxForRun = ctx
+			pick.stopTimer = stopTimer
+			pick.ctxForRun = runCtx
 			if err := m.persist(pick); err != nil {
 				// Journal write failure: fail the job rather than run
 				// it unrecorded.
@@ -803,8 +866,15 @@ func (m *Manager) next() *job {
 				pick.rec.Error = err.Error()
 				pick.rec.Finished = time.Now().UTC()
 				pick.cancel = nil
-				cancel()
+				pick.stopTimer = nil
+				pick.ctxForRun = nil
+				stopTimer()
+				cancel(nil)
 				continue
+			}
+			if m.watchdog != nil {
+				pick.unwatch = m.watchdog.Watch(pick.rec.ID, pick.processed.Load,
+					func(cause error) { cancel(cause) })
 			}
 			return pick
 		}
@@ -820,7 +890,7 @@ func (m *Manager) next() *job {
 // — bad input, pipeline failures — never retry.
 func (m *Manager) run(j *job) {
 	ctx := j.ctxForRun
-	err := m.runPipeline(ctx, j)
+	err := m.safeRunPipeline(ctx, j)
 	m.reportHealth(err)
 	for err != nil && faultfs.Transient(err) && ctx.Err() == nil {
 		m.mu.Lock()
@@ -843,19 +913,58 @@ func (m *Manager) run(j *job) {
 		if ctx.Err() != nil {
 			break
 		}
-		err = m.runPipeline(ctx, j)
+		err = m.safeRunPipeline(ctx, j)
 		m.reportHealth(err)
 	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	j.cancel()
+	if j.unwatch != nil {
+		j.unwatch()
+		j.unwatch = nil
+	}
+	// Read the cause before the cleanup cancel below overwrites it: a
+	// never-cancelled context would otherwise report plain Canceled.
+	cause := context.Cause(ctx)
+	j.cancel(nil)
+	j.stopTimer()
 	j.cancel = nil
+	j.stopTimer = nil
 	j.ctxForRun = nil
 	j.rec.Processed = int(j.processed.Load())
+	var pe *guard.PanicError
 	switch {
 	case err == nil:
 		j.rec.State = StateDone
+	case errors.As(err, &pe):
+		// A recovered panic — one poisoned tuple or rule — is a
+		// terminal failure with the stack journaled; never retried (the
+		// same input would panic again).
+		m.panics.Add(1)
+		j.rec.State = StateFailed
+		j.rec.Error = err.Error()
+		j.rec.PanicStack = string(pe.Stack)
+	case errors.Is(cause, guard.ErrStalled):
+		// The watchdog cancelled a wedged run. Re-queue for another
+		// attempt while the MaxAttempts budget lasts (the stall may
+		// have been environmental); past it, fail with the stall
+		// reason.
+		if j.requeue || j.rec.Attempts < m.cfg.MaxAttempts {
+			j.rec.State = StateQueued
+			j.rec.Started = time.Time{}
+			j.rec.Processed = 0
+			j.requeue = false
+		} else {
+			j.rec.State = StateFailed
+			j.rec.Error = cause.Error()
+		}
+	case errors.Is(cause, ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		j.rec.State = StateFailed
+		if cause != nil {
+			j.rec.Error = cause.Error()
+		} else {
+			j.rec.Error = err.Error()
+		}
 	case errors.Is(err, context.Canceled) && j.requeue:
 		// Shutdown drain interrupted the run: journal it back to
 		// queued so the next Open re-runs it.
@@ -884,6 +993,25 @@ func (m *Manager) run(j *job) {
 		// estimate (QueueStats.AvgServiceMS).
 		m.svc.Observe(j.rec.Finished.Sub(j.rec.Started))
 	}
+	if j.rec.State == StateQueued && !m.closed {
+		// A stall re-queue must wake a runner the way a fresh
+		// submission would.
+		m.cond.Broadcast()
+	}
+}
+
+// safeRunPipeline shields the runner goroutine: a panic anywhere in
+// the run that the pipeline's own worker/reader recovery does not
+// catch — source construction, the artifact sink, journal encoding —
+// is converted into a typed *guard.PanicError instead of killing the
+// daemon.
+func (m *Manager) safeRunPipeline(ctx context.Context, j *job) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = guard.NewPanicError("jobs runner", p, debug.Stack())
+		}
+	}()
+	return m.runPipeline(ctx, j)
 }
 
 // runPipeline opens the source, streams results to the artifact, and

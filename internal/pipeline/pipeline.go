@@ -56,9 +56,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"cerfix/internal/core"
+	"cerfix/internal/guard"
 	"cerfix/internal/schema"
 )
 
@@ -256,6 +258,21 @@ func Run(ctx context.Context, eng *core.Engine, validated schema.AttrSet, src So
 			close(done)
 		})
 	}
+	// A panic escaping through the resequencer (a sink panic — reader
+	// and worker panics are converted to run errors below) must still
+	// release the pipeline: fail() unparks every stage before the panic
+	// continues to the caller, so no goroutine is left blocked on a
+	// channel nobody serves.
+	defer func() {
+		if p := recover(); p != nil {
+			fail(guard.NewPanicError("pipeline sink", p, debug.Stack()))
+			panic(p)
+		}
+	}()
+	// chaos gates the fault-injection seam once per run: disabled (the
+	// default) it costs one atomic load total, keeping the steady-state
+	// zero-alloc path untouched.
+	chaos := guard.ChaosEnabled()
 	if ctx != nil {
 		// A context cancelled before the run starts aborts
 		// synchronously — no tuple is admitted on the watcher's
@@ -285,7 +302,12 @@ func Run(ctx context.Context, eng *core.Engine, validated schema.AttrSet, src So
 	// admitted tuple needs one, so a reader parked on the pool never
 	// holds admission tokens hostage.
 	go func() {
-		defer close(jobs)
+		defer close(jobs) // registered first: runs after the recover below
+		defer func() {
+			if p := recover(); p != nil {
+				fail(guard.NewPanicError("pipeline reader", p, debug.Stack()))
+			}
+		}()
 		var cur *batch
 		seq := 0
 		for {
@@ -345,11 +367,29 @@ func Run(ctx context.Context, eng *core.Engine, validated schema.AttrSet, src So
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			chaser := eng.AcquireChaser()
-			defer chaser.Release()
+			var chaser *core.Chaser
+			defer func() {
+				if p := recover(); p != nil {
+					// One poisoned tuple or rule fails the run as a typed
+					// error instead of killing the process. The chaser is
+					// abandoned, not released: its mid-chase scratch can't
+					// be trusted back into the pool.
+					fail(guard.NewPanicError("pipeline worker", p, debug.Stack()))
+					return
+				}
+				if chaser != nil {
+					chaser.Release()
+				}
+			}()
+			chaser = eng.AcquireChaser()
 			for b := range jobs {
 				for i := 0; i < b.n; i++ {
 					in := &b.in[i]
+					if chaos {
+						for _, v := range in.Vals {
+							guard.ChaosValue(ctx, string(v))
+						}
+					}
 					res := chaser.ChaseInto(&b.chase[i], in, validated)
 					b.results[i] = Result{Seq: b.startSeq + i, Input: in, Fixed: res.Tuple, Chase: res}
 				}

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -58,7 +60,7 @@ func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req batchRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	if len(req.Validated) == 0 {
@@ -114,7 +116,21 @@ func (s *Server) handleBatchFix(w http.ResponseWriter, r *http.Request) {
 	})
 	stats, err := pipeline.Run(r.Context(), eng, seed, pipeline.NewSliceSource(tuples), sink, nil)
 	if err != nil {
-		writeErr(w, r, http.StatusInternalServerError, codeInternal, err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// The per-request deadline (-request-timeout) expired
+			// mid-run and the pipeline drained cleanly.
+			writeErr(w, r, http.StatusGatewayTimeout, codeDeadlineExceeded,
+				fmt.Errorf("batch fix exceeded the %s request deadline; reduce the batch or submit an async job", s.limits.RequestTimeout))
+		case errors.Is(err, context.Canceled):
+			// The client went away mid-run: the pipeline aborted with
+			// its context, the gate slot is released by withSyncGate's
+			// defer, and there is nobody to answer — just tag the
+			// access-log line with why.
+			metaFrom(r).code = "client_disconnect"
+		default:
+			writeErr(w, r, http.StatusInternalServerError, codeInternal, err)
+		}
 		return
 	}
 	// Feed the shed path's Retry-After estimate with real service time.

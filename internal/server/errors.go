@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"net/http"
 )
 
@@ -21,17 +23,21 @@ import (
 //	400 invalid_argument   malformed body/query/path — not valid input
 //	404 not_found          no such rule/session/job/tuple/route
 //	409 conflict           valid request, wrong lifecycle state
+//	413 body_too_large     request body past the -max-body cap
 //	422 invalid_input      well-formed but semantically rejected
 //	429 rate_limited       per-key token bucket empty
 //	429 overloaded         sync fix concurrency cap reached
 //	429 backlog_full       jobs queue at -max-queued-jobs
+//	429 memory_pressure    heap past the soft watermark; submits shed
 //	500 internal           server fault (I/O, panic)
 //	503 jobs_disabled      daemon started without -jobs-dir
 //	503 shutting_down      draining; queue closed
 //	503 persistence_degraded  durable storage unhealthy; retry later
+//	503 memory_degraded    heap past the hard watermark
+//	504 deadline_exceeded  request ran past -request-timeout
 //
-// Every 429 — and the persistence_degraded 503 — carries a computed
-// Retry-After (seconds).
+// Every 429 — and the persistence_degraded and memory_degraded 503s —
+// carries a computed Retry-After (seconds).
 
 // The stable error codes.
 const (
@@ -51,6 +57,17 @@ const (
 	// them, while read-only and in-memory work (sync /fix) continues.
 	// The daemon recovers automatically once its health probe succeeds.
 	codePersistenceDegraded = "persistence_degraded"
+	// codeDeadlineExceeded: the handler ran past -request-timeout and
+	// its per-request context expired mid-work.
+	codeDeadlineExceeded = "deadline_exceeded"
+	// codeBodyTooLarge: the request body exceeded -max-body; the read
+	// stopped at the cap, so the daemon never buffered the excess.
+	codeBodyTooLarge = "body_too_large"
+	// codeMemoryPressure / codeMemoryDegraded are the soft and hard
+	// heap-watermark sheds (-mem-soft/-mem-hard): soft sheds new job
+	// submits with 429, hard is the degraded 503 surfaced on /status.
+	codeMemoryPressure = "memory_pressure"
+	codeMemoryDegraded = "memory_degraded"
 )
 
 // errorBody is the envelope payload.
@@ -87,6 +104,19 @@ func metaFrom(r *http.Request) *reqMeta {
 // withMeta stores meta in the request context.
 func withMeta(r *http.Request, m *reqMeta) *http.Request {
 	return r.WithContext(context.WithValue(r.Context(), reqMetaKey{}, m))
+}
+
+// writeDecodeErr classifies a request-body decode failure: a body the
+// -max-body reader truncated is the typed 413; anything else is the
+// plain 400 malformed-body envelope.
+func writeDecodeErr(w http.ResponseWriter, r *http.Request, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeErr(w, r, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+			fmt.Errorf("request body exceeds the %d-byte limit", mbe.Limit))
+		return
+	}
+	writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
 }
 
 // writeErr renders the typed envelope. All error paths funnel through

@@ -3,7 +3,6 @@ package server
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"strconv"
@@ -45,30 +44,34 @@ func (s *Server) SnapshotEngine() *core.Engine {
 // jobJSON is the wire shape of one job record (the journal's Input
 // path stays server-side).
 type jobJSON struct {
-	ID        string          `json:"id"`
-	State     string          `json:"state"`
-	Validated []string        `json:"validated"`
-	Format    string          `json:"format"`
-	Submitted time.Time       `json:"submitted"`
-	Started   *time.Time      `json:"started,omitempty"`
-	Finished  *time.Time      `json:"finished,omitempty"`
-	Attempts  int             `json:"attempts"`
-	Processed int             `json:"processed"`
-	Error     string          `json:"error,omitempty"`
-	Stats     *pipeline.Stats `json:"stats,omitempty"`
+	ID        string     `json:"id"`
+	State     string     `json:"state"`
+	Validated []string   `json:"validated"`
+	Format    string     `json:"format"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Attempts  int        `json:"attempts"`
+	Processed int        `json:"processed"`
+	Error     string     `json:"error,omitempty"`
+	// PanicStack is the journaled goroutine stack of a recovered
+	// runner panic — present only on panic-failed jobs.
+	PanicStack string          `json:"panic_stack,omitempty"`
+	Stats      *pipeline.Stats `json:"stats,omitempty"`
 }
 
 func toJobJSON(j jobs.Job) jobJSON {
 	out := jobJSON{
-		ID:        j.ID,
-		State:     string(j.State),
-		Validated: j.Validated,
-		Format:    j.Format,
-		Submitted: j.Submitted,
-		Attempts:  j.Attempts,
-		Processed: j.Processed,
-		Error:     j.Error,
-		Stats:     j.Stats,
+		ID:         j.ID,
+		State:      string(j.State),
+		Validated:  j.Validated,
+		Format:     j.Format,
+		Submitted:  j.Submitted,
+		Attempts:   j.Attempts,
+		Processed:  j.Processed,
+		Error:      j.Error,
+		PanicStack: j.PanicStack,
+		Stats:      j.Stats,
 	}
 	if !j.Started.IsZero() {
 		t := j.Started
@@ -107,9 +110,30 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !s.jobsEnabled(w, r) {
 		return
 	}
+	// Memory-pressure shedding, checked before the body is even
+	// decoded: a submission is deferrable work, and admitting it under
+	// heap pressure only digs the hole deeper. Soft pressure sheds with
+	// 429 (come back shortly); hard pressure is the degraded 503.
+	if s.memMon != nil {
+		switch s.memMon.State() {
+		case admission.PressureHard:
+			s.shed.memoryDegraded.Inc()
+			ms := s.memMon.Status()
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.memMon.RetryAfter()/time.Second)))
+			writeErr(w, r, http.StatusServiceUnavailable, codeMemoryDegraded,
+				fmt.Errorf("heap (%d bytes) past the hard watermark (%d); job submissions suspended", ms.HeapBytes, ms.HardBytes))
+			return
+		case admission.PressureSoft:
+			s.shed.memoryPressure.Inc()
+			ms := s.memMon.Status()
+			writeShed(w, r, codeMemoryPressure, s.memMon.RetryAfter(),
+				fmt.Errorf("heap (%d bytes) past the soft watermark (%d); new jobs shed until pressure recedes", ms.HeapBytes, ms.SoftBytes))
+			return
+		}
+	}
 	var req jobSubmitRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	var (
@@ -218,8 +242,26 @@ func (s *Server) handleJobResults(w http.ResponseWriter, r *http.Request) {
 	defer f.Close()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	// Errors past this point only truncate the stream; the status is
-	// already committed.
-	_, _ = io.Copy(w, f)
+	// already committed. The copy loop checks the request context
+	// between chunks so a disconnected client stops the stream at the
+	// next boundary instead of pumping a large artifact into a dead
+	// socket's buffers.
+	buf := make([]byte, 32*1024)
+	for {
+		if r.Context().Err() != nil {
+			metaFrom(r).code = "client_disconnect"
+			return
+		}
+		n, rerr := f.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {

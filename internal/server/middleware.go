@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
@@ -17,15 +18,17 @@ import (
 // The middleware chain wraps the whole route table — outermost first:
 //
 //	request-ID injection → access logging → panic recovery →
-//	per-key rate limiting → routes
+//	per-key rate limiting → body cap → routes
 //
 // so every response (including sheds and panics) carries a request ID,
 // appears in the access log with its status, duration and shed
-// reason, and uses the typed error envelope.
+// reason, and uses the typed error envelope. Per-request deadlines
+// (withDeadline) are applied per route, not here, because streaming
+// routes are exempt.
 
 // chain assembles the middleware stack around the route mux.
 func (s *Server) chain(next http.Handler) http.Handler {
-	return s.requestIDMW(s.accessLogMW(s.recoverMW(s.rateLimitMW(next))))
+	return s.requestIDMW(s.accessLogMW(s.recoverMW(s.rateLimitMW(s.bodyLimitMW(next)))))
 }
 
 // statusRecorder captures the response status and size for the access
@@ -187,6 +190,45 @@ func clientKey(r *http.Request) string {
 func writeShed(w http.ResponseWriter, r *http.Request, code string, retry time.Duration, err error) {
 	w.Header().Set("Retry-After", strconv.Itoa(int(retry/time.Second)))
 	writeErr(w, r, http.StatusTooManyRequests, code, err)
+}
+
+// bodyLimitMW caps every request body at -max-body via
+// http.MaxBytesReader: the wrapped reader stops at the limit, so an
+// oversized upload fails its decode with *http.MaxBytesError (mapped
+// to the 413 envelope by writeDecodeErr) without the daemon ever
+// buffering the excess.
+func (s *Server) bodyLimitMW(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.limits.MaxBody > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.limits.MaxBody)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withDeadline bounds one request's handler with -request-timeout.
+// The handler sees a context that expires at the deadline; handlers
+// that consult it (the sync fix pipeline) classify the expiry
+// themselves, and for any that return without writing after expiry
+// this wrapper supplies the uniform 504 envelope. Streaming routes
+// (job results) are mounted without it — an NDJSON download is
+// allowed to outlive any fixed budget.
+func (s *Server) withDeadline(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d := s.limits.RequestTimeout
+		if d <= 0 {
+			next(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		rec := &statusRecorder{ResponseWriter: w}
+		next(rec, r.WithContext(ctx))
+		if rec.status == 0 && ctx.Err() == context.DeadlineExceeded {
+			writeErr(rec, r, http.StatusGatewayTimeout, codeDeadlineExceeded,
+				fmt.Errorf("request exceeded the %s deadline", d))
+		}
+	}
 }
 
 // withSyncGate caps concurrent synchronous fix runs. Past the cap the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"time"
 
 	"cerfix/internal/admission"
 )
@@ -28,11 +29,14 @@ const (
 )
 
 // route is one line of the API surface: method, path (under the
-// prefix), limits class and handler.
+// prefix), limits class and handler. stream marks long-lived
+// streaming responses, which are exempt from the per-request
+// deadline.
 type route struct {
 	method string
 	path   string
 	class  limitClass
+	stream bool
 	h      http.HandlerFunc
 }
 
@@ -40,27 +44,27 @@ type route struct {
 // ServeMux patterns ({id} wildcards).
 func (s *Server) routeTable() []route {
 	return []route{
-		{"GET", "/status", classRead, s.handleStatus},
-		{"GET", "/rules", classRead, s.handleRulesList},
-		{"POST", "/rules", classMutate, s.handleRulesAdd},
-		{"DELETE", "/rules/{id}", classMutate, s.handleRulesDelete},
-		{"POST", "/rules/check", classRead, s.handleRulesCheck},
-		{"GET", "/regions", classRead, s.handleRegions},
-		{"GET", "/master", classRead, s.handleMasterList},
-		{"POST", "/master", classMutate, s.handleMasterAdd},
-		{"POST", "/sessions", classMutate, s.handleSessionOpen},
-		{"GET", "/sessions/{id}", classRead, s.handleSessionGet},
-		{"POST", "/sessions/{id}/validate", classMutate, s.handleSessionValidate},
-		{"GET", "/sessions/{id}/explain", classRead, s.handleSessionExplain},
-		{"GET", "/audit/stats", classRead, s.handleAuditStats},
-		{"GET", "/audit/tuples/{id}", classRead, s.handleAuditTuple},
-		{"GET", "/audit/cell", classRead, s.handleAuditCell},
-		{"POST", "/fix", classSyncFix, s.handleBatchFix},
-		{"POST", "/jobs", classMutate, s.handleJobSubmit},
-		{"GET", "/jobs", classRead, s.handleJobList},
-		{"GET", "/jobs/{id}", classRead, s.handleJobGet},
-		{"GET", "/jobs/{id}/results", classRead, s.handleJobResults},
-		{"DELETE", "/jobs/{id}", classMutate, s.handleJobCancel},
+		{"GET", "/status", classRead, false, s.handleStatus},
+		{"GET", "/rules", classRead, false, s.handleRulesList},
+		{"POST", "/rules", classMutate, false, s.handleRulesAdd},
+		{"DELETE", "/rules/{id}", classMutate, false, s.handleRulesDelete},
+		{"POST", "/rules/check", classRead, false, s.handleRulesCheck},
+		{"GET", "/regions", classRead, false, s.handleRegions},
+		{"GET", "/master", classRead, false, s.handleMasterList},
+		{"POST", "/master", classMutate, false, s.handleMasterAdd},
+		{"POST", "/sessions", classMutate, false, s.handleSessionOpen},
+		{"GET", "/sessions/{id}", classRead, false, s.handleSessionGet},
+		{"POST", "/sessions/{id}/validate", classMutate, false, s.handleSessionValidate},
+		{"GET", "/sessions/{id}/explain", classRead, false, s.handleSessionExplain},
+		{"GET", "/audit/stats", classRead, false, s.handleAuditStats},
+		{"GET", "/audit/tuples/{id}", classRead, false, s.handleAuditTuple},
+		{"GET", "/audit/cell", classRead, false, s.handleAuditCell},
+		{"POST", "/fix", classSyncFix, false, s.handleBatchFix},
+		{"POST", "/jobs", classMutate, false, s.handleJobSubmit},
+		{"GET", "/jobs", classRead, false, s.handleJobList},
+		{"GET", "/jobs/{id}", classRead, false, s.handleJobGet},
+		{"GET", "/jobs/{id}/results", classRead, true, s.handleJobResults},
+		{"DELETE", "/jobs/{id}", classMutate, false, s.handleJobCancel},
 	}
 }
 
@@ -72,6 +76,9 @@ func (s *Server) Handler() http.Handler {
 		h := rt.h
 		if rt.class == classSyncFix {
 			h = s.withSyncGate(h)
+		}
+		if !rt.stream {
+			h = s.withDeadline(h)
 		}
 		mux.HandleFunc(rt.method+" /api/v1"+rt.path, h)
 		mux.HandleFunc(rt.method+" /api"+rt.path, h)
@@ -95,6 +102,12 @@ type Limits struct {
 	Burst int
 	// MaxSyncFix caps concurrent POST /fix runs; 0 means unlimited.
 	MaxSyncFix int
+	// RequestTimeout bounds each non-streaming request's handler; the
+	// expiry answer is the 504 deadline_exceeded envelope. 0 disables.
+	RequestTimeout time.Duration
+	// MaxBody caps request bodies in bytes (413 body_too_large past
+	// it); 0 disables.
+	MaxBody int64
 }
 
 // SetLimits installs the admission configuration. Call before

@@ -25,6 +25,7 @@ import (
 	"cerfix/internal/admission"
 	"cerfix/internal/counter"
 	"cerfix/internal/faultfs"
+	"cerfix/internal/guard"
 	"cerfix/internal/jobs"
 	"cerfix/internal/master"
 	"cerfix/internal/monitor"
@@ -43,6 +44,9 @@ type Server struct {
 	// /api/v1/status and sizes Retry-After on persistence_degraded
 	// sheds.
 	persistHealth *faultfs.Health
+	// memMon, when set (SetMemMonitor), sheds job submissions under
+	// heap pressure and is surfaced on /api/v1/status guardrails.
+	memMon *guard.MemMonitor
 
 	// Admission state (SetLimits): per-key limiter, sync-fix gate and
 	// the moving average of sync batch service time behind computed
@@ -56,9 +60,11 @@ type Server struct {
 	// prefilter totals — is a counter.Monotonic, so they all share one
 	// increment discipline and one bare-number JSON encoding.
 	shed struct {
-		rateLimited counter.Monotonic
-		overloaded  counter.Monotonic
-		backlogFull counter.Monotonic
+		rateLimited    counter.Monotonic
+		overloaded     counter.Monotonic
+		backlogFull    counter.Monotonic
+		memoryPressure counter.Monotonic
+		memoryDegraded counter.Monotonic
 	}
 
 	// Request-ID assignment: per-process random prefix + counter.
@@ -86,6 +92,13 @@ func New(sys *cerfix.System) *Server {
 // state shows up under /api/v1/status persistence.health, and degraded
 // sheds answer with its Retry-After estimate. Call before Handler.
 func (s *Server) SetPersistenceHealth(h *faultfs.Health) { s.persistHealth = h }
+
+// SetMemMonitor wires the heap-watermark monitor in: past the soft
+// watermark new job submissions shed with 429 memory_pressure, past
+// the hard watermark with 503 memory_degraded, and the live state is
+// surfaced under /api/v1/status guardrails.memory. Call before
+// Handler.
+func (s *Server) SetMemMonitor(m *guard.MemMonitor) { s.memMon = m }
 
 // --- helpers -----------------------------------------------------------
 
@@ -147,9 +160,11 @@ func tupleFromMap(sch *cerfix.Schema, m map[string]string) (*cerfix.Tuple, error
 // at the server's live counters; counter.Monotonic marshals as a bare
 // number, so the wire shape is unchanged from the int64 days.
 type shedCounters struct {
-	RateLimited *counter.Monotonic `json:"rate_limited"`
-	Overloaded  *counter.Monotonic `json:"overloaded"`
-	BacklogFull *counter.Monotonic `json:"backlog_full"`
+	RateLimited    *counter.Monotonic `json:"rate_limited"`
+	Overloaded     *counter.Monotonic `json:"overloaded"`
+	BacklogFull    *counter.Monotonic `json:"backlog_full"`
+	MemoryPressure *counter.Monotonic `json:"memory_pressure"`
+	MemoryDegraded *counter.Monotonic `json:"memory_degraded"`
 }
 
 // admissionStatus reports the front-door configuration and live
@@ -176,6 +191,10 @@ type statusResponse struct {
 	AuditRecords int             `json:"audit_records"`
 	OpenSessions int             `json:"open_sessions"`
 	Admission    admissionStatus `json:"admission"`
+	// Guardrails reports the runtime-guardrail configuration and the
+	// live memory-pressure state (memory absent without -mem-soft/
+	// -mem-hard).
+	Guardrails guardrailStatus `json:"guardrails"`
 	// Jobs reports the async queue (absent when the daemon runs
 	// without -jobs-dir).
 	Jobs *jobs.QueueStats `json:"jobs,omitempty"`
@@ -190,6 +209,14 @@ type statusResponse struct {
 	// live durability health (absent for in-memory systems with no
 	// health tracking).
 	Persistence *persistenceStatus `json:"persistence,omitempty"`
+}
+
+// guardrailStatus echoes the runtime-guardrail flags and, when the
+// daemon runs a memory monitor, its live pressure state.
+type guardrailStatus struct {
+	RequestTimeoutMS int64            `json:"request_timeout_ms"`
+	MaxBodyBytes     int64            `json:"max_body_bytes"`
+	Memory           *guard.MemStatus `json:"memory,omitempty"`
 }
 
 // persistenceStatus merges load provenance (directory, backup
@@ -229,9 +256,19 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		adm.SyncInFlight = s.fixGate.InFlight()
 	}
 	adm.Shed = shedCounters{
-		RateLimited: &s.shed.rateLimited,
-		Overloaded:  &s.shed.overloaded,
-		BacklogFull: &s.shed.backlogFull,
+		RateLimited:    &s.shed.rateLimited,
+		Overloaded:     &s.shed.overloaded,
+		BacklogFull:    &s.shed.backlogFull,
+		MemoryPressure: &s.shed.memoryPressure,
+		MemoryDegraded: &s.shed.memoryDegraded,
+	}
+	gs := guardrailStatus{
+		RequestTimeoutMS: s.limits.RequestTimeout.Milliseconds(),
+		MaxBodyBytes:     s.limits.MaxBody,
+	}
+	if s.memMon != nil {
+		ms := s.memMon.Status()
+		gs.Memory = &ms
 	}
 	var qs *jobs.QueueStats
 	if s.jobs != nil {
@@ -258,6 +295,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		AuditRecords: s.sys.Audit().Len(),
 		OpenSessions: len(s.sessions),
 		Admission:    adm,
+		Guardrails:   gs,
 		Jobs:         qs,
 		Memory:       &mem,
 		Kernels: kernelStatus{
@@ -296,7 +334,7 @@ func (s *Server) handleRulesAdd(w http.ResponseWriter, r *http.Request) {
 		DSL string `json:"dsl"`
 	}
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	s.mu.Lock()
@@ -417,7 +455,7 @@ func (s *Server) handleMasterAdd(w http.ResponseWriter, r *http.Request) {
 		Values map[string]string `json:"values"`
 	}
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	s.mu.Lock()
@@ -478,7 +516,7 @@ func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
 		Tuple map[string]string `json:"tuple"`
 	}
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	s.mu.Lock()
@@ -529,7 +567,7 @@ func (s *Server) handleSessionValidate(w http.ResponseWriter, r *http.Request) {
 		Assertions map[string]string `json:"assertions"`
 	}
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, r, http.StatusBadRequest, codeInvalidArgument, err)
+		writeDecodeErr(w, r, err)
 		return
 	}
 	s.mu.Lock()
